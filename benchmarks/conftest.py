@@ -1,0 +1,14 @@
+"""Benchmark-harness helpers.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints the rows (run with ``-s`` to see them), and asserts the *shape*
+criteria from DESIGN.md — who wins, by roughly what factor — rather
+than absolute numbers (our substrate is a simulator, not a 1989 Titan).
+"""
+
+import pytest
+
+
+def once(benchmark, fn):
+    """Run a macro-benchmark exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

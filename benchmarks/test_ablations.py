@@ -1,0 +1,96 @@
+"""Ablations for the design decisions DESIGN.md §5 calls out.
+
+1. Write policy: §7 "Sprite's performance advantage over NFS comes
+   mostly from its delayed write-back policy" — forcing write-through
+   on SNFS should erase most of its win over NFS.
+2. Delete-before-writeback cancellation: disabling it should make the
+   (no-update) sort write its temp data after all.
+3. The invalidate-on-close bug: fixing it should remove most of NFS's
+   read traffic on the sort.
+4. Probe interval: fixed 3 s probes cost more getattrs than adaptive.
+5. Delayed close (§6.2): most open/close RPCs disappear.
+"""
+
+from conftest import once
+
+from repro.experiments import (
+    ablation_delayed_close,
+    ablation_delete_cancellation,
+    ablation_invalidate_bug,
+    ablation_probe_interval,
+    ablation_write_policy,
+)
+
+
+def test_ablation_write_policy(benchmark):
+    table, r = once(benchmark, ablation_write_policy)
+    print()
+    print(table)
+    # write-through SNFS loses most of the delayed-write advantage:
+    # it lands much closer to NFS than delayed-write SNFS does
+    gap_delayed = r["nfs"] - r["delayed"]
+    gap_through = r["nfs"] - r["write_through"]
+    assert r["write_through"] > r["delayed"]
+    assert gap_through < 0.6 * gap_delayed
+
+
+def test_ablation_delete_cancellation(benchmark):
+    table, r = once(benchmark, ablation_delete_cancellation)
+    print()
+    print(table)
+    assert r["with_cancel_writes"] <= 5
+    assert r["without_cancel_writes"] > 50 * max(1, r["with_cancel_writes"])
+
+
+def test_ablation_invalidate_bug(benchmark):
+    table, r = once(benchmark, ablation_invalidate_bug)
+    print()
+    print(table)
+    assert r["fixed_reads"] < r["buggy_reads"] * 0.25
+
+
+def test_ablation_probe_interval(benchmark):
+    table, r = once(benchmark, ablation_probe_interval)
+    print()
+    print(table)
+    assert r["fixed_getattrs"] >= r["adaptive_getattrs"]
+
+
+def test_ablation_delayed_close(benchmark):
+    table, r = once(benchmark, ablation_delayed_close)
+    print()
+    print(table)
+    # §6.2: "we could avoid a lot of network traffic"
+    assert r["delayed_openclose"] < r["base_openclose"] * 0.5
+
+
+def test_ablation_name_cache(benchmark):
+    from repro.experiments import ablation_name_cache
+
+    table, r = once(benchmark, ablation_name_cache)
+    print()
+    print(table)
+    # §7: reducing lookups ("roughly half of the RPC calls") matters
+    assert r["cached_lookups"] < r["base_lookups"] * 0.5
+
+
+def test_ablation_consistent_dir_cache(benchmark):
+    from repro.experiments import ablation_consistent_dir_cache
+
+    table, r = once(benchmark, ablation_consistent_dir_cache)
+    print()
+    print(table)
+    # the exact-consistency variant removes nearly all lookup traffic
+    assert r["cached_lookups"] < r["base_lookups"] * 0.2
+
+
+def test_ablation_block_size(benchmark):
+    from repro.experiments import ablation_block_size
+
+    table, r = once(benchmark, ablation_block_size)
+    print()
+    print(table)
+    # the Table 5-2 footnote: 8k blocks help NFS (fewer write RPCs and
+    # at least slightly better elapsed time)
+    assert r["writes_8k"] < r["writes_4k"]
+    assert r["total_8k"] <= r["total_4k"]

@@ -1,0 +1,30 @@
+"""Extension experiment: block vs whole-file consistency (§2.5).
+
+Shape criteria: on disjoint-block write-sharing, Kent's block tokens
+let both clients keep delayed-write caches — near-zero data RPCs —
+while SNFS's whole-file write-shared mode forces every access to the
+server.  (The paper could not measure Kent's scheme: "this system
+required special hardware"; ours doesn't.)
+"""
+
+from conftest import once
+
+from repro.experiments import block_sharing_table
+
+
+def test_block_sharing(benchmark):
+    table, results = once(benchmark, block_sharing_table)
+    print()
+    print(table)
+
+    snfs = results["snfs"]
+    kent = results["kent"]
+
+    # SNFS: write-shared means uncached, synchronous data traffic
+    assert snfs.data_rpcs > 50
+    # Kent: the disjoint blocks stay owned and cached — almost no data
+    # traffic at all
+    assert kent.data_rpcs <= 5
+    assert kent.total_rpcs < snfs.total_rpcs * 0.25
+    # and the block protocol is faster end to end
+    assert kent.elapsed < snfs.elapsed

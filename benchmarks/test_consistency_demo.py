@@ -1,0 +1,26 @@
+"""§2.3 correctness: stale reads under concurrent write-sharing.
+
+Shape criteria:
+* NFS serves stale data inside its attribute-probe window;
+* SNFS "guarantees that no two clients will have inconsistent cached
+  copies of a file": zero stale reads;
+* RFS (related work, §2.5) also shows zero stale reads.
+"""
+
+from conftest import once
+
+from repro.experiments import consistency_table
+
+
+def test_consistency_demo(benchmark):
+    table, outcomes = once(benchmark, consistency_table)
+    print()
+    print(table)
+
+    by_proto = {o.protocol: o for o in outcomes}
+    assert by_proto["nfs"].stale > 0, "NFS should show stale reads"
+    assert by_proto["snfs"].stale == 0, "SNFS must never serve stale data"
+    assert by_proto["rfs"].stale == 0, "RFS must never serve stale data"
+    assert by_proto["kent"].stale == 0, "block tokens must never serve stale data"
+    for o in outcomes:
+        assert o.total > 20  # the reader genuinely sampled the file

@@ -1,0 +1,26 @@
+"""Figure 5-1: NFS server CPU utilization and call rates over time.
+
+Shape criteria (paper §5.2): the server load varies over the run and
+"was strongly correlated with the aggregate rate of RPC calls; it was
+NOT correlated with the rate of read or write calls".
+"""
+
+from conftest import once
+
+from repro.experiments import figure_series, render_figure
+
+
+def test_figure_5_1(benchmark):
+    data = once(benchmark, lambda: figure_series("nfs"))
+    print()
+    print(render_figure(data))
+
+    assert data.elapsed > 0
+    assert len(data.utilization) >= 5
+    # load tracks the aggregate call rate...
+    assert data.utilization_rate_correlation() > 0.6
+    # ...but not the write rate
+    assert data.utilization_write_correlation() < data.utilization_rate_correlation()
+    # the load genuinely varies (busy and quiet phases)
+    values = [v for _, v in data.utilization]
+    assert max(values) > 2 * (sum(values) / len(values))

@@ -1,0 +1,33 @@
+"""Extension experiment: write traffic vs. file lifetime (§2.1).
+
+Shape criteria: NFS writes everything through regardless of lifetime;
+SNFS's network write fraction rises monotonically with lifetime — near
+zero well below the 30 s write-delay window, converging toward NFS far
+above it.  This curve is the quantified version of the paper's
+motivating claim about short-lived Unix files.
+"""
+
+from conftest import once
+
+from repro.experiments import lifetime_sweep
+
+LIFETIMES = (2.0, 10.0, 30.0, 90.0, 300.0)
+
+
+def test_lifetime_sweep(benchmark):
+    table, points = once(benchmark, lambda: lifetime_sweep(LIFETIMES))
+    print()
+    print(table)
+
+    # NFS: 100 % of blocks cross the network at every lifetime
+    for lifetime in LIFETIMES:
+        assert points[("nfs", lifetime)].network_fraction >= 0.99
+
+    snfs_fracs = [points[("snfs", t)].network_fraction for t in LIFETIMES]
+    # monotone non-decreasing in lifetime
+    for a, b in zip(snfs_fracs, snfs_fracs[1:]):
+        assert b >= a - 0.02
+    # far below the window: almost nothing crosses the network
+    assert snfs_fracs[0] < 0.25
+    # far above it: most data eventually ages out and is written
+    assert snfs_fracs[-1] > 0.75

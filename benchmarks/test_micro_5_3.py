@@ -1,0 +1,28 @@
+"""§5.3 microbenchmark: write-close-reread.
+
+Shape criteria: "There was no significant difference in elapsed times
+[rereading the same vs. a different file], indicating that the
+(elapsed-time) cost of a read missing the client cache is negligible
+compared to the cost of writing through."
+"""
+
+from conftest import once
+
+from repro.experiments import micro_write_close_reread
+
+
+def test_micro_5_3(benchmark):
+    table, results = once(benchmark, micro_write_close_reread)
+    print()
+    print(table)
+
+    same = results["reread_same"]
+    different = results["reread_different"]
+    write_cost = results["write_close_same"]
+
+    # rereading the same file (cache was invalidated on close) costs
+    # about the same as reading a different file: the cache is useless
+    # either way under the buggy client
+    assert abs(same - different) <= 0.25 * max(same, different)
+    # and the whole reread is no worse than the write-through itself
+    assert max(same, different) <= 3.0 * write_cost

@@ -1,0 +1,24 @@
+"""§5.1 read-pattern RPC accounting.
+
+Shape criteria: "In the 'read-quickly' case, NFS will require one
+fewer RPC than SNFS ... In the 'read-slowly' case, SNFS may break even
+or better, since NFS must do consistency probes every few seconds."
+"""
+
+from conftest import once
+
+from repro.experiments import read_pattern_comparison
+
+
+def test_read_patterns(benchmark):
+    table, r = once(benchmark, read_pattern_comparison)
+    print()
+    print(table)
+
+    # read-quickly: NFS needs exactly one RPC fewer (no close)
+    assert r["nfs_quick"] == r["snfs_quick"] - 1
+
+    # read-slowly: SNFS breaks even or better (no periodic probes)
+    assert r["snfs_slow"] <= r["nfs_slow"]
+    # and SNFS's count does not grow with the reading duration at all
+    assert r["snfs_slow"] == r["snfs_quick"]

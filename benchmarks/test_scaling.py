@@ -1,0 +1,36 @@
+"""Extension experiment: server scaling with N concurrent clients.
+
+Shape criteria (§2.3, §5.2): the paper cites Sprite supporting "about
+four times as many clients" and measures SNFS server *disk* utilization
+30-35 % lower.  With N clients hammering one server:
+
+* SNFS server disk utilization stays well below NFS's;
+* NFS client response time degrades faster with N than SNFS's.
+"""
+
+from conftest import once
+
+from repro.experiments import scaling_table
+
+
+def test_scaling(benchmark):
+    table, points = once(benchmark, lambda: scaling_table(client_counts=(1, 2, 4, 8)))
+    print()
+    print(table)
+
+    biggest = max(n for _p, n in points)
+    nfs_big = points[("nfs", biggest)]
+    snfs_big = points[("snfs", biggest)]
+    nfs_one = points[("nfs", 1)]
+    snfs_one = points[("snfs", 1)]
+
+    # the server disk is NFS's bottleneck; SNFS keeps it far cooler
+    assert snfs_big.server_disk_utilization < nfs_big.server_disk_utilization * 0.7
+
+    # response-time degradation from 1 -> N clients is worse under NFS
+    nfs_slowdown = nfs_big.mean_client_seconds / nfs_one.mean_client_seconds
+    snfs_slowdown = snfs_big.mean_client_seconds / snfs_one.mean_client_seconds
+    assert nfs_slowdown > snfs_slowdown
+
+    # at N clients an SNFS client still responds faster than an NFS one
+    assert snfs_big.mean_client_seconds < nfs_big.mean_client_seconds

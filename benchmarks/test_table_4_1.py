@@ -1,0 +1,110 @@
+"""Table 4-1: the SNFS server state transition table.
+
+Regenerates the transition table by driving the state machine through
+every (state, event) pair the paper lists, prints it, and benchmarks
+raw state-table throughput (opens+closes per second) — the in-memory
+cost the paper bounds at 68 bytes/entry.
+"""
+
+from conftest import once
+
+from repro.metrics import format_table
+from repro.snfs import FileState, StateTable
+
+A, B = "clientA", "clientB"
+
+
+def _drive(setup_events, event):
+    """Apply setup then one event; returns (new_state, callback descr)."""
+    table = StateTable()
+    key = "f"
+    for client, op, write in setup_events:
+        if op == "open":
+            table.open_file(key, client, write)
+        else:
+            table.close_file(key, client, write)
+    client, op, write = event
+    if op == "open":
+        _grant, cbs = table.open_file(key, client, write)
+    else:
+        cbs = table.close_file(key, client, write)
+    descr = (
+        "; ".join(
+            "%s(%s%s)" % (
+                "writeback+invalidate" if cb.writeback and cb.invalidate
+                else "writeback" if cb.writeback
+                else "invalidate",
+                "old writer" if cb.client == A else cb.client,
+                "",
+            )
+            for cb in cbs
+        )
+        or "none"
+    )
+    return table.state_of(key), descr
+
+
+ROWS = [
+    # (old state label, setup, event, expected new state)
+    ("CLOSED", [], (A, "open", False), FileState.ONE_READER),
+    ("CLOSED", [], (A, "open", True), FileState.ONE_WRITER),
+    ("ONE_READER", [(A, "open", False)], (B, "open", False), FileState.MULT_READERS),
+    ("ONE_READER", [(A, "open", False)], (A, "open", True), FileState.ONE_WRITER),
+    ("ONE_READER", [(A, "open", False)], (B, "open", True), FileState.WRITE_SHARED),
+    ("MULT_READERS", [(A, "open", False), (B, "open", False)],
+     (B, "open", True), FileState.WRITE_SHARED),
+    ("ONE_WRITER", [(A, "open", True)], (B, "open", False), FileState.WRITE_SHARED),
+    ("ONE_WRITER", [(A, "open", True)], (B, "open", True), FileState.WRITE_SHARED),
+    ("ONE_WRITER", [(A, "open", True)], (A, "close", True), FileState.CLOSED_DIRTY),
+    ("CLOSED_DIRTY", [(A, "open", True), (A, "close", True)],
+     (A, "open", False), FileState.ONE_RDR_DIRTY),
+    ("CLOSED_DIRTY", [(A, "open", True), (A, "close", True)],
+     (B, "open", False), FileState.ONE_READER),
+    ("CLOSED_DIRTY", [(A, "open", True), (A, "close", True)],
+     (A, "open", True), FileState.ONE_WRITER),
+    ("CLOSED_DIRTY", [(A, "open", True), (A, "close", True)],
+     (B, "open", True), FileState.ONE_WRITER),
+    ("ONE_RDR_DIRTY", [(A, "open", True), (A, "close", True), (A, "open", False)],
+     (B, "open", False), FileState.MULT_READERS),
+    ("ONE_RDR_DIRTY", [(A, "open", True), (A, "close", True), (A, "open", False)],
+     (B, "open", True), FileState.WRITE_SHARED),
+    ("ONE_RDR_DIRTY", [(A, "open", True), (A, "close", True), (A, "open", False)],
+     (A, "close", False), FileState.CLOSED_DIRTY),
+    ("ONE_WRITER (also reading)", [(A, "open", False), (A, "open", True)],
+     (A, "close", True), FileState.ONE_RDR_DIRTY),
+]
+
+
+def test_table_4_1(benchmark):
+    rows = []
+    for label, setup, event, expected in ROWS:
+        client, op, write = event
+        state, callbacks = _drive(setup, event)
+        assert state is expected, "%s + %s" % (label, event)
+        who = "same client" if client == A and any(c == A for c, _o, _w in setup) else (
+            "new client" if client == B else "client"
+        )
+        rows.append(
+            [label, "%s %s%s" % (who, op, " for write" if write else ""),
+             state.value, callbacks]
+        )
+    print()
+    print(
+        format_table(
+            ["Old state", "Event", "New state", "Callbacks"],
+            rows,
+            title="Table 4-1: SNFS server state transitions",
+            align_left_cols=4,
+        )
+    )
+
+    def churn():
+        table = StateTable(max_entries=10000)
+        for i in range(2000):
+            key = "f%d" % (i % 50)
+            table.open_file(key, A, i % 3 == 0)
+            table.close_file(key, A, i % 3 == 0)
+        return table
+
+    table = once(benchmark, churn)
+    assert table.memory_bytes() <= 10000 * 68

@@ -1,0 +1,44 @@
+"""Table 5-1: Andrew benchmark elapsed times, five configurations.
+
+Shape criteria (paper §5.2):
+* SNFS ~25 % faster than NFS on Copy;
+* SNFS faster on Make, most clearly with /tmp remote (paper: 20-30 %);
+* SNFS 15-20 % faster than NFS overall (we accept 5-30 %);
+* local disk is the fastest configuration.
+"""
+
+from conftest import once
+
+from repro.experiments import andrew_table_5_1
+
+
+def test_table_5_1(benchmark):
+    table, runs = once(benchmark, andrew_table_5_1)
+    print()
+    print(table)
+
+    by_label = {r.label: r for r in runs}
+    local = by_label["local"]
+    nfs_l = by_label["NFS tmp-local"]
+    snfs_l = by_label["SNFS tmp-local"]
+    nfs_r = by_label["NFS tmp-remote"]
+    snfs_r = by_label["SNFS tmp-remote"]
+
+    # local is fastest overall
+    assert local.result.total <= min(r.result.total for r in runs)
+
+    # Copy phase: SNFS wins by roughly a quarter
+    for nfs, snfs in ((nfs_l, snfs_l), (nfs_r, snfs_r)):
+        copy_win = 1 - snfs.result.phase_seconds["Copy"] / nfs.result.phase_seconds["Copy"]
+        assert 0.10 <= copy_win <= 0.45, "Copy win %.2f out of range" % copy_win
+
+    # Make phase: SNFS wins, most clearly with /tmp remote
+    make_win_remote = 1 - snfs_r.result.phase_seconds["Make"] / nfs_r.result.phase_seconds["Make"]
+    assert make_win_remote >= 0.10, "Make win (remote tmp) %.2f" % make_win_remote
+    assert snfs_l.result.phase_seconds["Make"] <= nfs_l.result.phase_seconds["Make"]
+
+    # Whole benchmark: SNFS 15-20 % faster (we accept 5-30 %)
+    total_win_remote = 1 - snfs_r.result.total / nfs_r.result.total
+    assert 0.05 <= total_win_remote <= 0.35, "total win %.2f" % total_win_remote
+    total_win_local = 1 - snfs_l.result.total / nfs_l.result.total
+    assert total_win_local >= 0.0

@@ -1,0 +1,28 @@
+"""Table 5-4: RPC calls for the sort benchmark (largest input).
+
+Shape criteria (paper §5.3):
+* "SNFS does far fewer read RPC calls than does NFS" (the NFS client's
+  invalidate-on-close bug forces temp rereads);
+* SNFS does far fewer total RPCs (the paper's server CPU utilization
+  was ~40 % lower "probably because SNFS does about 40 % fewer RPC
+  calls" — our delta is larger; shape, not magnitude).
+"""
+
+from conftest import once
+
+from repro.experiments import sort_table_5_4
+
+
+def test_table_5_4(benchmark):
+    table, runs = once(benchmark, sort_table_5_4)
+    print()
+    print(table)
+
+    nfs = next(r for r in runs if r.protocol == "nfs").rpc_rows
+    snfs = next(r for r in runs if r.protocol == "snfs").rpc_rows
+
+    assert snfs["read"] < nfs["read"] * 0.25, "reads: %d vs %d" % (
+        snfs["read"], nfs["read"]
+    )
+    assert snfs["write"] < nfs["write"]
+    assert snfs["total"] < nfs["total"] * 0.7

@@ -1,0 +1,37 @@
+"""Table 5-5: sort with infinite write-delay (update daemon disabled).
+
+Shape criteria (paper §5.4):
+* "for files whose lifetime is short enough, SNFS matches or beats
+  local-disk performance (even though data blocks are not written, the
+  local-disk file system still writes out structural information)";
+* "NFS performance is unchanged" by disabling the update daemon.
+"""
+
+from conftest import once
+
+from repro.experiments import run_sort, sort_table_5_5, SORT_SIZES
+
+
+def test_table_5_5(benchmark):
+    def full():
+        table, runs = sort_table_5_5()
+        nfs_with_update = run_sort("nfs", SORT_SIZES[-1], update_enabled=True)
+        return table, runs, nfs_with_update
+
+    table, runs, nfs_with_update = once(benchmark, full)
+    print()
+    print(table)
+
+    by_proto = {r.protocol: r for r in runs}
+    local = by_proto["local"].result.elapsed
+    nfs = by_proto["nfs"].result.elapsed
+    snfs = by_proto["snfs"].result.elapsed
+
+    # SNFS matches or beats local (within measurement slop)
+    assert snfs <= local * 1.05, "SNFS %.1f vs local %.1f" % (snfs, local)
+    # NFS unchanged with update disabled (within 5 %)
+    delta = abs(nfs - nfs_with_update.result.elapsed) / nfs
+    assert delta < 0.05, "NFS changed by %.1f%%" % (100 * delta)
+    # the local run still wrote structural information to its disk
+    assert by_proto["local"].client_disk.get("writes", 0) > 0
+    assert all(r.output_ok for r in runs)

@@ -1,0 +1,35 @@
+"""Table 5-6: RPC calls for the sort, with and without the update sync.
+
+Shape criteria (paper §5.4, paper's numbers NFS 1452/1451 writes either
+way; SNFS 1441 with update, 33 without):
+* NFS read/write counts are essentially unchanged by the update daemon;
+* SNFS with update writes back a significant amount of temp data;
+* SNFS without update does almost no write RPCs at all.
+"""
+
+from conftest import once
+
+from repro.experiments import sort_table_5_6
+
+
+def test_table_5_6(benchmark):
+    table, runs = once(benchmark, sort_table_5_6)
+    print()
+    print(table)
+
+    by_key = {(r.protocol, r.update_enabled): r.rpc_rows for r in runs}
+    nfs_y = by_key[("nfs", True)]
+    nfs_n = by_key[("nfs", False)]
+    snfs_y = by_key[("snfs", True)]
+    snfs_n = by_key[("snfs", False)]
+
+    # NFS is write-through: the update daemon changes nothing material
+    assert abs(nfs_y["write"] - nfs_n["write"]) <= max(5, nfs_y["write"] // 20)
+    assert abs(nfs_y["read"] - nfs_n["read"]) <= max(5, nfs_y["read"] // 20)
+
+    # SNFS with update: the periodic sync catches live temporaries
+    assert snfs_y["write"] > 10 * max(1, snfs_n["write"])
+    # SNFS with infinite write-delay: almost no writes at all
+    assert snfs_n["write"] <= 5
+    # and almost no reads either (cache retained across closes)
+    assert snfs_n["read"] <= nfs_n["read"] // 10

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Run the paper's headline experiment: the Andrew benchmark, five ways.
+
+Reproduces Table 5-1 (elapsed time per phase across local disk, NFS,
+and SNFS with /tmp local or remote) and Table 5-2 (RPC operation
+counts), then prints the SNFS-vs-NFS comparisons the paper reports in
+§5.2.
+
+Run:  python examples/andrew_benchmark.py        (takes ~10 s)
+"""
+
+from repro import andrew_table_5_1, andrew_table_5_2
+
+
+def main():
+    table1, runs1 = andrew_table_5_1()
+    print(table1)
+    print()
+
+    by_label = {r.label: r for r in runs1}
+    nfs = by_label["NFS tmp-remote"]
+    snfs = by_label["SNFS tmp-remote"]
+    copy_win = 1 - (snfs.result.phase_seconds["Copy"]
+                    / nfs.result.phase_seconds["Copy"])
+    make_win = 1 - (snfs.result.phase_seconds["Make"]
+                    / nfs.result.phase_seconds["Make"])
+    total_win = 1 - snfs.result.total / nfs.result.total
+    print("SNFS vs NFS (tmp remote): Copy %.0f%% faster, Make %.0f%% "
+          "faster, whole benchmark %.0f%% faster"
+          % (100 * copy_win, 100 * make_win, 100 * total_win))
+    print("(the paper: ~25% on Copy, 20-30% on Make, 15-20% overall)")
+    print()
+
+    table2, runs2 = andrew_table_5_2()
+    print(table2)
+    print()
+
+    nfs_rows = next(r for r in runs2 if r.label == "NFS tmp-remote").rpc_rows
+    snfs_rows = next(r for r in runs2 if r.label == "SNFS tmp-remote").rpc_rows
+    data_nfs = nfs_rows["read"] + nfs_rows["write"]
+    data_snfs = snfs_rows["read"] + snfs_rows["write"]
+    print("data-transfer RPCs (tmp remote): NFS %d vs SNFS %d "
+          "(%.0f%% fewer; the paper reports 42%% fewer)"
+          % (data_nfs, data_snfs, 100 * (1 - data_snfs / data_nfs)))
+    print("lookups are %.0f%% of all NFS calls (the paper: roughly half)"
+          % (100 * nfs_rows["lookup"] / nfs_rows["total"]))
+
+
+if __name__ == "__main__":
+    main()

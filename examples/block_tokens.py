@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Block-granularity consistency: the §2.5 design the paper couldn't run.
+
+Kent's scheme maintains consistency per *block* rather than per file:
+a client acquires a shared or exclusive token for each block it
+touches, and the server revokes/downgrades tokens when another client
+wants access.  Where SNFS turns caching off for a write-shared file,
+block tokens let two clients each keep delayed-write caches of their
+own disjoint pages — the database pattern.
+
+This example runs the same two-client page-update workload over SNFS
+and over the block scheme and compares the traffic ("this system
+required special hardware to implement the consistency protocol with
+sufficient performance" — ours just needs RPCs).
+
+Run:  python examples/block_tokens.py
+"""
+
+from repro.experiments import block_sharing_table
+
+
+def main():
+    table, results = block_sharing_table(rounds=30)
+    print(table)
+    print()
+    snfs = results["snfs"]
+    kent = results["kent"]
+    print("SNFS marks the file WRITE_SHARED and disables caching:")
+    print("  every page update and verification read is a synchronous")
+    print("  server RPC -> %d data RPCs, %.1f s."
+          % (snfs.data_rpcs, snfs.elapsed))
+    print()
+    print("Block tokens give each client exclusive ownership of the")
+    print("  pages it writes: the writes stay delayed in its cache and")
+    print("  its reads are cache hits -> %d data RPCs, %.1f s."
+          % (kent.data_rpcs, kent.elapsed))
+    print()
+    print("Same file, genuinely write-shared, %.1fx less traffic — the"
+          % (snfs.total_rpcs / max(1, kent.total_rpcs)))
+    print("  trade-off is per-block server state (NFSv4 rediscovered")
+    print("  this design as delegations).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Consistency demo: watch NFS serve stale data while SNFS stays correct.
+
+Two client machines write-share one file: a writer updates a
+sequence-numbered record every 4 seconds while a reader polls it every
+second.  Under NFS the reader trusts its cache between attribute
+probes and reports old sequence numbers; under SNFS the server's
+callback machinery disables caching for the write-shared file and
+every read is correct.  (This is §2.3 of the paper made runnable.)
+
+Run:  python examples/consistency_demo.py
+"""
+
+from repro import consistency_table, run_consistency
+
+
+def main():
+    table, outcomes = consistency_table(protocols=("nfs", "rfs", "snfs"))
+    print(table)
+    print()
+
+    nfs = next(o for o in outcomes if o.protocol == "nfs")
+    print("A sample of what the NFS reader actually observed:")
+    print("  %8s  %10s  %10s  %s" % ("time", "saw seq", "latest", ""))
+    shown = 0
+    for t, seen, latest in nfs.result.observations:
+        marker = "  <-- STALE" if seen < latest else ""
+        if marker or shown % 8 == 0:
+            print("  %8.1f  %10d  %10d%s" % (t, seen, latest, marker))
+        shown += 1
+
+    print()
+    snfs = next(o for o in outcomes if o.protocol == "snfs")
+    print("SNFS reader: %d reads, %d stale — the consistency protocol "
+          "guarantees no client ever sees an inconsistent cached copy."
+          % (snfs.total, snfs.stale))
+
+
+if __name__ == "__main__":
+    main()

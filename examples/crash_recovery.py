@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Server crash recovery: the §2.4 design, implemented and demonstrated.
+
+The paper describes (but did not build) SNFS crash recovery: the
+clients together know who is caching what, so a rebooted server can
+reconstruct its state table from them, refusing state changes until
+recovery completes.  This example crashes the server mid-workload with
+delayed writes outstanding, reboots it, and shows the client recover
+transparently — the dirty data survives in client memory and reaches
+the server intact.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro import OpenMode, build_testbed
+
+
+def main():
+    bed = build_testbed("snfs", remote_tmp=False)
+    k = bed.client.kernel
+    server = bed.server
+
+    def workload():
+        # write a file; the data stays dirty in the client cache
+        fd = yield from k.open("/data/journal", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"entry 1: before the crash\n" * 200)
+        print("t=%6.2f  wrote %d dirty blocks (still client-side)"
+              % (bed.sim.now, bed.client.cache.dirty_count()))
+
+        # disaster strikes
+        server.crash()
+        print("t=%6.2f  SERVER CRASHED (state table lost: %d entries)"
+              % (bed.sim.now, len(server.state)))
+        yield bed.sim.timeout(2.0)
+        server.reboot()
+        print("t=%6.2f  server rebooted, grace period %.0f s begins"
+              % (bed.sim.now, server.grace_period))
+
+        # keep working: the write is local; the fsync forces RPCs, which
+        # bounce with ServerRecovering until the client reasserts state
+        yield from k.write(fd, b"entry 2: after the crash\n" * 200)
+        t0 = bed.sim.now
+        yield from k.fsync(fd)
+        print("t=%6.2f  fsync completed after %.1f s (reopen + grace wait "
+              "were transparent)" % (bed.sim.now, bed.sim.now - t0))
+        print("          state table rebuilt: %d entries" % len(server.state))
+        yield from k.close(fd)
+
+        # prove the data made it intact
+        fd = yield from k.open("/data/journal", OpenMode.READ)
+        data = yield from k.read(fd, 1 << 20)
+        yield from k.close(fd)
+        expected = b"entry 1: before the crash\n" * 200 + b"entry 2: after the crash\n" * 200
+        print("          journal intact after recovery: %s"
+              % (bytes(data) == expected))
+
+    bed.run(workload())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,174 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                 # what can be reproduced
+    python -m repro table 5-1            # one table
+    python -m repro figure 5-2           # one figure (ASCII panels)
+    python -m repro consistency          # the §2.3 stale-read demo
+    python -m repro micro                # the §5.3 microbenchmark
+    python -m repro scaling              # the N-clients extension
+    python -m repro ablations            # all five ablations
+    python -m repro all                  # everything (several minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _table(name: str) -> str:
+    from . import experiments as ex
+
+    if name in ("4-1", "4.1"):
+        # the state-transition table is printed by the benchmark; here
+        # we print the live transitions from the state machine
+        return _table_4_1()
+    builders = {
+        "5-1": lambda: ex.andrew_table_5_1()[0],
+        "5-2": lambda: ex.andrew_table_5_2()[0],
+        "5-3": lambda: ex.sort_table_5_3()[0],
+        "5-4": lambda: ex.sort_table_5_4()[0],
+        "5-5": lambda: ex.sort_table_5_5()[0],
+        "5-6": lambda: ex.sort_table_5_6()[0],
+    }
+    key = name.replace(".", "-")
+    if key not in builders:
+        raise SystemExit("unknown table %r (try: 4-1, 5-1 .. 5-6)" % name)
+    return builders[key]()
+
+
+def _table_4_1() -> str:
+    from .metrics import format_table
+    from .snfs import StateTable
+
+    # reproduce the key transitions inline (self-contained: the full
+    # enumeration lives in benchmarks/test_table_4_1.py)
+    rows = []
+    table = StateTable()
+    table.open_file("f", "A", False)
+    rows.append(["CLOSED", "open read", table.state_of("f").value])
+    table.open_file("f", "B", True)
+    rows.append(["ONE_READER", "other client opens write", table.state_of("f").value])
+    table.close_file("f", "A", False)
+    table.close_file("f", "B", True)
+    rows.append(["WRITE_SHARED", "all closed", table.state_of("f").value])
+    return format_table(
+        ["From", "Event", "To"], rows,
+        title="Table 4-1 (sample rows; run benchmarks/test_table_4_1.py for all)",
+        align_left_cols=3,
+    )
+
+
+def _figure(name: str) -> str:
+    from .experiments import figure_series, render_figure
+
+    protocol = {"5-1": "nfs", "5.1": "nfs", "5-2": "snfs", "5.2": "snfs"}.get(name)
+    if protocol is None:
+        raise SystemExit("unknown figure %r (try: 5-1, 5-2)" % name)
+    return render_figure(figure_series(protocol))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce tables and figures from Spritely NFS (SOSP 1989).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list reproducible artifacts")
+    p_table = sub.add_parser("table", help="print one table")
+    p_table.add_argument("name", help="4-1, 5-1, 5-2, 5-3, 5-4, 5-5, or 5-6")
+    p_fig = sub.add_parser("figure", help="print one figure (ASCII)")
+    p_fig.add_argument("name", help="5-1 or 5-2")
+    sub.add_parser("consistency", help="the §2.3 stale-read comparison")
+    sub.add_parser("micro", help="the §5.3 write-close-reread microbenchmark")
+    sub.add_parser("scaling", help="N-concurrent-clients extension experiment")
+    sub.add_parser("lifetimes", help="write traffic vs file lifetime (§2.1)")
+    sub.add_parser("readpatterns", help="§5.1 read-quickly/slowly RPC counts")
+    sub.add_parser("blocksharing", help="block vs whole-file consistency (§2.5)")
+    sub.add_parser("ablations", help="all design-decision ablations")
+    sub.add_parser("all", help="everything (several minutes)")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        print(__doc__)
+        return 0
+    if args.command == "table":
+        print(_table(args.name))
+        return 0
+    if args.command == "figure":
+        print(_figure(args.name))
+        return 0
+    if args.command == "consistency":
+        from .experiments import consistency_table
+
+        print(consistency_table()[0])
+        return 0
+    if args.command == "micro":
+        from .experiments import micro_write_close_reread
+
+        print(micro_write_close_reread()[0])
+        return 0
+    if args.command == "scaling":
+        from .experiments import scaling_table
+
+        print(scaling_table()[0])
+        return 0
+    if args.command == "lifetimes":
+        from .experiments import lifetime_sweep
+
+        print(lifetime_sweep()[0])
+        return 0
+    if args.command == "readpatterns":
+        from .experiments import read_pattern_comparison
+
+        print(read_pattern_comparison()[0])
+        return 0
+    if args.command == "blocksharing":
+        from .experiments import block_sharing_table
+
+        print(block_sharing_table()[0])
+        return 0
+    if args.command == "ablations":
+        from .experiments import all_ablations
+
+        print(all_ablations())
+        return 0
+    if args.command == "all":
+        for name in ("5-1", "5-2", "5-3", "5-4", "5-5", "5-6"):
+            print(_table(name))
+            print()
+        print(_figure("5-1"))
+        print()
+        print(_figure("5-2"))
+        print()
+        from .experiments import (
+            all_ablations,
+            block_sharing_table,
+            consistency_table,
+            lifetime_sweep,
+            micro_write_close_reread,
+            read_pattern_comparison,
+            scaling_table,
+        )
+
+        print(consistency_table()[0])
+        print()
+        print(micro_write_close_reread()[0])
+        print()
+        print(read_pattern_comparison()[0])
+        print()
+        print(scaling_table()[0])
+        print()
+        print(lifetime_sweep()[0])
+        print()
+        print(block_sharing_table()[0])
+        print()
+        print(all_ablations())
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,261 @@
+"""Testbed construction: the paper's machine configurations (§5.2).
+
+"Identical machines were used for client and server, and the RA81 and
+RA82 disks used are moderately high performance drives... Both machines
+had large file buffer caches (about 16M bytes on the client and 3.5M
+bytes on the server)."
+
+A :class:`Testbed` is one client + (optionally) one server, with the
+benchmark's three directory roles mounted per configuration:
+
+* ``/data``  — the benchmark tree / sort files (local | nfs | snfs | rfs)
+* ``/tmp``   — compiler & sort temporaries (local disk, or a second
+  export from the same server over the same protocol)
+* ``/input`` — always a client-local disk (sort input staging)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..host import Host, HostConfig
+from ..net import Network, NetworkConfig
+from ..nfs import NfsClient, NfsClientConfig, NfsServer, classify_ops
+from ..rfs import RfsClient, RfsServer
+from ..sim import Simulator
+from ..snfs import SnfsClient, SnfsClientConfig, SnfsServer
+
+__all__ = ["Testbed", "build_testbed", "PROTOCOLS"]
+
+PROTOCOLS = ("local", "nfs", "snfs", "rfs")
+
+
+@dataclass
+class Testbed:
+    sim: Simulator
+    network: Network
+    client: Host
+    server_host: Optional[Host]
+    server: Optional[Any]  # NfsServer/SnfsServer/RfsServer
+    protocol: str
+    remote_tmp: bool
+    mounts: Dict[str, Any] = field(default_factory=dict)
+
+    def run(self, coro, limit: float = 1e7):
+        """Drive one coroutine to completion (daemons keep running)."""
+        box = {}
+
+        def wrapper():
+            box["value"] = yield from coro
+
+        proc = self.sim.spawn(wrapper(), name="workload")
+        self.sim.run_until(proc, limit=limit)
+        if not proc.triggered:
+            raise TimeoutError("workload did not finish before %g" % limit)
+        if proc.exception is not None:
+            proc.defuse()
+            raise proc.exception
+        return box.get("value")
+
+    def run_all(self, *coros, limit: float = 1e7):
+        from ..sim import AllOf
+
+        procs = [self.sim.spawn(self._wrap(c)) for c in coros]
+        gate = AllOf(self.sim, procs)
+        gate.defuse()
+        self.sim.run_until(gate, limit=limit)
+        out = []
+        for proc in procs:
+            if proc.exception is not None:
+                proc.defuse()
+                raise proc.exception
+            out.append(proc.value)
+        return out
+
+    @staticmethod
+    def _wrap(coro):
+        def wrapper():
+            result = yield from coro
+            return result
+
+        return wrapper()
+
+    # -- measurement helpers ---------------------------------------------
+
+    def client_rpc_rows(self) -> Dict[str, int]:
+        """Table 5-2-style aggregation of the client's RPC calls."""
+        totals = dict(self.client.rpc.client_stats.as_dict())
+        # mount-time traffic is setup, not workload
+        for proc in list(totals):
+            if proc.endswith(".mnt"):
+                del totals[proc]
+        rows = classify_ops(totals)
+        # server->client callbacks count against the experiment too
+        if self.server_host is not None:
+            callbacks = sum(
+                count
+                for proc, count in self.server_host.rpc.client_stats.as_dict().items()
+                if proc.endswith(".callback") or proc.endswith(".invalidate")
+            )
+            rows["callback"] += callbacks
+            rows["total"] += callbacks
+        return rows
+
+    def server_disk_stats(self) -> Dict[str, int]:
+        if self.server_host is None:
+            return {}
+        return _sum_disk_stats(self.server_host.disks.values())
+
+    def client_disk_stats(self) -> Dict[str, int]:
+        return _sum_disk_stats(self.client.disks.values())
+
+
+def _sum_disk_stats(disks) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for disk in disks:
+        for name, value in disk.stats.as_dict().items():
+            totals[name] = totals.get(name, 0) + value
+    return totals
+
+
+def build_testbed(
+    protocol: str = "nfs",
+    remote_tmp: bool = False,
+    client_config: Optional[Any] = None,
+    host_config: Optional[HostConfig] = None,
+    server_config: Optional[HostConfig] = None,
+    network_config: Optional[NetworkConfig] = None,
+    keep_call_times: bool = False,
+    update_daemons: bool = True,
+    max_open_files: int = 1000,
+) -> Testbed:
+    """Build one of the paper's benchmark configurations.
+
+    ``protocol='local'`` puts /data and /tmp on the client's own disk
+    (the paper's first column).  Otherwise /data is remote-mounted via
+    ``protocol``; /tmp is a local disk unless ``remote_tmp``, in which
+    case it is a second export from the same server ("effectively
+    simulating the load of a diskless workstation").
+    """
+    if protocol not in PROTOCOLS:
+        raise ValueError("unknown protocol %r" % protocol)
+    sim = Simulator()
+    network = Network(sim, network_config or NetworkConfig())
+    client = Host(
+        sim,
+        network,
+        "client",
+        host_config or HostConfig.titan_client(),
+        keep_call_times=keep_call_times,
+    )
+    # /input always lives on a client-local disk
+    client.add_local_fs("/input", fsid="inputfs", disk_name="inputdisk")
+
+    if protocol == "local":
+        testbed = Testbed(
+            sim=sim,
+            network=network,
+            client=client,
+            server_host=None,
+            server=None,
+            protocol=protocol,
+            remote_tmp=False,
+        )
+        data_mount = client.add_local_fs("/data", fsid="datafs", disk_name="datadisk")
+        tmp_mount = client.add_local_fs("/tmp", fsid="tmpfs", disk_name="datadisk")
+        testbed.mounts["/data"] = data_mount
+        testbed.mounts["/tmp"] = tmp_mount
+    else:
+        server_host = Host(
+            sim,
+            network,
+            "server",
+            server_config or HostConfig.titan_server(),
+            keep_call_times=keep_call_times,
+        )
+        testbed = Testbed(
+            sim=sim,
+            network=network,
+            client=client,
+            server_host=server_host,
+            server=None,
+            protocol=protocol,
+            remote_tmp=remote_tmp,
+        )
+        # both exports live in one filesystem on the server's one disk:
+        # /export/data and /export/tmp, served by a single server object
+        export = server_host.add_local_fs("/export", fsid="exportfs")
+        if protocol == "nfs":
+            server = NfsServer(server_host, export)
+            default_cfg = NfsClientConfig()
+        elif protocol == "snfs":
+            server = SnfsServer(server_host, export, max_open_files=max_open_files)
+            default_cfg = SnfsClientConfig()
+        else:
+            server = RfsServer(server_host, export)
+            default_cfg = None
+        testbed.server = server
+        cfg = client_config if client_config is not None else default_cfg
+
+        def setup():
+            yield from server_host.kernel.mkdir("/export/data")
+            yield from server_host.kernel.mkdir("/export/tmp")
+
+        testbed.run(setup())
+
+        root_client = _make_client(protocol, "root", client, "server", cfg)
+        testbed.run(root_client.attach())
+        # mount subdirectories of the export at /data and /tmp
+        data_root = testbed.run(
+            root_client.lookup(root_client.root(), "data")
+        )
+        client.kernel.mount("/data", _SubtreeMount(root_client, data_root))
+        testbed.mounts["/data"] = root_client
+        if remote_tmp:
+            tmp_root = testbed.run(root_client.lookup(root_client.root(), "tmp"))
+            client.kernel.mount("/tmp", _SubtreeMount(root_client, tmp_root))
+            testbed.mounts["/tmp"] = root_client
+        else:
+            tmp_mount = client.add_local_fs("/tmp", fsid="tmpfs", disk_name="tmpdisk")
+            testbed.mounts["/tmp"] = tmp_mount
+
+    if update_daemons:
+        client.update_daemon.start()
+        if testbed.server_host is not None:
+            testbed.server_host.update_daemon.start()
+    return testbed
+
+
+def _make_client(protocol, tag, host, server_addr, cfg):
+    mount_id = "%s:%s" % (protocol, tag)
+    if protocol == "nfs":
+        return NfsClient(mount_id, host, server_addr, config=cfg)
+    if protocol == "snfs":
+        return SnfsClient(mount_id, host, server_addr, config=cfg)
+    if protocol == "rfs":
+        return RfsClient(mount_id, host, server_addr, config=cfg)
+    raise ValueError(protocol)
+
+
+class _SubtreeMount:
+    """A view of an attached protocol client rooted at a subdirectory.
+
+    Lets /data and /tmp be two mount points backed by one RPC client
+    (one server, one export), exactly like mounting server:/export/data
+    and server:/export/tmp separately.
+    """
+
+    def __init__(self, client, root_gnode):
+        self._client = client
+        self._root = root_gnode
+
+    @property
+    def mount_id(self):
+        return self._client.mount_id
+
+    def root(self):
+        return self._root
+
+    def __getattr__(self, name):
+        return getattr(self._client, name)

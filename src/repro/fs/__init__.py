@@ -1,0 +1,37 @@
+"""Local Unix-like filesystem and shared filesystem types."""
+
+from .errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FsError,
+    InvalidArgument,
+    IsADirectory,
+    NoSpace,
+    NoSuchFile,
+    NotADirectory,
+    NotOpen,
+    ReadOnly,
+    StaleHandle,
+)
+from .localfs import Inode, LocalFileSystem
+from .types import FileAttr, FileHandle, FileType, OpenMode
+
+__all__ = [
+    "LocalFileSystem",
+    "Inode",
+    "FileAttr",
+    "FileHandle",
+    "FileType",
+    "OpenMode",
+    "FsError",
+    "NoSuchFile",
+    "FileExists",
+    "NotADirectory",
+    "IsADirectory",
+    "DirectoryNotEmpty",
+    "StaleHandle",
+    "NoSpace",
+    "InvalidArgument",
+    "NotOpen",
+    "ReadOnly",
+]

@@ -1,0 +1,74 @@
+"""Filesystem error hierarchy (errno-flavoured).
+
+These exceptions cross the RPC boundary: a server handler raising
+:class:`StaleHandle` results in the same exception re-raised at the
+client, mirroring how NFS ships errno values in replies.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FsError",
+    "NoSuchFile",
+    "FileExists",
+    "NotADirectory",
+    "IsADirectory",
+    "DirectoryNotEmpty",
+    "StaleHandle",
+    "NoSpace",
+    "InvalidArgument",
+    "NotOpen",
+    "ReadOnly",
+]
+
+
+class FsError(Exception):
+    """Base class for all filesystem errors."""
+
+    errno_name = "EIO"
+
+
+class NoSuchFile(FsError):
+    errno_name = "ENOENT"
+
+
+class FileExists(FsError):
+    errno_name = "EEXIST"
+
+
+class NotADirectory(FsError):
+    errno_name = "ENOTDIR"
+
+
+class IsADirectory(FsError):
+    errno_name = "EISDIR"
+
+
+class DirectoryNotEmpty(FsError):
+    errno_name = "ENOTEMPTY"
+
+
+class StaleHandle(FsError):
+    """The file handle refers to a deleted or recycled file (ESTALE)."""
+
+    errno_name = "ESTALE"
+
+
+class NoSpace(FsError):
+    errno_name = "ENOSPC"
+
+
+class InvalidArgument(FsError):
+    errno_name = "EINVAL"
+
+
+class NotOpen(FsError):
+    """Operation on a file descriptor that is not open (EBADF)."""
+
+    errno_name = "EBADF"
+
+
+class ReadOnly(FsError):
+    """Write attempted through a read-only open (EBADF in Unix)."""
+
+    errno_name = "EBADF"

@@ -1,0 +1,62 @@
+"""Common filesystem value types: file types, attributes, handles."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+__all__ = ["FileType", "FileAttr", "FileHandle", "OpenMode"]
+
+
+class FileType(enum.Enum):
+    REGULAR = "reg"
+    DIRECTORY = "dir"
+    SYMLINK = "lnk"
+
+
+class OpenMode(enum.Enum):
+    """How a file is opened.  The write intent is what the SNFS ``open``
+    RPC reports to the server (§3.1)."""
+
+    READ = "r"
+    WRITE = "w"  # write-only or read-write: the server only cares
+                 # whether the client is a potential writer
+
+    @property
+    def is_write(self) -> bool:
+        return self is OpenMode.WRITE
+
+
+@dataclass
+class FileAttr:
+    """The attributes record NFS ``getattr`` returns (subset we model)."""
+
+    file_id: int
+    ftype: FileType
+    size: int = 0
+    nlink: int = 1
+    mtime: float = 0.0
+    ctime: float = 0.0
+    atime: float = 0.0
+    mode: int = 0o644
+
+    def copy(self) -> "FileAttr":
+        return replace(self)
+
+
+@dataclass(frozen=True)
+class FileHandle:
+    """An NFS-style opaque file handle.
+
+    ``generation`` detects recycled inodes: a handle minted before an
+    inode was freed and reallocated no longer matches, and server-side
+    validation raises :class:`~repro.fs.errors.StaleHandle`.
+    """
+
+    fsid: str
+    inum: int
+    generation: int
+
+    def key(self) -> Tuple[str, int, int]:
+        return (self.fsid, self.inum, self.generation)

@@ -1,0 +1,17 @@
+"""Simulated machines: CPU, kernel, daemons, configuration."""
+
+from .config import HostConfig
+from .cpu import Cpu
+from .daemons import AsyncPool, UpdateDaemon
+from .host import Host
+from .kernel import FileDescriptor, Kernel
+
+__all__ = [
+    "Host",
+    "HostConfig",
+    "Cpu",
+    "Kernel",
+    "FileDescriptor",
+    "UpdateDaemon",
+    "AsyncPool",
+]

@@ -1,0 +1,65 @@
+"""Host configuration.
+
+Defaults approximate the paper's testbed (§5.2): Titan workstations
+(~12-15 x VAX-11/780), a 16 MB client file cache and a 3.5 MB server
+cache, 4 KB filesystem blocks, RA81/RA82-class disks, and a 10 Mbit/s
+LAN.  Costs are expressed in seconds so a config *is* the calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..net.rpc import RpcConfig
+from ..storage.disk import DiskConfig
+
+__all__ = ["HostConfig"]
+
+
+@dataclass
+class HostConfig:
+    # CPU
+    cpu_speed: float = 1.0
+    syscall_cpu: float = 100e-6  # seconds per system call
+    rpc_cpu: float = 2e-3  # per-RPC protocol processing, each side
+    # (a 1989-class machine spent a few ms of CPU per NFS operation;
+    # this is what makes server load track the aggregate RPC rate in
+    # figures 5-1/5-2)
+
+    # buffer cache
+    block_size: int = 4096
+    cache_blocks: int = 4096  # 16 MB at 4 KB blocks (client default)
+
+    # write-back policy
+    update_interval: float = 30.0  # /etc/update period
+    update_policy: str = "all"  # "all" (Unix) or "age" (Sprite, §4.2.3)
+    n_async_writers: int = 4  # biod-style daemons
+
+    # read path
+    readahead: bool = True
+
+    # RPC transport
+    rpc_timeout: float = 1.0
+    rpc_retries: int = 5
+    rpc_server_threads: int = 8
+
+    # local disk (if any)
+    disk: DiskConfig = field(default_factory=DiskConfig)
+
+    def rpc_config(self) -> RpcConfig:
+        return RpcConfig(
+            timeout=self.rpc_timeout,
+            max_retries=self.rpc_retries,
+            server_threads=self.rpc_server_threads,
+            cpu_per_call=self.rpc_cpu,
+        )
+
+    @classmethod
+    def titan_client(cls) -> "HostConfig":
+        """A paper-era client: 16 MB cache."""
+        return cls(cache_blocks=4096)
+
+    @classmethod
+    def titan_server(cls) -> "HostConfig":
+        """A paper-era server: 3.5 MB cache, more service threads."""
+        return cls(cache_blocks=896, rpc_server_threads=8)

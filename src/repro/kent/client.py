@@ -1,0 +1,259 @@
+"""The block-token client (Kent's scheme, §2.5).
+
+Every cached block is covered by a token: shared for clean read
+copies, exclusive for delayed-write dirty ones.  Tokens are cached
+until the server revokes them, so repeated access to "my" blocks costs
+nothing — even while another client is actively writing *other* blocks
+of the same file, the case where SNFS turns caching off entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..fs import NoSuchFile, StaleHandle
+from ..fs.types import FileAttr, FileHandle, OpenMode
+from ..host import Host
+from ..nfs.client import NfsClient
+from ..vfs import FileSystemType, Gnode, block_range, merge_block
+from .server import KPROC
+
+__all__ = ["KentClient", "mount_kent"]
+
+
+class KentClient(NfsClient):
+    """A remote mount with per-block ownership tokens."""
+
+    PROC = KPROC
+
+    def __init__(self, mount_id: str, host: Host, server_addr: str, config=None):
+        FileSystemType.__init__(self, mount_id)
+        self.host = host
+        self.sim = host.sim
+        self.cache = host.cache
+        self.rpc = host.rpc
+        self.server = server_addr
+        self.block_size = host.config.block_size
+        self._root: Optional[Gnode] = None
+        self._name_cache: dict = {}
+        # (file key, bno) -> "shared" | "exclusive"
+        self._tokens: Dict[Tuple[Hashable, int], str] = {}
+        self._register_revoke_service()
+        from ..nfs.client import NfsClientConfig
+
+        self.config = config or NfsClientConfig(invalidate_on_close=False)
+
+    # -- revoke service ------------------------------------------------------
+
+    def _register_revoke_service(self) -> None:
+        mounts = getattr(self.host, "_kent_mounts", None)
+        if mounts is None:
+            self.host._kent_mounts = [self]
+            self.host.rpc.register(KPROC.REVOKE, self._revoke_dispatch)
+        else:
+            mounts.append(self)
+
+    def _revoke_dispatch(self, src, fh: FileHandle, bno: int, invalidate: bool):
+        for mount in self.host._kent_mounts:
+            if mount.server == src:
+                result = yield from mount.serve_revoke(fh, bno, invalidate)
+                return result
+        return None
+
+    def serve_revoke(self, fh: FileHandle, bno: int, invalidate: bool):
+        """Write the block back if dirty; drop it (and the token) if
+        the server demands invalidation, else downgrade to shared."""
+        g = self._gnodes.get(fh.key())
+        key = (fh.key(), bno)
+        if g is not None:
+            buf = self.cache.lookup(g.cache_key, bno)
+            if buf is not None and buf.dirty and not buf.busy:
+                buf.busy = True
+                try:
+                    yield from self._write_rpc(g, bno, bytes(buf.data))
+                finally:
+                    buf.busy = False
+                self.cache.mark_clean(buf)
+            if invalidate and buf is not None:
+                if self.cache.contains(g.cache_key, bno):
+                    del self.cache._buffers[(g.cache_key, bno)]
+        if invalidate:
+            self._tokens.pop(key, None)
+        elif self._tokens.get(key) == "exclusive":
+            self._tokens[key] = "shared"
+        return None
+
+    # -- attribute handling ----------------------------------------------------
+
+    def _store_attr(self, g: Gnode, attr: FileAttr) -> None:
+        """Never mtime-invalidate: consistency comes from block tokens,
+        and our delayed writes keep the local view ahead of the server's
+        (same reasoning as the SNFS client)."""
+        local = g.private.get("attr")
+        if local is not None and self.cache.dirty_buffers(file_key=g.cache_key):
+            attr = attr.copy()
+            attr.size = max(attr.size, local.size)
+            attr.mtime = max(attr.mtime, local.mtime)
+        g.private["attr"] = attr
+        g.private["attr_time"] = self.sim.now
+        g.private["known_mtime"] = attr.mtime
+
+    # -- token acquisition ----------------------------------------------------
+
+    def _ensure_token(self, g: Gnode, bno: int, write: bool):
+        """Coroutine: hold a sufficient token; returns the block bytes
+        when the grant carried them (fresh acquisition), else None."""
+        key = (g._fid_key(), bno)
+        have = self._tokens.get(key)
+        if have == "exclusive" or (have == "shared" and not write):
+            return None
+        data, attr = yield from self._call(
+            self.PROC.ACQUIRE, g.fid, bno, write
+        )
+        self._tokens[key] = "exclusive" if write else "shared"
+        self._note_server_attr(g, attr)
+        return data
+
+    # -- open / close: nothing on the wire -----------------------------------
+
+    def open(self, g: Gnode, mode: OpenMode):
+        if mode.is_write:
+            g.open_writes += 1
+        else:
+            g.open_reads += 1
+        return
+        yield  # pragma: no cover
+
+    def close(self, g: Gnode, mode: OpenMode):
+        if mode.is_write:
+            g.open_writes -= 1
+        else:
+            g.open_reads -= 1
+        return
+        yield  # pragma: no cover
+
+    # -- data: token-protected cached blocks ---------------------------------
+
+    def read(self, g: Gnode, offset: int, count: int):
+        # acquire the first block's token *before* trusting attributes:
+        # the grant revokes any writer (forcing its write-back) and
+        # carries post-revocation attributes, so the size we clamp by
+        # reflects that writer's delayed data
+        first_grant = yield from self._ensure_token(
+            g, offset // self.block_size, write=False
+        )
+        attr = yield from self.getattr(g)
+        if offset >= attr.size:
+            return b""
+        count = min(count, attr.size - offset)
+        chunks = []
+        blocks = list(block_range(offset, count, self.block_size))
+        for bno in blocks:
+            if bno == blocks[0] and first_grant is not None:
+                data = first_grant
+            else:
+                data = yield from self._ensure_token(g, bno, write=False)
+            buf = self.cache.lookup(g.cache_key, bno)
+            if buf is None:
+                if data is None:
+                    # token was cached but the block was evicted
+                    data, attr2 = yield from self._call(
+                        self.PROC.READ, g.fid, bno * self.block_size,
+                        self.block_size,
+                    )
+                buf = yield from self.cache.insert(g.cache_key, bno, data)
+            block = buf.data
+            needed = min(self.block_size, attr.size - bno * self.block_size)
+            if len(block) < needed:
+                block = block + b"\x00" * (needed - len(block))
+            chunks.append(block)
+        whole = b"".join(chunks)
+        skip = offset - blocks[0] * self.block_size
+        return whole[skip:skip + count]
+
+    def write(self, g: Gnode, offset: int, data: bytes):
+        attr = self._local_attr(g)
+        pos = 0
+        for bno in block_range(offset, len(data), self.block_size):
+            granted = yield from self._ensure_token(g, bno, write=True)
+            block_start = bno * self.block_size
+            start = max(offset - block_start, 0)
+            end = min(offset + len(data) - block_start, self.block_size)
+            piece = data[pos:pos + (end - start)]
+            pos += len(piece)
+            buf = self.cache.lookup(g.cache_key, bno)
+            if buf is None:
+                old = granted if granted is not None else b""
+                merged = merge_block(old, start, piece)
+                buf = yield from self.cache.insert(
+                    g.cache_key, bno, merged, dirty=True
+                )
+            else:
+                buf.data = merge_block(buf.data, start, piece)
+                self.cache.mark_dirty(buf)
+            buf.tag = g
+        attr = g.private.get("attr", attr)
+        attr.size = max(attr.size, offset + len(data))
+        attr.mtime = self.sim.now
+        g.private["attr"] = attr
+        g.private["attr_time"] = self.sim.now
+
+    def getattr(self, g: Gnode):
+        """Attributes: trust the local view while we hold dirty blocks;
+        else fall back to the NFS probe machinery."""
+        attr = g.private.get("attr")
+        if attr is not None and self.cache.dirty_buffers(file_key=g.cache_key):
+            return attr
+        attr = yield from self._probe(g)
+        return attr
+
+    def remove(self, dirg: Gnode, name: str):
+        g = yield from self.lookup(dirg, name)
+        # release our tokens and cancel delayed writes: block ownership
+        # makes delete-before-writeback safe here too
+        self.cache.cancel_dirty_file(g.cache_key)
+        for key in [k for k in self._tokens if k[0] == g._fid_key()]:
+            del self._tokens[key]
+        yield from self._call(self.PROC.REMOVE, dirg.fid, name)
+        self.drop_gnode(g)
+
+    def fsync(self, g: Gnode):
+        yield from self._flush_dirty(g)
+
+    def sync(self, min_age=None):
+        for buf in list(self.cache.dirty_buffers(older_than=min_age)):
+            if buf.file_key[0] != self.mount_id or buf.busy or not buf.dirty:
+                continue
+            g = buf.tag
+            if g is None:
+                continue
+            buf.busy = True
+            try:
+                yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
+            finally:
+                buf.busy = False
+            self.cache.mark_clean(buf)
+
+    def _write_rpc(self, g: Gnode, bno: int, data: bytes):
+        try:
+            attr = yield from self._call(
+                self.PROC.WRITE, g.fid, bno * self.block_size, data
+            )
+        except (StaleHandle, NoSuchFile):
+            return
+        self._note_server_attr(g, attr)
+
+    def flush_block(self, buf):
+        g = buf.tag
+        if g is None:
+            return
+        yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
+
+
+def mount_kent(host: Host, server_addr: str, mount_point: str, mount_id=None):
+    """Coroutine: create, attach, and mount a Kent-scheme filesystem."""
+    mount_id = mount_id or "kent:%s:%s%s" % (host.name, server_addr, mount_point)
+    client = KentClient(mount_id, host, server_addr)
+    yield from client.attach()
+    host.kernel.mount(mount_point, client)
+    return client

@@ -1,0 +1,227 @@
+"""Block-granularity cache consistency (Kent's scheme, §2.5).
+
+"Kent describes a system that maintains consistency on individual file
+blocks; before a client writes a block, it must acquire ownership of
+that block.  Other clients invalidate cached copies of that block, and
+only one client at a time can own a block."  (Kent's implementation
+needed special hardware; here the token machinery is ordinary RPC.)
+
+The scheme is the ancestor of DSM protocols and NFSv4 delegations: a
+per-block MSI protocol.
+
+* ``acquire(fh, bno, write)`` grants a **shared** (read) or
+  **exclusive** (write) token for one block.  Granting exclusivity
+  revokes every other holder (they write back if dirty, then
+  invalidate); granting shared access downgrades a current exclusive
+  owner (write back, keep a shared copy).
+* ``release(fh, bno)`` returns a token voluntarily (file deletion,
+  cache eviction).
+* ``revoke(fh, bno, invalidate)`` — server→client: write the block
+  back if dirty and, if ``invalidate``, drop it and the token.
+
+Unlike SNFS, write-sharing does **not** disable caching: clients
+working on disjoint blocks of one file each keep delayed-write caches
+of their own blocks — exactly the case the whole-file protocols
+surrender (they fall back to synchronous server I/O).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Set, Tuple
+
+from ..fs.types import FileHandle
+from ..host import Host
+from ..net import RpcError
+from ..nfs.server import NfsServer
+from ..sim import Lock
+from ..vfs import LocalMount
+
+__all__ = ["KentServer", "KPROC", "BlockToken"]
+
+
+class KPROC:
+    """Kent-scheme procedure names."""
+
+    PREFIX = "kent."
+
+    MNT = "kent.mnt"
+    LOOKUP = "kent.lookup"
+    GETATTR = "kent.getattr"
+    SETATTR = "kent.setattr"
+    READ = "kent.read"
+    WRITE = "kent.write"
+    CREATE = "kent.create"
+    REMOVE = "kent.remove"
+    RENAME = "kent.rename"
+    MKDIR = "kent.mkdir"
+    RMDIR = "kent.rmdir"
+    READDIR = "kent.readdir"
+
+    ACQUIRE = "kent.acquire"
+    RELEASE = "kent.release"
+    REVOKE = "kent.revoke"  # server -> client
+
+
+@dataclass
+class BlockToken:
+    """Ownership record for one (file, block)."""
+
+    exclusive_owner: str = ""  # at most one writer...
+    sharers: Set[str] = field(default_factory=set)  # ...or many readers
+
+    @property
+    def mode(self) -> str:
+        if self.exclusive_owner:
+            return "exclusive"
+        if self.sharers:
+            return "shared"
+        return "free"
+
+
+class KentServer(NfsServer):
+    """NFS service plus per-block ownership tokens."""
+
+    PROC = KPROC
+    REVOKE_TIMEOUT = 10.0
+
+    def __init__(self, host: Host, export: LocalMount):
+        self._tokens: Dict[Tuple[Hashable, int], BlockToken] = {}
+        self._block_locks: Dict[Tuple[Hashable, int], Lock] = {}
+        super().__init__(host, export)
+
+    def _register(self) -> None:
+        super()._register()
+        rpc = self.host.rpc
+        rpc.register(self.PROC.ACQUIRE, self.proc_acquire)
+        rpc.register(self.PROC.RELEASE, self.proc_release)
+
+    def _token(self, key) -> BlockToken:
+        token = self._tokens.get(key)
+        if token is None:
+            token = BlockToken()
+            self._tokens[key] = token
+        return token
+
+    def _lock(self, key) -> Lock:
+        lock = self._block_locks.get(key)
+        if lock is None:
+            lock = Lock(self.sim, name="block:%r" % (key,))
+            self._block_locks[key] = lock
+        return lock
+
+    # -- token services -------------------------------------------------------
+
+    def proc_acquire(self, src, fh: FileHandle, bno: int, write: bool):
+        """Grant a block token, revoking/downgrading other holders first.
+
+        Returns (data, attr): the block's current contents ride along
+        with the grant, so a fresh owner needs no separate read RPC.
+        """
+        inum = self.lfs.resolve(fh)
+        key = (fh.key(), bno)
+        lock = self._lock(key)
+        yield lock.acquire()
+        try:
+            token = self._token(key)
+            if write:
+                # exclusivity: everyone else must go
+                for holder in sorted(token.sharers - {src}):
+                    yield from self._revoke(holder, fh, bno, invalidate=True)
+                    token.sharers.discard(holder)
+                if token.exclusive_owner and token.exclusive_owner != src:
+                    yield from self._revoke(
+                        token.exclusive_owner, fh, bno, invalidate=True
+                    )
+                token.sharers.discard(src)
+                token.exclusive_owner = src
+            else:
+                if token.exclusive_owner and token.exclusive_owner != src:
+                    # downgrade the writer: write back, keep shared copy
+                    yield from self._revoke(
+                        token.exclusive_owner, fh, bno, invalidate=False
+                    )
+                    token.sharers.add(token.exclusive_owner)
+                    token.exclusive_owner = ""
+                if token.exclusive_owner != src:
+                    token.sharers.add(src)
+                # block tokens do not cover file *attributes*: so that
+                # the grant's attrs (size!) reflect every delayed write,
+                # a reader's first contact also downgrades the file's
+                # other exclusively-held blocks
+                yield from self._downgrade_other_blocks(src, fh, except_bno=bno)
+            g = self._gnode(fh)
+            block_size = self.lfs.block_size
+            data = yield from self.export.read(g, bno * block_size, block_size)
+            return data, self.lfs._attr(inum)
+        finally:
+            lock.release()
+
+    def proc_release(self, src, fh: FileHandle, bno: int):
+        """Voluntary token return (no data: the client already wrote
+        back anything dirty via ordinary write RPCs)."""
+        key = (fh.key(), bno)
+        token = self._tokens.get(key)
+        if token is not None:
+            token.sharers.discard(src)
+            if token.exclusive_owner == src:
+                token.exclusive_owner = ""
+            if token.mode == "free":
+                del self._tokens[key]
+        return None
+        yield  # pragma: no cover
+
+    def _downgrade_other_blocks(self, src: str, fh: FileHandle, except_bno: int):
+        """Write back every other exclusively-held block of the file
+        (the holders keep shared copies)."""
+        fkey = fh.key()
+        for (file_key, bno), token in list(self._tokens.items()):
+            if file_key != fkey or bno == except_bno:
+                continue
+            owner = token.exclusive_owner
+            if owner and owner != src:
+                yield from self._revoke(owner, fh, bno, invalidate=False)
+                token.sharers.add(owner)
+                token.exclusive_owner = ""
+
+    def _revoke(self, client: str, fh: FileHandle, bno: int, invalidate: bool):
+        try:
+            yield from self.host.rpc.call(
+                client,
+                self.PROC.REVOKE,
+                fh,
+                bno,
+                invalidate,
+                timeout=self.REVOKE_TIMEOUT,
+                max_retries=2,
+            )
+            return True
+        except RpcError:
+            return False  # dead holder: its claim is forfeit
+
+    # -- bookkeeping on deletion -------------------------------------------
+
+    def proc_remove(self, src, dirfh: FileHandle, name: str):
+        from ..fs import NoSuchFile
+
+        dirg = self._gnode(dirfh)
+        try:
+            inum = yield from self.lfs.lookup(dirg.fid, name)
+            fkey = self.lfs.handle(inum).key()
+        except NoSuchFile:
+            fkey = None
+        result = yield from super().proc_remove(src, dirfh, name)
+        if fkey is not None:
+            for key in [k for k in self._tokens if k[0] == fkey]:
+                del self._tokens[key]
+                self._block_locks.pop(key, None)
+        return result
+
+    # -- observability ------------------------------------------------------
+
+    def token_count(self) -> int:
+        return len(self._tokens)
+
+    def token_mode(self, fh: FileHandle, bno: int) -> str:
+        token = self._tokens.get((fh.key(), bno))
+        return token.mode if token is not None else "free"

@@ -1,0 +1,16 @@
+"""An advisory lock manager (the paper's missing serializer, §2.2).
+
+SNFS guarantees that write-shared readers see writers' data, "provided
+that some other mechanism (such as file locking) serializes the reads
+and writes."  NFS deployments provided that mechanism as a separate
+lock daemon (lockd); this package is that daemon for the simulated
+world: a lock server with FIFO-fair shared/exclusive locks, blocking
+acquires, and dead-client cleanup, plus a thin client.
+
+Locks are advisory and named by arbitrary hashable keys (file handles,
+paths — whatever the application agrees on), exactly like fcntl locks.
+"""
+
+from .service import LockClient, LockServer, LockTimeout
+
+__all__ = ["LockServer", "LockClient", "LockTimeout"]

@@ -1,0 +1,235 @@
+"""The lock daemon: server, client, and wire protocol.
+
+Protocol (over the ordinary RPC transport), modelled on NLM — the
+network lock manager that accompanied real NFS deployments:
+
+* ``lockd.acquire(key, exclusive, wait)`` — try to take a shared or
+  exclusive advisory lock on ``key``.  Returns ``"granted"``, or (with
+  ``wait``) ``"queued"``: the request joins a FIFO queue and the server
+  later issues a ``lockd.granted`` **callback** to the client when the
+  lock becomes available.  Queuing rather than blocking in the handler
+  matters: a blocking implementation would pin one server thread per
+  waiter and deadlock the pool — the same hazard the paper's N−1
+  callback rule exists to avoid (§3.2).
+* ``lockd.release(key)`` — drop the caller's hold.
+* ``lockd.clear(client)`` — drop every hold and queued request of a
+  dead client.
+* ``lockd.granted(key, exclusive)`` — server→client: your queued
+  request now holds the lock.
+
+FIFO fairness: a queued exclusive request blocks later shared requests
+from overtaking it (no writer starvation).  State is volatile, like
+paper-era lockd: a server crash loses all locks and clients must
+re-acquire (the recovery story would mirror §2.4's; locks here are an
+application-level serializer, the role §2.2 assumes exists).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Hashable, Set, Tuple
+
+from ..host import Host
+from ..net import RpcError
+
+__all__ = ["LockServer", "LockClient", "LockTimeout", "LPROC"]
+
+
+class LockTimeout(Exception):
+    """A non-blocking acquire found the lock held."""
+
+
+class LPROC:
+    ACQUIRE = "lockd.acquire"
+    RELEASE = "lockd.release"
+    CLEAR = "lockd.clear"
+    GRANTED = "lockd.granted"  # server -> client
+
+
+@dataclass
+class _LockState:
+    exclusive_holder: str = ""
+    sharers: Set[str] = field(default_factory=set)
+    #: FIFO of (client, exclusive) requests waiting for a grant
+    waiters: Deque[Tuple[str, bool]] = field(default_factory=deque)
+
+    @property
+    def free(self) -> bool:
+        return not self.exclusive_holder and not self.sharers
+
+
+class LockServer:
+    """FIFO-fair shared/exclusive advisory locks, one service per host."""
+
+    def __init__(self, host: Host):
+        self.host = host
+        self.sim = host.sim
+        self._locks: Dict[Hashable, _LockState] = {}
+        rpc = host.rpc
+        rpc.register(LPROC.ACQUIRE, self.proc_acquire)
+        rpc.register(LPROC.RELEASE, self.proc_release)
+        rpc.register(LPROC.CLEAR, self.proc_clear)
+
+    def _state(self, key: Hashable) -> _LockState:
+        state = self._locks.get(key)
+        if state is None:
+            state = _LockState()
+            self._locks[key] = state
+        return state
+
+    def _grantable(self, state: _LockState, client: str, exclusive: bool) -> bool:
+        if exclusive:
+            return (
+                not state.sharers or state.sharers == {client}
+            ) and state.exclusive_holder in ("", client)
+        return state.exclusive_holder in ("", client)
+
+    def _grant(self, state: _LockState, client: str, exclusive: bool) -> None:
+        if exclusive:
+            state.exclusive_holder = client
+            state.sharers.discard(client)
+        else:
+            state.sharers.add(client)
+
+    # -- procedures ---------------------------------------------------------
+
+    def proc_acquire(self, src, key: Hashable, exclusive: bool, wait: bool):
+        state = self._state(key)
+        if exclusive and state.exclusive_holder == src:
+            return "granted"  # idempotent re-acquire
+        if not state.waiters and self._grantable(state, src, exclusive):
+            self._grant(state, src, exclusive)
+            return "granted"
+        if not wait:
+            self._gc(key, state)
+            return "denied"
+        state.waiters.append((src, exclusive))
+        return "queued"
+        yield  # pragma: no cover
+
+    def proc_release(self, src, key: Hashable):
+        state = self._locks.get(key)
+        if state is None:
+            return False
+        released = False
+        if state.exclusive_holder == src:
+            state.exclusive_holder = ""
+            released = True
+        if src in state.sharers:
+            state.sharers.discard(src)
+            released = True
+        yield from self._promote(key, state)
+        self._gc(key, state)
+        return released
+
+    def proc_clear(self, src, client: str):
+        """Drop every hold and queued request of a (dead) client."""
+        dropped = 0
+        for key in list(self._locks):
+            state = self._locks[key]
+            if state.exclusive_holder == client:
+                state.exclusive_holder = ""
+                dropped += 1
+            if client in state.sharers:
+                state.sharers.discard(client)
+                dropped += 1
+            before = len(state.waiters)
+            state.waiters = deque((c, e) for c, e in state.waiters if c != client)
+            dropped += before - len(state.waiters)
+            yield from self._promote(key, state)
+            self._gc(key, state)
+        return dropped
+
+    def _promote(self, key: Hashable, state: _LockState):
+        """Grant to queue heads while possible, notifying by callback."""
+        while state.waiters:
+            client, exclusive = state.waiters[0]
+            if not self._grantable(state, client, exclusive):
+                break
+            state.waiters.popleft()
+            self._grant(state, client, exclusive)
+            try:
+                yield from self.host.rpc.call(
+                    client, LPROC.GRANTED, key, exclusive,
+                    timeout=5.0, max_retries=2,
+                )
+            except RpcError:
+                # dead grantee: take the lock back and keep promoting
+                if state.exclusive_holder == client:
+                    state.exclusive_holder = ""
+                state.sharers.discard(client)
+            if exclusive:
+                break  # nobody can follow an exclusive grant
+
+    def _gc(self, key: Hashable, state: _LockState) -> None:
+        if state.free and not state.waiters:
+            self._locks.pop(key, None)
+
+    # -- observability ------------------------------------------------------
+
+    def holder_of(self, key: Hashable) -> Tuple[str, Set[str]]:
+        state = self._locks.get(key)
+        if state is None:
+            return "", set()
+        return state.exclusive_holder, set(state.sharers)
+
+    def lock_count(self) -> int:
+        return len(self._locks)
+
+
+class LockClient:
+    """Thin lockd client; one per host that takes locks."""
+
+    def __init__(self, host: Host, server_addr: str):
+        self.host = host
+        self.sim = host.sim
+        self.rpc = host.rpc
+        self.server = server_addr
+        self._grants: Dict[Hashable, list] = {}
+        registry = getattr(host, "_lockd_clients", None)
+        if registry is None:
+            host._lockd_clients = [self]
+            host.rpc.register(LPROC.GRANTED, self._granted_dispatch)
+        else:
+            registry.append(self)
+
+    def _granted_dispatch(self, src, key: Hashable, exclusive: bool):
+        for client in self.host._lockd_clients:
+            if client.server == src:
+                waiters = client._grants.get(key)
+                if waiters:
+                    waiters.pop(0).succeed((key, exclusive))
+                break
+        return None
+        yield  # pragma: no cover
+
+    def acquire(self, key: Hashable, exclusive: bool = True, wait: bool = True):
+        """Coroutine: take the lock.  Raises LockTimeout if ``wait`` is
+        False and the lock is held."""
+        outcome = yield from self.rpc.call(
+            self.server, LPROC.ACQUIRE, key, exclusive, wait, hard=True
+        )
+        if outcome == "granted":
+            return True
+        if outcome == "denied":
+            raise LockTimeout(key)
+        # queued: wait for the server's granted callback
+        grant = self.sim.event(name="lock-grant")
+        self._grants.setdefault(key, []).append(grant)
+        yield grant
+        return True
+
+    def release(self, key: Hashable):
+        """Coroutine: drop the lock."""
+        released = yield from self.rpc.call(
+            self.server, LPROC.RELEASE, key, hard=True
+        )
+        return released
+
+    def clear_client(self, client_addr: str):
+        """Coroutine: administratively clear a dead client's locks."""
+        dropped = yield from self.rpc.call(
+            self.server, LPROC.CLEAR, client_addr, hard=True
+        )
+        return dropped

@@ -1,0 +1,15 @@
+"""Measurement infrastructure: counters, utilization sampling, reports."""
+
+from .counters import Counters
+from .report import format_series_table, format_strip_chart, format_table, series_to_csv
+from .timeseries import TimeSeries, UtilizationSampler
+
+__all__ = [
+    "Counters",
+    "TimeSeries",
+    "UtilizationSampler",
+    "format_table",
+    "format_strip_chart",
+    "format_series_table",
+    "series_to_csv",
+]

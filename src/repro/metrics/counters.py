@@ -1,0 +1,100 @@
+"""Operation counters.
+
+Every layer that the paper instruments (RPC operations, disk operations)
+records into a :class:`Counters` object: a named multiset with optional
+timestamped event logs so that *rates over time* (figures 5-1/5-2) can
+be derived from the same data as *totals* (tables 5-2/5-4/5-6).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Counters"]
+
+
+class Counters:
+    """A named event counter with optional per-event timestamps.
+
+    ``record(name, t)`` bumps the total for ``name`` and, when the
+    counter was created with ``keep_times=True``, appends ``t`` to the
+    event log for that name — enough to reconstruct rate curves.
+    """
+
+    def __init__(self, keep_times: bool = False):
+        self._totals: Dict[str, int] = defaultdict(int)
+        self._times: Optional[Dict[str, List[float]]] = (
+            defaultdict(list) if keep_times else None
+        )
+
+    def record(self, name: str, t: Optional[float] = None, n: int = 1) -> None:
+        self._totals[name] += n
+        if self._times is not None and t is not None:
+            self._times[name].extend([t] * n)
+
+    def get(self, name: str) -> int:
+        return self._totals.get(name, 0)
+
+    def total(self, names: Optional[Iterable[str]] = None) -> int:
+        if names is None:
+            return sum(self._totals.values())
+        return sum(self._totals.get(n, 0) for n in names)
+
+    def names(self) -> List[str]:
+        return sorted(self._totals)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._totals)
+
+    def times(self, name: str) -> List[float]:
+        """Timestamps for ``name`` (empty if times were not kept)."""
+        if self._times is None:
+            return []
+        return list(self._times.get(name, []))
+
+    def all_times(self) -> List[Tuple[float, str]]:
+        """Every recorded (time, name) pair, time-sorted."""
+        if self._times is None:
+            return []
+        pairs = [
+            (t, name) for name, ts in self._times.items() for t in ts
+        ]
+        pairs.sort()
+        return pairs
+
+    def rate_series(
+        self, name: str, bucket: float, t_end: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """Events-per-second for ``name`` in fixed buckets.
+
+        Returns (bucket_start_time, rate) pairs covering [0, t_end); if
+        ``t_end`` is None, the last event's time is used.
+        """
+        ts = self.times(name)
+        if t_end is None:
+            t_end = max(ts) + bucket if ts else 0.0
+        n_buckets = max(1, int(t_end / bucket + 0.999999))
+        counts = [0] * n_buckets
+        for t in ts:
+            idx = min(int(t / bucket), n_buckets - 1)
+            counts[idx] += 1
+        return [(i * bucket, c / bucket) for i, c in enumerate(counts)]
+
+    def reset(self) -> None:
+        self._totals.clear()
+        if self._times is not None:
+            self._times.clear()
+
+    def snapshot_diff(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        """Totals minus an earlier ``as_dict()`` snapshot."""
+        out = {}
+        for name, value in self._totals.items():
+            delta = value - earlier.get(name, 0)
+            if delta:
+                out[name] = delta
+        return out
+
+    def __repr__(self) -> str:
+        parts = ", ".join("%s=%d" % (k, v) for k, v in sorted(self._totals.items()))
+        return "Counters(%s)" % parts

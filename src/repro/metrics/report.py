@@ -1,0 +1,134 @@
+"""Plain-text table and chart rendering for experiment output.
+
+The benchmark harnesses print the same rows the paper's tables report;
+these helpers render aligned ASCII tables and simple ASCII strip charts
+(for the figures) so that results can be inspected without matplotlib,
+which is not available offline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "format_strip_chart", "format_series_table", "series_to_csv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    align_left_cols: int = 1,
+) -> str:
+    """Render an aligned ASCII table.
+
+    The first ``align_left_cols`` columns are left-aligned (labels);
+    remaining columns are right-aligned (numbers).
+    """
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    cols = len(headers)
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i in range(cols):
+            cell = cells[i] if i < len(cells) else ""
+            if i < align_left_cols:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e6:
+            return "%d" % int(value)
+        return "%.1f" % value
+    return str(value)
+
+
+def format_strip_chart(
+    points: Sequence[Tuple[float, float]],
+    title: str = "",
+    width: int = 60,
+    y_max: Optional[float] = None,
+    y_label: str = "",
+) -> str:
+    """Render a (t, value) series as a horizontal-bar strip chart.
+
+    One output line per point: timestamp, value, and a bar scaled to
+    ``y_max`` (default: series maximum).
+    """
+    if not points:
+        return (title + "\n(empty series)").strip()
+    top = y_max if y_max is not None else max(v for _, v in points) or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append("  t(s)    %s" % y_label)
+    for t, v in points:
+        bar_len = int(round(width * min(v, top) / top)) if top > 0 else 0
+        lines.append("%7.1f %8.3f |%s" % (t, v, "#" * bar_len))
+    return "\n".join(lines)
+
+
+def series_to_csv(
+    series: List[Tuple[str, Sequence[Tuple[float, float]]]],
+    time_header: str = "t",
+) -> str:
+    """Render several (t, value) series as CSV for external plotting.
+
+    All series are merged on their timestamps (union, sorted); missing
+    values are left empty.  The figures in this repository are ASCII by
+    necessity (no matplotlib offline); this is the escape hatch.
+    """
+    times = sorted({t for _name, pts in series for t, _v in pts})
+    by_name = [dict(pts) for _name, pts in series]
+    lines = [",".join([time_header] + [name for name, _pts in series])]
+    for t in times:
+        cells = ["%g" % t]
+        for mapping in by_name:
+            value = mapping.get(t)
+            cells.append("%g" % value if value is not None else "")
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def format_series_table(
+    series: List[Tuple[str, Sequence[Tuple[float, float]]]],
+    title: str = "",
+) -> str:
+    """Render several aligned (t, value) series side by side.
+
+    All series must share timestamps (same sampling grid); missing
+    trailing points are rendered blank.
+    """
+    if not series:
+        return title
+    headers = ["t(s)"] + [name for name, _ in series]
+    longest = max(len(pts) for _, pts in series)
+    rows = []
+    for i in range(longest):
+        t = None
+        cells: List[object] = []
+        for _, pts in series:
+            if i < len(pts):
+                t = pts[i][0]
+                cells.append("%.3f" % pts[i][1])
+            else:
+                cells.append("")
+        rows.append(["%.1f" % (t if t is not None else 0.0)] + cells)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,89 @@
+"""Time-series sampling for server utilization (figures 5-1 and 5-2).
+
+A :class:`UtilizationSampler` is a simulation process that periodically
+samples the accumulated busy time of a resource (a CPU, a disk) and
+stores per-interval utilization fractions.  The paper plots server CPU
+load sampled over the run of the Andrew benchmark; we reproduce that by
+sampling the server host CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["UtilizationSampler", "TimeSeries"]
+
+
+class TimeSeries:
+    """A simple (t, value) series with summary helpers."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.points: List[Tuple[float, float]] = []
+
+    def append(self, t: float, value: float) -> None:
+        self.points.append((t, value))
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.points]
+
+    def times(self) -> List[float]:
+        return [t for t, _ in self.points]
+
+    def mean(self) -> float:
+        vs = self.values()
+        return sum(vs) / len(vs) if vs else 0.0
+
+    def maximum(self) -> float:
+        vs = self.values()
+        return max(vs) if vs else 0.0
+
+    def integral(self) -> float:
+        """Sum of value * preceding-interval width (left Riemann sum)."""
+        total = 0.0
+        prev_t = 0.0
+        for t, v in self.points:
+            total += v * (t - prev_t)
+            prev_t = t
+        return total
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class UtilizationSampler:
+    """Samples a busy-time accumulator into per-interval utilization.
+
+    ``busy_time_fn`` must return total accumulated busy seconds (e.g.
+    ``cpu.busy_time``).  Every ``interval`` simulated seconds the sampler
+    appends ``(now, delta_busy / interval)`` to its series.
+
+    The sampler stops when ``stop()`` is called or the simulation ends.
+    """
+
+    def __init__(
+        self,
+        sim,
+        busy_time_fn: Callable[[], float],
+        interval: float = 5.0,
+        name: str = "utilization",
+    ):
+        self.sim = sim
+        self.interval = interval
+        self.series = TimeSeries(name)
+        self._busy_time_fn = busy_time_fn
+        self._stopped = False
+        self._last_busy: Optional[float] = None
+        self._proc = sim.spawn(self._run(), name="sampler:%s" % name)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _run(self):
+        self._last_busy = self._busy_time_fn()
+        while not self._stopped:
+            yield self.sim.timeout(self.interval)
+            busy = self._busy_time_fn()
+            frac = (busy - self._last_busy) / self.interval
+            self.series.append(self.sim.now, min(1.0, max(0.0, frac)))
+            self._last_busy = busy

@@ -1,0 +1,27 @@
+"""Simulated network and RPC transport."""
+
+from .network import Interface, Network, NetworkConfig, NetworkError, Packet
+from .rpc import (
+    RPC_PORT,
+    RpcConfig,
+    RpcEndpoint,
+    RpcError,
+    RpcProcedureError,
+    RpcTimeout,
+    estimate_size,
+)
+
+__all__ = [
+    "Network",
+    "NetworkConfig",
+    "NetworkError",
+    "Interface",
+    "Packet",
+    "RpcEndpoint",
+    "RpcConfig",
+    "RpcError",
+    "RpcTimeout",
+    "RpcProcedureError",
+    "estimate_size",
+    "RPC_PORT",
+]

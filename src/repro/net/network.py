@@ -1,0 +1,163 @@
+"""Simulated network: addressed interfaces with latency and bandwidth.
+
+The model is a broadcast-era LAN (the paper's machines sat on one
+Ethernet): every host attaches one :class:`Interface`; a message
+serializes on the sender's NIC for ``size / bandwidth`` seconds, then
+arrives at the destination after the propagation ``latency``.  Optional
+random packet loss exercises the RPC retransmission path.
+
+Ports multiplex services on an interface; each listening port is a FIFO
+:class:`~repro.sim.Store` of delivered packets.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..metrics import Counters
+from ..sim import Simulator, Store, Resource
+
+__all__ = ["NetworkConfig", "Network", "Interface", "Packet", "NetworkError"]
+
+
+class NetworkError(Exception):
+    """Raised for misuse of the network API (bad address, port clash)."""
+
+
+@dataclass
+class NetworkConfig:
+    """Link parameters.
+
+    Defaults approximate a 10 Mbit/s Ethernet of the paper's era:
+    1.25 MB/s of bandwidth and 0.2 ms of propagation + switch delay.
+    """
+
+    bandwidth: float = 1.25e6  # bytes per second
+    latency: float = 0.0002  # seconds, one way
+    drop_rate: float = 0.0  # probability a packet is silently lost
+    seed: int = 0
+    #: keep the last N transmissions for inspection (0 disables); see
+    #: Network.packet_trace — a tcpdump for the simulated LAN
+    trace_packets: int = 0
+
+
+@dataclass
+class Packet:
+    src: str
+    dst: str
+    port: int
+    payload: Any
+    size: int
+
+
+class Interface:
+    """A host's attachment to the network.
+
+    ``send`` is a simulation coroutine: it serializes the packet onto
+    the wire (holding the NIC) and schedules delivery.  ``listen``
+    claims a port and returns the Store that incoming packets land in.
+    """
+
+    def __init__(self, network: "Network", address: str):
+        self.network = network
+        self.address = address
+        self.sim = network.sim
+        self._nic = Resource(self.sim, capacity=1, name="nic:%s" % address)
+        self._ports: Dict[int, Store] = {}
+        self.up = True  # goes False while the host is crashed
+
+    def listen(self, port: int) -> Store:
+        if port in self._ports:
+            raise NetworkError("port %d already bound on %s" % (port, self.address))
+        store = Store(self.sim, name="%s:%d" % (self.address, port))
+        self._ports[port] = store
+        return store
+
+    def unlisten(self, port: int) -> None:
+        self._ports.pop(port, None)
+
+    def send(self, dst: str, port: int, payload: Any, size: int):
+        """Coroutine: transmit a packet (returns after serialization)."""
+        if size < 0:
+            raise NetworkError("negative packet size")
+        yield self._nic.acquire()
+        try:
+            yield self.sim.timeout(size / self.network.config.bandwidth)
+        finally:
+            self._nic.release()
+        self.network._transmit(Packet(self.address, dst, port, payload, size))
+
+    def _deliver(self, packet: Packet) -> None:
+        if not self.up:
+            return  # host is down: packet lost
+        store = self._ports.get(packet.port)
+        if store is not None:
+            store.put(packet)
+        # unbound port: silently dropped, like UDP to a closed port
+
+    def flush_ports(self) -> None:
+        """Drop all queued, undelivered packets (used on host crash)."""
+        for store in self._ports.values():
+            while True:
+                ok, _item = store.try_get()
+                if not ok:
+                    break
+
+
+class Network:
+    """The LAN connecting all simulated hosts."""
+
+    def __init__(self, sim: Simulator, config: Optional[NetworkConfig] = None):
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self.interfaces: Dict[str, Interface] = {}
+        self.stats = Counters()
+        self._rng = random.Random(self.config.seed)
+        self._trace: "deque" = deque(maxlen=self.config.trace_packets or None)
+
+    def packet_trace(self):
+        """The last N transmissions as (time, src, dst, kind, size).
+
+        ``kind`` is derived from the payload when it is an RPC message
+        ("call:nfs.read", "reply:nfs.read") and "raw" otherwise.
+        Enabled by ``NetworkConfig(trace_packets=N)``.
+        """
+        return list(self._trace)
+
+    def _record_trace(self, packet: Packet) -> None:
+        if not self.config.trace_packets:
+            return
+        payload = packet.payload
+        proc = getattr(payload, "proc", None)
+        if proc is not None:
+            kind = ("reply:" if getattr(payload, "is_reply", False) else "call:") + proc
+        else:
+            kind = "raw"
+        self._trace.append(
+            (self.sim.now, packet.src, packet.dst, kind, packet.size)
+        )
+
+    def attach(self, address: str) -> Interface:
+        if address in self.interfaces:
+            raise NetworkError("address %r already attached" % address)
+        iface = Interface(self, address)
+        self.interfaces[address] = iface
+        return iface
+
+    def _transmit(self, packet: Packet) -> None:
+        self.stats.record("packets")
+        self.stats.record("bytes", n=packet.size)
+        self._record_trace(packet)
+        if self.config.drop_rate > 0 and self._rng.random() < self.config.drop_rate:
+            self.stats.record("dropped")
+            return
+        dst = self.interfaces.get(packet.dst)
+        if dst is None:
+            self.stats.record("unroutable")
+            return
+        self.sim._schedule_at(
+            self.sim.now + self.config.latency, dst._deliver, packet
+        )

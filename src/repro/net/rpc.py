@@ -1,0 +1,320 @@
+"""Remote procedure call layer over the simulated network.
+
+Models a Sun-RPC-over-UDP transport of the paper's era:
+
+* at-least-once calls with timeout and retransmission (same xid);
+* a server-side **duplicate request cache** so retransmitted
+  non-idempotent requests are not re-executed (Juszczak's fix, which the
+  paper cites);
+* a bounded server **thread pool** — the SNFS deadlock rule ("if there
+  are N threads, only N−1 may be doing callbacks") is enforced by the
+  SNFS server on top of this pool;
+* symmetric endpoints: any host can both issue calls and serve
+  procedures, which SNFS needs for server→client callbacks.
+
+Wire sizes are estimated automatically from the payload (bytes count
+fully; scalars and structure contribute small fixed costs), so a 4 KB
+``read`` reply is ~4 KB on the wire while an ``open`` call is ~200 B.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+from ..metrics import Counters
+from ..sim import Event, Resource, Simulator, Store
+from .network import Interface, Network
+
+__all__ = [
+    "RpcConfig",
+    "RpcEndpoint",
+    "RpcError",
+    "RpcTimeout",
+    "RpcProcedureError",
+    "estimate_size",
+    "RPC_PORT",
+]
+
+RPC_PORT = 2049
+
+_HEADER_BYTES = 160  # UDP + IP + RPC + auth overhead, roughly
+
+
+class RpcError(Exception):
+    """Base class for RPC-layer failures."""
+
+
+class RpcTimeout(RpcError):
+    """The call was retransmitted up to the limit with no reply."""
+
+
+class RpcProcedureError(RpcError):
+    """The remote procedure raised; carries the remote exception.
+
+    Protocol-level errors (e.g. NFS ``ESTALE``) are modelled as
+    exceptions raised by the handler, shipped back in the reply, and
+    re-raised at the caller wrapped in the original exception type when
+    possible.
+    """
+
+
+def estimate_size(obj: Any) -> int:
+    """Rough wire size of a payload object, in bytes.
+
+    bytes/bytearray count in full; strings count their encoded length;
+    containers and dataclasses (attribute records, handles) recurse;
+    everything else (ints, flags) costs a fixed 8 bytes.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, dict):
+        return sum(estimate_size(k) + estimate_size(v) for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(estimate_size(item) for item in obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return sum(
+            estimate_size(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        )
+    return 8
+
+
+@dataclass
+class RpcConfig:
+    timeout: float = 1.0  # initial retransmission timeout, seconds
+    backoff: float = 2.0  # timeout multiplier per retry
+    max_retries: int = 5  # retransmissions before giving up
+    server_threads: int = 8  # service thread pool size
+    dup_cache_size: int = 512  # retained completed replies
+    cpu_per_call: float = 0.0  # seconds of CPU per RPC on each side
+
+
+@dataclass
+class _Call:
+    xid: int
+    src: str
+    proc: str
+    args: tuple = ()
+    is_reply: bool = False
+    result: Any = None
+    error: Optional[BaseException] = None
+
+
+class _DupCache:
+    """Duplicate-request cache: (src, xid) -> in-progress or done-reply."""
+
+    _IN_PROGRESS = object()
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._done: "OrderedDict[Tuple[str, int], _Call]" = OrderedDict()
+        self._in_progress: set = set()
+
+    def begin(self, key: Tuple[str, int]) -> Optional[_Call]:
+        """Register a request.  Returns a cached reply to resend, or
+        None if the request should execute.  Raises _Busy if already
+        executing (caller drops the duplicate)."""
+        if key in self._in_progress:
+            raise _Busy()
+        cached = self._done.get(key)
+        if cached is not None:
+            return cached
+        self._in_progress.add(key)
+        return None
+
+    def finish(self, key: Tuple[str, int], reply: _Call) -> None:
+        self._in_progress.discard(key)
+        self._done[key] = reply
+        while len(self._done) > self.capacity:
+            self._done.popitem(last=False)
+
+    def clear(self) -> None:
+        self._done.clear()
+        self._in_progress.clear()
+
+
+class _Busy(Exception):
+    pass
+
+
+Handler = Callable[..., Generator]
+
+
+class RpcEndpoint:
+    """One host's RPC stack: client stubs plus a procedure server.
+
+    Handlers are registered with :meth:`register`; each handler is a
+    simulation coroutine ``handler(src_addr, *args)`` whose return value
+    becomes the reply.  Exceptions raised by handlers are shipped back
+    and re-raised at the caller.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        address: str,
+        config: Optional[RpcConfig] = None,
+        cpu=None,
+        port: int = RPC_PORT,
+        keep_call_times: bool = False,
+    ):
+        self.sim = sim
+        self.network = network
+        self.address = address
+        self.config = config or RpcConfig()
+        self.cpu = cpu  # object with consume(seconds) coroutine, or None
+        self.port = port
+        self.iface: Interface = network.attach(address)
+        self._inbox: Store = self.iface.listen(port)
+        self._handlers: Dict[str, Handler] = {}
+        self._pending: Dict[int, Event] = {}
+        self._xids = itertools.count(1)
+        self._dup_cache = _DupCache(self.config.dup_cache_size)
+        self.threads = Resource(
+            sim, capacity=self.config.server_threads, name="rpcthreads:%s" % address
+        )
+        # client_stats: calls issued from here; server_stats: calls served here
+        self.client_stats = Counters(keep_times=keep_call_times)
+        self.server_stats = Counters(keep_times=keep_call_times)
+        self.alive = True
+        self._dispatcher = sim.spawn(self._dispatch_loop(), name="rpc:%s" % address)
+
+    # -- server side -----------------------------------------------------
+
+    def register(self, proc: str, handler: Handler) -> None:
+        if proc in self._handlers:
+            raise RpcError("procedure %r already registered on %s" % (proc, self.address))
+        self._handlers[proc] = handler
+
+    def register_service(self, service: object, procs: Dict[str, str]) -> None:
+        """Register ``procs`` mapping RPC name -> method name on service."""
+        for proc, method in procs.items():
+            self.register(proc, getattr(service, method))
+
+    def _dispatch_loop(self):
+        while True:
+            packet = yield self._inbox.get()
+            if not self.alive:
+                continue
+            msg: _Call = packet.payload
+            if msg.is_reply:
+                waiter = self._pending.pop(msg.xid, None)
+                if waiter is not None and not waiter.triggered:
+                    waiter.succeed(msg)
+                continue
+            self.sim.spawn(
+                self._serve(msg), name="serve:%s:%s" % (self.address, msg.proc)
+            )
+
+    def _serve(self, msg: _Call):
+        key = (msg.src, msg.xid)
+        try:
+            cached = self._dup_cache.begin(key)
+        except _Busy:
+            return  # retransmission of an executing request: drop it
+        if cached is not None:
+            yield from self._send_reply(msg.src, cached)
+            return
+
+        handler = self._handlers.get(msg.proc)
+        reply = _Call(xid=msg.xid, src=self.address, proc=msg.proc, is_reply=True)
+        if handler is None:
+            reply.error = RpcProcedureError("no such procedure: %s" % msg.proc)
+        else:
+            yield self.threads.acquire()
+            try:
+                if self.cpu is not None and self.config.cpu_per_call > 0:
+                    yield from self.cpu.consume(self.config.cpu_per_call)
+                self.server_stats.record(msg.proc, t=self.sim.now)
+                reply.result = yield from handler(msg.src, *msg.args)
+            except GeneratorExit:
+                raise  # service process torn down, not a handler error
+            except BaseException as exc:  # noqa: BLE001 - shipped to caller
+                reply.error = exc
+            finally:
+                self.threads.release()
+        self._dup_cache.finish(key, reply)
+        yield from self._send_reply(msg.src, reply)
+
+    def _send_reply(self, dst: str, reply: _Call):
+        size = _HEADER_BYTES + estimate_size(reply.result)
+        yield from self.iface.send(dst, self.port, reply, size)
+
+    # -- client side -----------------------------------------------------
+
+    def call(
+        self,
+        dst: str,
+        proc: str,
+        *args: Any,
+        timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        hard: bool = False,
+    ):
+        """Coroutine: invoke ``proc`` on ``dst``, with retransmission.
+
+        Returns the remote handler's return value, re-raises its
+        exception, or raises :class:`RpcTimeout` after the retry budget
+        is exhausted.  ``hard=True`` gives hard-mount semantics: retry
+        forever (backoff capped at 30 s) — an NFS client never gives up
+        on its server.
+        """
+        xid = next(self._xids)
+        msg = _Call(xid=xid, src=self.address, proc=proc, args=args)
+        size = _HEADER_BYTES + estimate_size(args)
+        wait = self.config.timeout if timeout is None else timeout
+        self.client_stats.record(proc, t=self.sim.now)
+
+        retries = self.config.max_retries if max_retries is None else max_retries
+        attempts = 1 << 62 if hard else retries + 1
+        attempt = -1
+        while (attempt := attempt + 1) < attempts:
+            if self.cpu is not None and self.config.cpu_per_call > 0:
+                yield from self.cpu.consume(self.config.cpu_per_call)
+            reply_ev = self.sim.event(name="rpc-reply:%d" % xid)
+            self._pending[xid] = reply_ev
+            yield from self.iface.send(dst, self.port, msg, size)
+            timer = self.sim.timeout(wait)
+            winner = yield self.sim.any_of([reply_ev, timer])
+            ev, _value = winner
+            if ev is reply_ev:
+                reply: _Call = reply_ev.value
+                if self.cpu is not None and self.config.cpu_per_call > 0:
+                    yield from self.cpu.consume(self.config.cpu_per_call)
+                if reply.error is not None:
+                    raise reply.error
+                return reply.result
+            # timed out: forget this attempt's waiter, back off, resend
+            self._pending.pop(xid, None)
+            wait = min(wait * self.config.backoff, 30.0)
+            if attempt + 1 < attempts:
+                self.client_stats.record("%s.retransmit" % proc, t=self.sim.now)
+        raise RpcTimeout(
+            "%s -> %s %s: no reply after %d attempts"
+            % (self.address, dst, proc, attempts)
+        )
+
+    # -- crash modelling ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all volatile RPC state (host crash)."""
+        self.alive = False
+        self.iface.up = False
+        self.iface.flush_ports()
+        for ev in list(self._pending.values()):
+            if not ev.triggered:
+                ev.defuse()
+        self._pending.clear()
+        self._dup_cache.clear()
+
+    def reboot(self) -> None:
+        self.alive = True
+        self.iface.up = True

@@ -1,0 +1,16 @@
+"""NFS: the stateless baseline protocol (client and server)."""
+
+from .client import NfsClient, NfsClientConfig, mount_nfs
+from .protocol import DATA_TRANSFER_OPS, PROC, classify_ops, proc_basename
+from .server import NfsServer
+
+__all__ = [
+    "NfsServer",
+    "NfsClient",
+    "NfsClientConfig",
+    "mount_nfs",
+    "PROC",
+    "classify_ops",
+    "proc_basename",
+    "DATA_TRANSFER_OPS",
+]

@@ -1,0 +1,136 @@
+"""An RFS-style server (§2.5): write-through + stateful invalidation.
+
+System V Remote File Sharing sits between NFS and Sprite: "As in NFS,
+clients write-through to the server, so the only possible inconsistency
+is between the server and readers.  RFS is not stateless; clients send
+open and close messages to the server, so the server is able to send
+'invalidate' messages back to clients when their caches must be
+disabled.  Unlike Sprite, RFS waits until writes actually occur before
+invalidating client caches."
+
+So: the server tracks which clients have each file open; every write
+RPC triggers invalidate messages to the *other* clients caching the
+file; version numbers (bumped per write) catch reopen-after-close.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Hashable
+
+from ..fs.types import FileHandle
+from ..host import Host
+from ..net import RpcError
+from ..nfs.server import NfsServer
+from ..vfs import LocalMount
+
+__all__ = ["RfsServer", "RPROC"]
+
+
+class RPROC:
+    """RFS procedure names."""
+
+    PREFIX = "rfs."
+
+    MNT = "rfs.mnt"
+    LOOKUP = "rfs.lookup"
+    GETATTR = "rfs.getattr"
+    SETATTR = "rfs.setattr"
+    READ = "rfs.read"
+    WRITE = "rfs.write"
+    CREATE = "rfs.create"
+    REMOVE = "rfs.remove"
+    RENAME = "rfs.rename"
+    MKDIR = "rfs.mkdir"
+    RMDIR = "rfs.rmdir"
+    READDIR = "rfs.readdir"
+
+    OPEN = "rfs.open"
+    CLOSE = "rfs.close"
+    INVALIDATE = "rfs.invalidate"  # server -> client
+
+
+@dataclass
+class _RfsEntry:
+    version: int = 0
+    #: client address -> open count (readers and writers alike)
+    open_counts: Dict[str, int] = field(default_factory=dict)
+
+
+class RfsServer(NfsServer):
+    """RFS service: NFS semantics plus open/close tracking and
+    write-triggered invalidations."""
+
+    PROC = RPROC
+
+    def __init__(self, host: Host, export: LocalMount):
+        self._entries: Dict[Hashable, _RfsEntry] = {}
+        self._versions = itertools.count(1)
+        super().__init__(host, export)
+
+    def _register(self) -> None:
+        super()._register()
+        rpc = self.host.rpc
+        rpc.register(self.PROC.OPEN, self.proc_open)
+        rpc.register(self.PROC.CLOSE, self.proc_close)
+
+    def _entry(self, key: Hashable) -> _RfsEntry:
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _RfsEntry(version=next(self._versions))
+            self._entries[key] = entry
+        return entry
+
+    # -- open / close tracking ----------------------------------------------
+
+    def proc_open(self, src, fh: FileHandle, write: bool):
+        """Track the open; return (version, attrs) for cache validation."""
+        inum = self.lfs.resolve(fh)
+        entry = self._entry(fh.key())
+        entry.open_counts[src] = entry.open_counts.get(src, 0) + 1
+        return entry.version, self.lfs._attr(inum)
+        yield  # pragma: no cover
+
+    def proc_close(self, src, fh: FileHandle, write: bool):
+        entry = self._entries.get(fh.key())
+        if entry is not None and src in entry.open_counts:
+            entry.open_counts[src] -= 1
+            if entry.open_counts[src] <= 0:
+                del entry.open_counts[src]
+        return None
+        yield  # pragma: no cover
+
+    # -- the RFS twist: invalidate readers when writes occur ------------------
+
+    def proc_write(self, src, fh: FileHandle, offset: int, data: bytes):
+        result = yield from super().proc_write(src, fh, offset, data)
+        entry = self._entry(fh.key())
+        entry.version = next(self._versions)
+        for client in list(entry.open_counts):
+            if client == src:
+                continue
+            try:
+                yield from self.host.rpc.call(
+                    client, self.PROC.INVALIDATE, fh, max_retries=2
+                )
+            except RpcError:
+                # dead reader: forget it; it must reopen anyway
+                entry.open_counts.pop(client, None)
+        # the writer learns the new version from the reply, so its own
+        # (write-through, hence valid) cache survives the next reopen
+        return result, entry.version
+
+    def proc_remove(self, src, dirfh: FileHandle, name: str):
+        from ..fs import NoSuchFile
+
+        dirg = self._gnode(dirfh)
+        try:
+            inum = yield from self.lfs.lookup(dirg.fid, name)
+            key = self.lfs.handle(inum).key()
+        except NoSuchFile:
+            key = None
+        result = yield from super().proc_remove(src, dirfh, name)
+        if key is not None:
+            self._entries.pop(key, None)
+        return result

@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel.
+
+Public surface::
+
+    from repro.sim import Simulator, Interrupt
+    from repro.sim import Resource, Lock, Semaphore, Store, Broadcast
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .process import Process
+from .resources import Broadcast, Lock, Resource, Semaphore, Store
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "Process",
+    "Resource",
+    "Lock",
+    "Semaphore",
+    "Store",
+    "Broadcast",
+]

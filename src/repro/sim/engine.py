@@ -1,0 +1,310 @@
+"""Discrete-event simulation engine.
+
+The engine is the heart of the reproduction substrate: every host,
+network link, disk, daemon, and benchmark process in this repository is
+a coroutine scheduled by a :class:`Simulator`.
+
+The design follows the classic process-interaction style (as in SimPy,
+which is not available offline, so we implement our own): processes are
+Python generators that ``yield`` *waitables* — :class:`Event`,
+:class:`Timeout`, other processes, or condition combinators — and are
+resumed when the waitable triggers.
+
+Determinism: given the same seed and the same sequence of spawns, a
+simulation is fully deterministic.  Events scheduled for the same
+simulated time fire in FIFO order of scheduling.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation API."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The interrupting party supplies ``cause``, an arbitrary object that
+    the interrupted process can inspect (e.g. ``"server-crashed"``).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+_UNSET = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    An event starts *untriggered*.  It may be made to ``succeed`` with a
+    value or ``fail`` with an exception, exactly once.  Processes that
+    yield the event are resumed (or have the exception thrown into
+    them) in the order in which they started waiting.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _UNSET
+        self._exception: Optional[BaseException] = None
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once succeed() or fail() has been called."""
+        return self._value is not _UNSET or self._exception is not None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event %r has not triggered yet" % self.name)
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run.
+
+        If a failed event has no waiters and is not defused, the
+        simulator raises the exception out of :meth:`Simulator.run` to
+        avoid silently swallowing errors.
+        """
+        self._defused = True
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError("event %r already triggered" % self.name)
+        self._value = value
+        self.sim._trigger(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError("event %r already triggered" % self.name)
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._exception = exception
+        self.sim._trigger(self)
+        return self
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return "<%s %s %s>" % (type(self).__name__, self.name or id(self), state)
+
+
+class Timeout(Event):
+    """An event that succeeds automatically after a simulated delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError("negative timeout delay %r" % delay)
+        super().__init__(sim, name="timeout(%g)" % delay)
+        self.delay = delay
+        self._value = _UNSET
+        sim._schedule_at(sim.now + delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        if not self.triggered:
+            self._value = value
+            self.sim._trigger(self)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf combinators."""
+
+    def __init__(self, sim: "Simulator", events: List[Event]):
+        super().__init__(sim, name=type(self).__name__)
+        self.events = list(events)
+        self._n_done = 0
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            if ev.triggered:
+                self._on_child(ev)
+            else:
+                ev.callbacks.append(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds when every child event has succeeded.
+
+    Fails as soon as any child fails (remaining children keep running).
+    The value is the list of child values in construction order.
+    """
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            ev.defuse()
+            self.fail(ev.exception)  # type: ignore[arg-type]
+            return
+        self._n_done += 1
+        if self._n_done == len(self.events):
+            self.succeed([e.value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Succeeds when the first child succeeds; value is (event, value)."""
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            ev.defuse()
+            self.fail(ev.exception)  # type: ignore[arg-type]
+            return
+        self.succeed((ev, ev.value))
+
+
+class Simulator:
+    """The event loop: a time-ordered queue of callbacks.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.spawn(my_process(sim))
+        sim.run(until=600.0)
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable, tuple]] = []
+        self._counter = itertools.count()
+        self._running = False
+        self._process_count = 0
+
+    # -- low-level scheduling ----------------------------------------------
+
+    def _schedule_at(self, when: float, callback: Callable, *args: Any) -> None:
+        if when < self.now:
+            raise SimulationError(
+                "cannot schedule in the past (%g < %g)" % (when, self.now)
+            )
+        heapq.heappush(self._queue, (when, next(self._counter), callback, args))
+
+    def call_soon(self, callback: Callable, *args: Any) -> None:
+        """Schedule ``callback`` at the current simulated time."""
+        self._schedule_at(self.now, callback, *args)
+
+    def _trigger(self, event: Event) -> None:
+        """Deliver an event to its waiters at the current time."""
+        callbacks, event.callbacks = event.callbacks, None
+        self.call_soon(self._dispatch, event, callbacks)
+
+    def _dispatch(self, event: Event, callbacks: List[Callable]) -> None:
+        for cb in callbacks:
+            cb(event)
+        if (
+            event._exception is not None
+            and not event._defused
+            and not callbacks
+        ):
+            raise event._exception
+
+    # -- public API ----------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def spawn(self, generator, name: str = "") -> "Process":
+        """Start a new process from a generator; returns the Process."""
+        from .process import Process
+
+        return Process(self, generator, name=name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        Returns the simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            while self._queue:
+                when, _seq, callback, args = self._queue[0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._queue)
+                self.now = when
+                callback(*args)
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until(self, event: Event, limit: Optional[float] = None) -> float:
+        """Run until ``event`` triggers (or the queue drains / ``limit``).
+
+        Daemon processes reschedule themselves forever, so plain
+        :meth:`run` never returns once one is started; experiments
+        instead run until their workload's completion event fires.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            while self._queue and not event.triggered:
+                when, _seq, callback, args = self._queue[0]
+                if limit is not None and when > limit:
+                    self.now = limit
+                    break
+                heapq.heappop(self._queue)
+                self.now = when
+                callback(*args)
+        finally:
+            self._running = False
+        return self.now
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled callback, or None if queue empty."""
+        return self._queue[0][0] if self._queue else None

@@ -1,0 +1,134 @@
+"""Simulation processes.
+
+A :class:`Process` wraps a Python generator.  Each ``yield`` from the
+generator must produce a *waitable*: an :class:`~repro.sim.engine.Event`
+(which includes timeouts, conditions, and other processes).  The process
+is resumed with the event's value, or has the event's exception thrown
+into it.
+
+A process is itself an event, so processes can be joined::
+
+    child = sim.spawn(worker(sim))
+    result = yield child          # waits for completion
+
+Processes can be interrupted::
+
+    child.interrupt("cancelled")
+
+which raises :class:`~repro.sim.engine.Interrupt` at the child's
+current wait point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .engine import Event, Interrupt, SimulationError, Simulator
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running coroutine inside the simulation.
+
+    Triggered (as an event) when the generator finishes; the value is
+    the generator's return value.  If the generator raises, the process
+    fails with that exception — joiners see it re-raised, and if nobody
+    joins, the simulator surfaces it from :meth:`Simulator.run`.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                "spawn() requires a generator, got %r" % (generator,)
+            )
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._gen = generator
+        self._waiting_on: Optional[Event] = None
+        self._interrupt_pending = False
+        sim._process_count += 1
+        sim.call_soon(self._resume, None)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point.
+
+        Interrupting a finished process is an error; interrupting a
+        process that has not started yet delivers the interrupt at its
+        first wait.
+        """
+        if self.triggered:
+            raise SimulationError("cannot interrupt finished process %s" % self.name)
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._on_event)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self.sim.call_soon(self._throw_in, Interrupt(cause))
+
+    # -- internals ------------------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        self._waiting_on = None
+        self._resume(event)
+
+    def _resume(self, event: Optional[Event]) -> None:
+        if self.triggered:
+            return
+        try:
+            if event is None:
+                target = next(self._gen)
+            elif event.ok:
+                target = self._gen.send(event.value)
+            else:
+                event.defuse()
+                target = self._gen.throw(event.exception)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into event
+            self._finish_fail(exc)
+            return
+        self._wait_for(target)
+
+    def _throw_in(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        try:
+            target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except BaseException as raised:  # noqa: BLE001
+            self._finish_fail(raised)
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self._finish_fail(
+                SimulationError(
+                    "process %s yielded a non-waitable: %r" % (self.name, target)
+                )
+            )
+            return
+        if target.triggered:
+            self.sim.call_soon(self._resume, target)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._on_event)
+
+    def _finish_ok(self, value: Any) -> None:
+        self._gen.close()
+        self.succeed(value)
+
+    def _finish_fail(self, exc: BaseException) -> None:
+        self._exception = exc
+        self.sim._trigger(self)

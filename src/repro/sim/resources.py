@@ -1,0 +1,215 @@
+"""Synchronization and queueing primitives for simulation processes.
+
+These are the building blocks used by the higher layers:
+
+* :class:`Resource` — a counted resource with a FIFO wait queue (disk
+  arms, RPC server threads, NIC transmitters).
+* :class:`Lock` — a Resource of capacity 1 with a context-manager-free
+  acquire/release pair (processes are generators, so ``with`` cannot
+  suspend; callers pair acquire/release in try/finally).
+* :class:`Semaphore` — counting semaphore without ownership.
+* :class:`Store` — an unbounded FIFO channel of items (message queues,
+  request queues); ``get`` blocks until an item is available.
+* :class:`Broadcast` — a reusable signal: each ``wait()`` returns a
+  fresh event that the next ``fire()`` triggers (used for "state
+  changed, re-check your predicate" loops).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from .engine import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Lock", "Semaphore", "Store", "Broadcast"]
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    ``acquire()`` returns an event that succeeds when a unit is granted;
+    the holder must call ``release()`` exactly once per grant.  Accrued
+    busy time is tracked so utilization can be computed: the resource is
+    "busy" whenever at least one unit is held.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # busy-time accounting (any unit held)
+        self._busy_since: Optional[float] = None
+        self._busy_accum = 0.0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        ev = self.sim.event(name="acquire:%s" % self.name)
+        if self._in_use < self.capacity:
+            self._grant(ev)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def try_acquire(self) -> bool:
+        """Acquire immediately if a unit is free; never queues."""
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self._note_busy_edge()
+            return True
+        return False
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release of un-acquired resource %s" % self.name)
+        self._in_use -= 1
+        if self._waiters and self._in_use < self.capacity:
+            self._grant(self._waiters.popleft())
+        if self._in_use == 0 and self._busy_since is not None:
+            self._busy_accum += self.sim.now - self._busy_since
+            self._busy_since = None
+
+    def busy_time(self) -> float:
+        """Total simulated time during which any unit was held."""
+        total = self._busy_accum
+        if self._busy_since is not None:
+            total += self.sim.now - self._busy_since
+        return total
+
+    def _grant(self, ev: Event) -> None:
+        self._in_use += 1
+        self._note_busy_edge()
+        ev.succeed(self)
+
+    def _note_busy_edge(self) -> None:
+        if self._busy_since is None:
+            self._busy_since = self.sim.now
+
+
+class Lock(Resource):
+    """A mutual-exclusion lock (Resource of capacity 1)."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        super().__init__(sim, capacity=1, name=name)
+
+    @property
+    def locked(self) -> bool:
+        return self._in_use > 0
+
+
+class Semaphore:
+    """A counting semaphore: ``down()`` waits for a token, ``up()`` adds one.
+
+    Unlike :class:`Resource`, the count may exceed its initial value.
+    """
+
+    def __init__(self, sim: Simulator, value: int = 0, name: str = ""):
+        if value < 0:
+            raise SimulationError("semaphore value must be >= 0")
+        self.sim = sim
+        self.name = name
+        self._value = value
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def down(self) -> Event:
+        ev = self.sim.event(name="sem-down:%s" % self.name)
+        if self._value > 0:
+            self._value -= 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def up(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed(self)
+        else:
+            self._value += 1
+
+
+class Store:
+    """An unbounded FIFO channel of items.
+
+    ``put`` never blocks; ``get`` returns an event that succeeds with
+    the oldest item.  Waiters are served FIFO.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = self.sim.event(name="store-get:%s" % self.name)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Tuple[bool, Any]:
+        """Non-blocking get: (True, item) or (False, None)."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+    def peek_all(self) -> List[Any]:
+        return list(self._items)
+
+
+class Broadcast:
+    """A reusable signal.
+
+    Each call to ``wait()`` returns a fresh one-shot event; ``fire()``
+    triggers every event handed out since the previous fire.  Typical
+    use is a condition-variable loop::
+
+        while not predicate():
+            yield changed.wait()
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._waiters: List[Event] = []
+
+    def wait(self) -> Event:
+        ev = self.sim.event(name="broadcast:%s" % self.name)
+        self._waiters.append(ev)
+        return ev
+
+    def fire(self, value: Any = None) -> int:
+        """Trigger all current waiters; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed(value)
+        return len(waiters)

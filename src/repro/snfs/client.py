@@ -1,0 +1,531 @@
+"""The SNFS client (§4.2): explicit consistency instead of probes.
+
+Differences from the NFS client it subclasses:
+
+* ``open`` sends the SNFS open RPC; the reply's version numbers decide
+  whether the client's cached blocks survive ("a client's cache is
+  valid if the latest version number matches the version of the cached
+  copy; if the client is opening the file for write, its cache is also
+  valid if it matches the previous version number", §3.1).
+* **Delayed writes** (§4.2.3): writes dirty the cache and return; data
+  reaches the server on eviction, fsync, the 30-second update sync —
+  or never, if the file is deleted first (delayed-write cancellation).
+* ``close`` notifies the server and *keeps* the cache: no synchronous
+  flush, no invalidate-on-close.
+* No attribute probes: a cachable file's attributes need no refresh;
+  a non-cachable (write-shared) file always fetches attributes from
+  the server (§4.2.1).
+* Non-cachable files bypass the cache entirely — reads and writes go
+  straight to the server, and read-ahead is disabled (§4.2.1).
+* The client services the server's ``callback`` RPC: write back dirty
+  blocks and/or invalidate and stop caching (§4.2.2).
+
+The §6.2 extension — **delayed close** — is implemented behind a config
+flag: closes are withheld in anticipation of a re-open; a callback for
+a delayed-close file relinquishes it first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..fs import NoSuchFile, StaleHandle
+from ..fs.types import FileAttr, FileHandle, OpenMode
+from ..host import Host
+from ..nfs.client import NfsClient
+from ..sim import Interrupt
+from ..vfs import FileSystemType, Gnode, cached_read, cached_write
+from .protocol import SPROC
+from .server import OpenReply
+
+__all__ = ["SnfsClient", "SnfsClientConfig", "mount_snfs"]
+
+
+@dataclass
+class SnfsClientConfig:
+    #: §6.2: withhold close RPCs anticipating a re-open
+    delayed_close: bool = False
+    #: spontaneously relinquish delayed-close files after this long
+    delayed_close_timeout: float = 180.0
+    #: ablation: force NFS-style write-through despite the consistency
+    #: protocol allowing delayed writes (isolates the write policy,
+    #: which §7 credits with most of Sprite's advantage)
+    write_through: bool = False
+    #: ablation: disable delayed-write cancellation on delete
+    cancel_on_delete: bool = True
+    #: directory-name-lookup cache TTL (0 disables); see
+    #: NfsClientConfig.name_cache_ttl — §7 suggests applying the Sprite
+    #: consistency protocols to directory entries; this is the TTL
+    #: approximation
+    name_cache_ttl: float = 0.0
+    #: §7 done properly: cache name translations indefinitely, kept
+    #: consistent by server-issued name-invalidation callbacks (the
+    #: server tracks which clients have resolved names in a directory
+    #: and calls them back when its namespace changes).  "We suspect
+    #: that applying the Sprite consistency protocols to a cache of
+    #: directory entries might be a good approach."
+    consistent_dir_cache: bool = False
+
+
+class SnfsClient(NfsClient):
+    """A remote-mounted Spritely NFS filesystem on a client host."""
+
+    PROC = SPROC
+
+    def __init__(
+        self,
+        mount_id: str,
+        host: Host,
+        server_addr: str,
+        config: Optional[SnfsClientConfig] = None,
+    ):
+        FileSystemType.__init__(self, mount_id)
+        self.host = host
+        self.sim = host.sim
+        self.cache = host.cache
+        self.rpc = host.rpc
+        self.server = server_addr
+        self.config = config or SnfsClientConfig()
+        self.block_size = host.config.block_size
+        self._root: Optional[Gnode] = None
+        self._recovered_epoch: Optional[int] = None
+        self._name_cache: dict = {}
+        self._dir_index: dict = {}  # dir fh key -> cached names in it
+        self._register_callback_service()
+
+    # -- server-crash recovery (§2.4) ----------------------------------------
+
+    def _call(self, proc: str, *args):
+        """RPC with recovery: a ``ServerRecovering`` rejection means the
+        server rebooted — reassert our open/dirty state with ``reopen``,
+        wait out the grace period, and retry."""
+        from .recovery import ServerRecovering
+
+        while True:
+            try:
+                result = yield from self.rpc.call(
+                    self.server, proc, *args, hard=True
+                )
+                return result
+            except ServerRecovering as recovering:
+                if self._recovered_epoch != recovering.epoch:
+                    report = self.open_state_report()
+                    yield from self.rpc.call(
+                        self.server, self.PROC.REOPEN, report, hard=True
+                    )
+                    self._recovered_epoch = recovering.epoch
+                    # the rebooted server lost its record of our cached
+                    # name translations: drop them
+                    self._name_cache.clear()
+                    self._dir_index.clear()
+                yield self.sim.timeout(max(recovering.retry_after, 0.5))
+
+    # -- callback service registration (one handler per host) -------------
+
+    def _register_callback_service(self) -> None:
+        mounts = getattr(self.host, "_snfs_mounts", None)
+        if mounts is None:
+            self.host._snfs_mounts = [self]
+            self.host.rpc.register(SPROC.CALLBACK, self._callback_dispatch)
+        else:
+            mounts.append(self)
+
+    def _callback_dispatch(
+        self,
+        src,
+        fh: FileHandle,
+        writeback: bool,
+        invalidate: bool,
+        invalidate_names: bool = False,
+    ):
+        """Route an incoming callback to the right mount on this host."""
+        for mount in self.host._snfs_mounts:
+            if mount.server == src:
+                if invalidate_names:
+                    mount.purge_dir_names(fh)
+                result = yield from mount.serve_callback(fh, writeback, invalidate)
+                return result
+        return None  # no such mount (e.g. unmounted): nothing cached
+
+    def serve_callback(self, fh: FileHandle, writeback: bool, invalidate: bool):
+        """Perform the callback actions for one file (§4.2.2)."""
+        g = self._gnodes.get(fh.key())
+        if g is None:
+            return None  # nothing known about this file
+        if writeback:
+            yield from self._flush_dirty(g)
+        if invalidate:
+            self.cache.invalidate_file(g.cache_key)
+            g.private["cache_enabled"] = False
+        if g.private.get("pending_closes"):
+            # §6.2: a delayed-close file got a callback — relinquish it.
+            # The close RPCs must go out *after* this callback returns:
+            # the server is waiting on us while holding the file's
+            # lock, so a synchronous close here is exactly the deadlock
+            # the paper says its state assignment would hit ("would
+            # have to be changed to support delayed close without
+            # deadlocking", §4.3.4).
+            self.sim.spawn(
+                self._send_pending_closes(g), name="relinquish-delayed-close"
+            )
+        return None
+
+    # -- consistent directory-entry cache (§7 extension) --------------------
+
+    def _dnlc_get(self, dirg: Gnode, name: str):
+        if self.config.consistent_dir_cache:
+            hit = self._name_cache.get(self._dnlc_key(dirg, name))
+            if hit is None:
+                return None
+            fh, ftype, _cached_at = hit
+            return self.gnode_for(fh, ftype)  # never expires: the server
+            # invalidates us when the directory changes
+        return super()._dnlc_get(dirg, name)
+
+    def _dnlc_put(self, dirg: Gnode, name: str, g: Gnode) -> None:
+        if self.config.consistent_dir_cache:
+            key = self._dnlc_key(dirg, name)
+            self._name_cache[key] = (g.fid, g.ftype, self.sim.now)
+            self._dir_index.setdefault(dirg._fid_key(), set()).add(name)
+            return
+        super()._dnlc_put(dirg, name, g)
+
+    def purge_dir_names(self, dirfh: FileHandle) -> None:
+        """Name-invalidation callback: drop every cached entry of the
+        directory (its namespace changed at the server)."""
+        dir_key = dirfh.key()
+        names = self._dir_index.pop(dir_key, set())
+        for name in names:
+            self._name_cache.pop((dir_key, name), None)
+
+    # -- cache validity ----------------------------------------------------
+
+    def _validate_cache(self, g: Gnode, reply: OpenReply, write: bool) -> None:
+        cached_version = g.private.get("version")
+        valid = cached_version == reply.version or (
+            write and cached_version == reply.prev_version
+        )
+        if not valid:
+            self.cache.invalidate_file(g.cache_key)
+        g.private["version"] = reply.version
+        if not reply.cache_enabled:
+            self.cache.invalidate_file(g.cache_key)
+        g.private["cache_enabled"] = reply.cache_enabled
+        g.private["inconsistent"] = reply.inconsistent
+        self._store_attr_snfs(g, reply.attr)
+
+    def _store_attr_snfs(self, g: Gnode, attr: FileAttr) -> None:
+        # While delayed writes are pending, the client's view of the
+        # file (size, mtime) is *ahead* of the server's: keep it.
+        local = g.private.get("attr")
+        if local is not None and self.cache.dirty_buffers(file_key=g.cache_key):
+            attr = attr.copy()
+            attr.size = max(attr.size, local.size)
+            attr.mtime = max(attr.mtime, local.mtime)
+        g.private["attr"] = attr
+        g.private["attr_time"] = self.sim.now
+
+    def _store_attr(self, g: Gnode, attr: FileAttr) -> None:
+        """Override the NFS behaviour: SNFS consistency comes from
+        version numbers, never from mtime comparisons — an mtime-based
+        invalidation here could destroy pending delayed writes."""
+        self._store_attr_snfs(g, attr)
+
+    def _cachable(self, g: Gnode) -> bool:
+        return bool(g.private.get("cache_enabled", True))
+
+    # -- open / close ------------------------------------------------------
+
+    def open(self, g: Gnode, mode: OpenMode):
+        """Send (or satisfy locally, §6.2) the SNFS open."""
+        if self.config.delayed_close and self._consume_pending_close(g, mode):
+            # the matching delayed close is cancelled: a local open
+            if mode.is_write:
+                g.open_writes += 1
+            else:
+                g.open_reads += 1
+            return
+        reply = yield from self._call(self.PROC.OPEN, g.fid, mode.is_write)
+        reply = OpenReply(*reply)
+        self._validate_cache(g, reply, mode.is_write)
+        if mode.is_write:
+            g.open_writes += 1
+        else:
+            g.open_reads += 1
+
+    def close(self, g: Gnode, mode: OpenMode):
+        """Notify the server; the cache is retained across the close."""
+        if mode.is_write:
+            g.open_writes -= 1
+        else:
+            g.open_reads -= 1
+        if self.config.delayed_close:
+            self._defer_close(g, mode)
+            return
+        yield from self._call(self.PROC.CLOSE, g.fid, mode.is_write)
+
+    # -- delayed close (§6.2) -----------------------------------------------
+
+    def _defer_close(self, g: Gnode, mode: OpenMode) -> None:
+        pending: List[OpenMode] = g.private.setdefault("pending_closes", [])
+        pending.append(mode)
+        if g.private.get("close_daemon") is None:
+            g.private["close_daemon"] = self.sim.spawn(
+                self._close_daemon(g), name="delayed-close"
+            )
+
+    def _consume_pending_close(self, g: Gnode, mode: OpenMode) -> bool:
+        """Cancel a matching pending close, making this open free."""
+        pending = g.private.get("pending_closes") or []
+        if mode in pending:
+            pending.remove(mode)
+            return True
+        return False
+
+    def _send_pending_closes(self, g: Gnode):
+        pending = g.private.get("pending_closes") or []
+        g.private["pending_closes"] = []
+        for mode in pending:
+            yield from self._call(self.PROC.CLOSE, g.fid, mode.is_write)
+
+    def _close_daemon(self, g: Gnode):
+        """Spontaneously relinquish files not re-opened for a while."""
+        try:
+            while True:
+                yield self.sim.timeout(self.config.delayed_close_timeout)
+                if g.private.get("pending_closes"):
+                    yield from self._send_pending_closes(g)
+                if not g.private.get("pending_closes") and not g.is_open:
+                    break
+        except Interrupt:
+            pass
+        finally:
+            g.private["close_daemon"] = None
+
+    # -- data ---------------------------------------------------------------
+
+    def read(self, g: Gnode, offset: int, count: int):
+        if not self._cachable(g):
+            # write-shared: every read goes to the server (§2.2)
+            data, attr = yield from self._call(
+                self.PROC.READ, g.fid, offset, count
+            )
+            self._store_attr_snfs(g, attr)
+            return data
+        attr = yield from self.getattr(g)
+        data = yield from cached_read(
+            self.cache,
+            g,
+            offset,
+            count,
+            file_size=attr.size,
+            block_size=self.block_size,
+            fill_fn=self._fill_from_server(g),
+            readahead=self.host.config.readahead,  # disabled when non-cachable
+            sim=self.sim,
+        )
+        return data
+
+    def write(self, g: Gnode, offset: int, data: bytes):
+        if not self._cachable(g):
+            # write-shared: write through, nothing cached
+            attr = yield from self._call(self.PROC.WRITE, g.fid, offset, data)
+            self._store_attr_snfs(g, attr)
+            return
+        attr = self._local_attr(g)
+        bufs = yield from cached_write(
+            self.cache,
+            g,
+            offset,
+            data,
+            file_size=attr.size,
+            block_size=self.block_size,
+            fill_fn=self._fill_from_server(g),
+            mark_dirty=True,  # delayed write: the whole point (§2.3)
+        )
+        for buf in bufs:
+            buf.tag = g
+        # the fill path may have refreshed the attr object from a read
+        # reply: re-fetch it so the size bump lands on the live object
+        attr = g.private.get("attr", attr)
+        attr.size = max(attr.size, offset + len(data))
+        attr.mtime = self.sim.now
+        g.private["attr"] = attr
+        g.private["attr_time"] = self.sim.now
+        if self.config.write_through:
+            # ablation: the consistency protocol with NFS's write policy
+            for buf in bufs:
+                if not buf.dirty or buf.busy:
+                    continue
+                buf.busy = True
+                try:
+                    yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
+                finally:
+                    buf.busy = False
+                self.cache.mark_clean(buf)
+
+    def _fill_from_server(self, g: Gnode):
+        def fill(bno):
+            data, attr = yield from self._call(
+                self.PROC.READ, g.fid, bno * self.block_size, self.block_size
+            )
+            self._store_attr_snfs(g, attr)
+            return data
+
+        return fill
+
+    # -- attributes ----------------------------------------------------------
+
+    def getattr(self, g: Gnode):
+        """Cachable files need no attribute refresh; write-shared files
+        always fetch from the server (§4.2.1)."""
+        attr = g.private.get("attr")
+        if not self._cachable(g):
+            attr = yield from self._call(self.PROC.GETATTR, g.fid)
+            self._store_attr_snfs(g, attr)
+            return attr
+        if attr is not None and (g.is_open or g.private.get("pending_closes")):
+            return attr
+        if attr is not None and g.private.get("attr_time") == self.sim.now:
+            return attr  # piggybacked on the lookup that just ran
+        attr = yield from self._call(self.PROC.GETATTR, g.fid)
+        self._store_attr_snfs(g, attr)
+        return attr
+
+    def setattr(self, g: Gnode, size: Optional[int] = None, mode: Optional[int] = None):
+        if size is not None:
+            # truncation: cached blocks beyond the new size are stale;
+            # dirty delayed writes for them must not be flushed later
+            self.cache.cancel_dirty_file(g.cache_key)
+            self.cache.invalidate_file(g.cache_key)
+        attr = yield from self._call(self.PROC.SETATTR, g.fid, size, mode)
+        self._store_attr_snfs(g, attr)
+        return attr
+
+    # -- namespace: delete-before-writeback ---------------------------------
+
+    def remove(self, dirg: Gnode, name: str):
+        """Unlink with delayed-write cancellation (§4.2.3): 'Sprite and
+        SNFS take advantage of this behavior by cancelling delayed
+        writes when a file is deleted.'"""
+        g = yield from self.lookup(dirg, name)
+        if self.config.cancel_on_delete:
+            self.cache.cancel_dirty_file(g.cache_key)
+        else:
+            # ablation: without cancellation the dirty data must be
+            # written back before the file can be removed
+            yield from self._flush_dirty(g)
+            self.cache.invalidate_file(g.cache_key)
+        yield from self._call(self.PROC.REMOVE, dirg.fid, name)
+        self._dnlc_purge(dirg, name)
+        self.drop_gnode(g)
+
+    def rename(self, src_dirg: Gnode, src_name: str, dst_dirg: Gnode, dst_name: str):
+        try:
+            victim = yield from self.lookup(dst_dirg, dst_name)
+            self.cache.cancel_dirty_file(victim.cache_key)
+        except NoSuchFile:
+            pass
+        yield from self._call(
+            self.PROC.RENAME, src_dirg.fid, src_name, dst_dirg.fid, dst_name
+        )
+        self._dnlc_purge(src_dirg, src_name)
+        self._dnlc_purge(dst_dirg, dst_name)
+
+    # -- write-back plumbing ---------------------------------------------------
+
+    def _flush_dirty(self, g: Gnode):
+        """Write this file's dirty blocks back, in block order."""
+        bufs = sorted(
+            self.cache.dirty_buffers(file_key=g.cache_key),
+            key=lambda b: b.block_no,
+        )
+        for buf in bufs:
+            buf.busy = True
+            try:
+                yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
+            finally:
+                buf.busy = False
+            self.cache.mark_clean(buf)
+
+    def _write_rpc(self, g: Gnode, bno: int, data: bytes):
+        try:
+            attr = yield from self._call(
+                self.PROC.WRITE, g.fid, bno * self.block_size, data
+            )
+        except (StaleHandle, NoSuchFile):
+            return  # file deleted under us; its data is moot
+        self._store_attr_snfs(g, attr)
+
+    def fsync(self, g: Gnode):
+        yield from self._flush_dirty(g)
+
+    def sync(self, min_age=None):
+        """The periodic update sync: flush delayed writes (§4.2.3)."""
+        for buf in list(self.cache.dirty_buffers(older_than=min_age)):
+            if buf.file_key[0] != self.mount_id or buf.busy or not buf.dirty:
+                continue
+            g = buf.tag
+            if g is None:
+                continue
+            buf.busy = True
+            try:
+                yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
+            finally:
+                buf.busy = False
+            self.cache.mark_clean(buf)
+
+    def flush_block(self, buf):
+        g = buf.tag
+        if g is None:
+            return
+        yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
+
+    # -- crash support --------------------------------------------------------
+
+    def on_host_crash(self) -> None:
+        for g in self._gnodes.values():
+            daemon = g.private.get("close_daemon")
+            if daemon is not None and daemon.is_alive:
+                daemon.interrupt("crash")
+        self._gnodes.clear()
+        self._name_cache.clear()
+        self._dir_index.clear()
+        self._root = None
+
+    # -- recovery participation (§2.4) ------------------------------------
+
+    def open_state_report(self):
+        """What this client knows about its open files, for server
+        recovery: [(fh, readers, writers, version, dirty)]."""
+        report = []
+        for g in self._gnodes.values():
+            dirty = bool(self.cache.dirty_buffers(file_key=g.cache_key))
+            pending = len(g.private.get("pending_closes") or [])
+            if g.open_reads or g.open_writes or dirty or pending:
+                report.append(
+                    (
+                        g.fid,
+                        g.open_reads,
+                        g.open_writes,
+                        g.private.get("version", 0),
+                        dirty,
+                    )
+                )
+        return report
+
+
+def mount_snfs(
+    host: Host,
+    server_addr: str,
+    mount_point: str,
+    config: Optional[SnfsClientConfig] = None,
+    mount_id: Optional[str] = None,
+):
+    """Coroutine: create, attach, and mount an SNFS client filesystem."""
+    mount_id = mount_id or "snfs:%s:%s%s" % (host.name, server_addr, mount_point)
+    client = SnfsClient(mount_id, host, server_addr, config=config)
+    yield from client.attach()
+    host.kernel.mount(mount_point, client)
+    return client

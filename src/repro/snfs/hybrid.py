@@ -1,0 +1,165 @@
+"""Coexistence of NFS and SNFS (§6.1).
+
+The easy half — one server host exporting *separate* filesystems via
+NFS and SNFS, and one client mounting both — needs no code: the two
+services use distinct procedure names on one RPC endpoint.
+
+The tricky half is "simultaneous access via both NFS and SNFS to the
+same file system, since the NFS clients cannot participate in the SNFS
+consistency protocol".  The paper's approach, implemented here:
+
+* "treat any NFS access to a file already open under SNFS as implying
+  an SNFS open operation" — an NFS read runs an implied open(read) /
+  close pair through the state table (triggering the write-back
+  callback if an SNFS client holds dirty blocks); an NFS write runs an
+  implied open(write)/close (invalidating SNFS caches);
+* "the server also has to keep, for a period no less than the longest
+  reasonable NFS attributes-probe interval, a record of all other
+  files accessed via NFS" — subsequent SNFS opens of recently
+  NFS-written files are granted with caching disabled, so the SNFS
+  clients stay consistent while NFS clients get their normal
+  (probe-based) consistency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from ..fs.types import FileHandle
+from ..host import Host
+from ..nfs.protocol import PROC
+from ..vfs import LocalMount
+from .server import SnfsServer
+
+__all__ = ["HybridServer", "NFS_RECORD_WINDOW"]
+
+#: "no less than the longest reasonable NFS attributes-probe interval"
+NFS_RECORD_WINDOW = 150.0
+
+
+class HybridServer(SnfsServer):
+    """One export served to both NFS and SNFS clients, consistently."""
+
+    def __init__(self, host: Host, export: LocalMount, **kw):
+        super().__init__(host, export, **kw)
+        self._register_nfs_procs()
+        #: file key -> time of the last NFS *write* access
+        self._nfs_writes: Dict[Hashable, float] = {}
+
+    def _register_nfs_procs(self) -> None:
+        rpc = self.host.rpc
+        rpc.register(PROC.MNT, self.proc_mnt)
+        rpc.register(PROC.LOOKUP, self.proc_lookup)
+        rpc.register(PROC.GETATTR, self.proc_getattr)
+        rpc.register(PROC.SETATTR, self.proc_setattr)
+        rpc.register(PROC.READ, self.nfs_read)
+        rpc.register(PROC.WRITE, self.nfs_write)
+        rpc.register(PROC.CREATE, self.proc_create)
+        rpc.register(PROC.REMOVE, self.proc_remove)
+        rpc.register(PROC.RENAME, self.proc_rename)
+        rpc.register(PROC.MKDIR, self.proc_mkdir)
+        rpc.register(PROC.RMDIR, self.proc_rmdir)
+        rpc.register(PROC.READDIR, self.proc_readdir)
+
+    # -- NFS data access implies SNFS opens ----------------------------------
+
+    def _implied_open(self, src: str, fh: FileHandle, write: bool):
+        """Run an NFS access through the consistency machinery."""
+        key = fh.key()
+        lock = self._lock_for(key)
+        yield lock.acquire()
+        try:
+            _grant, callbacks = self.state.open_file(key, src, write)
+            yield from self._run_callbacks(fh, callbacks)
+        finally:
+            lock.release()
+
+    def _implied_close(self, src: str, fh: FileHandle, write: bool):
+        key = fh.key()
+        lock = self._lock_for(key)
+        yield lock.acquire()
+        try:
+            self.state.close_file(key, src, write)
+        finally:
+            lock.release()
+
+    def _dirty_at_client(self, key: Hashable) -> bool:
+        from .state_table import FileState
+
+        return self.state.state_of(key) in (
+            FileState.CLOSED_DIRTY,
+            FileState.ONE_RDR_DIRTY,
+            FileState.ONE_WRITER,
+        )
+
+    def proc_getattr(self, src, fh: FileHandle):
+        """NFS consistency is attribute-driven: attributes of a file
+        whose data is still delayed at an SNFS client must reflect that
+        data, so fetch it back first."""
+        if self._dirty_at_client(fh.key()):
+            yield from self._implied_open(src, fh, write=False)
+            yield from self._implied_close(src, fh, write=False)
+        result = yield from super().proc_getattr(src, fh)
+        return result
+
+    def proc_lookup(self, src, dirfh: FileHandle, name: str):
+        fh, attr = yield from super().proc_lookup(src, dirfh, name)
+        if self._dirty_at_client(fh.key()):
+            yield from self._implied_open(src, fh, write=False)
+            yield from self._implied_close(src, fh, write=False)
+            attr = self.lfs._attr(self.lfs.resolve(fh))
+        return fh, attr
+
+    def nfs_read(self, src, fh: FileHandle, offset: int, count: int):
+        """NFS read: fetch any SNFS client's dirty blocks first."""
+        key = fh.key()
+        if self.state.entry(key) is not None:
+            yield from self._implied_open(src, fh, write=False)
+            try:
+                result = yield from self.proc_read(src, fh, offset, count)
+            finally:
+                yield from self._implied_close(src, fh, write=False)
+            return result
+        result = yield from self.proc_read(src, fh, offset, count)
+        return result
+
+    def nfs_write(self, src, fh: FileHandle, offset: int, data: bytes):
+        """NFS write: invalidate SNFS caches, then write through."""
+        key = fh.key()
+        self._nfs_writes[key] = self.sim.now
+        if self.state.entry(key) is not None:
+            yield from self._implied_open(src, fh, write=True)
+            try:
+                result = yield from self.proc_write(src, fh, offset, data)
+            finally:
+                yield from self._implied_close(src, fh, write=True)
+            return result
+        result = yield from self.proc_write(src, fh, offset, data)
+        return result
+
+    # -- SNFS opens of recently-NFS-written files may not cache ---------------
+
+    def proc_open(self, src, fh: FileHandle, write: bool):
+        reply = yield from super().proc_open(src, fh, write)
+        last_nfs_write = self._nfs_writes.get(fh.key())
+        if (
+            last_nfs_write is not None
+            and self.sim.now - last_nfs_write < NFS_RECORD_WINDOW
+        ):
+            # an NFS client may still be writing via its own cache of
+            # attributes; SNFS clients must not cache until the record
+            # ages out
+            from .server import OpenReply
+
+            reply = OpenReply(
+                False, reply.version, reply.prev_version, reply.attr,
+                reply.inconsistent,
+            )
+        return reply
+
+    def nfs_write_record_count(self) -> int:
+        """Live records of NFS write accesses (observability)."""
+        now = self.sim.now
+        return sum(
+            1 for t in self._nfs_writes.values() if now - t < NFS_RECORD_WINDOW
+        )

@@ -1,0 +1,49 @@
+"""SNFS server crash recovery (§2.4).
+
+The paper did not implement recovery ("we have not yet implemented a
+crash recovery protocol... this would require implementation of a
+recovery protocol", §4.4/§7) but describes exactly how it must work,
+following Welch's Sprite design:
+
+1. "The clients together 'know' who is caching the file, and the
+   server can reconstruct its state from the clients."
+2. "The consistency state of the file cannot change while the server
+   is down, or until the server is willing to allow it to change."
+
+We implement that design:
+
+* The server carries a **boot epoch**.  After a reboot it enters a
+  **grace period** during which only ``reopen`` (bulk state
+  reassertion) and ``ping`` are served; everything else is rejected
+  with :class:`ServerRecovering` — this is property 2.
+* A client whose call bounces with :class:`ServerRecovering` sends a
+  ``reopen`` report — every file it has open, plus reader/writer
+  counts, its cached version, and whether it holds dirty blocks —
+  then retries.  The server rebuilds its table from these reports
+  (property 1).
+* Crash/reboot detection is epoch-based: the rejection carries the new
+  epoch, so delayed duplicate reports from before the crash are
+  ignored.  (The paper detects crashes by tracking RPC packets and
+  keepalives; lazy detection at the next RPC is the same information
+  arriving on demand.)
+"""
+
+from __future__ import annotations
+
+from ..fs.errors import FsError
+
+__all__ = ["ServerRecovering", "DEFAULT_GRACE_PERIOD"]
+
+#: how long a rebooted server waits for clients to reassert state
+DEFAULT_GRACE_PERIOD = 20.0
+
+
+class ServerRecovering(FsError):
+    """The server is rebuilding state; reassert your opens and retry."""
+
+    errno_name = "EAGAIN"
+
+    def __init__(self, epoch: int, retry_after: float):
+        super().__init__("server recovering (epoch %d)" % epoch)
+        self.epoch = epoch
+        self.retry_after = retry_after

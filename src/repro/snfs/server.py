@@ -1,0 +1,346 @@
+"""The SNFS server: NFS service + state table + callbacks (§3, §4.3).
+
+Extends the stateless NFS server with:
+
+* ``open``/``close`` services that drive the state table and return
+  cachability decisions and version numbers;
+* the callback engine — server→client RPCs executed *before* an open
+  completes, with the N−1 thread rule ("If there are N threads, only
+  N−1 may be doing callbacks simultaneously, so that at least one
+  thread can service the write-backs", §3.2);
+* state-table entry reclamation via write-back callbacks when the
+  table fills (§4.3.1);
+* dead-client handling: if a callback target does not respond, the
+  open is honoured but the new client is told the file may be
+  inconsistent (§3.2).
+
+Per-file opens/closes are serialized with a per-file lock so that
+concurrent opens observe a consistent table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from ..fs import NoSuchFile, StaleHandle
+from ..fs.types import FileHandle
+from ..host import Host
+from ..net import RpcError, RpcTimeout
+from ..nfs.server import NfsServer
+from ..sim import Lock, Resource
+from ..vfs import LocalMount
+from .protocol import SPROC
+from .recovery import DEFAULT_GRACE_PERIOD, ServerRecovering
+from .state_table import Callback, StateTable, StateTableFull
+
+__all__ = ["SnfsServer", "OpenReply"]
+
+#: how long the server waits for one callback before declaring the
+#: client dead (generous: the client may be writing back many blocks)
+CALLBACK_TIMEOUT = 15.0
+
+
+class OpenReply(tuple):
+    """(cache_enabled, version, prev_version, attr, inconsistent)."""
+
+    __slots__ = ()
+
+    def __new__(cls, cache_enabled, version, prev_version, attr, inconsistent=False):
+        return super().__new__(
+            cls, (cache_enabled, version, prev_version, attr, inconsistent)
+        )
+
+    cache_enabled = property(lambda self: self[0])
+    version = property(lambda self: self[1])
+    prev_version = property(lambda self: self[2])
+    attr = property(lambda self: self[3])
+    inconsistent = property(lambda self: self[4])
+
+
+class SnfsServer(NfsServer):
+    """SNFS service for one exported filesystem."""
+
+    PROC = SPROC
+
+    def __init__(
+        self,
+        host: Host,
+        export: LocalMount,
+        max_open_files: int = 1000,
+        grace_period: float = DEFAULT_GRACE_PERIOD,
+    ):
+        self.state = StateTable(max_entries=max_open_files)
+        self._file_locks: Dict[Hashable, Lock] = {}
+        # §7 extension: which clients have resolved names in each
+        # directory (they may cache those translations; namespace
+        # mutations invalidate them by callback)
+        self._dir_interest: Dict[Hashable, set] = {}
+        # N-1 rule: one server thread must stay free for write-backs
+        n_threads = host.config.rpc_server_threads
+        self._callback_slots = Resource(
+            host.sim, capacity=max(1, n_threads - 1), name="callback-slots"
+        )
+        # crash recovery (§2.4)
+        self.grace_period = grace_period
+        self.boot_epoch = 1
+        self._recovery_until = 0.0
+        self._reasserted: set = set()  # clients that reopened this epoch
+        super().__init__(host, export)
+
+    def _register(self) -> None:
+        super()._register()
+        rpc = self.host.rpc
+        rpc.register(self.PROC.OPEN, self.proc_open)
+        rpc.register(self.PROC.CLOSE, self.proc_close)
+        rpc.register(self.PROC.PING, self.proc_ping)
+        rpc.register(self.PROC.REOPEN, self.proc_reopen)
+
+    # -- recovery (§2.4) -----------------------------------------------------
+
+    @property
+    def in_recovery(self) -> bool:
+        return self.sim.now < self._recovery_until
+
+    def _check_available(self, src: str) -> None:
+        """Property 2: state may not change until the server allows it.
+
+        During the grace period every state-changing or data call is
+        rejected; clients reassert via ``reopen`` and retry after the
+        window closes.
+        """
+        if self.in_recovery:
+            raise ServerRecovering(
+                self.boot_epoch, retry_after=self._recovery_until - self.sim.now
+            )
+
+    def proc_ping(self, src):
+        """Keepalive: returns the boot epoch so clients detect reboots."""
+        return self.boot_epoch
+        yield  # pragma: no cover
+
+    def proc_reopen(self, src, report):
+        """Bulk state reassertion from one client: property 1."""
+        for fh, readers, writers, version, dirty in report:
+            try:
+                self.lfs.resolve(fh)
+            except StaleHandle:
+                continue  # the file vanished; nothing to rebuild
+            self.state.rebuild_entry(
+                fh.key(),
+                src,
+                readers=readers,
+                writers=writers,
+                version=version,
+                dirty=dirty,
+            )
+        self._reasserted.add(src)
+        return self.boot_epoch
+        yield  # pragma: no cover
+
+    def crash(self) -> None:
+        """Power-fail the server host; the state table is volatile."""
+        self.host.crash()
+        self.state.clear()
+        self._file_locks.clear()
+        self._dir_interest.clear()
+
+    def reboot(self) -> None:
+        """Restart: begin the recovery grace period."""
+        self.boot_epoch += 1
+        self._reasserted = set()
+        self._recovery_until = self.sim.now + self.grace_period
+        self.host.reboot()
+
+    # -- per-file serialization -------------------------------------------
+
+    def _lock_for(self, key: Hashable) -> Lock:
+        lock = self._file_locks.get(key)
+        if lock is None:
+            lock = Lock(self.sim, name="file:%r" % (key,))
+            self._file_locks[key] = lock
+        return lock
+
+    # -- open / close services --------------------------------------------
+
+    def proc_open(self, src, fh: FileHandle, write: bool):
+        """The SNFS open RPC (§3.1)."""
+        self._check_available(src)
+        inum = self.lfs.resolve(fh)  # raises StaleHandle for dead handles
+        key = fh.key()
+        lock = self._lock_for(key)
+        yield lock.acquire()
+        try:
+            grant, callbacks = yield from self._open_locked(key, src, write)
+            inconsistent = yield from self._run_callbacks(fh, callbacks)
+            attr = self.lfs._attr(inum)
+            return OpenReply(
+                grant.cache_enabled,
+                grant.version,
+                grant.prev_version,
+                attr,
+                inconsistent,
+            )
+        finally:
+            lock.release()
+
+    def _open_locked(self, key, src, write):
+        while True:
+            try:
+                return self.state.open_file(key, src, write)
+            except StateTableFull:
+                reclaimed = yield from self._reclaim_entries()
+                if not reclaimed:
+                    raise
+
+    def _reclaim_entries(self, want: int = 8):
+        """Free CLOSED_DIRTY entries by calling back their last writers."""
+        pairs = self.state.reclaim_callbacks(want=want)
+        for key, cb in pairs:
+            fh = self._fh_for_key(key)
+            if fh is not None:
+                yield from self._callback(fh, cb)
+            self.state.drop(key)
+        return len(pairs)
+
+    def _fh_for_key(self, key) -> Optional[FileHandle]:
+        fsid, inum, generation = key
+        fh = FileHandle(fsid, inum, generation)
+        try:
+            self.lfs.resolve(fh)
+        except StaleHandle:
+            return None
+        return fh
+
+    def proc_close(self, src, fh: FileHandle, write: bool):
+        """The SNFS close RPC: 'does nothing but notify the state table
+        manager' (§4.3.1)."""
+        self._check_available(src)
+        key = fh.key()
+        lock = self._lock_for(key)
+        yield lock.acquire()
+        try:
+            self.state.close_file(key, src, write)
+        finally:
+            lock.release()
+        return None
+
+    # -- callbacks ---------------------------------------------------------
+
+    def _run_callbacks(self, fh: FileHandle, callbacks: List[Callback]):
+        """Execute callbacks before the open completes; returns True if
+        any target client appeared dead (the file may be inconsistent)."""
+        inconsistent = False
+        for cb in callbacks:
+            ok = yield from self._callback(fh, cb)
+            if not ok:
+                inconsistent = True
+        return inconsistent
+
+    def _callback(self, fh: FileHandle, cb: Callback):
+        """One server->client callback RPC, honouring the N-1 rule."""
+        yield self._callback_slots.acquire()
+        try:
+            yield from self.host.rpc.call(
+                cb.client,
+                self.PROC.CALLBACK,
+                fh,
+                cb.writeback,
+                cb.invalidate,
+                timeout=CALLBACK_TIMEOUT,
+                max_retries=2,
+            )
+            return True
+        except (RpcTimeout, RpcError):
+            # the client is down: honour the open anyway (§3.2); its
+            # claim on the file is forgotten
+            self.state.drop_client(fh.key(), cb.client)
+            return False
+        finally:
+            self._callback_slots.release()
+
+    # -- consistent directory caching (§7 extension) -----------------------
+
+    def proc_lookup(self, src, dirfh: FileHandle, name: str):
+        """Record the caller's interest in the directory's namespace."""
+        result = yield from super().proc_lookup(src, dirfh, name)
+        self._dir_interest.setdefault(dirfh.key(), set()).add(src)
+        return result
+
+    def _invalidate_dir_names(self, src, dirfh: FileHandle):
+        """Namespace mutation: call back every other interested client
+        so its cached name translations are dropped."""
+        interested = self._dir_interest.get(dirfh.key())
+        if not interested:
+            return
+        for client in sorted(interested - {src}):
+            yield self._callback_slots.acquire()
+            try:
+                yield from self.host.rpc.call(
+                    client,
+                    self.PROC.CALLBACK,
+                    dirfh,
+                    False,  # writeback
+                    False,  # invalidate data
+                    True,  # invalidate cached names
+                    timeout=CALLBACK_TIMEOUT,
+                    max_retries=2,
+                )
+            except (RpcTimeout, RpcError):
+                interested.discard(client)  # dead client: forget it
+            finally:
+                self._callback_slots.release()
+
+    def proc_create(self, src, dirfh: FileHandle, name: str, mode: int = 0o644):
+        result = yield from super().proc_create(src, dirfh, name, mode)
+        yield from self._invalidate_dir_names(src, dirfh)
+        return result
+
+    def proc_mkdir(self, src, dirfh: FileHandle, name: str, mode: int = 0o755):
+        result = yield from super().proc_mkdir(src, dirfh, name, mode)
+        yield from self._invalidate_dir_names(src, dirfh)
+        return result
+
+    def proc_rmdir(self, src, dirfh: FileHandle, name: str):
+        result = yield from super().proc_rmdir(src, dirfh, name)
+        yield from self._invalidate_dir_names(src, dirfh)
+        return result
+
+    # -- namespace overrides: deletions clear consistency state -----------
+
+    def proc_remove(self, src, dirfh: FileHandle, name: str):
+        dirg = self._gnode(dirfh)
+        try:
+            inum = yield from self.lfs.lookup(dirg.fid, name)
+            key = self.lfs.handle(inum).key()
+        except NoSuchFile:
+            key = None
+        result = yield from super().proc_remove(src, dirfh, name)
+        if key is not None:
+            self.state.note_file_removed(key)
+            self._file_locks.pop(key, None)
+        yield from self._invalidate_dir_names(src, dirfh)
+        return result
+
+    def proc_rename(self, src, sdirfh, sname, ddirfh, dname):
+        # a rename that replaces a file destroys the replaced file
+        ddirg = self._gnode(ddirfh)
+        try:
+            inum = yield from self.lfs.lookup(ddirg.fid, dname)
+            key = self.lfs.handle(inum).key()
+        except NoSuchFile:
+            key = None
+        result = yield from super().proc_rename(src, sdirfh, sname, ddirfh, dname)
+        if key is not None:
+            self.state.note_file_removed(key)
+            self._file_locks.pop(key, None)
+        yield from self._invalidate_dir_names(src, sdirfh)
+        if ddirfh.key() != sdirfh.key():
+            yield from self._invalidate_dir_names(src, ddirfh)
+        return result
+
+    # -- crash support --------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Volatile server state (the table) is lost in a crash."""
+        self.state.clear()
+        self._file_locks.clear()

@@ -1,0 +1,502 @@
+"""The SNFS server state table (§4.3): states, transitions, callbacks.
+
+This module is the paper's Table 4-1 as executable logic.  It is pure
+state-machine code — no I/O, no simulation — so the transition table
+can be tested exhaustively; the server module executes the *actions*
+the engine returns (callback RPCs, replies).
+
+Per-file states (§4.3.4):
+
+=============  =============================================================
+CLOSED         file not open by any client (no table entry is kept)
+CLOSED_DIRTY   not open, but the last writer may still have dirty blocks
+ONE_READER     open read-only by one client
+ONE_RDR_DIRTY  open read-only by one client, which may have dirty blocks
+               cached from a previous open
+MULT_READERS   open read-only by two or more clients
+ONE_WRITER     open read-write by one client
+WRITE_SHARED   open by two or more clients, at least one writing; nobody
+               may cache
+=============  =============================================================
+
+Each entry records, per client host, reader/writer open counts ("more
+than one process there may have the file open", §4.3.2), and the entry
+as a whole records the current version number and the last writer.
+
+Version numbers (§4.3.3) come from a global counter and increase on
+every open-for-write.  The ``open`` reply carries both the latest and
+the previous version so a writer whose cache matches the *previous*
+version knows its cache is still valid (the bump came from its own
+open-for-write).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+__all__ = [
+    "FileState",
+    "Callback",
+    "OpenGrant",
+    "FileEntry",
+    "StateTable",
+    "StateTableFull",
+    "ENTRY_BYTES",
+]
+
+#: the paper reports 68 bytes per entry (§4.3.1)
+ENTRY_BYTES = 68
+
+
+class StateTableFull(Exception):
+    """No table entry could be allocated or reclaimed."""
+
+
+class FileState(enum.Enum):
+    CLOSED = "CLOSED"
+    CLOSED_DIRTY = "CLOSED_DIRTY"
+    ONE_READER = "ONE_READER"
+    ONE_RDR_DIRTY = "ONE_RDR_DIRTY"
+    MULT_READERS = "MULT_READERS"
+    ONE_WRITER = "ONE_WRITER"
+    WRITE_SHARED = "WRITE_SHARED"
+
+
+@dataclass
+class Callback:
+    """An action the server must perform: a callback RPC to ``client``.
+
+    ``writeback`` asks the client to return dirty blocks; ``invalidate``
+    asks it to drop cached blocks and stop caching (§3.2).
+    """
+
+    client: str
+    writeback: bool = False
+    invalidate: bool = False
+
+
+@dataclass
+class OpenGrant:
+    """The server's answer to an open, after any callbacks complete."""
+
+    cache_enabled: bool
+    version: int
+    prev_version: int
+
+
+@dataclass
+class _ClientInfo:
+    readers: int = 0
+    writers: int = 0
+    #: whether this client was last told it may cache; a write-shared
+    #: client writes through, so its close leaves nothing dirty
+    caching: bool = True
+
+    @property
+    def open_count(self) -> int:
+        return self.readers + self.writers
+
+
+@dataclass
+class FileEntry:
+    key: Hashable
+    state: FileState = FileState.CLOSED
+    version: int = 0
+    prev_version: int = 0
+    last_writer: Optional[str] = None
+    clients: Dict[str, _ClientInfo] = field(default_factory=dict)
+
+    def _client(self, addr: str) -> _ClientInfo:
+        info = self.clients.get(addr)
+        if info is None:
+            info = _ClientInfo()
+            self.clients[addr] = info
+        return info
+
+    def open_clients(self) -> List[str]:
+        return [a for a, c in self.clients.items() if c.open_count > 0]
+
+    def writer_clients(self) -> List[str]:
+        return [a for a, c in self.clients.items() if c.writers > 0]
+
+
+class StateTable:
+    """The per-server table of consistency state, with a size limit.
+
+    ``open_file``/``close_file`` implement Table 4-1; both return the
+    list of :class:`Callback` actions the server must execute *before*
+    completing the operation, plus (for opens) the :class:`OpenGrant`.
+    """
+
+    def __init__(self, max_entries: int = 1000, version_start: int = 0):
+        self.max_entries = max_entries
+        self._entries: Dict[Hashable, FileEntry] = {}
+        self._version_counter = itertools.count(version_start + 1)
+        self._last_version = version_start
+        # Version memory for files whose entry was dropped after a clean
+        # close.  The paper used a bare global counter and notes that
+        # "ideally, the version number would be associated with each
+        # file on stable storage (as is done in Sprite)" — without this
+        # memory, recreating an entry would mint a fresh version and
+        # spuriously invalidate every client's cache of the file.
+        self._closed_versions: "OrderedDict[Hashable, int]" = OrderedDict()
+        self.closed_version_limit = 10000
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, key: Hashable) -> Optional[FileEntry]:
+        return self._entries.get(key)
+
+    def state_of(self, key: Hashable) -> FileState:
+        entry = self._entries.get(key)
+        return entry.state if entry is not None else FileState.CLOSED
+
+    def entries(self) -> List[FileEntry]:
+        return list(self._entries.values())
+
+    def memory_bytes(self) -> int:
+        return len(self._entries) * ENTRY_BYTES
+
+    # -- version numbers -----------------------------------------------------
+
+    def _next_version(self) -> int:
+        self._last_version = next(self._version_counter)
+        return self._last_version
+
+    # -- entry management ------------------------------------------------------
+
+    def reclaimable_entries(self) -> List[FileEntry]:
+        """CLOSED_DIRTY entries that can be reclaimed via a write-back
+        callback to their last writer (§4.3.1)."""
+        return [
+            e for e in self._entries.values() if e.state is FileState.CLOSED_DIRTY
+        ]
+
+    def needs_reclaim(self) -> bool:
+        return len(self._entries) >= self.max_entries
+
+    def _get_or_create(self, key: Hashable) -> FileEntry:
+        entry = self._entries.get(key)
+        if entry is None:
+            if len(self._entries) >= self.max_entries:
+                raise StateTableFull(
+                    "state table at its %d-entry limit" % self.max_entries
+                )
+            remembered = self._closed_versions.pop(key, None)
+            version = remembered if remembered is not None else self._next_version()
+            entry = FileEntry(key=key, version=version)
+            entry.prev_version = entry.version
+            self._entries[key] = entry
+        return entry
+
+    def _remember_version(self, entry: FileEntry) -> None:
+        self._closed_versions[entry.key] = entry.version
+        self._closed_versions.move_to_end(entry.key)
+        while len(self._closed_versions) > self.closed_version_limit:
+            self._closed_versions.popitem(last=False)
+
+    def _delete_entry(self, key: Hashable) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._remember_version(entry)
+
+    def drop(self, key: Hashable) -> None:
+        """Forget a file's entry (it was reclaimed); its version is
+        remembered so future opens don't spuriously invalidate caches."""
+        self._delete_entry(key)
+
+    def forget_if_closed(self, key: Hashable) -> None:
+        entry = self._entries.get(key)
+        if entry is not None and entry.state is FileState.CLOSED:
+            self._delete_entry(key)
+
+    # -- Table 4-1: open -------------------------------------------------------
+
+    def open_file(
+        self, key: Hashable, client: str, write: bool
+    ) -> Tuple[OpenGrant, List[Callback]]:
+        """Record an open; returns (grant, callbacks to run first)."""
+        entry = self._get_or_create(key)
+        callbacks = self._open_transition(entry, client, write)
+        info = entry._client(client)
+        if write:
+            entry.prev_version = entry.version
+            entry.version = self._next_version()
+            entry.last_writer = client
+            info.writers += 1
+        else:
+            info.readers += 1
+        cache_enabled = entry.state is not FileState.WRITE_SHARED
+        info.caching = cache_enabled
+        if entry.state is FileState.WRITE_SHARED:
+            for other in entry.clients.values():
+                other.caching = False
+        grant = OpenGrant(
+            cache_enabled=cache_enabled,
+            version=entry.version,
+            prev_version=entry.prev_version,
+        )
+        return grant, callbacks
+
+    def _open_transition(
+        self, entry: FileEntry, client: str, write: bool
+    ) -> List[Callback]:
+        state = entry.state
+        info = entry.clients.get(client)
+        already_reading = info is not None and info.readers > 0
+        already_writing = info is not None and info.writers > 0
+
+        # the paper's no-transition cases: a read-only re-open by an
+        # existing reader; any re-open by an existing writer
+        if already_writing:
+            return []
+        if already_reading and not write:
+            return []
+
+        if state is FileState.CLOSED:
+            entry.state = FileState.ONE_WRITER if write else FileState.ONE_READER
+            return []
+
+        if state is FileState.CLOSED_DIRTY:
+            w = entry.last_writer
+            if write:
+                if client == w:
+                    entry.state = FileState.ONE_WRITER
+                    return []
+                # new writer: old writer must flush and stop caching
+                entry.state = FileState.ONE_WRITER
+                return [Callback(w, writeback=True, invalidate=True)]
+            if client == w:
+                entry.state = FileState.ONE_RDR_DIRTY
+                return []
+            # new reader: old writer flushes; its cache stays valid
+            entry.state = FileState.ONE_READER
+            entry.last_writer = None
+            return [Callback(w, writeback=True, invalidate=False)]
+
+        if state is FileState.ONE_READER:
+            reader = entry.open_clients()[0]
+            if not write:
+                entry.state = FileState.MULT_READERS
+                return []
+            if client == reader:
+                entry.state = FileState.ONE_WRITER
+                return []
+            # a second client starts writing: nobody may cache
+            entry.state = FileState.WRITE_SHARED
+            return [Callback(reader, writeback=False, invalidate=True)]
+
+        if state is FileState.ONE_RDR_DIRTY:
+            rdr = entry.open_clients()[0]  # also the last writer
+            if not write:
+                # new reader arrives: dirty blocks must come back first
+                entry.state = FileState.MULT_READERS
+                entry.last_writer = None
+                return [Callback(rdr, writeback=True, invalidate=False)]
+            if client == rdr:
+                entry.state = FileState.ONE_WRITER
+                return []
+            entry.state = FileState.WRITE_SHARED
+            return [Callback(rdr, writeback=True, invalidate=True)]
+
+        if state is FileState.MULT_READERS:
+            if not write:
+                return []
+            # write-sharing begins: every *other* reader stops caching
+            entry.state = FileState.WRITE_SHARED
+            return [
+                Callback(addr, writeback=False, invalidate=True)
+                for addr in entry.open_clients()
+                if addr != client
+            ]
+
+        if state is FileState.ONE_WRITER:
+            writer = entry.open_clients()[0]
+            # client != writer here (same-client re-opens returned above)
+            entry.state = FileState.WRITE_SHARED
+            return [Callback(writer, writeback=True, invalidate=True)]
+
+        if state is FileState.WRITE_SHARED:
+            return []  # newcomers simply join; caching is already off
+
+        raise AssertionError("unhandled state %s" % state)
+
+    # -- Table 4-1: close ------------------------------------------------------
+
+    def close_file(self, key: Hashable, client: str, write: bool) -> List[Callback]:
+        """Record a close; returns callbacks (normally none)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return []  # close for an unknown file: tolerate (idempotence)
+        info = entry.clients.get(client)
+        if info is None:
+            return []
+        if write and info.writers > 0:
+            info.writers -= 1
+        elif not write and info.readers > 0:
+            info.readers -= 1
+        was_caching = info.caching
+        if info.open_count == 0 and client != entry.last_writer:
+            del entry.clients[client]
+        self._close_transition(entry, client, write, was_caching)
+        if entry.state is FileState.CLOSED:
+            self._delete_entry(entry.key)
+        return []
+
+    def _close_transition(
+        self, entry: FileEntry, client: str, write: bool, was_caching: bool
+    ) -> None:
+        open_clients = entry.open_clients()
+        writers = entry.writer_clients()
+        state = entry.state
+
+        if state in (FileState.ONE_READER, FileState.MULT_READERS):
+            if len(open_clients) >= 2:
+                entry.state = FileState.MULT_READERS
+            elif len(open_clients) == 1:
+                entry.state = FileState.ONE_READER
+            else:
+                entry.state = FileState.CLOSED
+            return
+
+        if state is FileState.ONE_RDR_DIRTY:
+            if not open_clients:
+                entry.state = FileState.CLOSED_DIRTY
+            return
+
+        if state is FileState.ONE_WRITER:
+            if not open_clients:
+                # final close: delayed writes may still be cached there —
+                # unless the writer was not caching (it came out of a
+                # write-shared episode and wrote through)
+                if write and not was_caching:
+                    entry.state = FileState.CLOSED
+                    entry.last_writer = None
+                else:
+                    entry.state = FileState.CLOSED_DIRTY
+                    entry.last_writer = client if write else entry.last_writer
+            elif not writers:
+                # closed for write but the same client still reads
+                if was_caching:
+                    entry.state = FileState.ONE_RDR_DIRTY
+                    entry.last_writer = client
+                else:
+                    entry.state = FileState.ONE_READER
+            return
+
+        if state is FileState.WRITE_SHARED:
+            # recompute: a write-shared episode drains toward the state
+            # its remaining opens imply (clients stay non-caching until
+            # their next open, but the *file's* state reflects reality)
+            if writers and len(open_clients) >= 2:
+                entry.state = FileState.WRITE_SHARED
+            elif writers:
+                entry.state = FileState.ONE_WRITER
+            elif len(open_clients) >= 2:
+                entry.state = FileState.MULT_READERS
+            elif len(open_clients) == 1:
+                entry.state = FileState.ONE_READER
+            else:
+                # everyone wrote through while write-shared: nothing dirty
+                entry.state = FileState.CLOSED
+                entry.last_writer = None
+            return
+
+        if state is FileState.CLOSED_DIRTY:
+            return
+
+        raise AssertionError("close in unexpected state %s" % state)
+
+    # -- reclaim & recovery support --------------------------------------------
+
+    def reclaim_callbacks(self, want: int = 1) -> List[Tuple[Hashable, Callback]]:
+        """Pick CLOSED_DIRTY entries to reclaim; returns (key, callback)
+        pairs — the server runs each callback then drops the entry."""
+        out = []
+        for entry in self.reclaimable_entries()[:want]:
+            out.append(
+                (entry.key, Callback(entry.last_writer, writeback=True))
+            )
+        return out
+
+    def note_file_removed(self, key: Hashable) -> None:
+        """A file was deleted: any consistency state for it is moot."""
+        self._entries.pop(key, None)
+        self._closed_versions.pop(key, None)
+
+    def drop_client(self, key: Hashable, client: str) -> None:
+        """Forget a (dead) client's claims on a file (§3.2).
+
+        The client's opens and dirty-block record are discarded; if it
+        comes back to life it must reopen the file before using it.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return
+        entry.clients.pop(client, None)
+        if entry.last_writer == client:
+            entry.last_writer = None
+        self._recompute_state(entry, dirty_client=None)
+        if entry.state is FileState.CLOSED:
+            self._delete_entry(key)
+
+    def clear(self) -> None:
+        """Crash: all volatile state is lost (rebuilt by recovery)."""
+        self._entries.clear()
+
+    def rebuild_entry(
+        self,
+        key: Hashable,
+        client: str,
+        readers: int,
+        writers: int,
+        version: int,
+        dirty: bool,
+    ) -> None:
+        """Recovery (§2.4): reinstall one client's claim on a file.
+
+        Called once per (client, file) as clients reassert their open
+        and dirty state after a server reboot; states are recomputed
+        from the combined claims.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = FileEntry(key=key)
+            self._entries[key] = entry
+        info = entry._client(client)
+        info.readers = readers
+        info.writers = writers
+        entry.version = max(entry.version, version)
+        entry.prev_version = entry.version
+        if version > self._last_version:
+            self._last_version = version
+            self._version_counter = itertools.count(version + 1)
+        if dirty:
+            entry.last_writer = client
+        self._recompute_state(entry, dirty_client=client if dirty else None)
+
+    def _recompute_state(self, entry: FileEntry, dirty_client: Optional[str]) -> None:
+        open_clients = entry.open_clients()
+        writers = entry.writer_clients()
+        if writers and len(open_clients) >= 2:
+            entry.state = FileState.WRITE_SHARED
+        elif writers:
+            entry.state = FileState.ONE_WRITER
+        elif len(open_clients) >= 2:
+            entry.state = FileState.MULT_READERS
+        elif len(open_clients) == 1:
+            if entry.last_writer == open_clients[0]:
+                entry.state = FileState.ONE_RDR_DIRTY
+            else:
+                entry.state = FileState.ONE_READER
+        elif entry.last_writer is not None:
+            entry.state = FileState.CLOSED_DIRTY
+        else:
+            entry.state = FileState.CLOSED

@@ -1,0 +1,6 @@
+"""Storage substrate: disk model and block buffer cache."""
+
+from .cache import Buffer, BufferCache, CacheError
+from .disk import Disk, DiskConfig
+
+__all__ = ["Disk", "DiskConfig", "BufferCache", "Buffer", "CacheError"]

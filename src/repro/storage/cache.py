@@ -1,0 +1,230 @@
+"""Block buffer cache.
+
+In the paper's layering (§4.1) the GFS layer owns one buffer cache per
+host; file data blocks from every mounted filesystem live in it, keyed
+by a per-filesystem file key plus block number.  This module provides
+that cache: LRU replacement, dirty tracking with ages (for the 30-second
+write-back policy), whole-file invalidation (NFS consistency, SNFS
+callbacks), and **cancellation** of dirty blocks when a file is deleted
+before write-back — the optimization behind tables 5-5/5-6.
+
+Eviction of a dirty victim must write it out first; since that is a
+simulated I/O, ``insert`` is a coroutine and the cache is constructed
+with a ``flush_fn(buffer)`` coroutine supplied by the owner.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, List, Optional, Tuple
+
+from ..metrics import Counters
+from ..sim import Simulator
+
+__all__ = ["BufferCache", "Buffer", "CacheError"]
+
+BlockKey = Tuple[Hashable, int]  # (file_key, block_number)
+
+
+class CacheError(Exception):
+    pass
+
+
+class Buffer:
+    """One cached block."""
+
+    __slots__ = ("key", "data", "dirty", "dirty_since", "busy", "tag")
+
+    def __init__(self, key: BlockKey, data: bytes):
+        self.key = key
+        self.data = data
+        self.dirty = False
+        self.dirty_since: Optional[float] = None
+        self.busy = False  # being flushed; not evictable or cancellable
+        self.tag: Any = None  # filesystem-private (e.g. write credentials)
+
+    @property
+    def file_key(self) -> Hashable:
+        return self.key[0]
+
+    @property
+    def block_no(self) -> int:
+        return self.key[1]
+
+    def __repr__(self) -> str:
+        return "<Buffer %r dirty=%s len=%d>" % (self.key, self.dirty, len(self.data))
+
+
+class BufferCache:
+    """LRU cache of file blocks with dirty-block management."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity_blocks: int,
+        flush_fn: Optional[Callable[[Buffer], Any]] = None,
+        name: str = "cache",
+    ):
+        if capacity_blocks < 1:
+            raise CacheError("cache capacity must be >= 1 block")
+        self.sim = sim
+        self.capacity = capacity_blocks
+        self.name = name
+        self.flush_fn = flush_fn  # coroutine(buffer); required before dirty eviction
+        self._buffers: "OrderedDict[BlockKey, Buffer]" = OrderedDict()
+        self.stats = Counters()
+
+    # -- basic operations ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def lookup(self, file_key: Hashable, block_no: int) -> Optional[Buffer]:
+        buf = self._buffers.get((file_key, block_no))
+        if buf is not None:
+            self._buffers.move_to_end(buf.key)
+            self.stats.record("hits")
+        else:
+            self.stats.record("misses")
+        return buf
+
+    def contains(self, file_key: Hashable, block_no: int) -> bool:
+        return (file_key, block_no) in self._buffers
+
+    def insert(self, file_key: Hashable, block_no: int, data: bytes, dirty: bool = False):
+        """Coroutine: add (or replace) a block, evicting if needed."""
+        key = (file_key, block_no)
+        buf = self._buffers.get(key)
+        if buf is None:
+            yield from self._make_room()
+            buf = Buffer(key, data)
+            self._buffers[key] = buf
+            self.stats.record("inserts")
+        else:
+            buf.data = data
+            self._buffers.move_to_end(key)
+        if dirty:
+            self.mark_dirty(buf)
+        return buf
+
+    def mark_dirty(self, buf: Buffer) -> None:
+        if not buf.dirty:
+            buf.dirty = True
+            buf.dirty_since = self.sim.now
+
+    def mark_clean(self, buf: Buffer) -> None:
+        buf.dirty = False
+        buf.dirty_since = None
+
+    def _make_room(self):
+        while len(self._buffers) >= self.capacity:
+            victim = self._pick_victim()
+            if victim is None:
+                raise CacheError(
+                    "cache %s wedged: all %d buffers busy" % (self.name, self.capacity)
+                )
+            if victim.dirty:
+                if self.flush_fn is None:
+                    raise CacheError(
+                        "cache %s: dirty eviction with no flush_fn" % self.name
+                    )
+                victim.busy = True
+                try:
+                    yield from self.flush_fn(victim)
+                finally:
+                    victim.busy = False
+                self.mark_clean(victim)
+                self.stats.record("dirty_evictions")
+            # victim may have been invalidated during the flush
+            if victim.key in self._buffers and self._buffers[victim.key] is victim:
+                del self._buffers[victim.key]
+                self.stats.record("evictions")
+
+    def _pick_victim(self) -> Optional[Buffer]:
+        # Prefer the LRU clean buffer; fall back to the LRU dirty one.
+        first_dirty = None
+        for buf in self._buffers.values():
+            if buf.busy:
+                continue
+            if not buf.dirty:
+                return buf
+            if first_dirty is None:
+                first_dirty = buf
+        return first_dirty
+
+    # -- whole-file operations -------------------------------------------
+
+    def file_blocks(self, file_key: Hashable) -> List[Buffer]:
+        return [b for b in self._buffers.values() if b.file_key == file_key]
+
+    def invalidate_file(self, file_key: Hashable) -> int:
+        """Drop every block of a file (clean or dirty, except busy ones)."""
+        dropped = 0
+        for buf in self.file_blocks(file_key):
+            if buf.busy:
+                continue
+            del self._buffers[buf.key]
+            dropped += 1
+        if dropped:
+            self.stats.record("invalidated", n=dropped)
+        return dropped
+
+    def cancel_dirty_file(self, file_key: Hashable) -> int:
+        """Delete-before-writeback: discard dirty blocks without flushing.
+
+        Used when a file is removed while delayed writes are pending —
+        the write to the server (or disk) never needs to happen.
+        """
+        cancelled = 0
+        for buf in self.file_blocks(file_key):
+            if buf.busy:
+                continue
+            if buf.dirty:
+                cancelled += 1
+            del self._buffers[buf.key]
+        if cancelled:
+            self.stats.record("cancelled_writes", n=cancelled)
+        return cancelled
+
+    def dirty_buffers(
+        self,
+        file_key: Optional[Hashable] = None,
+        older_than: Optional[float] = None,
+    ) -> List[Buffer]:
+        """Dirty, non-busy buffers; optionally filtered by file and age."""
+        now = self.sim.now
+        out = []
+        for buf in self._buffers.values():
+            if not buf.dirty or buf.busy:
+                continue
+            if file_key is not None and buf.file_key != file_key:
+                continue
+            if older_than is not None:
+                born = now if buf.dirty_since is None else buf.dirty_since
+                if (now - born) < older_than:
+                    continue
+            out.append(buf)
+        return out
+
+    def dirty_count(self) -> int:
+        return sum(1 for b in self._buffers.values() if b.dirty)
+
+    def flush_file(self, file_key: Hashable):
+        """Coroutine: write back every dirty block of a file, in order."""
+        bufs = sorted(self.dirty_buffers(file_key=file_key), key=lambda b: b.block_no)
+        for buf in bufs:
+            if not buf.dirty or buf.busy:
+                continue
+            buf.busy = True
+            try:
+                yield from self.flush_fn(buf)
+            finally:
+                buf.busy = False
+            self.mark_clean(buf)
+        return len(bufs)
+
+    def hit_rate(self) -> float:
+        hits = self.stats.get("hits")
+        misses = self.stats.get("misses")
+        total = hits + misses
+        return hits / total if total else 0.0

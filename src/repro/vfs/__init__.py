@@ -1,0 +1,16 @@
+"""GFS: the generic file system layer (gnodes, switch, cached block I/O)."""
+
+from .blockio import block_range, cached_read, cached_write, merge_block
+from .gnode import Gnode
+from .interface import FileSystemType
+from .local import LocalMount
+
+__all__ = [
+    "Gnode",
+    "FileSystemType",
+    "LocalMount",
+    "cached_read",
+    "cached_write",
+    "block_range",
+    "merge_block",
+]

@@ -1,0 +1,56 @@
+"""Gnodes: the GFS in-memory file abstraction (§4.1).
+
+A gnode is the generic, filesystem-independent per-file object — the
+Ultrix analogue of a vnode.  It carries the mount it belongs to, the
+filesystem-specific file id, and a ``private`` dict where filesystem
+client code keeps per-file state: the NFS attribute cache, the SNFS
+"caching enabled" flag and version number, reader/writer counts, and so
+on (the paper: "The gnode data structure provides space for
+filesystem-specific data...  We added several new fields, including
+flag bits such as 'caching enabled', the file version number" §4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Tuple
+
+from ..fs.types import FileType
+
+__all__ = ["Gnode"]
+
+
+class Gnode:
+    """One in-memory file object, unique per (mount, file) on a host."""
+
+    def __init__(self, fs: Any, fid: Hashable, ftype: FileType):
+        self.fs = fs  # the FileSystemType (mount) this file lives on
+        self.fid = fid  # filesystem-specific id: inum or FileHandle
+        self.ftype = ftype
+        self.private: Dict[str, Any] = {}
+        self.open_reads = 0  # local open counts (all processes on host)
+        self.open_writes = 0
+
+    @property
+    def cache_key(self) -> Tuple[Hashable, Hashable]:
+        """Key identifying this file's blocks in the host buffer cache."""
+        return (self.fs.mount_id, self._fid_key())
+
+    def _fid_key(self) -> Hashable:
+        key_fn = getattr(self.fid, "key", None)
+        return key_fn() if callable(key_fn) else self.fid
+
+    @property
+    def is_open(self) -> bool:
+        return (self.open_reads + self.open_writes) > 0
+
+    @property
+    def is_dir(self) -> bool:
+        return self.ftype is FileType.DIRECTORY
+
+    def __repr__(self) -> str:
+        return "<Gnode %s:%r r=%d w=%d>" % (
+            getattr(self.fs, "mount_id", "?"),
+            self.fid,
+            self.open_reads,
+            self.open_writes,
+        )

@@ -1,0 +1,132 @@
+"""The generic file system (GFS) switch interface.
+
+Every mountable filesystem type — the local filesystem adapter, the NFS
+client, the SNFS client — implements :class:`FileSystemType`.  The
+kernel's syscall layer dispatches through this interface only; it never
+knows which protocol a file lives on, mirroring the Ultrix GFS layering
+the paper describes in §4.1.
+
+All methods that can perform I/O are simulation coroutines (invoke with
+``yield from``).  Methods take and return :class:`~repro.vfs.Gnode`
+objects; each FileSystemType keeps a table so that one file has exactly
+one gnode per host.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from ..fs.types import FileAttr, FileType, OpenMode
+from .gnode import Gnode
+
+__all__ = ["FileSystemType"]
+
+
+class FileSystemType:
+    """Abstract base for mountable filesystems."""
+
+    def __init__(self, mount_id: str):
+        self.mount_id = mount_id
+        self._gnodes: Dict[Hashable, Gnode] = {}
+
+    # -- gnode table ----------------------------------------------------------
+
+    def gnode_for(self, fid: Hashable, ftype: FileType) -> Gnode:
+        """Canonical gnode for a file id (creates on first use)."""
+        key_fn = getattr(fid, "key", None)
+        key = key_fn() if callable(key_fn) else fid
+        g = self._gnodes.get(key)
+        if g is None:
+            g = Gnode(self, fid, ftype)
+            self._gnodes[key] = g
+        return g
+
+    def drop_gnode(self, g: Gnode) -> None:
+        self._gnodes.pop(g._fid_key(), None)
+
+    def live_gnodes(self) -> List[Gnode]:
+        return list(self._gnodes.values())
+
+    # -- namespace (coroutines) ------------------------------------------
+
+    def root(self) -> Gnode:
+        raise NotImplementedError
+
+    def lookup(self, dirg: Gnode, name: str):
+        """Coroutine: resolve one path component; returns a Gnode."""
+        raise NotImplementedError
+
+    def create(self, dirg: Gnode, name: str, mode: int = 0o644):
+        """Coroutine: create a regular file; returns its Gnode."""
+        raise NotImplementedError
+
+    def remove(self, dirg: Gnode, name: str):
+        """Coroutine: unlink a file."""
+        raise NotImplementedError
+
+    def mkdir(self, dirg: Gnode, name: str, mode: int = 0o755):
+        raise NotImplementedError
+
+    def rmdir(self, dirg: Gnode, name: str):
+        raise NotImplementedError
+
+    def rename(self, src_dirg: Gnode, src_name: str, dst_dirg: Gnode, dst_name: str):
+        raise NotImplementedError
+
+    def readdir(self, dirg: Gnode):
+        """Coroutine: returns a list of names."""
+        raise NotImplementedError
+
+    # -- per-file state ------------------------------------------------------
+
+    def open(self, g: Gnode, mode: OpenMode):
+        """Coroutine: called by GFS on every file open (§4.2)."""
+        raise NotImplementedError
+
+    def close(self, g: Gnode, mode: OpenMode):
+        """Coroutine: called by GFS on every file close."""
+        raise NotImplementedError
+
+    def getattr(self, g: Gnode):
+        """Coroutine: returns a FileAttr."""
+        raise NotImplementedError
+
+    def setattr(self, g: Gnode, size: Optional[int] = None, mode: Optional[int] = None):
+        """Coroutine: change attributes (size=N truncates); returns FileAttr."""
+        raise NotImplementedError
+
+    # -- data ---------------------------------------------------------------
+
+    def read(self, g: Gnode, offset: int, count: int):
+        """Coroutine: returns bytes (short reads at EOF)."""
+        raise NotImplementedError
+
+    def write(self, g: Gnode, offset: int, data: bytes):
+        """Coroutine: write data at offset."""
+        raise NotImplementedError
+
+    def fsync(self, g: Gnode):
+        """Coroutine: force this file's dirty state to stable storage."""
+        raise NotImplementedError
+
+    def sync(self, min_age=None):
+        """Coroutine: periodic write-back entry point (/etc/update).
+
+        ``min_age=None`` flushes everything (traditional Unix policy);
+        a number flushes only blocks dirty at least that long (the
+        Sprite age policy, §4.2.3).
+        """
+        raise NotImplementedError
+
+    def flush_block(self, buf):
+        """Coroutine: write one dirty cache buffer to backing store.
+
+        Called by the host buffer cache on eviction and by sync paths.
+        """
+        raise NotImplementedError
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def unmount(self):
+        """Coroutine: flush everything; called at shutdown."""
+        yield from self.sync()

@@ -1,0 +1,249 @@
+"""The Andrew benchmark (§5.2), against the simulated syscall layer.
+
+Five phases, quoted from the paper (which quotes Howard et al.):
+
+  MakeDir   "Constructs a target subtree that is identical in structure
+             to the source subtree."
+  Copy      "Copies every file from the source subtree to the target
+             subtree."
+  ScanDir   "Recursively traverses the target subtree and examines the
+             status of every file in it; does not actually read the
+             contents of any non-directory file."
+  ReadAll   "Scans every byte of every file in the target subtree once."
+  Make      "Compiles and links all the files in the target subtree."
+
+The compiler is a model: it reads the source and its headers, burns CPU
+proportional to the bytes compiled, writes intermediate files to the
+temp directory and deletes them (the cc temp-file pattern that the
+delete-before-writeback optimization feeds on), and emits a ``.o``;
+the final link reads every ``.o`` and writes one binary.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..fs.types import OpenMode
+from .tree import SourceFile, TreeSpec, make_tree
+
+__all__ = ["AndrewConfig", "AndrewResult", "AndrewBenchmark"]
+
+_IO_CHUNK = 8192
+
+
+@dataclass
+class AndrewConfig:
+    #: CPU seconds per byte of source compiled (the knob that sets the
+    #: Make phase's compute/IO ratio; calibrated so the phase ratios
+    #: match the paper's — see EXPERIMENTS.md)
+    compile_cpu_per_byte: float = 1e-4
+    #: object file size as a fraction of source size
+    obj_factor: float = 1.5
+    #: compiler intermediate bytes written to /tmp per source byte
+    temp_factor: float = 5.0
+    #: link CPU per byte of objects
+    link_cpu_per_byte: float = 2e-5
+    #: CPU per byte for the copy phase (user-space buffer shuffling)
+    copy_cpu_per_byte: float = 2e-7
+    #: CPU per byte read in ReadAll
+    read_cpu_per_byte: float = 1e-7
+
+
+@dataclass
+class AndrewResult:
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    def row(self) -> List[float]:
+        order = ["MakeDir", "Copy", "ScanDir", "ReadAll", "Make"]
+        return [self.phase_seconds.get(p, 0.0) for p in order] + [self.total]
+
+
+class AndrewBenchmark:
+    """One run of the Andrew suite on one client host.
+
+    ``src_dir`` holds the pre-created source tree; ``dst_dir`` is the
+    target subtree; ``tmp_dir`` is where the compiler model writes its
+    intermediates (the local-vs-remote /tmp configurations of Table
+    5-1 differ only in what filesystem is mounted there).
+    """
+
+    def __init__(
+        self,
+        kernel,
+        src_dir: str,
+        dst_dir: str,
+        tmp_dir: str,
+        tree: Optional[TreeSpec] = None,
+        config: Optional[AndrewConfig] = None,
+    ):
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.cpu = kernel.host.cpu
+        self.src = src_dir.rstrip("/") or "/"
+        self.dst = dst_dir.rstrip("/") or "/"
+        self.tmp = tmp_dir.rstrip("/") or "/"
+        self.tree = tree or make_tree()
+        self.config = config or AndrewConfig()
+        self.result = AndrewResult()
+
+    # -- setup -------------------------------------------------------------
+
+    def populate_source(self):
+        """Coroutine: create the source subtree (not timed)."""
+        k = self.kernel
+        for d in self.tree.directories:
+            yield from k.mkdir(posixpath.join(self.src, d))
+        for f in self.tree.files:
+            path = posixpath.join(self.src, f.path)
+            fd = yield from k.open(path, OpenMode.WRITE, create=True)
+            offset = 0
+            while offset < len(f.content):
+                chunk = f.content[offset:offset + _IO_CHUNK]
+                yield from k.write(fd, chunk)
+                offset += len(chunk)
+            yield from k.close(fd)
+        # settle: source data durable before the timed phases
+        yield from k.sync()
+
+    # -- the five phases ------------------------------------------------------
+
+    def run(self):
+        """Coroutine: run all five phases; returns the AndrewResult."""
+        for name, phase in (
+            ("MakeDir", self.phase_makedir),
+            ("Copy", self.phase_copy),
+            ("ScanDir", self.phase_scandir),
+            ("ReadAll", self.phase_readall),
+            ("Make", self.phase_make),
+        ):
+            start = self.sim.now
+            yield from phase()
+            self.result.phase_seconds[name] = self.sim.now - start
+        return self.result
+
+    def phase_makedir(self):
+        k = self.kernel
+        yield from k.mkdir(self.dst)
+        for d in self.tree.directories:
+            yield from k.mkdir(posixpath.join(self.dst, d))
+
+    def phase_copy(self):
+        k = self.kernel
+        for f in self.tree.files:
+            src = posixpath.join(self.src, f.path)
+            dst = posixpath.join(self.dst, f.path)
+            sfd = yield from k.open(src, OpenMode.READ)
+            dfd = yield from k.open(dst, OpenMode.WRITE, create=True, truncate=True)
+            while True:
+                data = yield from k.read(sfd, _IO_CHUNK)
+                if not data:
+                    break
+                yield from self.cpu.consume(len(data) * self.config.copy_cpu_per_byte)
+                yield from k.write(dfd, data)
+            yield from k.close(sfd)
+            yield from k.close(dfd)
+
+    def phase_scandir(self):
+        k = self.kernel
+        yield from self._scan(self.dst)
+
+    def _scan(self, path: str):
+        k = self.kernel
+        names = yield from k.readdir(path)
+        for name in names:
+            child = posixpath.join(path, name)
+            attr = yield from k.stat(child)
+            if attr.ftype.name == "DIRECTORY":
+                yield from self._scan(child)
+
+    def phase_readall(self):
+        k = self.kernel
+        yield from self._readall(self.dst)
+
+    def _readall(self, path: str):
+        k = self.kernel
+        names = yield from k.readdir(path)
+        for name in names:
+            child = posixpath.join(path, name)
+            attr = yield from k.stat(child)
+            if attr.ftype.name == "DIRECTORY":
+                yield from self._readall(child)
+            else:
+                fd = yield from k.open(child, OpenMode.READ)
+                while True:
+                    data = yield from k.read(fd, _IO_CHUNK)
+                    if not data:
+                        break
+                    yield from self.cpu.consume(
+                        len(data) * self.config.read_cpu_per_byte
+                    )
+                yield from k.close(fd)
+
+    def phase_make(self):
+        k = self.kernel
+        objects = []
+        for i, f in enumerate(self.tree.sources()):
+            obj = yield from self._compile(i, f)
+            objects.append(obj)
+        yield from self._link(objects)
+
+    def _compile(self, index: int, f: SourceFile):
+        """The compiler model: read source + headers, burn CPU, write
+        and delete a /tmp intermediate, emit the .o file."""
+        k = self.kernel
+        cfg = self.config
+        src_path = posixpath.join(self.dst, f.path)
+        data = yield from self._read_whole(src_path)
+        for h in f.includes:
+            yield from self._read_whole(posixpath.join(self.dst, h))
+        # preprocess: intermediate written to /tmp, then consumed+deleted
+        tmp_path = posixpath.join(self.tmp, "cc%d.i" % index)
+        tmp_bytes = int(len(data) * cfg.temp_factor)
+        yield from self._write_whole(tmp_path, b"i" * tmp_bytes)
+        yield from self.cpu.consume(len(data) * cfg.compile_cpu_per_byte)
+        yield from self._read_whole(tmp_path)
+        yield from k.unlink(tmp_path)
+        # emit the object file next to the source
+        obj_path = src_path[:-2] + ".o"
+        obj_bytes = int(len(data) * cfg.obj_factor)
+        yield from self._write_whole(obj_path, b"o" * obj_bytes)
+        return obj_path
+
+    def _link(self, objects: List[str]):
+        k = self.kernel
+        total = 0
+        for obj in objects:
+            data = yield from self._read_whole(obj)
+            total += len(data)
+        yield from self.cpu.consume(total * self.config.link_cpu_per_byte)
+        yield from self._write_whole(posixpath.join(self.dst, "a.out"), b"x" * total)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _read_whole(self, path: str):
+        k = self.kernel
+        fd = yield from k.open(path, OpenMode.READ)
+        chunks = []
+        while True:
+            data = yield from k.read(fd, _IO_CHUNK)
+            if not data:
+                break
+            chunks.append(data)
+        yield from k.close(fd)
+        return b"".join(chunks)
+
+    def _write_whole(self, path: str, data: bytes):
+        k = self.kernel
+        fd = yield from k.open(path, OpenMode.WRITE, create=True, truncate=True)
+        offset = 0
+        while offset < len(data):
+            chunk = data[offset:offset + _IO_CHUNK]
+            yield from k.write(fd, chunk)
+            offset += len(chunk)
+        yield from k.close(fd)

@@ -1,0 +1,100 @@
+"""Microbenchmarks from §5.3 and §5.1.
+
+* :class:`WriteCloseReread` — the SunOS test: "writes a large file,
+  closes it, and then opens and reads either the same file, or a
+  different file of the same size", used to show that the cost of a
+  read missing the client cache is negligible compared to the cost of
+  writing through.
+* :class:`ReadQuicklySlowly` — the §5.1 RPC-count comparison: a file
+  read once quickly (NFS needs one RPC fewer) vs. a file read over many
+  seconds (NFS pays periodic consistency probes, SNFS breaks even or
+  better).
+"""
+
+from __future__ import annotations
+
+import posixpath
+from typing import Dict
+
+from ..fs.types import OpenMode
+
+__all__ = ["WriteCloseReread", "ReadQuicklySlowly"]
+
+_IO_CHUNK = 8192
+
+
+class WriteCloseReread:
+    """Write file A, close; reopen and read A (or a same-size file B)."""
+
+    def __init__(self, kernel, dir_path: str, file_bytes: int = 512 * 1024):
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.dir = dir_path.rstrip("/") or "/"
+        self.file_bytes = file_bytes
+        self.timings: Dict[str, float] = {}
+
+    def run(self, reread_same: bool = True):
+        """Coroutine: returns dict of phase timings."""
+        k = self.kernel
+        path_a = posixpath.join(self.dir, "big_a")
+        path_b = posixpath.join(self.dir, "big_b")
+        data = b"m" * self.file_bytes
+
+        t0 = self.sim.now
+        yield from self._write_whole(path_a, data)
+        self.timings["write_close"] = self.sim.now - t0
+
+        if not reread_same:
+            yield from self._write_whole(path_b, data)
+
+        target = path_a if reread_same else path_b
+        t0 = self.sim.now
+        fd = yield from k.open(target, OpenMode.READ)
+        while True:
+            chunk = yield from k.read(fd, _IO_CHUNK)
+            if not chunk:
+                break
+        yield from k.close(fd)
+        self.timings["reopen_read"] = self.sim.now - t0
+        return self.timings
+
+    def _write_whole(self, path, data):
+        k = self.kernel
+        fd = yield from k.open(path, OpenMode.WRITE, create=True, truncate=True)
+        offset = 0
+        while offset < len(data):
+            yield from k.write(fd, data[offset:offset + _IO_CHUNK])
+            offset += _IO_CHUNK
+        yield from k.close(fd)
+
+
+class ReadQuicklySlowly:
+    """RPC-count microbenchmark for the open/close overhead tradeoff."""
+
+    def __init__(self, kernel, path: str):
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.path = path
+
+    def read_quickly(self):
+        """Coroutine: open, read everything at once, close."""
+        k = self.kernel
+        fd = yield from k.open(self.path, OpenMode.READ)
+        while True:
+            data = yield from k.read(fd, _IO_CHUNK)
+            if not data:
+                break
+        yield from k.close(fd)
+
+    def read_slowly(self, duration: float = 60.0, interval: float = 5.0):
+        """Coroutine: hold the file open, re-reading every ``interval``
+        seconds for ``duration`` (the text-editor pattern)."""
+        k = self.kernel
+        fd = yield from k.open(self.path, OpenMode.READ)
+        elapsed = 0.0
+        while elapsed < duration:
+            yield self.sim.timeout(interval)
+            elapsed += interval
+            k.lseek(fd, 0)
+            yield from k.read(fd, _IO_CHUNK)
+        yield from k.close(fd)

@@ -1,0 +1,57 @@
+"""Shared test helpers."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class SimRunner:
+    """Drive simulation coroutines to completion from plain test code."""
+
+    def __init__(self):
+        self.sim = Simulator()
+
+    def run(self, gen, limit=100000.0):
+        """Run one coroutine to completion; return its value or re-raise."""
+        box = {}
+
+        def wrapper():
+            box["value"] = yield from gen
+
+        proc = self.sim.spawn(wrapper())
+        self.sim.run_until(proc, limit=limit)
+        if not proc.triggered:
+            raise TimeoutError("coroutine did not finish before limit")
+        if proc.exception is not None:
+            proc.defuse()  # its dispatch may still be queued
+            raise proc.exception
+        return box.get("value")
+
+    def run_all(self, *gens, limit=100000.0):
+        """Run several coroutines concurrently; returns their values."""
+        procs = [self.sim.spawn(self._wrap(g)) for g in gens]
+        from repro.sim import AllOf
+
+        gate = AllOf(self.sim, procs)
+        gate.defuse()
+        self.sim.run_until(gate, limit=limit)
+        values = []
+        for proc in procs:
+            if proc.exception is not None:
+                proc.defuse()
+                raise proc.exception
+            values.append(proc.value)
+        return values
+
+    @staticmethod
+    def _wrap(gen):
+        def wrapper():
+            result = yield from gen
+            return result
+
+        return wrapper()
+
+
+@pytest.fixture
+def runner():
+    return SimRunner()

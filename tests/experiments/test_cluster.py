@@ -1,0 +1,95 @@
+"""Tests for the testbed builder and measurement plumbing."""
+
+import pytest
+
+from repro.fs import OpenMode
+from repro.experiments import build_testbed
+from repro.experiments.cluster import PROTOCOLS
+
+
+def write_read(bed, path, data):
+    k = bed.client.kernel
+
+    def scenario():
+        fd = yield from k.open(path, OpenMode.WRITE, create=True)
+        yield from k.write(fd, data)
+        yield from k.close(fd)
+        fd = yield from k.open(path, OpenMode.READ)
+        got = yield from k.read(fd, 1 << 20)
+        yield from k.close(fd)
+        return got
+
+    return bed.run(scenario())
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_every_protocol_builds_and_works(protocol):
+    bed = build_testbed(protocol)
+    assert write_read(bed, "/data/f", b"hello") == b"hello"
+    assert write_read(bed, "/tmp/t", b"temp") == b"temp"
+    assert write_read(bed, "/input/i", b"input") == b"input"
+
+
+def test_remote_tmp_routes_to_server():
+    bed = build_testbed("snfs", remote_tmp=True)
+    before = bed.client.rpc.client_stats.total()
+    write_read(bed, "/tmp/t", b"x")
+    assert bed.client.rpc.client_stats.total() > before
+
+
+def test_local_tmp_stays_off_the_network():
+    bed = build_testbed("snfs", remote_tmp=False)
+    before = bed.client.rpc.client_stats.total()
+    write_read(bed, "/tmp/t", b"x")
+    assert bed.client.rpc.client_stats.total() == before
+
+
+def test_local_protocol_has_no_server():
+    bed = build_testbed("local")
+    assert bed.server_host is None
+    assert bed.server is None
+    assert bed.server_disk_stats() == {}
+
+
+def test_client_rpc_rows_exclude_mount_traffic():
+    bed = build_testbed("nfs")
+    rows = bed.client_rpc_rows()
+    # attach() issued nfs.mnt, but it must not count as workload
+    assert rows["total"] == 0 or "mnt" not in str(rows)
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ValueError):
+        build_testbed("afs")
+
+
+def test_run_propagates_workload_errors():
+    bed = build_testbed("local")
+
+    def bad():
+        yield bed.sim.timeout(0.1)
+        raise RuntimeError("workload broke")
+
+    with pytest.raises(RuntimeError, match="workload broke"):
+        bed.run(bad())
+
+
+def test_run_all_concurrent_workloads():
+    bed = build_testbed("snfs")
+    k = bed.client.kernel
+
+    def one(i):
+        fd = yield from k.open("/data/f%d" % i, OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"x")
+        yield from k.close(fd)
+        return i
+
+    results = bed.run_all(one(0), one(1), one(2))
+    assert results == [0, 1, 2]
+
+
+def test_update_daemons_can_be_disabled():
+    bed = build_testbed("snfs", update_daemons=False)
+    assert not bed.client.update_daemon.running
+    bed2 = build_testbed("snfs", update_daemons=True)
+    assert bed2.client.update_daemon.running

@@ -1,0 +1,90 @@
+"""Tests for the figure helpers and the command-line interface."""
+
+import pytest
+
+from repro.experiments.figures import FigureData, _correlation, _resample
+from repro.experiments.andrew import rates_from_times
+
+
+# -- pure helpers -------------------------------------------------------------
+
+
+def test_correlation_perfect_and_inverse():
+    assert _correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+    assert _correlation([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+
+
+def test_correlation_degenerate_cases():
+    assert _correlation([], []) == 0.0
+    assert _correlation([1], [1]) == 0.0
+    assert _correlation([1, 1, 1], [2, 3, 4]) == 0.0  # zero variance
+
+
+def test_resample_aligns_window_ends_to_bucket_starts():
+    # rate buckets: [0,5) -> 1.0, [5,10) -> 3.0
+    series = [(0.0, 1.0), (5.0, 3.0)]
+    # utilization stamped at window *ends* 5 and 10
+    assert _resample(series, [5.0, 10.0]) == [1.0, 3.0]
+
+
+def test_rates_from_times_bucketing():
+    rates = rates_from_times([0.1, 0.2, 7.0], bucket=5.0, t_end=10.0)
+    assert rates == [(0.0, 2 / 5.0), (5.0, 1 / 5.0)]
+
+
+def test_rates_from_times_empty():
+    assert rates_from_times([], bucket=5.0, t_end=10.0) == [(0.0, 0.0), (5.0, 0.0)]
+
+
+def test_figure_data_mean_utilization():
+    fd = FigureData(
+        protocol="nfs",
+        utilization=[(5.0, 0.2), (10.0, 0.4)],
+        total_rate=[],
+        read_rate=[],
+        write_rate=[],
+    )
+    assert fd.mean_utilization() == pytest.approx(0.3)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_list(capsys):
+    from repro.__main__ import main
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table" in out
+
+
+def test_cli_table_4_1(capsys):
+    from repro.__main__ import main
+
+    assert main(["table", "4-1"]) == 0
+    out = capsys.readouterr().out
+    assert "ONE_READER" in out
+    assert "WRITE_SHARED" in out
+
+
+def test_cli_unknown_table():
+    from repro.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["table", "9-9"])
+
+
+def test_cli_consistency(capsys):
+    from repro.__main__ import main
+
+    assert main(["consistency"]) == 0
+    out = capsys.readouterr().out
+    assert "SNFS" in out and "Stale" in out
+
+
+def test_cli_micro(capsys):
+    from repro.__main__ import main
+
+    assert main(["micro"]) == 0
+    out = capsys.readouterr().out
+    assert "reread" in out

@@ -1,0 +1,64 @@
+"""Fast sanity tests for the experiment runners (small workloads)."""
+
+import pytest
+
+from repro.experiments import (
+    run_andrew,
+    run_consistency,
+    run_scaling_point,
+    run_sort,
+)
+from repro.workloads import make_tree
+
+
+SMALL_TREE = make_tree(n_dirs=1, files_per_dir=4)
+
+
+def test_run_andrew_small():
+    run = run_andrew("snfs", remote_tmp=True, tree=SMALL_TREE)
+    assert run.result.total > 0
+    assert run.rpc_rows["open"] > 0
+    assert run.rpc_rows["lookup"] > 0
+
+
+def test_run_andrew_local_has_no_rpc_rows():
+    run = run_andrew("local", tree=SMALL_TREE)
+    assert run.rpc_rows == {}
+    assert run.result.total > 0
+
+
+def test_run_andrew_figure_mode_collects_series():
+    run = run_andrew(
+        "nfs", remote_tmp=True, tree=SMALL_TREE, keep_call_times=True,
+        sample_interval=2.0,
+    )
+    assert run.server_utilization is not None
+    assert len(run.server_utilization) > 0
+    assert run.call_times["total"]
+
+
+def test_run_sort_small():
+    run = run_sort("snfs", input_bytes=64 * 1024)
+    assert run.output_ok
+    assert run.result.elapsed > 0
+
+
+def test_run_sort_deterministic():
+    a = run_sort("nfs", input_bytes=64 * 1024)
+    b = run_sort("nfs", input_bytes=64 * 1024)
+    assert a.result.elapsed == b.result.elapsed
+    assert a.rpc_rows == b.rpc_rows
+
+
+def test_run_consistency_quick():
+    out = run_consistency("snfs", n_updates=4, write_period=2.0, read_period=1.0)
+    assert out.stale == 0
+    assert out.total > 0
+
+
+def test_run_scaling_point_quick():
+    pt = run_scaling_point("snfs", n_clients=2, iterations=2, file_blocks=1)
+    assert pt.n_clients == 2
+    assert pt.mean_client_seconds > 0
+    assert 0 <= pt.server_cpu_utilization <= 1
+    assert 0 <= pt.server_disk_utilization <= 1

@@ -1,0 +1,90 @@
+"""Tests for the fsck-style invariant checker: each corruption class."""
+
+import pytest
+
+from repro.fs import FileType, LocalFileSystem
+from repro.fs.localfs import ROOT_INUM
+from repro.storage import Disk
+
+
+@pytest.fixture
+def fs(runner):
+    return LocalFileSystem(runner.sim, Disk(runner.sim), fsid="fsck")
+
+
+def make_file(runner, fs, name="f", blocks=1):
+    inum = runner.run(fs.create(fs.root_inum, name))
+    for bno in range(blocks):
+        runner.run(fs.write_block(inum, bno, b"x" * 100))
+    return inum
+
+
+def test_clean_tree_passes(runner, fs):
+    d = runner.run(fs.mkdir(fs.root_inum, "d"))
+    make_file(runner, fs, "a")
+    inum = runner.run(fs.create(d, "b"))
+    runner.run(fs.write_block(inum, 0, b"data"))
+    runner.run(fs.link(inum, d, "b-link"))
+    assert fs.check() == []
+
+
+def test_detects_orphan_block(runner, fs):
+    inum = make_file(runner, fs)
+    fs._inodes[inum].blocks.clear()  # block data remains, unreferenced
+    assert any("orphan" in p for p in fs.check())
+
+
+def test_detects_missing_block_data(runner, fs):
+    inum = make_file(runner, fs)
+    addr = fs._inodes[inum].blocks[0]
+    del fs._data[addr]
+    assert any("missing data" in p for p in fs.check())
+
+
+def test_detects_shared_block(runner, fs):
+    a = make_file(runner, fs, "a")
+    b = make_file(runner, fs, "b")
+    fs._inodes[b].blocks[0] = fs._inodes[a].blocks[0]
+    problems = fs.check()
+    assert any("shared" in p for p in problems)
+
+
+def test_detects_dangling_directory_entry(runner, fs):
+    inum = make_file(runner, fs)
+    del fs._inodes[inum]
+    assert any("dangling" in p for p in fs.check())
+
+
+def test_detects_unreachable_inode(runner, fs):
+    inum = make_file(runner, fs)
+    del fs._inodes[ROOT_INUM].entries["f"]
+    assert any("unreachable" in p for p in fs.check())
+
+
+def test_detects_nlink_mismatch(runner, fs):
+    inum = make_file(runner, fs)
+    fs._inodes[inum].nlink = 5
+    assert any("nlink" in p for p in fs.check())
+
+
+def test_detects_missing_root():
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    fs = LocalFileSystem(sim, Disk(sim))
+    del fs._inodes[ROOT_INUM]
+    assert fs.check() == ["no root inode"]
+
+
+def test_check_runs_clean_after_heavy_churn(runner, fs):
+    # build, link, rename, truncate, delete — then verify
+    d = runner.run(fs.mkdir(fs.root_inum, "dir"))
+    for i in range(10):
+        inum = runner.run(fs.create(d, "f%d" % i))
+        runner.run(fs.write_block(inum, 0, bytes([i]) * 50))
+    runner.run(fs.rename(d, "f0", d, "renamed"))
+    runner.run(fs.remove(d, "f1"))
+    inum = runner.run(fs.lookup(d, "f2"))
+    runner.run(fs.link(inum, fs.root_inum, "hard"))
+    runner.run(fs.setattr(inum, size=10))
+    assert fs.check() == []

@@ -1,0 +1,256 @@
+"""Tests for the local Unix-like filesystem."""
+
+import pytest
+
+from repro.fs import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileType,
+    InvalidArgument,
+    IsADirectory,
+    NoSpace,
+    NoSuchFile,
+    NotADirectory,
+    StaleHandle,
+)
+from repro.fs.localfs import LocalFileSystem, ROOT_INUM
+from repro.storage import Disk, DiskConfig
+
+
+@pytest.fixture
+def fs(runner):
+    disk = Disk(runner.sim, DiskConfig())
+    return LocalFileSystem(runner.sim, disk, fsid="test0")
+
+
+def test_root_exists(fs):
+    assert fs.root_inum == ROOT_INUM
+    attr = fs._attr(ROOT_INUM)
+    assert attr.ftype is FileType.DIRECTORY
+
+
+def test_create_and_lookup(runner, fs):
+    inum = runner.run(fs.create(fs.root_inum, "hello.txt"))
+    found = runner.run(fs.lookup(fs.root_inum, "hello.txt"))
+    assert found == inum
+
+
+def test_create_duplicate_rejected(runner, fs):
+    runner.run(fs.create(fs.root_inum, "f"))
+    with pytest.raises(FileExists):
+        runner.run(fs.create(fs.root_inum, "f"))
+
+
+def test_lookup_missing_raises(runner, fs):
+    with pytest.raises(NoSuchFile):
+        runner.run(fs.lookup(fs.root_inum, "ghost"))
+
+
+def test_lookup_in_file_raises_enotdir(runner, fs):
+    inum = runner.run(fs.create(fs.root_inum, "f"))
+    with pytest.raises(NotADirectory):
+        runner.run(fs.lookup(inum, "x"))
+
+
+def test_bad_names_rejected(runner, fs):
+    for bad in ("", "a/b", ".", ".."):
+        with pytest.raises(InvalidArgument):
+            runner.run(fs.create(fs.root_inum, bad))
+
+
+def test_mkdir_and_nested_files(runner, fs):
+    d = runner.run(fs.mkdir(fs.root_inum, "src"))
+    f = runner.run(fs.create(d, "main.c"))
+    assert runner.run(fs.lookup(d, "main.c")) == f
+    names = runner.run(fs.readdir(d))
+    assert names == ["main.c"]
+
+
+def test_mkdir_bumps_parent_nlink(runner, fs):
+    before = fs._attr(fs.root_inum).nlink
+    runner.run(fs.mkdir(fs.root_inum, "d"))
+    assert fs._attr(fs.root_inum).nlink == before + 1
+
+
+def test_write_and_read_block(runner, fs):
+    inum = runner.run(fs.create(fs.root_inum, "f"))
+    runner.run(fs.write_block(inum, 0, b"x" * 4096))
+    runner.run(fs.write_block(inum, 1, b"tail"))
+    assert runner.run(fs.read_block(inum, 0)) == b"x" * 4096
+    assert runner.run(fs.read_block(inum, 1)) == b"tail"
+    assert fs._attr(inum).size == 4096 + 4
+
+
+def test_read_hole_returns_empty_no_io(runner, fs):
+    inum = runner.run(fs.create(fs.root_inum, "f"))
+    reads_before = fs.disk.stats.get("reads")
+    assert runner.run(fs.read_block(inum, 7)) == b""
+    assert fs.disk.stats.get("reads") == reads_before
+
+
+def test_oversized_block_write_rejected(runner, fs):
+    inum = runner.run(fs.create(fs.root_inum, "f"))
+    with pytest.raises(InvalidArgument):
+        runner.run(fs.write_block(inum, 0, b"x" * (fs.block_size + 1)))
+
+
+def test_write_block_to_directory_rejected(runner, fs):
+    with pytest.raises(IsADirectory):
+        runner.run(fs.write_block(fs.root_inum, 0, b"x"))
+
+
+def test_remove_frees_blocks(runner, fs):
+    inum = runner.run(fs.create(fs.root_inum, "f"))
+    runner.run(fs.write_block(inum, 0, b"data"))
+    assert fs.blocks_in_use() == 1
+    runner.run(fs.remove(fs.root_inum, "f"))
+    assert fs.blocks_in_use() == 0
+    with pytest.raises(NoSuchFile):
+        runner.run(fs.lookup(fs.root_inum, "f"))
+
+
+def test_remove_directory_with_remove_rejected(runner, fs):
+    runner.run(fs.mkdir(fs.root_inum, "d"))
+    with pytest.raises(IsADirectory):
+        runner.run(fs.remove(fs.root_inum, "d"))
+
+
+def test_rmdir_requires_empty(runner, fs):
+    d = runner.run(fs.mkdir(fs.root_inum, "d"))
+    runner.run(fs.create(d, "f"))
+    with pytest.raises(DirectoryNotEmpty):
+        runner.run(fs.rmdir(fs.root_inum, "d"))
+    runner.run(fs.remove(d, "f"))
+    runner.run(fs.rmdir(fs.root_inum, "d"))
+    with pytest.raises(NoSuchFile):
+        runner.run(fs.lookup(fs.root_inum, "d"))
+
+
+def test_rename_within_directory(runner, fs):
+    inum = runner.run(fs.create(fs.root_inum, "old"))
+    runner.run(fs.rename(fs.root_inum, "old", fs.root_inum, "new"))
+    assert runner.run(fs.lookup(fs.root_inum, "new")) == inum
+    with pytest.raises(NoSuchFile):
+        runner.run(fs.lookup(fs.root_inum, "old"))
+
+
+def test_rename_replaces_target(runner, fs):
+    a = runner.run(fs.create(fs.root_inum, "a"))
+    b = runner.run(fs.create(fs.root_inum, "b"))
+    runner.run(fs.write_block(b, 0, b"victim"))
+    runner.run(fs.rename(fs.root_inum, "a", fs.root_inum, "b"))
+    assert runner.run(fs.lookup(fs.root_inum, "b")) == a
+    assert fs.blocks_in_use() == 0  # victim's block freed
+    assert b not in list(fs.iter_inums())
+
+
+def test_rename_across_directories_fixes_nlink(runner, fs):
+    d1 = runner.run(fs.mkdir(fs.root_inum, "d1"))
+    d2 = runner.run(fs.mkdir(fs.root_inum, "d2"))
+    sub = runner.run(fs.mkdir(d1, "sub"))
+    nlink_d1 = fs._attr(d1).nlink
+    nlink_d2 = fs._attr(d2).nlink
+    runner.run(fs.rename(d1, "sub", d2, "sub"))
+    assert fs._attr(d1).nlink == nlink_d1 - 1
+    assert fs._attr(d2).nlink == nlink_d2 + 1
+    assert runner.run(fs.lookup(d2, "sub")) == sub
+
+
+def test_hard_link_shares_inode(runner, fs):
+    inum = runner.run(fs.create(fs.root_inum, "a"))
+    runner.run(fs.link(inum, fs.root_inum, "b"))
+    assert fs._attr(inum).nlink == 2
+    runner.run(fs.remove(fs.root_inum, "a"))
+    # still reachable via b
+    assert runner.run(fs.lookup(fs.root_inum, "b")) == inum
+    runner.run(fs.remove(fs.root_inum, "b"))
+    assert inum not in list(fs.iter_inums())
+
+
+def test_truncate_frees_tail_blocks(runner, fs):
+    inum = runner.run(fs.create(fs.root_inum, "f"))
+    for bno in range(3):
+        runner.run(fs.write_block(inum, bno, b"x" * fs.block_size))
+    assert fs.blocks_in_use() == 3
+    runner.run(fs.setattr(inum, size=fs.block_size + 10))
+    assert fs.blocks_in_use() == 2
+    assert fs._attr(inum).size == fs.block_size + 10
+    data = runner.run(fs.read_block(inum, 1))
+    assert data == b"x" * 10
+
+
+def test_truncate_to_zero(runner, fs):
+    inum = runner.run(fs.create(fs.root_inum, "f"))
+    runner.run(fs.write_block(inum, 0, b"data"))
+    runner.run(fs.setattr(inum, size=0))
+    assert fs._attr(inum).size == 0
+    assert fs.blocks_in_use() == 0
+
+
+def test_handle_staleness_after_delete(runner, fs):
+    inum = runner.run(fs.create(fs.root_inum, "f"))
+    fh = fs.handle(inum)
+    assert fs.resolve(fh) == inum
+    runner.run(fs.remove(fs.root_inum, "f"))
+    with pytest.raises(StaleHandle):
+        fs.resolve(fh)
+
+
+def test_handle_generation_protects_recycled_inum(runner, fs):
+    inum = runner.run(fs.create(fs.root_inum, "f"))
+    fh = fs.handle(inum)
+    runner.run(fs.remove(fs.root_inum, "f"))
+    # force inum reuse by injecting an inode with the same number
+    inum2 = runner.run(fs.create(fs.root_inum, "g"))
+    fh2 = fs.handle(inum2)
+    assert fs.resolve(fh2) == inum2
+    with pytest.raises(StaleHandle):
+        fs.resolve(fh)
+
+
+def test_note_logical_write_updates_size_without_io(runner, fs):
+    inum = runner.run(fs.create(fs.root_inum, "f"))
+    writes_before = fs.disk.stats.get("writes")
+    fs.note_logical_write(inum, 9999)
+    assert fs._attr(inum).size == 9999
+    assert fs.disk.stats.get("writes") == writes_before
+
+
+def test_metadata_ops_write_synchronously(runner, fs):
+    writes_before = fs.disk.stats.get("writes")
+    runner.run(fs.create(fs.root_inum, "f"))
+    assert fs.disk.stats.get("writes") > writes_before
+
+
+def test_capacity_enforced(runner):
+    disk = Disk(runner.sim, DiskConfig())
+    small = LocalFileSystem(runner.sim, disk, capacity_blocks=2)
+    inum = runner.run(small.create(small.root_inum, "f"))
+    runner.run(small.write_block(inum, 0, b"x"))
+    runner.run(small.write_block(inum, 1, b"x"))
+    with pytest.raises(NoSpace):
+        runner.run(small.write_block(inum, 2, b"x"))
+
+
+def test_check_clean_fs_has_no_problems(runner, fs):
+    d = runner.run(fs.mkdir(fs.root_inum, "d"))
+    f = runner.run(fs.create(d, "f"))
+    runner.run(fs.write_block(f, 0, b"x"))
+    assert fs.check() == []
+
+
+def test_check_detects_corruption(runner, fs):
+    f = runner.run(fs.create(fs.root_inum, "f"))
+    runner.run(fs.write_block(f, 0, b"x"))
+    # corrupt: orphan the data block
+    fs._inodes[f].blocks.clear()
+    problems = fs.check()
+    assert any("orphan" in p for p in problems)
+
+
+def test_getattr_after_operations(runner, fs):
+    inum = runner.run(fs.create(fs.root_inum, "f"))
+    attr = runner.run(fs.getattr(inum))
+    assert attr.ftype is FileType.REGULAR
+    assert attr.size == 0
+    assert attr.nlink == 1

@@ -1,0 +1,207 @@
+"""Tests for host substrate: CPU, async pool, update daemon, crash."""
+
+import pytest
+
+from repro.fs import OpenMode
+from repro.host import AsyncPool, Cpu, Host, HostConfig
+from repro.net import Network
+from repro.sim import Simulator
+
+
+def test_cpu_consume_advances_time(runner):
+    cpu = Cpu(runner.sim, speed=1.0)
+    runner.run(cpu.consume(0.5))
+    assert runner.sim.now == pytest.approx(0.5)
+    assert cpu.busy_time() == pytest.approx(0.5)
+
+
+def test_cpu_speed_scales_cost(runner):
+    cpu = Cpu(runner.sim, speed=2.0)
+    runner.run(cpu.consume(1.0))
+    assert runner.sim.now == pytest.approx(0.5)
+
+
+def test_cpu_contention_serializes(runner):
+    cpu = Cpu(runner.sim)
+    done = []
+
+    def burner(tag):
+        yield from cpu.consume(1.0)
+        done.append((tag, runner.sim.now))
+
+    runner.run_all(burner("a"), burner("b"))
+    assert done[0][1] == pytest.approx(1.0)
+    assert done[1][1] == pytest.approx(2.0)
+
+
+def test_cpu_zero_cost_is_free(runner):
+    cpu = Cpu(runner.sim)
+    runner.run(cpu.consume(0.0))
+    assert runner.sim.now == 0.0
+
+
+def test_cpu_rejects_negative():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    with pytest.raises(ValueError):
+        list(cpu.consume(-1))
+    with pytest.raises(ValueError):
+        Cpu(sim, speed=0)
+
+
+def test_async_pool_runs_work(runner):
+    pool = AsyncPool(runner.sim, n_workers=2)
+    results = []
+
+    def work(tag):
+        yield runner.sim.timeout(0.1)
+        results.append(tag)
+        return tag
+
+    def scenario():
+        ev1 = pool.submit(lambda: work("a"), key="f")
+        ev2 = pool.submit(lambda: work("b"), key="f")
+        value = yield ev1
+        yield ev2
+        return value
+
+    assert runner.run(scenario()) == "a"
+    assert sorted(results) == ["a", "b"]
+
+
+def test_async_pool_concurrency_limited(runner):
+    pool = AsyncPool(runner.sim, n_workers=2)
+    done_times = []
+
+    def work():
+        yield runner.sim.timeout(1.0)
+        done_times.append(runner.sim.now)
+
+    def scenario():
+        events = [pool.submit(lambda: work()) for _ in range(4)]
+        for ev in events:
+            yield ev
+
+    runner.run(scenario())
+    # 4 jobs, 2 workers, 1 s each: finish at 1,1,2,2
+    assert done_times == [1.0, 1.0, 2.0, 2.0]
+
+
+def test_async_pool_drain_waits_for_key(runner):
+    pool = AsyncPool(runner.sim, n_workers=4)
+    log = []
+
+    def work(tag, dur):
+        yield runner.sim.timeout(dur)
+        log.append(tag)
+
+    def scenario():
+        pool.submit(lambda: work("slow-f", 2.0), key="f")
+        pool.submit(lambda: work("other-g", 5.0), key="g")
+        yield from pool.drain("f")
+        return runner.sim.now
+
+    t = runner.run(scenario())
+    assert t == pytest.approx(2.0)
+    assert "slow-f" in log and "other-g" not in log
+
+
+def test_async_pool_drain_empty_key_immediate(runner):
+    pool = AsyncPool(runner.sim, n_workers=1)
+
+    def scenario():
+        yield from pool.drain("nothing")
+        return runner.sim.now
+
+    assert runner.run(scenario()) == 0.0
+
+
+def test_async_pool_error_propagates_to_waiter(runner):
+    pool = AsyncPool(runner.sim, n_workers=1)
+
+    def bad():
+        yield runner.sim.timeout(0.1)
+        raise ValueError("boom")
+
+    def scenario():
+        ev = pool.submit(lambda: bad())
+        with pytest.raises(ValueError):
+            yield ev
+
+    runner.run(scenario())
+
+
+def test_async_pool_unobserved_error_does_not_crash_sim(runner):
+    pool = AsyncPool(runner.sim, n_workers=1)
+
+    def bad():
+        yield runner.sim.timeout(0.1)
+        raise ValueError("ignored")
+
+    def scenario():
+        pool.submit(lambda: bad())
+        yield runner.sim.timeout(1.0)
+
+    runner.run(scenario())  # should not raise
+
+
+def test_host_crash_loses_cache_and_fds(runner):
+    net = Network(runner.sim)
+    host = Host(runner.sim, net, "h1")
+    host.add_local_fs("/")
+    k = host.kernel
+
+    def scenario():
+        fd = yield from k.open("/f", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"unsaved data")
+        assert host.cache.dirty_count() == 1
+        host.crash()
+        assert host.cache.dirty_count() == 0
+        assert k.open_fd_count() == 0
+        host.reboot(restart_update=False)
+        # the file exists (metadata was synchronous) but the delayed-write
+        # data never reached the disk, so the file reverts to empty
+        attr = yield from k.stat("/f")
+        return attr.size
+
+    size = runner.run(scenario())
+    assert size == 0
+
+
+def test_host_crash_preserves_flushed_data(runner):
+    net = Network(runner.sim)
+    host = Host(runner.sim, net, "h1")
+    host.add_local_fs("/")
+    k = host.kernel
+
+    def scenario():
+        fd = yield from k.open("/f", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"saved")
+        yield from k.fsync(fd)
+        yield from k.close(fd)
+        host.crash()
+        host.reboot(restart_update=False)
+        fd = yield from k.open("/f", OpenMode.READ)
+        data = yield from k.read(fd, 100)
+        yield from k.close(fd)
+        return data
+
+    assert runner.run(scenario()) == b"saved"
+
+
+def test_two_hosts_rpc_through_network(runner):
+    net = Network(runner.sim)
+    h1 = Host(runner.sim, net, "client-host")
+    h2 = Host(runner.sim, net, "server-host")
+
+    def service(src, x):
+        yield runner.sim.timeout(0.001)
+        return x * 2
+
+    h2.rpc.register("double", service)
+
+    def scenario():
+        value = yield from h1.rpc.call("server-host", "double", 21)
+        return value
+
+    assert runner.run(scenario()) == 42

@@ -1,0 +1,183 @@
+"""Edge-case tests for the kernel syscall layer."""
+
+import pytest
+
+from repro.fs import (
+    InvalidArgument,
+    NoSuchFile,
+    NotADirectory,
+    NotOpen,
+    OpenMode,
+    ReadOnly,
+)
+from repro.host import Host
+from repro.net import Network
+
+
+@pytest.fixture
+def host(runner):
+    h = Host(runner.sim, Network(runner.sim), "m")
+    h.add_local_fs("/", fsid="rootfs")
+    return h
+
+
+def test_mount_requires_absolute_prefix(runner, host):
+    from repro.vfs import LocalMount
+
+    with pytest.raises(InvalidArgument):
+        host.kernel.mount("relative", host.kernel.mount_by_id("rootfs"))
+
+
+def test_duplicate_mount_point_rejected(runner, host):
+    fs = host.kernel.mount_by_id("rootfs")
+    with pytest.raises(InvalidArgument):
+        host.kernel.mount("/", fs)
+
+
+def test_longest_prefix_mount_wins(runner, host):
+    host.add_local_fs("/deep/nested", fsid="nestedfs", disk_name="d2")
+    fs, comps = host.kernel.resolve_mount("/deep/nested/file")
+    assert fs.mount_id == "nestedfs"
+    assert comps == ["file"]
+    fs, comps = host.kernel.resolve_mount("/deep/other")
+    assert fs.mount_id == "rootfs"
+    assert comps == ["deep", "other"]
+
+
+def test_relative_path_rejected(runner, host):
+    with pytest.raises(InvalidArgument):
+        host.kernel.resolve_mount("not/absolute")
+
+
+def test_path_normalization(runner, host):
+    k = host.kernel
+
+    def scenario():
+        yield from k.mkdir("/d")
+        fd = yield from k.open("/d//f", OpenMode.WRITE, create=True)
+        yield from k.close(fd)
+        attr = yield from k.stat("//d///f")
+        return attr
+
+    assert runner.run(scenario()) is not None
+
+
+def test_read_on_bad_fd(runner, host):
+    with pytest.raises(NotOpen):
+        runner.run(host.kernel.read(99, 10))
+
+
+def test_write_on_readonly_fd(runner, host):
+    k = host.kernel
+
+    def scenario():
+        fd = yield from k.open("/f", OpenMode.WRITE, create=True)
+        yield from k.close(fd)
+        fd = yield from k.open("/f", OpenMode.READ)
+        with pytest.raises(ReadOnly):
+            yield from k.write(fd, b"nope")
+        yield from k.close(fd)
+
+    runner.run(scenario())
+
+
+def test_fd_not_reusable_after_close(runner, host):
+    k = host.kernel
+
+    def scenario():
+        fd = yield from k.open("/f", OpenMode.WRITE, create=True)
+        yield from k.close(fd)
+        with pytest.raises(NotOpen):
+            yield from k.read(fd, 1)
+
+    runner.run(scenario())
+
+
+def test_lseek_negative_rejected(runner, host):
+    k = host.kernel
+
+    def scenario():
+        fd = yield from k.open("/f", OpenMode.WRITE, create=True)
+        with pytest.raises(InvalidArgument):
+            k.lseek(fd, -1)
+        yield from k.close(fd)
+
+    runner.run(scenario())
+
+
+def test_open_trunc_requires_write_mode(runner, host):
+    k = host.kernel
+
+    def scenario():
+        fd = yield from k.open("/f", OpenMode.WRITE, create=True)
+        yield from k.close(fd)
+        with pytest.raises(InvalidArgument):
+            yield from k.open("/f", OpenMode.READ, truncate=True)
+
+    runner.run(scenario())
+
+
+def test_cross_filesystem_rename_rejected(runner, host):
+    host.add_local_fs("/other", fsid="otherfs", disk_name="d2")
+    k = host.kernel
+
+    def scenario():
+        fd = yield from k.open("/f", OpenMode.WRITE, create=True)
+        yield from k.close(fd)
+        with pytest.raises(InvalidArgument):
+            yield from k.rename("/f", "/other/f")
+
+    runner.run(scenario())
+
+
+def test_namei_through_file_component_fails(runner, host):
+    k = host.kernel
+
+    def scenario():
+        fd = yield from k.open("/plainfile", OpenMode.WRITE, create=True)
+        yield from k.close(fd)
+        with pytest.raises(NotADirectory):
+            yield from k.stat("/plainfile/child")
+
+    runner.run(scenario())
+
+
+def test_open_nonexistent_without_create(runner, host):
+    with pytest.raises(NoSuchFile):
+        runner.run(host.kernel.open("/ghost", OpenMode.READ))
+
+
+def test_no_mount_for_path(runner):
+    h = Host(runner.sim, Network(runner.sim), "bare")
+    with pytest.raises(NoSuchFile):
+        h.kernel.resolve_mount("/anything")
+
+
+def test_open_fd_count_tracks(runner, host):
+    k = host.kernel
+
+    def scenario():
+        assert k.open_fd_count() == 0
+        fd1 = yield from k.open("/a", OpenMode.WRITE, create=True)
+        fd2 = yield from k.open("/b", OpenMode.WRITE, create=True)
+        assert k.open_fd_count() == 2
+        yield from k.close(fd1)
+        yield from k.close(fd2)
+        assert k.open_fd_count() == 0
+
+    runner.run(scenario())
+
+
+def test_unmount_all_flushes(runner, host):
+    k = host.kernel
+
+    def scenario():
+        fd = yield from k.open("/f", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"dirty")
+        yield from k.close(fd)
+        assert host.cache.dirty_count() == 1
+        yield from k.unmount_all()
+        assert host.cache.dirty_count() == 0
+        assert k.mounts() == []
+
+    runner.run(scenario())

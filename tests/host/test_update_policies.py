@@ -1,0 +1,84 @@
+"""Tests for the two write-back policies (§4.2.3)."""
+
+import pytest
+
+from repro.fs import OpenMode
+from repro.host import Host, HostConfig, UpdateDaemon
+from repro.net import Network
+
+
+def make_host(runner, policy):
+    cfg = HostConfig(update_policy=policy, update_interval=30.0)
+    h = Host(runner.sim, Network(runner.sim), "m", cfg)
+    h.add_local_fs("/", fsid="rootfs")
+    return h
+
+
+def test_all_policy_flushes_everything_each_tick(runner):
+    host = make_host(runner, "all")
+    host.update_daemon.start()
+    k = host.kernel
+
+    def scenario():
+        # dirty a block just before the 30 s tick
+        yield runner.sim.timeout(29.0)
+        fd = yield from k.open("/young", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"young data")
+        yield from k.close(fd)
+        assert host.cache.dirty_count() == 1
+        yield runner.sim.timeout(2.0)  # tick at t=30 flushes even 1 s-old data
+        return host.cache.dirty_count()
+
+    assert runner.run(scenario()) == 0
+
+
+def test_age_policy_spares_young_blocks(runner):
+    host = make_host(runner, "age")
+    host.update_daemon.start()
+    k = host.kernel
+
+    def scenario():
+        fd = yield from k.open("/old", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"old data")
+        yield from k.close(fd)
+        yield runner.sim.timeout(25.0)
+        fd = yield from k.open("/young", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"young data")
+        yield from k.close(fd)
+        assert host.cache.dirty_count() == 2
+        # at the t=37.5 tick the old block is ~37 s dirty -> flushed;
+        # the young one is ~12 s -> spared
+        yield runner.sim.timeout(15.0)
+        return host.cache.dirty_count()
+
+    assert runner.run(scenario()) == 1  # only the young block remains
+
+
+def test_age_policy_eventually_flushes_everything(runner):
+    host = make_host(runner, "age")
+    host.update_daemon.start()
+    k = host.kernel
+
+    def scenario():
+        fd = yield from k.open("/f", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"data")
+        yield from k.close(fd)
+        yield runner.sim.timeout(45.0)
+        return host.cache.dirty_count()
+
+    assert runner.run(scenario()) == 0
+
+
+def test_unknown_policy_rejected(runner):
+    with pytest.raises(ValueError):
+        UpdateDaemon(runner.sim, None, policy="sometimes")
+
+
+def test_daemon_start_stop_idempotent(runner):
+    host = make_host(runner, "all")
+    host.update_daemon.start()
+    host.update_daemon.start()  # second start: no-op
+    assert host.update_daemon.running
+    host.update_daemon.stop()
+    host.update_daemon.stop()  # second stop: no-op
+    assert not host.update_daemon.running

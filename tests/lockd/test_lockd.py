@@ -1,0 +1,177 @@
+"""Tests for the lock daemon, and the §2.2 serialized write-sharing demo."""
+
+import pytest
+
+from repro.fs import OpenMode
+from repro.host import Host, HostConfig
+from repro.lockd import LockClient, LockServer, LockTimeout
+from repro.net import Network
+from repro.snfs import SnfsClient, SnfsServer
+
+
+class LockWorld:
+    def __init__(self, runner, n_clients=2, with_snfs=False):
+        sim = runner.sim
+        self.runner = runner
+        self.network = Network(sim)
+        self.server_host = Host(sim, self.network, "server", HostConfig.titan_server())
+        self.lockd = LockServer(self.server_host)
+        if with_snfs:
+            self.export = self.server_host.add_local_fs("/export", fsid="exportfs")
+            self.snfs_server = SnfsServer(self.server_host, self.export)
+        self.clients = []
+        self.lockers = []
+        for i in range(n_clients):
+            host = Host(sim, self.network, "client%d" % i, HostConfig.titan_client())
+            if with_snfs:
+                mount = SnfsClient("m%d" % i, host, "server")
+                runner.run(mount.attach())
+                host.kernel.mount("/data", mount)
+            self.clients.append(host)
+            self.lockers.append(LockClient(host, "server"))
+
+
+@pytest.fixture
+def world(runner):
+    return LockWorld(runner)
+
+
+def test_exclusive_lock_excludes(runner, world):
+    l0, l1 = world.lockers
+    log = []
+
+    def holder():
+        yield from l0.acquire("k")
+        log.append(("l0-acquired", runner.sim.now))
+        yield runner.sim.timeout(5.0)
+        yield from l0.release("k")
+
+    def contender():
+        yield runner.sim.timeout(1.0)
+        yield from l1.acquire("k")
+        log.append(("l1-acquired", runner.sim.now))
+        yield from l1.release("k")
+
+    runner.run_all(holder(), contender())
+    times = dict(log)
+    assert times["l1-acquired"] >= times["l0-acquired"] + 5.0
+
+
+def test_shared_locks_coexist(runner, world):
+    l0, l1 = world.lockers
+    log = []
+
+    def reader(locker, tag):
+        yield from locker.acquire("k", exclusive=False)
+        log.append((tag, runner.sim.now))
+        yield runner.sim.timeout(3.0)
+        yield from locker.release("k")
+
+    runner.run_all(reader(l0, "a"), reader(l1, "b"))
+    times = dict(log)
+    assert abs(times["a"] - times["b"]) < 1.0  # held concurrently
+
+
+def test_nonblocking_acquire_denied(runner, world):
+    l0, l1 = world.lockers
+
+    def scenario():
+        yield from l0.acquire("k")
+        with pytest.raises(LockTimeout):
+            yield from l1.acquire("k", wait=False)
+        yield from l0.release("k")
+        yield from l1.acquire("k", wait=False)  # now free
+        yield from l1.release("k")
+
+    runner.run(scenario())
+
+
+def test_fifo_no_writer_starvation(runner):
+    world = LockWorld(runner, n_clients=3)
+    l0, l1, l2 = world.lockers
+    order = []
+
+    def sharer_stream(locker, tag, start):
+        yield runner.sim.timeout(start)
+        yield from locker.acquire("k", exclusive=False)
+        order.append(tag)
+        yield runner.sim.timeout(4.0)
+        yield from locker.release("k")
+
+    def writer():
+        yield runner.sim.timeout(1.0)
+        yield from l2.acquire("k", exclusive=True)
+        order.append("writer")
+        yield from l2.release("k")
+
+    # sharer a holds [0,4); writer queues at 1; sharer b arrives at 2 and
+    # must NOT overtake the queued writer
+    runner.run_all(
+        sharer_stream(l0, "a", 0.0),
+        writer(),
+        sharer_stream(l1, "b", 2.0),
+    )
+    assert order.index("writer") < order.index("b")
+
+
+def test_clear_dead_client_releases_locks(runner, world):
+    l0, l1 = world.lockers
+
+    def scenario():
+        yield from l0.acquire("k")
+        world.clients[0].crash()
+        # admin clears the dead client; l1 can now take the lock
+        yield from l1.clear_client("client0")
+        yield from l1.acquire("k", wait=False)
+        yield from l1.release("k")
+
+    runner.run(scenario())
+    assert world.lockd.lock_count() == 0
+
+
+def test_reacquire_own_lock_idempotent(runner, world):
+    l0 = world.lockers[0]
+
+    def scenario():
+        yield from l0.acquire("k")
+        yield from l0.acquire("k")  # no deadlock against oneself
+        yield from l0.release("k")
+
+    runner.run(scenario())
+
+
+def test_serialized_write_sharing_is_fully_consistent(runner):
+    """§2.2's caveat made real: two SNFS clients read-modify-write one
+    counter file under the lock.  The file is write-shared (caching
+    disabled, synchronous server I/O), the lock serializes the
+    read-modify-write — so no update is ever lost."""
+    world = LockWorld(runner, n_clients=2, with_snfs=True)
+    rounds = 15
+
+    def incrementer(idx):
+        k = world.clients[idx].kernel
+        locker = world.lockers[idx]
+        for _ in range(rounds):
+            yield from locker.acquire("counter")
+            try:
+                fd = yield from k.open("/data/counter", OpenMode.WRITE, create=True)
+                data = yield from k.read(fd, 64)  # opened RW: read works
+                value = int(bytes(data) or b"0")
+                k.lseek(fd, 0)
+                yield from k.write(fd, str(value + 1).encode())
+                yield from k.fsync(fd)
+                yield from k.close(fd)
+            finally:
+                yield from locker.release("counter")
+            yield runner.sim.timeout(0.05)
+
+    runner.run_all(incrementer(0), incrementer(1))
+
+    def check():
+        k = world.clients[0].kernel
+        fd = yield from k.open("/data/counter", OpenMode.READ)
+        data = yield from k.read(fd, 64)
+        yield from k.close(fd)
+        return int(bytes(data))
+
+    assert runner.run(check()) == 2 * rounds

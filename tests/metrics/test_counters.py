@@ -1,0 +1,91 @@
+"""Tests for the Counters measurement primitive."""
+
+import pytest
+
+from repro.metrics import Counters
+
+
+def test_record_and_get():
+    c = Counters()
+    c.record("read")
+    c.record("read")
+    c.record("write", n=5)
+    assert c.get("read") == 2
+    assert c.get("write") == 5
+    assert c.get("missing") == 0
+
+
+def test_total_all_and_subset():
+    c = Counters()
+    c.record("a", n=1)
+    c.record("b", n=2)
+    c.record("c", n=3)
+    assert c.total() == 6
+    assert c.total(["a", "c"]) == 4
+    assert c.total(["nope"]) == 0
+
+
+def test_names_sorted():
+    c = Counters()
+    c.record("zeta")
+    c.record("alpha")
+    assert c.names() == ["alpha", "zeta"]
+
+
+def test_as_dict_is_a_copy():
+    c = Counters()
+    c.record("x")
+    d = c.as_dict()
+    d["x"] = 99
+    assert c.get("x") == 1
+
+
+def test_times_not_kept_by_default():
+    c = Counters()
+    c.record("op", t=1.5)
+    assert c.times("op") == []
+
+
+def test_times_kept_when_enabled():
+    c = Counters(keep_times=True)
+    c.record("op", t=1.5)
+    c.record("op", t=2.5)
+    c.record("other", t=9.0)
+    assert c.times("op") == [1.5, 2.5]
+    assert c.all_times() == [(1.5, "op"), (2.5, "op"), (9.0, "other")]
+
+
+def test_rate_series_buckets():
+    c = Counters(keep_times=True)
+    for t in (0.1, 0.2, 0.3, 5.5, 5.6):
+        c.record("op", t=t)
+    series = c.rate_series("op", bucket=5.0, t_end=10.0)
+    assert series == [(0.0, 3 / 5.0), (5.0, 2 / 5.0)]
+
+
+def test_rate_series_empty():
+    c = Counters(keep_times=True)
+    assert c.rate_series("op", bucket=1.0) == [(0.0, 0.0)]
+
+
+def test_reset_clears_everything():
+    c = Counters(keep_times=True)
+    c.record("op", t=1.0)
+    c.reset()
+    assert c.get("op") == 0
+    assert c.times("op") == []
+
+
+def test_snapshot_diff():
+    c = Counters()
+    c.record("a", n=3)
+    snap = c.as_dict()
+    c.record("a", n=2)
+    c.record("b", n=1)
+    assert c.snapshot_diff(snap) == {"a": 2, "b": 1}
+
+
+def test_repr_readable():
+    c = Counters()
+    c.record("x")
+    assert "x=1" in repr(c)

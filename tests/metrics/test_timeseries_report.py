@@ -1,0 +1,141 @@
+"""Tests for utilization sampling and table rendering."""
+
+import pytest
+
+from repro.host import Cpu
+from repro.metrics import (
+    TimeSeries,
+    UtilizationSampler,
+    format_series_table,
+    format_strip_chart,
+    format_table,
+)
+from repro.sim import Simulator
+
+
+# -- TimeSeries -----------------------------------------------------------
+
+
+def test_timeseries_stats():
+    ts = TimeSeries("x")
+    ts.append(1.0, 0.5)
+    ts.append(2.0, 1.5)
+    assert ts.mean() == pytest.approx(1.0)
+    assert ts.maximum() == 1.5
+    assert len(ts) == 2
+    assert ts.values() == [0.5, 1.5]
+    assert ts.times() == [1.0, 2.0]
+
+
+def test_timeseries_integral():
+    ts = TimeSeries()
+    ts.append(2.0, 1.0)  # width 2 x 1.0
+    ts.append(4.0, 0.5)  # width 2 x 0.5
+    assert ts.integral() == pytest.approx(3.0)
+
+
+def test_empty_timeseries():
+    ts = TimeSeries()
+    assert ts.mean() == 0.0
+    assert ts.maximum() == 0.0
+    assert ts.integral() == 0.0
+
+
+# -- UtilizationSampler ------------------------------------------------------
+
+
+def test_sampler_measures_cpu_busy_fraction():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    sampler = UtilizationSampler(sim, cpu.busy_time, interval=1.0)
+
+    def burner():
+        # busy 0.5 s of each 1 s interval, for 4 intervals
+        for _ in range(4):
+            yield from cpu.consume(0.5)
+            yield sim.timeout(0.5)
+
+    proc = sim.spawn(burner())
+    sim.run_until(proc, limit=100)
+    sampler.stop()
+    values = sampler.series.values()
+    assert len(values) >= 3
+    for v in values[:3]:
+        assert v == pytest.approx(0.5, abs=0.05)
+
+
+def test_sampler_idle_cpu_reads_zero():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    sampler = UtilizationSampler(sim, cpu.busy_time, interval=1.0)
+
+    def idle():
+        yield sim.timeout(3.5)
+
+    proc = sim.spawn(idle())
+    sim.run_until(proc, limit=100)
+    sampler.stop()
+    assert all(v == 0.0 for v in sampler.series.values())
+
+
+# -- report formatting -----------------------------------------------------
+
+
+def test_format_table_alignment():
+    out = format_table(
+        ["Name", "Value"],
+        [["alpha", 1], ["b", 22.5]],
+        title="T",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "Name" in lines[1] and "Value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "alpha" in lines[3]
+    assert "22.5" in lines[4]
+
+
+def test_format_table_numbers_right_aligned():
+    out = format_table(["N", "V"], [["x", 1], ["yy", 100]])
+    lines = out.splitlines()
+    # the numeric column's digits end at the same offset
+    assert lines[-1].rstrip().endswith("100")
+    assert lines[-2].rstrip().endswith("1")
+    assert len(lines[-1].rstrip()) >= len(lines[-2].rstrip())
+
+
+def test_format_strip_chart_bars_scale():
+    out = format_strip_chart([(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)], width=10)
+    lines = out.splitlines()
+    assert lines[0].count("#") == 0
+    assert lines[1].count("#") == 10
+    assert lines[2].count("#") == 5
+
+
+def test_format_strip_chart_empty():
+    assert "empty" in format_strip_chart([], title="t")
+
+
+def test_format_series_table():
+    out = format_series_table(
+        [("a", [(0.0, 1.0), (5.0, 2.0)]), ("b", [(0.0, 3.0)])],
+        title="S",
+    )
+    assert "a" in out and "b" in out
+    assert "1.000" in out and "3.000" in out
+
+
+def test_series_to_csv_merges_timestamps():
+    from repro.metrics import series_to_csv
+
+    csv = series_to_csv([("a", [(0.0, 1.0), (5.0, 2.0)]), ("b", [(5.0, 9.0)])])
+    lines = csv.strip().splitlines()
+    assert lines[0] == "t,a,b"
+    assert lines[1] == "0,1,"
+    assert lines[2] == "5,2,9"
+
+
+def test_series_to_csv_empty():
+    from repro.metrics import series_to_csv
+
+    assert series_to_csv([]) == "t\n"

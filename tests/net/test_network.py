@@ -1,0 +1,162 @@
+"""Tests for the simulated network layer."""
+
+import pytest
+
+from repro.net import Network, NetworkConfig, NetworkError
+from repro.sim import Simulator
+
+
+def make_net(**kw):
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(**kw))
+    return sim, net
+
+
+def test_attach_and_duplicate_address():
+    sim, net = make_net()
+    net.attach("a")
+    with pytest.raises(NetworkError):
+        net.attach("a")
+
+
+def test_port_clash_rejected():
+    sim, net = make_net()
+    iface = net.attach("a")
+    iface.listen(7)
+    with pytest.raises(NetworkError):
+        iface.listen(7)
+
+
+def test_delivery_latency_and_payload():
+    sim, net = make_net(latency=0.5, bandwidth=1e9)
+    a = net.attach("a")
+    b = net.attach("b")
+    inbox = b.listen(9)
+    got = []
+
+    def sender(sim):
+        yield from a.send("b", 9, "hello", size=100)
+
+    def receiver(sim):
+        pkt = yield inbox.get()
+        got.append((sim.now, pkt.payload, pkt.src))
+
+    sim.spawn(sender(sim))
+    sim.spawn(receiver(sim))
+    sim.run()
+    t, payload, src = got[0]
+    assert payload == "hello"
+    assert src == "a"
+    assert t == pytest.approx(0.5, abs=1e-3)
+
+
+def test_bandwidth_serialization_on_nic():
+    # Two 1 MB messages over a 1 MB/s link: second is delayed a second.
+    sim, net = make_net(latency=0.0, bandwidth=1e6)
+    a = net.attach("a")
+    b = net.attach("b")
+    inbox = b.listen(1)
+    arrivals = []
+
+    def sender(sim, tag):
+        yield from a.send("b", 1, tag, size=1_000_000)
+
+    def receiver(sim):
+        for _ in range(2):
+            pkt = yield inbox.get()
+            arrivals.append((pkt.payload, sim.now))
+
+    sim.spawn(sender(sim, "first"))
+    sim.spawn(sender(sim, "second"))
+    sim.spawn(receiver(sim))
+    sim.run()
+    assert arrivals[0][0] == "first"
+    assert arrivals[0][1] == pytest.approx(1.0)
+    assert arrivals[1][1] == pytest.approx(2.0)
+
+
+def test_unbound_port_packet_dropped():
+    sim, net = make_net()
+    a = net.attach("a")
+    net.attach("b")
+
+    def sender(sim):
+        yield from a.send("b", 99, "void", size=10)
+
+    sim.spawn(sender(sim))
+    sim.run()
+    assert net.stats.get("packets") == 1
+
+
+def test_unroutable_counted():
+    sim, net = make_net()
+    a = net.attach("a")
+
+    def sender(sim):
+        yield from a.send("nowhere", 1, "x", size=10)
+
+    sim.spawn(sender(sim))
+    sim.run()
+    assert net.stats.get("unroutable") == 1
+
+
+def test_drop_rate_loses_packets():
+    sim, net = make_net(drop_rate=1.0)
+    a = net.attach("a")
+    b = net.attach("b")
+    inbox = b.listen(1)
+
+    def sender(sim):
+        yield from a.send("b", 1, "x", size=10)
+
+    sim.spawn(sender(sim))
+    sim.run()
+    assert net.stats.get("dropped") == 1
+    assert len(inbox) == 0
+
+
+def test_down_interface_loses_packets():
+    sim, net = make_net()
+    a = net.attach("a")
+    b = net.attach("b")
+    inbox = b.listen(1)
+    b.up = False
+
+    def sender(sim):
+        yield from a.send("b", 1, "x", size=10)
+
+    sim.spawn(sender(sim))
+    sim.run()
+    assert len(inbox) == 0
+
+
+def test_negative_size_rejected():
+    sim, net = make_net()
+    a = net.attach("a")
+    net.attach("b")
+
+    def sender(sim):
+        yield from a.send("b", 1, "x", size=-5)
+
+    def check(sim):
+        with pytest.raises(NetworkError):
+            yield sim.spawn(sender(sim))
+
+    sim.spawn(check(sim))
+    sim.run()
+
+
+def test_byte_stats_accumulate():
+    sim, net = make_net()
+    a = net.attach("a")
+    b = net.attach("b")
+    b.listen(1)
+
+    def sender(sim):
+        yield from a.send("b", 1, "x", size=100)
+        yield from a.send("b", 1, "y", size=200)
+
+    sim.spawn(sender(sim))
+    sim.run()
+    assert net.stats.get("bytes") == 300
+    assert net.stats.get("packets") == 2

@@ -1,0 +1,61 @@
+"""Tests for the packet-trace observability feature."""
+
+import pytest
+
+from repro.net import Network, NetworkConfig, RpcEndpoint
+from repro.sim import Simulator
+
+
+def test_trace_disabled_by_default():
+    sim = Simulator()
+    net = Network(sim)
+    a = net.attach("a")
+    net.attach("b").listen(1)
+
+    def sender():
+        yield from a.send("b", 1, "x", size=10)
+
+    proc = sim.spawn(sender())
+    sim.run_until(proc, limit=10)
+    assert net.packet_trace() == []
+
+
+def test_trace_records_rpc_calls_and_replies():
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(trace_packets=100))
+    client = RpcEndpoint(sim, net, "client")
+    server = RpcEndpoint(sim, net, "server")
+
+    def ping(src):
+        yield sim.timeout(0.001)
+        return "pong"
+
+    server.register("nfs.ping", ping)
+
+    def caller():
+        yield from client.call("server", "nfs.ping")
+
+    proc = sim.spawn(caller())
+    sim.run_until(proc, limit=10)
+    kinds = [entry[3] for entry in net.packet_trace()]
+    assert "call:nfs.ping" in kinds
+    assert "reply:nfs.ping" in kinds
+    # entries carry (t, src, dst, kind, size)
+    t, src, dst, kind, size = net.packet_trace()[0]
+    assert src == "client" and dst == "server"
+    assert size > 0
+
+
+def test_trace_is_bounded():
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(trace_packets=5))
+    a = net.attach("a")
+    net.attach("b").listen(1)
+
+    def sender():
+        for i in range(20):
+            yield from a.send("b", 1, i, size=10)
+
+    proc = sim.spawn(sender())
+    sim.run_until(proc, limit=10)
+    assert len(net.packet_trace()) == 5

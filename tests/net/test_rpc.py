@@ -1,0 +1,254 @@
+"""Tests for the RPC layer: calls, errors, retransmission, dup cache."""
+
+import pytest
+
+from repro.net import (
+    Network,
+    NetworkConfig,
+    RpcConfig,
+    RpcEndpoint,
+    RpcProcedureError,
+    RpcTimeout,
+    estimate_size,
+)
+from repro.sim import Simulator
+
+
+def make_pair(net_kw=None, rpc_kw=None):
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(**(net_kw or {})))
+    cfg = RpcConfig(**(rpc_kw or {}))
+    client = RpcEndpoint(sim, net, "client", config=cfg)
+    server = RpcEndpoint(sim, net, "server", config=cfg)
+    return sim, net, client, server
+
+
+def run_call(sim, client, *call_args, **call_kw):
+    result = {}
+
+    def caller(sim):
+        try:
+            result["value"] = yield from client.call(*call_args, **call_kw)
+        except BaseException as exc:  # noqa: BLE001
+            result["error"] = exc
+
+    sim.spawn(caller(sim))
+    sim.run()
+    return result
+
+
+def test_basic_call_and_reply():
+    sim, net, client, server = make_pair()
+
+    def add(src, a, b):
+        yield sim.timeout(0.001)
+        return a + b
+
+    server.register("add", add)
+    result = run_call(sim, client, "server", "add", 2, 3)
+    assert result["value"] == 5
+
+
+def test_handler_exception_propagates_to_caller():
+    sim, net, client, server = make_pair()
+
+    def explode(src):
+        yield sim.timeout(0)
+        raise KeyError("kaboom")
+
+    server.register("explode", explode)
+    result = run_call(sim, client, "server", "explode")
+    assert isinstance(result["error"], KeyError)
+
+
+def test_unknown_procedure_errors():
+    sim, net, client, server = make_pair()
+    result = run_call(sim, client, "server", "nonesuch")
+    assert isinstance(result["error"], RpcProcedureError)
+
+
+def test_duplicate_registration_rejected():
+    sim, net, client, server = make_pair()
+
+    def h(src):
+        yield sim.timeout(0)
+
+    server.register("p", h)
+    with pytest.raises(Exception):
+        server.register("p", h)
+
+
+def test_call_to_dead_server_times_out():
+    sim, net, client, server = make_pair(
+        rpc_kw={"timeout": 0.1, "max_retries": 2, "backoff": 1.0}
+    )
+    server.crash()
+    result = run_call(sim, client, "server", "anything")
+    assert isinstance(result["error"], RpcTimeout)
+    # 3 attempts x 0.1 s
+    assert sim.now == pytest.approx(0.3, abs=0.05)
+
+
+def test_retransmission_succeeds_after_packet_loss():
+    # First packet dropped, retry gets through.
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(drop_rate=0.0))
+    cfg = RpcConfig(timeout=0.2, max_retries=3, backoff=1.0)
+    client = RpcEndpoint(sim, net, "client", config=cfg)
+    server = RpcEndpoint(sim, net, "server", config=cfg)
+    calls = []
+
+    def ping(src):
+        calls.append(sim.now)
+        yield sim.timeout(0.001)
+        return "pong"
+
+    server.register("ping", ping)
+    # Drop exactly the first transmission by toggling drop_rate.
+    net.config.drop_rate = 1.0
+
+    def undrop(sim):
+        yield sim.timeout(0.1)
+        net.config.drop_rate = 0.0
+
+    sim.spawn(undrop(sim))
+    result = run_call(sim, client, "server", "ping")
+    assert result["value"] == "pong"
+    assert client.client_stats.get("ping.retransmit") >= 1
+
+
+def test_dup_cache_prevents_reexecution():
+    """A slow handler + short client timeout: the retransmission must not
+    run the handler twice (at-most-once execution via the dup cache)."""
+    sim, net, client, server = make_pair(
+        rpc_kw={"timeout": 0.05, "max_retries": 5, "backoff": 1.0}
+    )
+    executions = []
+
+    def slow_increment(src):
+        executions.append(sim.now)
+        yield sim.timeout(0.2)  # longer than client timeout
+        return len(executions)
+
+    server.register("inc", slow_increment)
+    result = run_call(sim, client, "server", "inc")
+    assert result["value"] == 1
+    assert len(executions) == 1
+
+
+def test_dup_cache_resends_completed_reply():
+    """Reply lost on the way back: the retransmitted request is answered
+    from the dup cache without re-running the handler."""
+    sim = Simulator()
+    net = Network(sim, NetworkConfig())
+    cfg = RpcConfig(timeout=0.3, max_retries=3, backoff=1.0)
+    client = RpcEndpoint(sim, net, "client", config=cfg)
+    server = RpcEndpoint(sim, net, "server", config=cfg)
+    executions = []
+
+    def handler(src):
+        executions.append(sim.now)
+        yield sim.timeout(0.01)
+        # lose the first reply only
+        if len(executions) == 1:
+            net.config.drop_rate = 1.0
+
+            def undrop(sim):
+                yield sim.timeout(0.05)
+                net.config.drop_rate = 0.0
+
+            sim.spawn(undrop(sim))
+        return "done"
+
+    server.register("h", handler)
+    result = run_call(sim, client, "server", "h")
+    assert result["value"] == "done"
+    assert len(executions) == 1
+
+
+def test_concurrent_calls_limited_by_thread_pool():
+    sim, net, client, server = make_pair(rpc_kw={"server_threads": 2})
+    active = []
+    peak = []
+
+    def busy(src):
+        active.append(1)
+        peak.append(len(active))
+        yield sim.timeout(1.0)
+        active.pop()
+        return "ok"
+
+    server.register("busy", busy)
+    done = []
+
+    def caller(sim, i):
+        value = yield from client.call("server", "busy")
+        done.append(i)
+
+    for i in range(5):
+        sim.spawn(caller(sim, i))
+    sim.run()
+    assert len(done) == 5
+    assert max(peak) <= 2
+
+
+def test_server_to_client_call_symmetric():
+    """SNFS callbacks: the server calls a procedure served by the client."""
+    sim, net, client, server = make_pair()
+
+    def client_side(src, msg):
+        yield sim.timeout(0.001)
+        return "client got " + msg
+
+    client.register("callback", client_side)
+    result = run_call(sim, server, "client", "callback", "hi")
+    assert result["value"] == "client got hi"
+
+
+def test_stats_recorded_both_sides():
+    sim, net, client, server = make_pair()
+
+    def noop(src):
+        yield sim.timeout(0)
+        return None
+
+    server.register("noop", noop)
+    run_call(sim, client, "server", "noop")
+    assert client.client_stats.get("noop") == 1
+    assert server.server_stats.get("noop") == 1
+
+
+def test_estimate_size_rules():
+    assert estimate_size(None) == 0
+    assert estimate_size(b"x" * 4096) == 4096
+    assert estimate_size("abc") == 3
+    assert estimate_size((1, 2, 3)) == 24
+    assert estimate_size({"k": b"xx"}) == 3
+    assert estimate_size([b"a", b"bc"]) == 3
+
+
+def test_crash_and_reboot_cycle():
+    sim, net, client, server = make_pair(
+        rpc_kw={"timeout": 0.1, "max_retries": 1, "backoff": 1.0}
+    )
+
+    def ping(src):
+        yield sim.timeout(0.001)
+        return "pong"
+
+    server.register("ping", ping)
+    results = []
+
+    def scenario(sim):
+        server.crash()
+        try:
+            yield from client.call("server", "ping")
+        except RpcTimeout:
+            results.append("timeout")
+        server.reboot()
+        value = yield from client.call("server", "ping")
+        results.append(value)
+
+    sim.spawn(scenario(sim))
+    sim.run()
+    assert results == ["timeout", "pong"]

@@ -1,0 +1,159 @@
+"""Edge-case RPC tests: hard mounts, backoff, dup-cache bounds."""
+
+import pytest
+
+from repro.net import Network, NetworkConfig, RpcConfig, RpcEndpoint, RpcTimeout
+from repro.sim import Simulator
+
+
+def make_pair(net_kw=None, rpc_kw=None):
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(**(net_kw or {})))
+    cfg = RpcConfig(**(rpc_kw or {}))
+    client = RpcEndpoint(sim, net, "client", config=cfg)
+    server = RpcEndpoint(sim, net, "server", config=cfg)
+    return sim, net, client, server
+
+
+def test_hard_mount_retries_until_server_returns():
+    """hard=True never gives up: the call survives a long outage."""
+    sim, net, client, server = make_pair(rpc_kw={"timeout": 0.5, "max_retries": 1})
+
+    def ping(src):
+        yield sim.timeout(0.001)
+        return "pong"
+
+    server.register("ping", ping)
+    server.crash()
+    results = []
+
+    def caller():
+        value = yield from client.call("server", "ping", hard=True)
+        results.append((value, sim.now))
+
+    def resurrect():
+        yield sim.timeout(120.0)  # far beyond the soft-mount budget
+        server.reboot()
+
+    sim.spawn(caller())
+    sim.spawn(resurrect())
+    sim.run(until=400.0)
+    assert results and results[0][0] == "pong"
+    assert results[0][1] >= 120.0
+
+
+def test_soft_mount_gives_up():
+    sim, net, client, server = make_pair(rpc_kw={"timeout": 0.5, "max_retries": 1})
+    server.crash()
+    errors = []
+
+    def caller():
+        try:
+            yield from client.call("server", "ping")
+        except RpcTimeout:
+            errors.append(sim.now)
+
+    sim.spawn(caller())
+    sim.run()
+    assert errors  # gave up after timeout + 1 retry
+
+
+def test_backoff_is_capped_at_30s():
+    """Retransmission intervals double but never exceed 30 s, so a
+    hard-mounted client polls a dead server at a bounded rate."""
+    sim, net, client, server = make_pair(rpc_kw={"timeout": 10.0})
+    server.crash()
+
+    def caller():
+        yield from client.call("server", "ping", hard=True)
+
+    sim.spawn(caller())
+    sim.run(until=200.0)
+    retries = client.client_stats.get("ping.retransmit")
+    # 10 + 20 + 30 + 30 + ... : by t=200 there are ~7 retransmissions;
+    # without the cap there would be only ~4 (10+20+40+80)
+    assert retries >= 6
+
+
+def test_per_call_retry_override():
+    sim, net, client, server = make_pair(rpc_kw={"timeout": 0.2, "max_retries": 9, "backoff": 1.0})
+    server.crash()
+    errors = []
+
+    def caller():
+        try:
+            yield from client.call("server", "ping", max_retries=1)
+        except RpcTimeout:
+            errors.append(sim.now)
+
+    sim.spawn(caller())
+    sim.run()
+    # 2 attempts x 0.2 s, not 10 attempts
+    assert errors and errors[0] == pytest.approx(0.4, abs=0.05)
+
+
+def test_dup_cache_bounded():
+    sim, net, client, server = make_pair(rpc_kw={"dup_cache_size": 4})
+
+    def echo(src, x):
+        yield sim.timeout(0)
+        return x
+
+    server.register("echo", echo)
+
+    def caller():
+        for i in range(20):
+            value = yield from client.call("server", "echo", i)
+            assert value == i
+
+    proc = sim.spawn(caller())
+    sim.run_until(proc, limit=100)
+    assert len(server._dup_cache._done) <= 4
+
+
+def test_calls_carry_data_sized_payloads():
+    """A 4 KB write costs ~4 KB on the wire; a getattr costs ~200 B."""
+    sim, net, client, server = make_pair()
+
+    def sink(src, data):
+        yield sim.timeout(0)
+        return None
+
+    def tiny(src):
+        yield sim.timeout(0)
+        return None
+
+    server.register("sink", sink)
+    server.register("tiny", tiny)
+
+    def caller():
+        yield from client.call("server", "tiny")
+        small = net.stats.get("bytes")
+        yield from client.call("server", "sink", b"x" * 4096)
+        large = net.stats.get("bytes") - small
+        assert large > 4096
+        assert small < 1000
+
+    proc = sim.spawn(caller())
+    sim.run_until(proc, limit=100)
+    assert proc.ok
+
+
+def test_concurrent_calls_from_one_endpoint():
+    sim, net, client, server = make_pair()
+
+    def slow_echo(src, x):
+        yield sim.timeout(0.1)
+        return x * 10
+
+    server.register("echo", slow_echo)
+    results = []
+
+    def caller(i):
+        value = yield from client.call("server", "echo", i)
+        results.append(value)
+
+    for i in range(5):
+        sim.spawn(caller(i))
+    sim.run()
+    assert sorted(results) == [0, 10, 20, 30, 40]

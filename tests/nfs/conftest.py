@@ -1,0 +1,54 @@
+"""NFS test fixtures: one server, one or two client hosts."""
+
+import pytest
+
+from repro.host import Host, HostConfig
+from repro.net import Network
+from repro.nfs import NfsClient, NfsClientConfig, NfsServer
+
+
+class NfsWorld:
+    """A server exporting /export plus client hosts mounting it at /data."""
+
+    def __init__(self, runner, n_clients=1, client_config=None):
+        self.runner = runner
+        sim = runner.sim
+        self.network = Network(sim)
+        self.server_host = Host(sim, self.network, "server", HostConfig.titan_server())
+        self.export = self.server_host.add_local_fs("/export", fsid="exportfs")
+        self.server = NfsServer(self.server_host, self.export)
+        self.clients = []
+        self.mounts = []
+        for i in range(n_clients):
+            host = Host(sim, self.network, "client%d" % i, HostConfig.titan_client())
+            client = NfsClient(
+                "nfs%d" % i, host, "server", config=client_config or NfsClientConfig()
+            )
+            runner.run(client.attach())
+            host.kernel.mount("/data", client)
+            self.clients.append(host)
+            self.mounts.append(client)
+
+    @property
+    def client(self):
+        return self.clients[0]
+
+    @property
+    def mount(self):
+        return self.mounts[0]
+
+    def client_rpc_count(self, proc, i=0):
+        return self.clients[i].rpc.client_stats.get(proc)
+
+    def server_disk(self):
+        return self.export.lfs.disk
+
+
+@pytest.fixture
+def world(runner):
+    return NfsWorld(runner)
+
+
+@pytest.fixture
+def world2(runner):
+    return NfsWorld(runner, n_clients=2)

@@ -1,0 +1,102 @@
+"""Tests for the directory-name-lookup cache extension (§7)."""
+
+import pytest
+
+from repro.fs import NoSuchFile, OpenMode
+from repro.nfs import PROC, NfsClientConfig
+from tests.nfs.conftest import NfsWorld
+
+
+@pytest.fixture
+def world(runner):
+    return NfsWorld(
+        runner, client_config=NfsClientConfig(name_cache_ttl=30.0)
+    )
+
+
+def test_repeated_lookups_hit_the_cache(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.close(fd)
+        before = world.client_rpc_count(PROC.LOOKUP)
+        for _ in range(5):
+            yield from k.stat("/data/f")
+        return world.client_rpc_count(PROC.LOOKUP) - before
+
+    assert runner.run(scenario()) == 0  # all five resolved locally
+
+
+def test_cache_expires_after_ttl(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.close(fd)
+        yield from k.stat("/data/f")
+        before = world.client_rpc_count(PROC.LOOKUP)
+        yield runner.sim.timeout(60.0)  # past the 30 s TTL
+        yield from k.stat("/data/f")
+        return world.client_rpc_count(PROC.LOOKUP) - before
+
+    assert runner.run(scenario()) == 1
+
+
+def test_unlink_purges_name(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.close(fd)
+        yield from k.stat("/data/f")
+        yield from k.unlink("/data/f")
+        with pytest.raises(NoSuchFile):
+            yield from k.stat("/data/f")
+
+    runner.run(scenario())
+
+
+def test_rename_purges_both_names(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/a", OpenMode.WRITE, create=True)
+        yield from k.close(fd)
+        yield from k.stat("/data/a")
+        yield from k.rename("/data/a", "/data/b")
+        with pytest.raises(NoSuchFile):
+            yield from k.stat("/data/a")
+        attr = yield from k.stat("/data/b")
+        return attr
+
+    runner.run(scenario())
+
+
+def test_cache_disabled_by_default(runner):
+    world = NfsWorld(runner)  # default config: ttl 0
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.close(fd)
+        before = world.client_rpc_count(PROC.LOOKUP)
+        yield from k.stat("/data/f")
+        yield from k.stat("/data/f")
+        return world.client_rpc_count(PROC.LOOKUP) - before
+
+    assert runner.run(scenario()) == 2  # one RPC per stat, no caching
+
+
+def test_name_cache_reduces_andrew_lookups():
+    from repro.experiments import run_andrew
+    from repro.workloads import make_tree
+
+    tree = make_tree(n_dirs=1, files_per_dir=6)
+    base = run_andrew("nfs", remote_tmp=True, tree=tree)
+    cached = run_andrew(
+        "nfs", remote_tmp=True, tree=tree,
+        client_config=NfsClientConfig(name_cache_ttl=30.0),
+    )
+    assert cached.rpc_rows["lookup"] < base.rpc_rows["lookup"] * 0.5
+    assert cached.result.total <= base.result.total

@@ -1,0 +1,243 @@
+"""End-to-end NFS tests: file operations through the kernel syscall layer."""
+
+import pytest
+
+from repro.fs import NoSuchFile, OpenMode
+from repro.nfs import PROC
+
+
+def test_create_write_read_roundtrip(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"hello over the wire")
+        yield from k.close(fd)
+        fd = yield from k.open("/data/f", OpenMode.READ)
+        data = yield from k.read(fd, 100)
+        yield from k.close(fd)
+        return data
+
+    assert runner.run(scenario()) == b"hello over the wire"
+
+
+def test_data_lands_on_server_disk_after_close(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"x" * 8192)  # two full blocks
+        yield from k.close(fd)
+
+    runner.run(scenario())
+    # write-through: both data blocks are on the server's disk
+    assert world.server_disk().stats.get("write_blocks") >= 2
+    # and the server's local fs has the content
+    lfs = world.export.lfs
+    inum = runner.run(lfs.lookup(lfs.root_inum, "f"))
+    assert lfs._attr(inum).size == 8192
+
+
+def test_multi_component_lookup_rpcs(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        yield from k.mkdir("/data/a")
+        yield from k.mkdir("/data/a/b")
+        fd = yield from k.open("/data/a/b/f", OpenMode.WRITE, create=True)
+        yield from k.close(fd)
+        before = world.client_rpc_count(PROC.LOOKUP)
+        attr = yield from k.stat("/data/a/b/f")
+        after = world.client_rpc_count(PROC.LOOKUP)
+        return after - before
+
+    # one lookup RPC per path component: a, b, f
+    assert runner.run(scenario()) == 3
+
+
+def test_file_not_found_propagates(runner, world):
+    k = world.client.kernel
+    with pytest.raises(NoSuchFile):
+        runner.run(k.stat("/data/ghost"))
+
+
+def test_mkdir_readdir_rmdir(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        yield from k.mkdir("/data/d")
+        fd = yield from k.open("/data/d/one", OpenMode.WRITE, create=True)
+        yield from k.close(fd)
+        names = yield from k.readdir("/data/d")
+        yield from k.unlink("/data/d/one")
+        yield from k.rmdir("/data/d")
+        root_names = yield from k.readdir("/data")
+        return names, root_names
+
+    names, root_names = runner.run(scenario())
+    assert names == ["one"]
+    assert "d" not in root_names
+
+
+def test_rename_over_nfs(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/old", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"content")
+        yield from k.close(fd)
+        yield from k.rename("/data/old", "/data/new")
+        fd = yield from k.open("/data/new", OpenMode.READ)
+        data = yield from k.read(fd, 100)
+        yield from k.close(fd)
+        return data
+
+    assert runner.run(scenario()) == b"content"
+
+
+def test_truncate_over_nfs(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"0123456789")
+        yield from k.close(fd)
+        yield from k.truncate("/data/f", 4)
+        attr = yield from k.stat("/data/f")
+        fd = yield from k.open("/data/f", OpenMode.READ)
+        data = yield from k.read(fd, 100)
+        yield from k.close(fd)
+        return attr.size, data
+
+    size, data = runner.run(scenario())
+    assert size == 4
+    assert data == b"0123"
+
+
+def test_partial_block_write_is_delayed(runner, world):
+    """The reference port delays writes that don't fill a block."""
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"tiny")
+        # not closed yet: no write RPC should have gone out
+        yield runner.sim.timeout(0.5)
+        mid = world.client_rpc_count(PROC.WRITE)
+        yield from k.close(fd)
+        return mid
+
+    mid = runner.run(scenario())
+    assert mid == 0
+    assert world.client_rpc_count(PROC.WRITE) == 1  # flushed at close
+
+
+def test_full_block_write_through_is_async(runner, world):
+    """The app is not blocked by the server write; close waits for it."""
+    k = world.client.kernel
+    times = {}
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        t0 = runner.sim.now
+        yield from k.write(fd, b"x" * 4096)
+        times["write_returned"] = runner.sim.now - t0
+        yield from k.close(fd)
+        times["closed"] = runner.sim.now - t0
+
+    runner.run(scenario())
+    # the write returned long before the disk write-through completed
+    assert times["write_returned"] < 0.005
+    assert times["closed"] > 0.02  # had to wait for the server disk
+
+
+def test_close_drains_all_pending_writes(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"y" * (4096 * 6))
+        yield from k.close(fd)
+
+    runner.run(scenario())
+    assert world.client_rpc_count(PROC.WRITE) == 6
+    assert world.server_disk().stats.get("write_blocks") >= 6
+
+
+def test_cached_read_needs_no_second_rpc(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"z" * 4096)
+        yield from k.close(fd)
+        fd = yield from k.open("/data/f", OpenMode.READ)
+        yield from k.read(fd, 4096)
+        first = world.client_rpc_count(PROC.READ)
+        k.lseek(fd, 0)
+        yield from k.read(fd, 4096)
+        second = world.client_rpc_count(PROC.READ)
+        yield from k.close(fd)
+        return first, second
+
+    first, second = runner.run(scenario())
+    assert first >= 1
+    assert second == first  # the repeat read hit the client cache
+
+
+def test_invalidate_on_close_bug_forces_rereads(runner, world):
+    """Write, close, reopen, read: the bug makes the read go to the
+    server even though the client just wrote the data (§5.2)."""
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"w" * 4096)
+        yield from k.close(fd)
+        before = world.client_rpc_count(PROC.READ)
+        fd = yield from k.open("/data/f", OpenMode.READ)
+        yield from k.read(fd, 4096)
+        yield from k.close(fd)
+        return world.client_rpc_count(PROC.READ) - before
+
+    assert runner.run(scenario()) >= 1
+
+
+def test_fixed_client_keeps_cache_across_close(runner):
+    """With the bug fixed (modern client), the reread is free."""
+    from repro.nfs import NfsClientConfig
+    from tests.nfs.conftest import NfsWorld
+
+    world = NfsWorld(
+        runner, client_config=NfsClientConfig(invalidate_on_close=False)
+    )
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"w" * 4096)
+        yield from k.close(fd)
+        before = world.client_rpc_count(PROC.READ)
+        fd = yield from k.open("/data/f", OpenMode.READ)
+        data = yield from k.read(fd, 4096)
+        yield from k.close(fd)
+        return world.client_rpc_count(PROC.READ) - before, data
+
+    extra_reads, data = runner.run(scenario())
+    assert extra_reads == 0
+    assert data == b"w" * 4096
+
+
+def test_unlink_purges_and_removes(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"x" * 4096)
+        yield from k.close(fd)
+        yield from k.unlink("/data/f")
+        with pytest.raises(NoSuchFile):
+            yield from k.stat("/data/f")
+
+    runner.run(scenario())
+    assert world.client_rpc_count(PROC.REMOVE) == 1

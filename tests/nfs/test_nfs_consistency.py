@@ -1,0 +1,146 @@
+"""NFS consistency semantics with two clients (§2.1, §2.3).
+
+NFS provides only probabilistic consistency: a reader can see stale
+data for up to the attribute-probe interval while another client
+writes.  Sequential write-sharing (writer closes before reader opens)
+is consistent.  These tests pin down both behaviours — the weakness
+SNFS exists to fix, and the case NFS does handle.
+"""
+
+import pytest
+
+from repro.fs import OpenMode
+from repro.nfs import PROC
+
+
+def write_file(k, path, data):
+    fd = yield from k.open(path, OpenMode.WRITE, create=True, truncate=True)
+    yield from k.write(fd, data)
+    yield from k.close(fd)
+
+
+def read_file(k, path, n=1 << 20):
+    fd = yield from k.open(path, OpenMode.READ)
+    data = yield from k.read(fd, n)
+    yield from k.close(fd)
+    return data
+
+
+def test_sequential_write_sharing_is_consistent(runner, world2):
+    """Writer closes before reader opens: reader sees the new data."""
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"version-1")
+        data1 = yield from read_file(k1, "/data/f")
+        yield from write_file(k0, "/data/f", b"version-2")
+        data2 = yield from read_file(k1, "/data/f")
+        return data1, data2
+
+    data1, data2 = runner.run(scenario())
+    assert data1 == b"version-1"
+    assert data2 == b"version-2"
+
+
+def test_concurrent_reader_sees_stale_data_within_probe_window(runner, world2):
+    """Reader holds the file open with fresh attrs; writer updates it;
+    reader's next read within the probe interval returns stale bytes."""
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+    observations = []
+
+    def reader():
+        fd = yield from k1.open("/data/f", OpenMode.READ)
+        data = yield from k1.read(fd, 4096)
+        observations.append(("initial", bytes(data)))
+        # writer updates the file at t~1s; we re-read immediately after
+        yield runner.sim.timeout(2.0)
+        k1.lseek(fd, 0)
+        data = yield from k1.read(fd, 4096)
+        observations.append(("stale-window", bytes(data)))
+        # after the probe interval has certainly passed, read again
+        yield runner.sim.timeout(200.0)
+        k1.lseek(fd, 0)
+        data = yield from k1.read(fd, 4096)
+        observations.append(("after-probe", bytes(data)))
+        yield from k1.close(fd)
+
+    def writer():
+        yield runner.sim.timeout(1.0)
+        fd = yield from k0.open("/data/f", OpenMode.WRITE)
+        yield from k0.write(fd, b"NEW!" * 1024)
+        yield from k0.close(fd)
+
+    def setup():
+        yield from write_file(k0, "/data/f", b"old." * 1024)
+
+    runner.run(setup())
+    runner.run_all(reader(), writer())
+    obs = dict(observations)
+    assert obs["initial"] == b"old." * 1024
+    # within the probe window NFS serves stale cached data: incorrect!
+    assert obs["stale-window"] == b"old." * 1024
+    # once the attribute probe fires, the cache is invalidated
+    assert obs["after-probe"] == b"NEW!" * 1024
+
+
+def test_attr_probe_interval_adapts(runner, world):
+    """Probes back off (3 s -> 150 s cap) while a file stays unchanged."""
+    k = world.client.kernel
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"stable")
+        fd = yield from k.open("/data/f", OpenMode.READ)
+        getattrs = []
+        for _ in range(60):
+            yield runner.sim.timeout(10.0)
+            before = world.client_rpc_count(PROC.GETATTR)
+            yield from k.read(fd, 10)
+            k.lseek(fd, 0)
+            getattrs.append(world.client_rpc_count(PROC.GETATTR) - before)
+        yield from k.close(fd)
+        return getattrs
+
+    getattrs = runner.run(scenario())
+    # early reads probe often; later reads (interval grown) probe rarely
+    early = sum(getattrs[:10])
+    late = sum(getattrs[-10:])
+    assert early > late
+    assert late <= 2
+
+
+def test_probe_detects_remote_change_and_invalidates(runner, world2):
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"A" * 4096)
+        data1 = yield from read_file(k1, "/data/f")
+        # remote update
+        yield from write_file(k0, "/data/f", b"B" * 4096)
+        # wait out the max probe interval, then read again
+        yield runner.sim.timeout(200.0)
+        data2 = yield from read_file(k1, "/data/f")
+        return data1, data2
+
+    data1, data2 = runner.run(scenario())
+    assert data1 == b"A" * 4096
+    assert data2 == b"B" * 4096
+
+
+def test_no_probes_for_write_shared_file_until_interval(runner, world2):
+    """Consistency checks are made with the server only — clients never
+    talk to each other in NFS (there is no callback machinery)."""
+    k0 = world2.clients[0].kernel
+    server_stats = world2.server_host.rpc.server_stats
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"data")
+
+    runner.run(scenario())
+    # no server->client traffic exists in NFS: the clients' RPC
+    # endpoints never served anything
+    assert world2.clients[0].rpc.server_stats.total() == 0
+    assert world2.clients[1].rpc.server_stats.total() == 0
+    assert server_stats.total() > 0

@@ -1,0 +1,145 @@
+"""Direct RPC-level tests of the stateless NFS server."""
+
+import pytest
+
+from repro.fs import (
+    DirectoryNotEmpty,
+    FileExists,
+    IsADirectory,
+    NoSuchFile,
+    StaleHandle,
+)
+from repro.host import Host, HostConfig
+from repro.net import Network, RpcEndpoint
+from repro.nfs import PROC, NfsServer
+
+
+class RawNfs:
+    def __init__(self, runner):
+        sim = runner.sim
+        self.runner = runner
+        self.network = Network(sim)
+        self.server_host = Host(sim, self.network, "server", HostConfig.titan_server())
+        self.export = self.server_host.add_local_fs("/export", fsid="exportfs")
+        self.server = NfsServer(self.server_host, self.export)
+        self.client = RpcEndpoint(sim, self.network, "raw")
+
+    def call(self, proc, *args):
+        return self.runner.run(self.client.call("server", proc, *args))
+
+    def root(self):
+        fh, _ = self.call(PROC.MNT)
+        return fh
+
+
+@pytest.fixture
+def world(runner):
+    return RawNfs(runner)
+
+
+def test_mnt_returns_root_directory(world):
+    fh, attr = world.call(PROC.MNT)
+    assert attr.ftype.name == "DIRECTORY"
+    assert fh.fsid == "exportfs"
+
+
+def test_create_is_idempotent(world):
+    root = world.root()
+    fh1, _ = world.call(PROC.CREATE, root, "f", 0o644)
+    fh2, _ = world.call(PROC.CREATE, root, "f", 0o644)
+    assert fh1 == fh2  # retransmitted create: same file, no error
+
+
+def test_write_is_durable_before_reply(world):
+    root = world.root()
+    fh, _ = world.call(PROC.CREATE, root, "f", 0o644)
+    disk_writes_before = world.export.lfs.disk.stats.get("writes")
+    attr = world.call(PROC.WRITE, fh, 0, b"d" * 4096)
+    assert attr.size == 4096
+    # the data block hit the disk before the reply was produced
+    assert world.export.lfs.disk.stats.get("writes") > disk_writes_before
+
+
+def test_read_returns_data_and_attrs(world):
+    root = world.root()
+    fh, _ = world.call(PROC.CREATE, root, "f", 0o644)
+    world.call(PROC.WRITE, fh, 0, b"hello")
+    data, attr = world.call(PROC.READ, fh, 0, 100)
+    assert data == b"hello"
+    assert attr.size == 5
+
+
+def test_read_beyond_eof_empty(world):
+    root = world.root()
+    fh, _ = world.call(PROC.CREATE, root, "f", 0o644)
+    data, _attr = world.call(PROC.READ, fh, 100, 10)
+    assert data == b""
+
+
+def test_stale_handle_rejected_everywhere(world):
+    root = world.root()
+    fh, _ = world.call(PROC.CREATE, root, "f", 0o644)
+    world.call(PROC.REMOVE, root, "f")
+    for proc, args in [
+        (PROC.GETATTR, (fh,)),
+        (PROC.READ, (fh, 0, 10)),
+        (PROC.WRITE, (fh, 0, b"x")),
+        (PROC.SETATTR, (fh, 0, None)),
+    ]:
+        with pytest.raises(StaleHandle):
+            world.call(proc, *args)
+
+
+def test_lookup_errors(world):
+    root = world.root()
+    with pytest.raises(NoSuchFile):
+        world.call(PROC.LOOKUP, root, "ghost")
+    fh, _ = world.call(PROC.CREATE, root, "plain", 0o644)
+    with pytest.raises(Exception):
+        world.call(PROC.LOOKUP, fh, "child")  # lookup inside a file
+
+
+def test_remove_directory_with_remove_fails(world):
+    root = world.root()
+    world.call(PROC.MKDIR, root, "d", 0o755)
+    with pytest.raises(IsADirectory):
+        world.call(PROC.REMOVE, root, "d")
+
+
+def test_rmdir_nonempty_fails(world):
+    root = world.root()
+    dfh, _ = world.call(PROC.MKDIR, root, "d", 0o755)
+    world.call(PROC.CREATE, dfh, "child", 0o644)
+    with pytest.raises(DirectoryNotEmpty):
+        world.call(PROC.RMDIR, root, "d")
+
+
+def test_setattr_truncates(world):
+    root = world.root()
+    fh, _ = world.call(PROC.CREATE, root, "f", 0o644)
+    world.call(PROC.WRITE, fh, 0, b"0123456789")
+    attr = world.call(PROC.SETATTR, fh, 4, None)
+    assert attr.size == 4
+    data, _ = world.call(PROC.READ, fh, 0, 100)
+    assert data == b"0123"
+
+
+def test_readdir_lists_names(world):
+    root = world.root()
+    for name in ("b", "a", "c"):
+        world.call(PROC.CREATE, root, name, 0o644)
+    names = world.call(PROC.READDIR, root)
+    assert names == ["a", "b", "c"]
+
+
+def test_rename_replaces(world):
+    root = world.root()
+    fh_a, _ = world.call(PROC.CREATE, root, "a", 0o644)
+    world.call(PROC.WRITE, fh_a, 0, b"A")
+    world.call(PROC.CREATE, root, "b", 0o644)
+    world.call(PROC.RENAME, root, "a", root, "b")
+    fh, attr = world.call(PROC.LOOKUP, root, "b")
+    assert fh == fh_a
+    assert attr.size == 1
+    with pytest.raises(NoSuchFile):
+        world.call(PROC.LOOKUP, root, "a")

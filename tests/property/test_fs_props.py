@@ -1,0 +1,151 @@
+"""Property tests for the local filesystem: model conformance + fsck."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fs import (
+    DirectoryNotEmpty,
+    FileExists,
+    IsADirectory,
+    LocalFileSystem,
+    NoSuchFile,
+    NotADirectory,
+)
+from repro.sim import Simulator
+from repro.storage import Disk
+
+
+def drive(sim, gen):
+    box = {}
+
+    def wrapper():
+        box["v"] = yield from gen
+
+    proc = sim.spawn(wrapper())
+    sim.run_until(proc, limit=1e7)
+    if proc.exception is not None:
+        proc.defuse()
+        raise proc.exception
+    return box.get("v")
+
+
+NAMES = ["a", "b", "c", "d"]
+
+op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["create", "mkdir", "remove", "rmdir", "rename", "write", "truncate"]),
+        st.sampled_from(NAMES),
+        st.sampled_from(NAMES),
+        st.integers(min_value=0, max_value=3),
+    ),
+    max_size=50,
+)
+
+
+@given(ops=op_strategy)
+@settings(max_examples=60, deadline=None)
+def test_namespace_ops_match_model_and_fsck_stays_clean(ops):
+    """Random namespace churn in the root directory, mirrored against a
+    plain dict model; the fsck invariant checker must stay clean after
+    every operation."""
+    sim = Simulator()
+    fs = LocalFileSystem(sim, Disk(sim), fsid="prop")
+    root = fs.root_inum
+    model = {}  # name -> "file" | "dir" | bytes-length for files
+
+    def scenario():
+        for op, name, name2, blocks in ops:
+            try:
+                if op == "create":
+                    yield from fs.create(root, name)
+                    assert name not in model, "create should have failed"
+                    model[name] = ("file", 0)
+                elif op == "mkdir":
+                    yield from fs.mkdir(root, name)
+                    assert name not in model
+                    model[name] = ("dir", 0)
+                elif op == "remove":
+                    yield from fs.remove(root, name)
+                    assert model.get(name, ("", 0))[0] == "file"
+                    del model[name]
+                elif op == "rmdir":
+                    yield from fs.rmdir(root, name)
+                    assert model.get(name, ("", 0))[0] == "dir"
+                    del model[name]
+                elif op == "rename":
+                    yield from fs.rename(root, name, root, name2)
+                    assert name in model
+                    entry = model.pop(name)
+                    model[name2] = entry
+                elif op == "write":
+                    if blocks == 0:
+                        continue
+                    inum = yield from fs.lookup(root, name)
+                    for bno in range(blocks):
+                        yield from fs.write_block(inum, bno, b"z" * 64)
+                    kind, size = model[name]
+                    assert kind == "file", "write on a directory succeeded"
+                    model[name] = (kind, max(size, (blocks - 1) * fs.block_size + 64))
+                elif op == "truncate":
+                    inum = yield from fs.lookup(root, name)
+                    yield from fs.setattr(inum, size=0)
+                    assert model.get(name, ("", 0))[0] == "file"
+                    model[name] = ("file", 0)
+            except (NoSuchFile, FileExists, IsADirectory, NotADirectory, DirectoryNotEmpty):
+                # the model must agree that the op was illegal
+                if op in ("create", "mkdir"):
+                    assert name in model
+                elif op == "remove":
+                    assert model.get(name, ("", 0))[0] != "file"
+                elif op == "rmdir":
+                    assert model.get(name, ("", 0))[0] != "dir"
+                elif op == "rename":
+                    # legal only if src exists and the target is
+                    # replaceable; a failure implies one of those broke
+                    assert name not in model or name2 in model
+                elif op in ("write", "truncate"):
+                    # fails when the name is missing or is a directory
+                    assert name not in model or model[name][0] == "dir"
+            problems = fs.check()
+            assert problems == [], problems
+
+        # final cross-check: directory listing matches the model
+        names = yield from fs.readdir(root)
+        assert set(names) == set(model)
+        for name, (kind, size) in model.items():
+            inum = yield from fs.lookup(root, name)
+            attr = yield from fs.getattr(inum)
+            assert (attr.ftype.name == "DIRECTORY") == (kind == "dir")
+            if kind == "file":
+                assert attr.size == size
+
+    drive(sim, scenario())
+
+
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=6),  # block number
+            st.binary(min_size=1, max_size=64),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_block_write_read_roundtrip(writes):
+    """Whatever was written last to each block is what reads back."""
+    sim = Simulator()
+    fs = LocalFileSystem(sim, Disk(sim), fsid="prop2")
+
+    def scenario():
+        inum = yield from fs.create(fs.root_inum, "f")
+        latest = {}
+        for bno, data in writes:
+            yield from fs.write_block(inum, bno, data)
+            latest[bno] = data
+        for bno, data in latest.items():
+            got = yield from fs.read_block(inum, bno)
+            assert got == data
+        assert fs.check() == []
+
+    drive(sim, scenario())

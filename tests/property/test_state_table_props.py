@@ -1,0 +1,110 @@
+"""Stateful property tests for the SNFS state table."""
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.snfs.state_table import FileState, StateTable
+
+CLIENTS = ["c1", "c2", "c3"]
+FILES = ["f1", "f2"]
+
+
+class StateTableMachine(RuleBasedStateMachine):
+    """Random open/close traffic with the ground-truth invariants:
+
+    * the state always matches the aggregate reader/writer census;
+    * version numbers never decrease;
+    * cache grants are denied exactly when the file is write-shared;
+    * callbacks only ever target clients that plausibly hold data.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.table = StateTable(max_entries=100)
+        # (file, client) -> [reads, writes]
+        self.census = {(f, c): [0, 0] for f in FILES for c in CLIENTS}
+        self.last_version = 0
+
+    def _n_open(self, f):
+        return sum(1 for c in CLIENTS if sum(self.census[(f, c)]) > 0)
+
+    def _n_writers(self, f):
+        return sum(1 for c in CLIENTS if self.census[(f, c)][1] > 0)
+
+    @rule(
+        f=st.sampled_from(FILES),
+        c=st.sampled_from(CLIENTS),
+        write=st.booleans(),
+    )
+    def open_file(self, f, c, write):
+        grant, callbacks = self.table.open_file(f, c, write)
+        self.census[(f, c)][1 if write else 0] += 1
+        # version monotonicity (global counter + per-file memory)
+        if write:
+            assert grant.version >= self.last_version or grant.version > grant.prev_version
+        assert grant.version >= grant.prev_version
+        self.last_version = max(self.last_version, grant.version)
+        # cache grant iff not write-shared
+        write_shared = self._n_writers(f) >= 1 and self._n_open(f) >= 2
+        assert grant.cache_enabled == (not write_shared)
+        # callbacks never target the opener
+        assert all(cb.client != c for cb in callbacks)
+
+    @rule(
+        f=st.sampled_from(FILES),
+        c=st.sampled_from(CLIENTS),
+        write=st.booleans(),
+    )
+    def close_file(self, f, c, write):
+        counts = self.census[(f, c)]
+        if counts[1 if write else 0] == 0:
+            return  # nothing matching to close
+        self.table.close_file(f, c, write)
+        counts[1 if write else 0] -= 1
+
+    @invariant()
+    def state_matches_census(self):
+        for f in FILES:
+            n_open = self._n_open(f)
+            n_writers = self._n_writers(f)
+            state = self.table.state_of(f)
+            if n_writers >= 1 and n_open >= 2:
+                assert state is FileState.WRITE_SHARED
+            elif n_writers == 1:
+                assert state is FileState.ONE_WRITER
+            elif n_open >= 2:
+                assert state is FileState.MULT_READERS
+            elif n_open == 1:
+                assert state in (FileState.ONE_READER, FileState.ONE_RDR_DIRTY)
+            else:
+                assert state in (FileState.CLOSED, FileState.CLOSED_DIRTY)
+
+    @invariant()
+    def memory_bounded(self):
+        assert len(self.table) <= self.table.max_entries
+
+
+TestStateTableMachine = StateTableMachine.TestCase
+TestStateTableMachine.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)
+
+
+@given(
+    seq=st.lists(
+        st.tuples(st.sampled_from(CLIENTS), st.booleans()), min_size=1, max_size=20
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_version_numbers_never_regress(seq):
+    table = StateTable()
+    versions = []
+    open_counts = {c: [0, 0] for c in CLIENTS}
+    for client, write in seq:
+        grant, _ = table.open_file("f", client, write)
+        versions.append(grant.version)
+        open_counts[client][1 if write else 0] += 1
+    assert versions == sorted(versions) or True  # reads don't bump
+    # the version sequence is non-decreasing
+    for earlier, later in zip(versions, versions[1:]):
+        assert later >= earlier

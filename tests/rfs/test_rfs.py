@@ -1,0 +1,167 @@
+"""Tests for the RFS-style baseline: consistency without probes."""
+
+import pytest
+
+from repro.fs import OpenMode
+from repro.host import Host, HostConfig
+from repro.net import Network
+from repro.rfs import RPROC, RfsClient, RfsServer
+
+
+class RfsWorld:
+    def __init__(self, runner, n_clients=2):
+        sim = runner.sim
+        self.runner = runner
+        self.network = Network(sim)
+        self.server_host = Host(sim, self.network, "server", HostConfig.titan_server())
+        self.export = self.server_host.add_local_fs("/export", fsid="exportfs")
+        self.server = RfsServer(self.server_host, self.export)
+        self.clients = []
+        self.mounts = []
+        for i in range(n_clients):
+            host = Host(sim, self.network, "client%d" % i, HostConfig.titan_client())
+            client = RfsClient("rfs%d" % i, host, "server")
+            runner.run(client.attach())
+            host.kernel.mount("/data", client)
+            self.clients.append(host)
+            self.mounts.append(client)
+
+
+@pytest.fixture
+def world(runner):
+    return RfsWorld(runner)
+
+
+def write_file(k, path, data):
+    fd = yield from k.open(path, OpenMode.WRITE, create=True, truncate=True)
+    yield from k.write(fd, data)
+    yield from k.close(fd)
+
+
+def read_file(k, path, n=1 << 20):
+    fd = yield from k.open(path, OpenMode.READ)
+    data = yield from k.read(fd, n)
+    yield from k.close(fd)
+    return data
+
+
+def test_roundtrip(runner, world):
+    k = world.clients[0].kernel
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"rfs data")
+        data = yield from read_file(k, "/data/f")
+        return data
+
+    assert runner.run(scenario()) == b"rfs data"
+
+
+def test_write_through_like_nfs(runner, world):
+    """RFS keeps the NFS write policy: data is on the server at close."""
+    k = world.clients[0].kernel
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"x" * 8192)
+
+    runner.run(scenario())
+    assert world.clients[0].rpc.client_stats.get(RPROC.WRITE) == 2
+    assert world.clients[0].cache.dirty_count() == 0
+
+
+def test_cache_kept_across_close(runner, world):
+    """No invalidate-on-close: rereading after close is free."""
+    k = world.clients[0].kernel
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"w" * 4096)
+        before = world.clients[0].rpc.client_stats.get(RPROC.READ)
+        data = yield from read_file(k, "/data/f")
+        return world.clients[0].rpc.client_stats.get(RPROC.READ) - before, data
+
+    extra, data = runner.run(scenario())
+    assert extra == 0
+    assert data == b"w" * 4096
+
+
+def test_no_periodic_probes(runner, world):
+    """Readers hold files open for a long time with no getattr traffic:
+    the server pushes invalidations instead."""
+    k = world.clients[0].kernel
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"stable" * 10)
+        fd = yield from k.open("/data/f", OpenMode.READ)
+        for _ in range(10):
+            yield runner.sim.timeout(60.0)
+            k.lseek(fd, 0)
+            yield from k.read(fd, 60)
+        yield from k.close(fd)
+
+    runner.run(scenario())
+    assert world.clients[0].rpc.client_stats.get(RPROC.GETATTR) <= 1
+
+
+def test_concurrent_reader_invalidated_on_write(runner, world):
+    """The RFS guarantee: a write immediately invalidates open readers,
+    so the reader's next read fetches fresh data — no stale window."""
+    k0 = world.clients[0].kernel
+    k1 = world.clients[1].kernel
+    observations = {}
+
+    def setup():
+        yield from write_file(k0, "/data/f", b"old." * 1024)
+
+    def reader():
+        fd = yield from k1.open("/data/f", OpenMode.READ)
+        data = yield from k1.read(fd, 4096)
+        observations["initial"] = bytes(data)
+        yield runner.sim.timeout(2.0)
+        k1.lseek(fd, 0)
+        data = yield from k1.read(fd, 4096)
+        observations["after-write"] = bytes(data)
+        yield from k1.close(fd)
+
+    def writer():
+        yield runner.sim.timeout(1.0)
+        fd = yield from k0.open("/data/f", OpenMode.WRITE)
+        yield from k0.write(fd, b"NEW!" * 1024)
+        yield from k0.close(fd)
+
+    runner.run(setup())
+    runner.run_all(reader(), writer())
+    assert observations["initial"] == b"old." * 1024
+    # 1 second later — far inside NFS's stale window — RFS is correct
+    assert observations["after-write"] == b"NEW!" * 1024
+    # the server really did push invalidations to the reader
+    assert world.server_host.rpc.client_stats.get(RPROC.INVALIDATE) >= 1
+
+
+def test_version_check_on_reopen(runner, world):
+    """Sequential write sharing via version numbers at open."""
+    k0 = world.clients[0].kernel
+    k1 = world.clients[1].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"one" * 1000)
+        d1 = yield from read_file(k1, "/data/f")
+        yield from write_file(k0, "/data/f", b"two" * 1000)
+        d2 = yield from read_file(k1, "/data/f")
+        return d1, d2
+
+    d1, d2 = runner.run(scenario())
+    assert d1 == b"one" * 1000
+    assert d2 == b"two" * 1000
+
+
+def test_own_writes_do_not_invalidate_own_cache(runner, world):
+    k = world.clients[0].kernel
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"mine" * 1024)
+        before = world.clients[0].rpc.client_stats.get(RPROC.READ)
+        data = yield from read_file(k, "/data/f")
+        return world.clients[0].rpc.client_stats.get(RPROC.READ) - before, data
+
+    extra, data = runner.run(scenario())
+    assert extra == 0
+    assert data == b"mine" * 1024

@@ -1,0 +1,110 @@
+"""Additional RFS tests: server table behaviour, dead readers, counts."""
+
+import pytest
+
+from repro.fs import OpenMode
+from repro.rfs import RPROC
+from tests.rfs.test_rfs import RfsWorld, read_file, write_file
+
+
+@pytest.fixture
+def world(runner):
+    return RfsWorld(runner)
+
+
+def test_server_tracks_open_counts(runner, world):
+    k0 = world.clients[0].kernel
+
+    def scenario():
+        fd1 = yield from k0.open("/data/f", OpenMode.WRITE, create=True)
+        fd2 = yield from k0.open("/data/f", OpenMode.READ)
+        lfs = world.export.lfs
+        inum = yield from lfs.lookup(lfs.root_inum, "f")
+        key = lfs.handle(inum).key()
+        entry = world.server._entries.get(key)
+        counts_open = dict(entry.open_counts)
+        yield from k0.close(fd1)
+        yield from k0.close(fd2)
+        counts_closed = dict(entry.open_counts)
+        return counts_open, counts_closed
+
+    counts_open, counts_closed = runner.run(scenario())
+    assert counts_open == {"client0": 2}
+    assert counts_closed == {}
+
+
+def test_no_invalidations_without_sharing(runner, world):
+    k0 = world.clients[0].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"solo" * 1024)
+        yield from read_file(k0, "/data/f")
+
+    runner.run(scenario())
+    assert world.server_host.rpc.client_stats.get(RPROC.INVALIDATE) == 0
+
+
+def test_dead_reader_forgotten_after_failed_invalidate(runner, world):
+    k0 = world.clients[0].kernel
+    k1 = world.clients[1].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"x" * 4096)
+        fd = yield from k1.open("/data/f", OpenMode.READ)
+        yield from k1.read(fd, 10)
+        # reader dies holding the file open
+        world.clients[1].crash()
+        # writer updates: the invalidate to the dead reader fails and
+        # the server forgets its registration
+        yield from write_file(k0, "/data/f", b"y" * 4096)
+        lfs = world.export.lfs
+        inum = yield from lfs.lookup(lfs.root_inum, "f")
+        entry = world.server._entries.get(lfs.handle(inum).key())
+        return dict(entry.open_counts) if entry else {}
+
+    counts = runner.run(scenario(), limit=10000.0)
+    assert "client1" not in counts
+
+
+def test_write_version_advances_monotonically(runner, world):
+    k0 = world.clients[0].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"1" * 4096)
+        lfs = world.export.lfs
+        inum = yield from lfs.lookup(lfs.root_inum, "f")
+        key = lfs.handle(inum).key()
+        v1 = world.server._entries[key].version
+        yield from write_file(k0, "/data/f", b"2" * 4096)
+        v2 = world.server._entries[key].version
+        return v1, v2
+
+    v1, v2 = runner.run(scenario())
+    assert v2 > v1
+
+
+def test_remove_clears_entry(runner, world):
+    k0 = world.clients[0].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"z")
+        lfs = world.export.lfs
+        inum = yield from lfs.lookup(lfs.root_inum, "f")
+        key = lfs.handle(inum).key()
+        yield from k0.unlink("/data/f")
+        return key
+
+    key = runner.run(scenario())
+    assert key not in world.server._entries
+
+
+def test_rfs_open_close_counts_on_wire(runner, world):
+    k0 = world.clients[0].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"x")
+        yield from read_file(k0, "/data/f")
+
+    runner.run(scenario())
+    assert world.clients[0].rpc.client_stats.get(RPROC.OPEN) == 2
+    assert world.clients[0].rpc.client_stats.get(RPROC.CLOSE) == 2

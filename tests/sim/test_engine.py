@@ -1,0 +1,215 @@
+"""Tests for the simulation engine: events, timeouts, conditions, run()."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_run_empty_queue_advances_to_until():
+    sim = Simulator()
+    assert sim.run(until=5.0) == 5.0
+    assert sim.now == 5.0
+
+
+def test_timeout_fires_at_right_time():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        yield sim.timeout(3.5)
+        seen.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert seen == [3.5]
+
+
+def test_timeout_value_passed_through():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        value = yield sim.timeout(1.0, value="hello")
+        got.append(value)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_events_fire_in_fifo_order_at_same_time():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.spawn(proc(sim, tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_stops_before_future_events():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        yield sim.timeout(10.0)
+        seen.append("late")
+
+    sim.spawn(proc(sim))
+    sim.run(until=5.0)
+    assert seen == []
+    assert sim.now == 5.0
+    sim.run()
+    assert seen == ["late"]
+
+
+def test_event_succeed_wakes_waiter_with_value():
+    sim = Simulator()
+    ev = sim.event("door")
+    got = []
+
+    def waiter(sim):
+        value = yield ev
+        got.append((sim.now, value))
+
+    def opener(sim):
+        yield sim.timeout(2.0)
+        ev.succeed(42)
+
+    sim.spawn(waiter(sim))
+    sim.spawn(opener(sim))
+    sim.run()
+    assert got == [(2.0, 42)]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("boom"))
+
+
+def test_event_fail_throws_into_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        ev.fail(RuntimeError("boom"))
+
+    sim.spawn(waiter(sim))
+    sim.spawn(failer(sim))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_yield_already_triggered_event_resumes_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("ready")
+    got = []
+
+    def proc(sim):
+        value = yield ev
+        got.append((sim.now, value))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == [(0.0, "ready")]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    results = []
+
+    def proc(sim):
+        values = yield AllOf(sim, [sim.timeout(1, "a"), sim.timeout(3, "b")])
+        results.append((sim.now, values))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert results == [(3.0, ["a", "b"])]
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+    results = []
+
+    def proc(sim):
+        values = yield AllOf(sim, [])
+        results.append(values)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert results == [[]]
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+    results = []
+
+    def proc(sim):
+        ev, value = yield AnyOf(sim, [sim.timeout(5, "slow"), sim.timeout(1, "fast")])
+        results.append((sim.now, value))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert results == [(1.0, "fast")]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.run(until=10.0)
+    with pytest.raises(SimulationError):
+        sim._schedule_at(5.0, lambda: None)
+
+
+def test_peek_returns_next_event_time():
+    sim = Simulator()
+    assert sim.peek() is None
+    sim.timeout(7.0)
+    assert sim.peek() == 7.0
+
+
+def test_unhandled_failed_event_raises_from_run():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("unobserved crash")
+
+    sim.spawn(proc(sim))
+    with pytest.raises(ValueError, match="unobserved crash"):
+        sim.run()

@@ -1,0 +1,207 @@
+"""Tests for processes: spawning, joining, interrupts, failure propagation."""
+
+import pytest
+
+from repro.sim import Interrupt, SimulationError, Simulator
+
+
+def test_process_return_value_visible_to_joiner():
+    sim = Simulator()
+    got = []
+
+    def child(sim):
+        yield sim.timeout(2.0)
+        return "done"
+
+    def parent(sim):
+        value = yield sim.spawn(child(sim))
+        got.append((sim.now, value))
+
+    sim.spawn(parent(sim))
+    sim.run()
+    assert got == [(2.0, "done")]
+
+
+def test_join_finished_process():
+    sim = Simulator()
+    got = []
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        return 7
+
+    def parent(sim):
+        proc = sim.spawn(child(sim))
+        yield sim.timeout(5.0)
+        value = yield proc
+        got.append(value)
+
+    sim.spawn(parent(sim))
+    sim.run()
+    assert got == [7]
+
+
+def test_child_exception_propagates_to_joiner():
+    sim = Simulator()
+    caught = []
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("oops")
+
+    def parent(sim):
+        try:
+            yield sim.spawn(child(sim))
+        except KeyError as exc:
+            caught.append(exc.args[0])
+
+    sim.spawn(parent(sim))
+    sim.run()
+    assert caught == ["oops"]
+
+
+def test_interrupt_raises_at_wait_point():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+            log.append("slept")
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+
+    def waker(sim, victim):
+        yield sim.timeout(3.0)
+        victim.interrupt("wake-up")
+
+    victim = sim.spawn(sleeper(sim))
+    sim.spawn(waker(sim, victim))
+    sim.run()
+    assert log == [("interrupted", 3.0, "wake-up")]
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            pass
+        yield sim.timeout(1.0)
+        log.append(sim.now)
+
+    def waker(sim, victim):
+        yield sim.timeout(3.0)
+        victim.interrupt()
+
+    victim = sim.spawn(sleeper(sim))
+    sim.spawn(waker(sim, victim))
+    sim.run()
+    assert log == [4.0]
+
+
+def test_interrupt_finished_process_is_error():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    proc = sim.spawn(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_interrupt_does_not_fire_original_wait():
+    """After an interrupt, the event the process was waiting on must not
+    resume it a second time when it eventually triggers."""
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(10.0)
+            log.append("timeout-resumed")
+        except Interrupt:
+            log.append("interrupted")
+        yield sim.timeout(50.0)
+        log.append("second-sleep-done")
+
+    def waker(sim, victim):
+        yield sim.timeout(1.0)
+        victim.interrupt()
+
+    victim = sim.spawn(sleeper(sim))
+    sim.spawn(waker(sim, victim))
+    sim.run()
+    assert log == ["interrupted", "second-sleep-done"]
+
+
+def test_spawn_requires_generator():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.spawn(lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_is_alive_tracking():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(5.0)
+
+    proc = sim.spawn(child(sim))
+    assert proc.is_alive
+    sim.run()
+    assert not proc.is_alive
+
+
+def test_yielding_non_waitable_fails_process():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    def parent(sim):
+        with pytest.raises(SimulationError):
+            yield sim.spawn(bad(sim))
+
+    sim.spawn(parent(sim))
+    sim.run()
+
+
+def test_nested_process_chain():
+    sim = Simulator()
+    got = []
+
+    def leaf(sim):
+        yield sim.timeout(1.0)
+        return 1
+
+    def middle(sim):
+        value = yield sim.spawn(leaf(sim))
+        return value + 1
+
+    def root(sim):
+        value = yield sim.spawn(middle(sim))
+        got.append(value)
+
+    sim.spawn(root(sim))
+    sim.run()
+    assert got == [2]
+
+
+def test_many_processes_deterministic():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, i):
+        yield sim.timeout(float(i % 3))
+        order.append(i)
+
+    for i in range(9):
+        sim.spawn(proc(sim, i))
+    sim.run()
+    assert order == [0, 3, 6, 1, 4, 7, 2, 5, 8]

@@ -1,0 +1,76 @@
+"""SNFS test fixtures."""
+
+import pytest
+
+from repro.host import Host, HostConfig
+from repro.net import Network
+from repro.snfs import SnfsClient, SnfsClientConfig, SnfsServer
+
+
+class SnfsWorld:
+    """A server exporting /export plus client hosts mounting it at /data."""
+
+    def __init__(self, runner, n_clients=1, client_config=None, max_open_files=1000):
+        self.runner = runner
+        sim = runner.sim
+        self.network = Network(sim)
+        self.server_host = Host(sim, self.network, "server", HostConfig.titan_server())
+        self.export = self.server_host.add_local_fs("/export", fsid="exportfs")
+        self.server = SnfsServer(
+            self.server_host, self.export, max_open_files=max_open_files
+        )
+        self.clients = []
+        self.mounts = []
+        for i in range(n_clients):
+            host = Host(sim, self.network, "client%d" % i, HostConfig.titan_client())
+            client = SnfsClient(
+                "snfs%d" % i,
+                host,
+                "server",
+                config=client_config or SnfsClientConfig(),
+            )
+            runner.run(client.attach())
+            host.kernel.mount("/data", client)
+            self.clients.append(host)
+            self.mounts.append(client)
+
+    @property
+    def client(self):
+        return self.clients[0]
+
+    @property
+    def mount(self):
+        return self.mounts[0]
+
+    def client_rpc_count(self, proc, i=0):
+        return self.clients[i].rpc.client_stats.get(proc)
+
+    def server_disk(self):
+        return self.export.lfs.disk
+
+
+@pytest.fixture
+def world(runner):
+    return SnfsWorld(runner)
+
+
+@pytest.fixture
+def world2(runner):
+    return SnfsWorld(runner, n_clients=2)
+
+
+def write_file(k, path, data):
+    from repro.fs import OpenMode
+
+    fd = yield from k.open(path, OpenMode.WRITE, create=True, truncate=True)
+    yield from k.write(fd, data)
+    yield from k.close(fd)
+
+
+def read_file(k, path, n=1 << 22):
+    from repro.fs import OpenMode
+
+    fd = yield from k.open(path, OpenMode.READ)
+    data = yield from k.read(fd, n)
+    yield from k.close(fd)
+    return data

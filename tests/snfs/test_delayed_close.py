@@ -1,0 +1,111 @@
+"""Tests for the §6.2 delayed-close extension."""
+
+import pytest
+
+from repro.fs import OpenMode
+from repro.snfs import SPROC, SnfsClientConfig
+from tests.snfs.conftest import SnfsWorld, read_file, write_file
+
+
+@pytest.fixture
+def world(runner):
+    return SnfsWorld(
+        runner, client_config=SnfsClientConfig(delayed_close=True)
+    )
+
+
+@pytest.fixture
+def world2(runner):
+    return SnfsWorld(
+        runner, n_clients=2, client_config=SnfsClientConfig(delayed_close=True)
+    )
+
+
+def test_reopen_cancels_pending_close(runner, world):
+    """open/close/open/close of the same file in the same mode costs
+    one open RPC and zero immediate closes (§6.2)."""
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"x")
+        yield from k.close(fd)
+        opens_after_first = world.client_rpc_count(SPROC.OPEN)
+        # reopen: satisfied locally against the pending close
+        fd = yield from k.open("/data/f", OpenMode.WRITE)
+        yield from k.close(fd)
+        fd = yield from k.open("/data/f", OpenMode.WRITE)
+        yield from k.close(fd)
+        return opens_after_first
+
+    opens_after_first = runner.run(scenario())
+    assert world.client_rpc_count(SPROC.OPEN) == opens_after_first
+    assert world.client_rpc_count(SPROC.CLOSE) == 0
+
+
+def test_mismatched_mode_sends_pending_close_then_opens(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.close(fd)
+        # reopening for READ doesn't match the pending WRITE close:
+        # a real open RPC goes out
+        fd = yield from k.open("/data/f", OpenMode.READ)
+        yield from k.close(fd)
+
+    runner.run(scenario())
+    assert world.client_rpc_count(SPROC.OPEN) == 2
+
+
+def test_callback_relinquishes_delayed_close_file(runner, world2):
+    """The paper: 'If a client with a delayed-close file receives a
+    callback for that file, the appropriate response is to close the
+    file so that it can be cached by the new client host.'"""
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"mine" * 1024)
+        # client 0 now holds a delayed close; client 1 wants the file
+        data = yield from read_file(k1, "/data/f")
+        return data
+
+    data = runner.run(scenario())
+    assert data == b"mine" * 1024
+    # client 0 sent its withheld close when the callback arrived
+    assert world2.client_rpc_count(SPROC.CLOSE, i=0) >= 1
+
+
+def test_close_daemon_relinquishes_idle_files(runner):
+    world = SnfsWorld(
+        runner,
+        client_config=SnfsClientConfig(
+            delayed_close=True, delayed_close_timeout=10.0
+        ),
+    )
+    k = world.client.kernel
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"x")
+        assert world.client_rpc_count(SPROC.CLOSE) == 0
+        yield runner.sim.timeout(25.0)
+        return world.client_rpc_count(SPROC.CLOSE)
+
+    assert runner.run(scenario()) >= 1
+
+
+def test_delayed_close_preserves_correctness_between_clients(runner, world2):
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"one")
+        d1 = yield from read_file(k1, "/data/f")
+        yield from write_file(k0, "/data/f", b"two")
+        d2 = yield from read_file(k1, "/data/f")
+        return d1, d2
+
+    d1, d2 = runner.run(scenario())
+    assert d1 == b"one"
+    assert d2 == b"two"

@@ -1,0 +1,169 @@
+"""Tests for NFS/SNFS coexistence (§6.1) via the HybridServer."""
+
+import pytest
+
+from repro.fs import OpenMode
+from repro.host import Host, HostConfig
+from repro.net import Network
+from repro.nfs import NfsClient, NfsClientConfig
+from repro.snfs import SPROC, HybridServer, SnfsClient
+
+
+class HybridWorld:
+    """One hybrid server; client0 mounts via SNFS, client1 via NFS."""
+
+    def __init__(self, runner):
+        sim = runner.sim
+        self.runner = runner
+        self.network = Network(sim)
+        self.server_host = Host(sim, self.network, "server", HostConfig.titan_server())
+        self.export = self.server_host.add_local_fs("/export", fsid="exportfs")
+        self.server = HybridServer(self.server_host, self.export)
+
+        self.snfs_host = Host(sim, self.network, "snfs-client", HostConfig.titan_client())
+        self.snfs_mount = SnfsClient("snfs0", self.snfs_host, "server")
+        runner.run(self.snfs_mount.attach())
+        self.snfs_host.kernel.mount("/data", self.snfs_mount)
+
+        self.nfs_host = Host(sim, self.network, "nfs-client", HostConfig.titan_client())
+        self.nfs_mount = NfsClient(
+            "nfs0", self.nfs_host, "server",
+            config=NfsClientConfig(invalidate_on_close=False),
+        )
+        runner.run(self.nfs_mount.attach())
+        self.nfs_host.kernel.mount("/data", self.nfs_mount)
+
+
+@pytest.fixture
+def world(runner):
+    return HybridWorld(runner)
+
+
+def write_file(k, path, data):
+    fd = yield from k.open(path, OpenMode.WRITE, create=True, truncate=True)
+    yield from k.write(fd, data)
+    yield from k.close(fd)
+
+
+def read_file(k, path, n=1 << 20):
+    fd = yield from k.open(path, OpenMode.READ)
+    data = yield from k.read(fd, n)
+    yield from k.close(fd)
+    return data
+
+
+def test_both_protocols_reach_the_same_files(runner, world):
+    ks = world.snfs_host.kernel
+    kn = world.nfs_host.kernel
+
+    def scenario():
+        yield from write_file(ks, "/data/shared", b"written via SNFS")
+        yield from world.snfs_mount.sync()  # flush delayed writes
+        data = yield from read_file(kn, "/data/shared")
+        return data
+
+    assert runner.run(scenario()) == b"written via SNFS"
+
+
+def test_nfs_read_pulls_snfs_dirty_blocks(runner, world):
+    """An NFS read of a file with SNFS-side dirty delayed writes forces
+    the write-back callback first — the NFS client sees fresh data."""
+    ks = world.snfs_host.kernel
+    kn = world.nfs_host.kernel
+
+    def scenario():
+        yield from write_file(ks, "/data/f", b"delayed" * 700)
+        assert world.snfs_host.cache.dirty_count() > 0
+        data = yield from read_file(kn, "/data/f")
+        return data
+
+    data = runner.run(scenario())
+    assert data == b"delayed" * 700
+    # the callback machinery fired toward the SNFS client
+    assert world.server_host.rpc.client_stats.get(SPROC.CALLBACK) >= 1
+    assert world.snfs_host.cache.dirty_count() == 0
+
+
+def test_nfs_write_invalidates_snfs_cache(runner, world):
+    ks = world.snfs_host.kernel
+    kn = world.nfs_host.kernel
+
+    def scenario():
+        yield from write_file(ks, "/data/f", b"A" * 4096)
+        yield from world.snfs_mount.sync()
+        yield from read_file(ks, "/data/f")  # warm SNFS cache
+        yield from write_file(kn, "/data/f", b"B" * 4096)
+        # the SNFS client rereads: must observe the NFS client's bytes
+        data = yield from read_file(ks, "/data/f")
+        return data
+
+    assert runner.run(scenario()) == b"B" * 4096
+
+
+def test_snfs_open_after_nfs_write_disables_caching(runner, world):
+    ks = world.snfs_host.kernel
+    kn = world.nfs_host.kernel
+
+    def scenario():
+        yield from write_file(kn, "/data/f", b"from-nfs" * 512)
+        fd = yield from ks.open("/data/f", OpenMode.READ)
+        g = [g for g in world.snfs_mount.live_gnodes() if not g.is_dir][0]
+        caching = g.private.get("cache_enabled")
+        yield from ks.close(fd)
+        return caching
+
+    assert runner.run(scenario()) is False
+    assert world.server.nfs_write_record_count() >= 1
+
+
+def test_nfs_record_ages_out(runner, world):
+    ks = world.snfs_host.kernel
+    kn = world.nfs_host.kernel
+
+    def scenario():
+        yield from write_file(kn, "/data/f", b"x" * 4096)
+        yield runner.sim.timeout(200.0)  # past the 150 s record window
+        fd = yield from ks.open("/data/f", OpenMode.READ)
+        g = [g for g in world.snfs_mount.live_gnodes() if not g.is_dir][0]
+        caching = g.private.get("cache_enabled")
+        yield from ks.close(fd)
+        return caching
+
+    assert runner.run(scenario()) is True
+    assert world.server.nfs_write_record_count() == 0
+
+
+def test_separate_exports_coexist_on_one_host(runner):
+    """The easy half of §6.1: one server host, one NFS export and one
+    SNFS export (distinct filesystems), one client mounting both."""
+    from repro.nfs import NfsServer
+    from repro.snfs import SnfsServer
+
+    sim = runner.sim
+    network = Network(sim)
+    server_host = Host(sim, network, "server", HostConfig.titan_server())
+    nfs_export = server_host.add_local_fs("/nfs-export", fsid="nfsfs", disk_name="d0")
+    snfs_export = server_host.add_local_fs("/snfs-export", fsid="snfsfs", disk_name="d0")
+    NfsServer(server_host, nfs_export)
+    SnfsServer(server_host, snfs_export)
+
+    client = Host(sim, network, "client", HostConfig.titan_client())
+    nfs_mount = NfsClient("n", client, "server")
+    runner.run(nfs_mount.attach())
+    client.kernel.mount("/via-nfs", nfs_mount)
+    snfs_mount = SnfsClient("s", client, "server")
+    runner.run(snfs_mount.attach())
+    client.kernel.mount("/via-snfs", snfs_mount)
+
+    k = client.kernel
+
+    def scenario():
+        yield from write_file(k, "/via-nfs/a", b"over nfs")
+        yield from write_file(k, "/via-snfs/b", b"over snfs")
+        a = yield from read_file(k, "/via-nfs/a")
+        b = yield from read_file(k, "/via-snfs/b")
+        return a, b
+
+    a, b = runner.run(scenario())
+    assert a == b"over nfs"
+    assert b == b"over snfs"

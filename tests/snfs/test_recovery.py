@@ -1,0 +1,154 @@
+"""SNFS server crash recovery tests (§2.4).
+
+The paper describes (but did not implement) recovery; we implement it
+and verify both properties it relies on: clients reconstruct the
+server's state, and consistency state cannot change until the server
+allows it (the grace period).
+"""
+
+import pytest
+
+from repro.fs import OpenMode
+from repro.snfs import SPROC, FileState
+from tests.snfs.conftest import SnfsWorld, read_file, write_file
+
+
+@pytest.fixture
+def world(runner):
+    return SnfsWorld(runner)
+
+
+@pytest.fixture
+def world2(runner):
+    return SnfsWorld(runner, n_clients=2)
+
+
+def test_client_survives_server_reboot_transparently(runner, world):
+    """A client mid-workload sees the crash only as a delay."""
+    k = world.client.kernel
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"pre-crash" * 100)
+        world.server.crash()
+        yield runner.sim.timeout(1.0)
+        world.server.reboot()
+        # this open hits the grace period, triggers a reopen report,
+        # waits, retries, and succeeds
+        data = yield from read_file(k, "/data/f")
+        return data
+
+    data = runner.run(scenario(), limit=10000.0)
+    assert data == b"pre-crash" * 100
+
+
+def test_state_table_rebuilt_from_client_reports(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"dirty" * 900)
+        # crash with the file open for write and dirty blocks cached
+        world.server.crash()
+        yield runner.sim.timeout(0.5)
+        world.server.reboot()
+        assert len(world.server.state) == 0
+        # a cachable write is purely local; the next actual RPC (here,
+        # an fsync's write-back) is what forces the reassertion
+        yield from k.write(fd, b"more")
+        assert len(world.server.state) == 0  # still lazy: no RPC yet
+        yield from k.fsync(fd)
+        lfs = world.export.lfs
+        inum = yield from lfs.lookup(lfs.root_inum, "f")
+        key = lfs.handle(inum).key()
+        state = world.server.state.state_of(key)
+        yield from k.close(fd)
+        return state
+
+    state = runner.run(scenario(), limit=10000.0)
+    assert state is FileState.ONE_WRITER
+
+
+def test_dirty_data_survives_server_crash(runner, world):
+    """Delayed writes live in client memory; after server recovery the
+    flush delivers them intact."""
+    k = world.client.kernel
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"precious" * 512)
+        world.server.crash()
+        yield runner.sim.timeout(2.0)
+        world.server.reboot()
+        yield from world.mount.sync()  # flush delayed writes
+        # verify at the server itself
+        lfs = world.export.lfs
+        inum = yield from lfs.lookup(lfs.root_inum, "f")
+        return lfs._attr(inum).size
+
+    size = runner.run(scenario(), limit=10000.0)
+    assert size == len(b"precious" * 512)
+
+
+def test_consistency_preserved_across_recovery(runner, world2):
+    """After recovery, a second client's open still triggers the
+    write-back callback to the first: the rebuilt state is live."""
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"original" * 512)
+        world2.server.crash()
+        yield runner.sim.timeout(1.0)
+        world2.server.reboot()
+        # client 0 reasserts (CLOSED_DIRTY with dirty blocks) on its
+        # next call; then client 1 reads — must see client 0's data
+        yield from k0.stat("/data/f")
+        data = yield from read_file(k1, "/data/f")
+        return data
+
+    data = runner.run(scenario(), limit=10000.0)
+    assert data == b"original" * 512
+    assert world2.server_host.rpc.client_stats.get(SPROC.CALLBACK) >= 1
+
+
+def test_grace_period_rejects_until_over(runner, world):
+    k = world.client.kernel
+    times = {}
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"x")
+        world.server.crash()
+        world.server.reboot()
+        t0 = runner.sim.now
+        yield from read_file(k, "/data/f")
+        times["delay"] = runner.sim.now - t0
+
+    runner.run(scenario(), limit=10000.0)
+    # the read could not complete before the grace period ended
+    assert times["delay"] >= world.server.grace_period * 0.9
+
+
+def test_epoch_increases_on_each_reboot(runner, world):
+    e0 = world.server.boot_epoch
+    world.server.crash()
+    world.server.reboot()
+    world.server.crash()
+    world.server.reboot()
+    assert world.server.boot_epoch == e0 + 2
+
+
+def test_client_crash_loses_its_claims(runner, world2):
+    """A crashed client never comes back; its open is eventually
+    forgotten when a callback to it fails (§3.2)."""
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"doomed" * 100)
+        world2.clients[0].crash()
+        data = yield from read_file(k1, "/data/f")
+        return data
+
+    data = runner.run(scenario(), limit=10000.0)
+    # client 0's delayed writes died with it: client 1 sees the file as
+    # the server knows it (empty — the data was never written back)
+    assert data == b""

@@ -1,0 +1,216 @@
+"""End-to-end SNFS tests: delayed writes, cache retention, cancellation."""
+
+import pytest
+
+from repro.fs import OpenMode
+from repro.snfs import SPROC, FileState
+from tests.snfs.conftest import read_file, write_file
+
+
+def test_roundtrip(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"spritely bytes")
+        data = yield from read_file(k, "/data/f")
+        return data
+
+    assert runner.run(scenario()) == b"spritely bytes"
+
+
+def test_open_and_close_rpcs_issued(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"x")
+        yield from read_file(k, "/data/f")
+
+    runner.run(scenario())
+    assert world.client_rpc_count(SPROC.OPEN) == 2
+    assert world.client_rpc_count(SPROC.CLOSE) == 2
+
+
+def test_writes_are_delayed_not_written_through(runner, world):
+    """The core SNFS win: close does not flush; no write RPCs at all."""
+    k = world.client.kernel
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"d" * 4096 * 4)
+
+    runner.run(scenario())
+    assert world.client_rpc_count(SPROC.WRITE) == 0
+    assert world.client.cache.dirty_count() == 4
+
+
+def test_update_sync_flushes_delayed_writes(runner, world):
+    k = world.client.kernel
+    world.client.update_daemon.start()
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"d" * 4096 * 2)
+        yield runner.sim.timeout(35.0)
+
+    runner.run(scenario())
+    assert world.client_rpc_count(SPROC.WRITE) == 2
+    assert world.client.cache.dirty_count() == 0
+    # the data is genuinely on the server now
+    lfs = world.export.lfs
+    inum = runner.run(lfs.lookup(lfs.root_inum, "f"))
+    assert lfs._attr(inum).size == 8192
+
+
+def test_fsync_forces_writeback(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"must-persist")
+        yield from k.fsync(fd)
+        yield from k.close(fd)
+
+    runner.run(scenario())
+    assert world.client_rpc_count(SPROC.WRITE) == 1
+
+
+def test_cache_survives_close_no_rereads(runner, world):
+    """Write, close, reopen, read: all from the client cache (the very
+    pattern the NFS invalidate-on-close bug penalizes, §5.2)."""
+    k = world.client.kernel
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"w" * 4096)
+        before = world.client_rpc_count(SPROC.READ)
+        data = yield from read_file(k, "/data/f")
+        return world.client_rpc_count(SPROC.READ) - before, data
+
+    extra_reads, data = runner.run(scenario())
+    assert extra_reads == 0
+    assert data == b"w" * 4096
+
+
+def test_delete_before_writeback_cancels_all_writes(runner, world):
+    """Temporary-file pattern: create, write, close, delete within the
+    write-delay window -> the data never crosses the network (§4.2.3)."""
+    k = world.client.kernel
+
+    def scenario():
+        yield from write_file(k, "/data/tmp1", b"t" * 4096 * 8)
+        yield from k.unlink("/data/tmp1")
+
+    runner.run(scenario())
+    assert world.client_rpc_count(SPROC.WRITE) == 0
+    assert world.client.cache.stats.get("cancelled_writes") == 8
+    assert world.client.cache.dirty_count() == 0
+
+
+def test_no_attribute_probes_for_cachable_files(runner, world):
+    """Unlike NFS, a cachable file's attributes need no refresh: hold a
+    file open for a long time, reading periodically — zero getattrs."""
+    k = world.client.kernel
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"stable" * 100)
+        fd = yield from k.open("/data/f", OpenMode.READ)
+        for _ in range(20):
+            yield runner.sim.timeout(30.0)
+            k.lseek(fd, 0)
+            yield from k.read(fd, 100)
+        yield from k.close(fd)
+
+    runner.run(scenario())
+    assert world.client_rpc_count(SPROC.GETATTR) == 0
+
+
+def test_version_match_keeps_cache_across_writer_reopen(runner, world):
+    """Reopening for write: the version bumped, but it matches the
+    previous version -> the cache is still valid (§3.1)."""
+    k = world.client.kernel
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"v1" * 2048)
+        before = world.client_rpc_count(SPROC.READ)
+        fd = yield from k.open("/data/f", OpenMode.WRITE)
+        data = yield from k.read(fd, 4096)
+        yield from k.close(fd)
+        return world.client_rpc_count(SPROC.READ) - before, data
+
+    extra_reads, data = runner.run(scenario())
+    assert extra_reads == 0
+    assert data == b"v1" * 2048
+
+
+def test_server_state_tracks_open_files(runner, world):
+    k = world.client.kernel
+    states = []
+
+    def scenario():
+        fd = yield from k.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k.write(fd, b"z")
+        lfs = world.export.lfs
+        inum = yield from lfs.lookup(lfs.root_inum, "f")
+        key = lfs.handle(inum).key()
+        states.append(world.server.state.state_of(key))
+        yield from k.close(fd)
+        states.append(world.server.state.state_of(key))
+        return key
+
+    runner.run(scenario())
+    assert states == [FileState.ONE_WRITER, FileState.CLOSED_DIRTY]
+
+
+def test_remove_clears_server_state(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"z")
+        lfs = world.export.lfs
+        inum = yield from lfs.lookup(lfs.root_inum, "f")
+        key = lfs.handle(inum).key()
+        assert world.server.state.state_of(key) is FileState.CLOSED_DIRTY
+        yield from k.unlink("/data/f")
+        return key
+
+    key = runner.run(scenario())
+    assert world.server.state.entry(key) is None
+
+
+def test_truncate_cancels_stale_dirty_blocks(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        yield from write_file(k, "/data/f", b"A" * 8192)
+        yield from k.truncate("/data/f", 0)
+        yield from write_file(k, "/data/f", b"B" * 10)
+        data = yield from read_file(k, "/data/f")
+        return data
+
+    assert runner.run(scenario()) == b"B" * 10
+
+
+def test_mkdir_rmdir_rename_over_snfs(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        yield from k.mkdir("/data/d")
+        yield from write_file(k, "/data/d/a", b"zz")
+        yield from k.rename("/data/d/a", "/data/d/b")
+        names = yield from k.readdir("/data/d")
+        yield from k.unlink("/data/d/b")
+        yield from k.rmdir("/data/d")
+        return names
+
+    assert runner.run(scenario()) == ["b"]
+
+
+def test_rename_replacing_file_cancels_victim(runner, world):
+    k = world.client.kernel
+
+    def scenario():
+        yield from write_file(k, "/data/victim", b"old" * 2000)
+        yield from write_file(k, "/data/src", b"new")
+        yield from k.rename("/data/src", "/data/victim")
+        data = yield from read_file(k, "/data/victim")
+        return data
+
+    assert runner.run(scenario()) == b"new"
+    assert world.client.cache.stats.get("cancelled_writes") >= 1

@@ -1,0 +1,171 @@
+"""Direct RPC-level tests of the SNFS server (no kernel layer)."""
+
+import pytest
+
+from repro.fs import NoSuchFile, StaleHandle
+from repro.host import Host, HostConfig
+from repro.net import Network, RpcEndpoint
+from repro.snfs import SPROC, FileState, SnfsServer, StateTableFull
+from repro.snfs.server import OpenReply
+
+
+class RawWorld:
+    """A server plus bare RPC endpoints posing as clients."""
+
+    def __init__(self, runner, n_clients=2, max_open_files=1000, threads=8):
+        sim = runner.sim
+        self.runner = runner
+        self.network = Network(sim)
+        cfg = HostConfig.titan_server()
+        cfg.rpc_server_threads = threads
+        self.server_host = Host(sim, self.network, "server", cfg)
+        self.export = self.server_host.add_local_fs("/export", fsid="exportfs")
+        self.server = SnfsServer(
+            self.server_host, self.export, max_open_files=max_open_files
+        )
+        self.clients = [
+            RpcEndpoint(sim, self.network, "raw%d" % i) for i in range(n_clients)
+        ]
+        for client in self.clients:
+            client.register(SPROC.CALLBACK, self._noop_callback(client))
+        self.callback_log = []
+
+    def _noop_callback(self, client):
+        def handler(src, fh, writeback, invalidate):
+            self.callback_log.append((client.address, writeback, invalidate))
+            yield self.runner.sim.timeout(0.001)
+            return None
+
+        return handler
+
+    def call(self, i, proc, *args):
+        return self.runner.run(self.clients[i].call("server", proc, *args))
+
+    def root_fh(self):
+        fh, _attr = self.call(0, SPROC.MNT)
+        return fh
+
+
+@pytest.fixture
+def world(runner):
+    return RawWorld(runner)
+
+
+def make_file(world, name="f"):
+    root = world.root_fh()
+    fh, _attr = world.call(0, SPROC.CREATE, root, name)
+    return fh
+
+
+def test_open_returns_structured_reply(world):
+    fh = make_file(world)
+    reply = OpenReply(*world.call(0, SPROC.OPEN, fh, True))
+    assert reply.cache_enabled is True
+    assert reply.version > 0
+    assert reply.attr.size == 0
+    assert reply.inconsistent is False
+
+
+def test_open_stale_handle_rejected(runner, world):
+    fh = make_file(world)
+    root = world.root_fh()
+    world.call(0, SPROC.REMOVE, root, "f")
+    with pytest.raises(StaleHandle):
+        world.call(0, SPROC.OPEN, fh, False)
+
+
+def test_close_without_open_tolerated(world):
+    fh = make_file(world)
+    assert world.call(0, SPROC.CLOSE, fh, False) is None
+
+
+def test_duplicate_close_is_harmless(world):
+    fh = make_file(world)
+    world.call(0, SPROC.OPEN, fh, True)
+    world.call(0, SPROC.CLOSE, fh, True)
+    world.call(0, SPROC.CLOSE, fh, True)  # extra close: no crash
+    assert world.server.state.state_of(fh.key()) in (
+        FileState.CLOSED,
+        FileState.CLOSED_DIRTY,
+    )
+
+
+def test_state_table_full_without_reclaimables_errors(runner):
+    world = RawWorld(runner, max_open_files=2)
+    root = world.root_fh()
+    for name in ("a", "b"):
+        fh, _ = world.call(0, SPROC.CREATE, root, name)
+        world.call(0, SPROC.OPEN, fh, False)  # held open: not reclaimable
+    fh, _ = world.call(0, SPROC.CREATE, root, "c")
+    with pytest.raises(StateTableFull):
+        world.call(0, SPROC.OPEN, fh, False)
+
+
+def test_open_write_by_second_client_issues_callback(world):
+    fh = make_file(world)
+    world.call(0, SPROC.OPEN, fh, True)
+    world.call(0, SPROC.CLOSE, fh, True)  # CLOSED_DIRTY, raw0 last writer
+    reply = OpenReply(*world.call(1, SPROC.OPEN, fh, True))
+    assert world.callback_log == [("raw0", True, True)]
+    assert reply.cache_enabled  # sole writer now
+
+
+def test_callback_slots_respect_n_minus_1(runner):
+    """With T server threads, at most T-1 callbacks run concurrently
+    (§3.2's deadlock-avoidance rule)."""
+    world = RawWorld(runner, n_clients=6, threads=4)
+    sim = runner.sim
+    active = []
+    peak = [0]
+
+    # slow callbacks so several opens pile up
+    for client in world.clients:
+        client._handlers[SPROC.CALLBACK] = _slow_callback(sim, active, peak)
+
+    root = world.root_fh()
+    # make 5 files CLOSED_DIRTY, one per client
+    fhs = []
+    for i in range(5):
+        fh, _ = world.call(i, SPROC.CREATE, root, "f%d" % i)
+        world.call(i, SPROC.OPEN, fh, True)
+        world.call(i, SPROC.CLOSE, fh, True)
+        fhs.append(fh)
+
+    # client 5 opens all of them for write concurrently: each open
+    # triggers a callback to the dirty client
+    def opener(fh):
+        result = yield from world.clients[5].call("server", SPROC.OPEN, fh, True)
+        return result
+
+    runner.run_all(*[opener(fh) for fh in fhs])
+    assert peak[0] <= 3  # threads(4) - 1
+
+
+def _slow_callback(sim, active, peak):
+    def handler(src, fh, writeback, invalidate):
+        active.append(1)
+        peak[0] = max(peak[0], len(active))
+        yield sim.timeout(0.5)
+        active.pop()
+        return None
+
+    return handler
+
+
+def test_remove_during_open_file_clears_state(world):
+    fh = make_file(world)
+    world.call(0, SPROC.OPEN, fh, True)
+    root = world.root_fh()
+    world.call(0, SPROC.REMOVE, root, "f")
+    assert world.server.state.entry(fh.key()) is None
+
+
+def test_reopen_after_clean_close_preserves_version(world):
+    """The version memory: a fully-closed file's version survives entry
+    reclamation, so caches stay valid across reopen."""
+    fh = make_file(world)
+    r1 = OpenReply(*world.call(0, SPROC.OPEN, fh, False))
+    world.call(0, SPROC.CLOSE, fh, False)
+    assert world.server.state.entry(fh.key()) is None  # entry dropped
+    r2 = OpenReply(*world.call(0, SPROC.OPEN, fh, False))
+    assert r2.version == r1.version

@@ -1,0 +1,253 @@
+"""Two-client SNFS tests: callbacks, write-sharing, guaranteed consistency."""
+
+import pytest
+
+from repro.fs import OpenMode
+from repro.snfs import SPROC, FileState
+from tests.snfs.conftest import SnfsWorld, read_file, write_file
+
+
+def file_key(world, name):
+    lfs = world.export.lfs
+    inum = world.runner.run(lfs.lookup(lfs.root_inum, name))
+    return lfs.handle(inum).key()
+
+
+def test_new_reader_triggers_writeback_callback(runner, world2):
+    """Client 0 writes and closes (CLOSED_DIRTY); client 1 opens for
+    read: the server calls back client 0 for the dirty blocks *before*
+    answering, so client 1 reads fresh data (§2.2)."""
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"dirty-data" * 400)
+        assert world2.clients[0].cache.dirty_count() > 0
+        data = yield from read_file(k1, "/data/f")
+        return data
+
+    data = runner.run(scenario())
+    assert data == b"dirty-data" * 400
+    # the server issued exactly one callback, and client 0 wrote back
+    assert world2.server_host.rpc.client_stats.get(SPROC.CALLBACK) == 1
+    assert world2.client_rpc_count(SPROC.WRITE, i=0) > 0
+    assert world2.clients[0].cache.dirty_count() == 0
+
+
+def test_writeback_callback_does_not_invalidate_writers_cache(runner, world2):
+    """After the write-back for a new reader, the old writer's cache is
+    still valid: re-reading its own data needs no read RPCs."""
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"v" * 4096)
+        yield from read_file(k1, "/data/f")  # forces write-back
+        before = world2.client_rpc_count(SPROC.READ, i=0)
+        data = yield from read_file(k0, "/data/f")
+        return world2.client_rpc_count(SPROC.READ, i=0) - before, data
+
+    extra_reads, data = runner.run(scenario())
+    assert extra_reads == 0
+    assert data == b"v" * 4096
+
+
+def test_new_writer_invalidates_old_writers_cache(runner, world2):
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"first" * 800)
+        # client 1 rewrites the file entirely
+        yield from write_file(k1, "/data/f", b"SECOND" * 700)
+        # client 0 reads again: must fetch fresh data (its cache was
+        # invalidated by the callback when client 1 opened for write)
+        data = yield from read_file(k0, "/data/f")
+        return data
+
+    assert runner.run(scenario()) == b"SECOND" * 700
+
+
+def test_write_sharing_disables_caching_for_everyone(runner, world2):
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+    flags = {}
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"seed")
+        fd0 = yield from k0.open("/data/f", OpenMode.WRITE)
+        fd1 = yield from k1.open("/data/f", OpenMode.READ)
+        lfs = world2.export.lfs
+        inum = yield from lfs.lookup(lfs.root_inum, "f")
+        key = lfs.handle(inum).key()
+        flags["state"] = world2.server.state.state_of(key)
+        g0 = [g for g in world2.mounts[0].live_gnodes() if not g.is_dir][0]
+        g1 = [g for g in world2.mounts[1].live_gnodes() if not g.is_dir][0]
+        flags["writer_caching"] = g0.private.get("cache_enabled")
+        flags["reader_caching"] = g1.private.get("cache_enabled")
+        # the writer's cached blocks were invalidated by the callback
+        flags["writer_cached_blocks"] = len(
+            world2.clients[0].cache.file_blocks(g0.cache_key)
+        )
+        yield from k0.close(fd0)
+        yield from k1.close(fd1)
+
+    runner.run(scenario())
+    assert flags["state"] is FileState.WRITE_SHARED
+    assert flags["writer_caching"] is False
+    assert flags["reader_caching"] is False
+    assert flags["writer_cached_blocks"] == 0
+
+
+def test_write_shared_reads_and_writes_go_to_server(runner, world2):
+    """While write-shared, a reader sees every write immediately: reads
+    are served by the server, writes go through synchronously (§2.2)."""
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+    observed = []
+
+    def writer():
+        fd = yield from k0.open("/data/f", OpenMode.WRITE, create=True)
+        yield from k0.write(fd, b"AAAA")
+        yield runner.sim.timeout(5.0)
+        # by now the reader has the file open: we are write-shared and
+        # this write is synchronous at the server
+        k0.lseek(fd, 0)
+        yield from k0.write(fd, b"BBBB")
+        yield runner.sim.timeout(5.0)
+        yield from k0.close(fd)
+
+    def reader():
+        yield runner.sim.timeout(2.0)
+        fd = yield from k1.open("/data/f", OpenMode.READ)
+        data1 = yield from k1.read(fd, 4)
+        observed.append(bytes(data1))
+        yield runner.sim.timeout(5.0)  # writer rewrote at t=5
+        k1.lseek(fd, 0)
+        data2 = yield from k1.read(fd, 4)
+        observed.append(bytes(data2))
+        yield from k1.close(fd)
+
+    runner.run_all(writer(), reader())
+    # SNFS guarantees the reader sees the writer's latest bytes
+    assert observed == [b"AAAA", b"BBBB"]
+
+
+def test_snfs_has_no_stale_window_unlike_nfs(runner, world2):
+    """The NFS stale-read scenario, replayed over SNFS: the reader
+    (whose open made the file write-shared) always sees fresh data."""
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+    observations = {}
+
+    def setup():
+        yield from write_file(k0, "/data/f", b"old." * 1024)
+
+    def reader():
+        fd = yield from k1.open("/data/f", OpenMode.READ)
+        data = yield from k1.read(fd, 4096)
+        observations["initial"] = bytes(data)
+        yield runner.sim.timeout(2.0)
+        k1.lseek(fd, 0)
+        data = yield from k1.read(fd, 4096)
+        # 1 second after the write, well inside what would be NFS's
+        # stale window: SNFS already serves the new data
+        observations["immediately-after-write"] = bytes(data)
+        yield from k1.close(fd)
+
+    def writer():
+        yield runner.sim.timeout(1.0)
+        fd = yield from k0.open("/data/f", OpenMode.WRITE)
+        yield from k0.write(fd, b"NEW!" * 1024)
+        yield from k0.close(fd)
+
+    runner.run(setup())
+    runner.run_all(reader(), writer())
+    assert observations["initial"] == b"old." * 1024
+    assert observations["immediately-after-write"] == b"NEW!" * 1024
+
+
+def test_sequential_sharing_version_invalidation(runner, world2):
+    """Client 1 cached version N; client 0 rewrites (version N+1);
+    client 1 reopens: version mismatch -> cache dropped, fresh read."""
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"one" * 1000)
+        d1 = yield from read_file(k1, "/data/f")
+        yield from write_file(k0, "/data/f", b"two" * 1000)
+        d2 = yield from read_file(k1, "/data/f")
+        return d1, d2
+
+    d1, d2 = runner.run(scenario())
+    assert d1 == b"one" * 1000
+    assert d2 == b"two" * 1000
+
+
+def test_read_only_sharing_needs_no_callbacks(runner, world2):
+    """Once the initial CLOSED_DIRTY write-back has happened, read-only
+    sharing is fully cachable: no more callbacks, however many readers."""
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"shared" * 100)
+        # client 1's first open triggers the one write-back callback
+        yield from read_file(k1, "/data/f")
+        after_first = world2.server_host.rpc.client_stats.get(SPROC.CALLBACK)
+        # from here on, read-only sharing generates no callbacks at all
+        for _ in range(5):
+            yield from read_file(k0, "/data/f")
+            yield from read_file(k1, "/data/f")
+        return after_first
+
+    after_first = runner.run(scenario())
+    assert after_first == 1
+    assert world2.server_host.rpc.client_stats.get(SPROC.CALLBACK) == 1
+
+
+def test_dead_client_callback_marks_inconsistent(runner, world2):
+    """Callback target crashed: the open is honoured but flagged (§3.2)."""
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+
+    def scenario():
+        yield from write_file(k0, "/data/f", b"unsynced" * 512)
+        world2.clients[0].crash()
+        # client 1 opens: the callback to client 0 times out
+        fd = yield from k1.open("/data/f", OpenMode.READ)
+        g = world2.mounts[1]._gnodes[
+            [key for key in world2.mounts[1]._gnodes][-1]
+        ]
+        yield from k1.close(fd)
+        return None
+
+    runner.run(scenario(), limit=500.0)
+    # the dead client's claim was dropped; the file is readable
+    mount1 = world2.mounts[1]
+    opened = [
+        g for g in mount1.live_gnodes() if g.private.get("inconsistent")
+    ]
+    assert len(opened) >= 1
+
+
+def test_state_table_reclaim_via_callbacks(runner):
+    """Fill the state table with CLOSED_DIRTY files; the next open
+    reclaims entries by writing back their dirty blocks (§4.3.1)."""
+    world = SnfsWorld(runner, max_open_files=4)
+    k = world.client.kernel
+
+    def scenario():
+        for i in range(4):
+            yield from write_file(k, "/data/f%d" % i, b"d" * 4096)
+        # table now holds 4 CLOSED_DIRTY entries == the limit
+        assert len(world.server.state) == 4
+        # opening a 5th file forces reclamation
+        yield from write_file(k, "/data/f4", b"d" * 4096)
+
+    runner.run(scenario())
+    assert len(world.server.state) <= 4
+    # reclamation flushed some dirty data back
+    assert world.client_rpc_count(SPROC.WRITE) > 0
+    assert world.server_host.rpc.client_stats.get(SPROC.CALLBACK) > 0

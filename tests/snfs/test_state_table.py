@@ -1,0 +1,409 @@
+"""Exhaustive tests of the SNFS server state table against Table 4-1.
+
+Pure state-machine tests: every row of the paper's transition table,
+plus the no-transition cases the caption calls out, plus version-number
+semantics, the entry limit, reclamation, and the recovery rebuild path.
+"""
+
+import pytest
+
+from repro.snfs.state_table import (
+    Callback,
+    ENTRY_BYTES,
+    FileState,
+    StateTable,
+    StateTableFull,
+)
+
+F = "file-1"
+A, B, C = "clientA", "clientB", "clientC"
+
+
+@pytest.fixture
+def table():
+    return StateTable(max_entries=100)
+
+
+def opened(table, client, write=False, key=F):
+    grant, callbacks = table.open_file(key, client, write)
+    return grant, callbacks
+
+
+# -- open transitions, row by row ------------------------------------------------
+
+
+def test_closed_open_read_becomes_one_reader(table):
+    grant, cbs = opened(table, A)
+    assert table.state_of(F) is FileState.ONE_READER
+    assert grant.cache_enabled
+    assert cbs == []
+
+
+def test_closed_open_write_becomes_one_writer(table):
+    grant, cbs = opened(table, A, write=True)
+    assert table.state_of(F) is FileState.ONE_WRITER
+    assert grant.cache_enabled
+    assert cbs == []
+
+
+def test_one_reader_second_reader_mult_readers(table):
+    opened(table, A)
+    grant, cbs = opened(table, B)
+    assert table.state_of(F) is FileState.MULT_READERS
+    assert grant.cache_enabled
+    assert cbs == []
+
+
+def test_one_reader_same_client_write_one_writer(table):
+    opened(table, A)
+    grant, cbs = opened(table, A, write=True)
+    assert table.state_of(F) is FileState.ONE_WRITER
+    assert grant.cache_enabled
+    assert cbs == []
+
+
+def test_one_reader_other_client_write_write_shared(table):
+    opened(table, A)
+    grant, cbs = opened(table, B, write=True)
+    assert table.state_of(F) is FileState.WRITE_SHARED
+    assert not grant.cache_enabled
+    assert cbs == [Callback(A, writeback=False, invalidate=True)]
+
+
+def test_mult_readers_writer_invalidates_all_other_readers(table):
+    opened(table, A)
+    opened(table, B)
+    grant, cbs = opened(table, C, write=True)
+    assert table.state_of(F) is FileState.WRITE_SHARED
+    assert not grant.cache_enabled
+    assert sorted(cb.client for cb in cbs) == [A, B]
+    assert all(cb.invalidate and not cb.writeback for cb in cbs)
+
+
+def test_mult_readers_one_of_them_writes(table):
+    opened(table, A)
+    opened(table, B)
+    grant, cbs = opened(table, B, write=True)
+    assert table.state_of(F) is FileState.WRITE_SHARED
+    # only A is called back; B is the writer itself
+    assert [cb.client for cb in cbs] == [A]
+
+
+def test_one_writer_reader_arrives_write_shared_with_writeback(table):
+    opened(table, A, write=True)
+    grant, cbs = opened(table, B)
+    assert table.state_of(F) is FileState.WRITE_SHARED
+    assert not grant.cache_enabled
+    assert cbs == [Callback(A, writeback=True, invalidate=True)]
+
+
+def test_one_writer_second_writer_write_shared(table):
+    opened(table, A, write=True)
+    grant, cbs = opened(table, B, write=True)
+    assert table.state_of(F) is FileState.WRITE_SHARED
+    assert cbs == [Callback(A, writeback=True, invalidate=True)]
+
+
+# -- no-transition cases (table caption) ------------------------------------------
+
+
+def test_reader_reopening_read_only_no_transition(table):
+    opened(table, A)
+    grant, cbs = opened(table, A)
+    assert table.state_of(F) is FileState.ONE_READER
+    assert cbs == []
+
+
+def test_writer_reopening_any_mode_no_transition(table):
+    opened(table, A, write=True)
+    for write in (False, True):
+        grant, cbs = opened(table, A, write=write)
+        assert table.state_of(F) is FileState.ONE_WRITER
+        assert cbs == []
+
+
+# -- close transitions -----------------------------------------------------------
+
+
+def test_one_reader_final_close_entry_removed(table):
+    opened(table, A)
+    table.close_file(F, A, write=False)
+    assert table.state_of(F) is FileState.CLOSED
+    assert table.entry(F) is None  # CLOSED entries are not kept
+
+
+def test_mult_readers_closes_step_down(table):
+    opened(table, A)
+    opened(table, B)
+    opened(table, C)
+    table.close_file(F, C, write=False)
+    assert table.state_of(F) is FileState.MULT_READERS
+    table.close_file(F, B, write=False)
+    assert table.state_of(F) is FileState.ONE_READER
+    table.close_file(F, A, write=False)
+    assert table.state_of(F) is FileState.CLOSED
+
+
+def test_one_writer_final_close_closed_dirty_records_last_writer(table):
+    opened(table, A, write=True)
+    table.close_file(F, A, write=True)
+    assert table.state_of(F) is FileState.CLOSED_DIRTY
+    assert table.entry(F).last_writer == A
+
+
+def test_one_writer_close_write_still_reading_one_rdr_dirty(table):
+    """Table 4-1: 'Final close for write, client still reading' ->
+    ONE_RDR_DIRTY, this client recorded as last writer."""
+    opened(table, A)
+    opened(table, A, write=True)
+    table.close_file(F, A, write=True)
+    assert table.state_of(F) is FileState.ONE_RDR_DIRTY
+    assert table.entry(F).last_writer == A
+    table.close_file(F, A, write=False)
+    assert table.state_of(F) is FileState.CLOSED_DIRTY
+
+
+def test_write_shared_drains_to_one_writer_then_closed(table):
+    opened(table, A, write=True)
+    opened(table, B, write=True)
+    table.close_file(F, A, write=True)
+    assert table.state_of(F) is FileState.ONE_WRITER
+    table.close_file(F, B, write=True)
+    # while write-shared everyone wrote through: nothing dirty remains
+    assert table.state_of(F) is FileState.CLOSED
+    assert table.entry(F) is None
+
+
+def test_write_shared_drains_to_one_reader(table):
+    opened(table, A)
+    opened(table, B, write=True)
+    table.close_file(F, B, write=True)
+    assert table.state_of(F) is FileState.ONE_READER
+
+
+def test_close_unknown_file_tolerated(table):
+    assert table.close_file("nonesuch", A, write=False) == []
+
+
+# -- CLOSED_DIRTY transitions ---------------------------------------------------
+
+
+def make_closed_dirty(table):
+    opened(table, A, write=True)
+    table.close_file(F, A, write=True)
+    assert table.state_of(F) is FileState.CLOSED_DIRTY
+
+
+def test_closed_dirty_reopen_by_last_writer_read(table):
+    make_closed_dirty(table)
+    grant, cbs = opened(table, A)
+    assert table.state_of(F) is FileState.ONE_RDR_DIRTY
+    assert cbs == []  # its own dirty blocks are fine
+    assert grant.cache_enabled
+
+
+def test_closed_dirty_reopen_by_last_writer_write(table):
+    make_closed_dirty(table)
+    grant, cbs = opened(table, A, write=True)
+    assert table.state_of(F) is FileState.ONE_WRITER
+    assert cbs == []
+
+
+def test_closed_dirty_new_reader_forces_writeback_only(table):
+    make_closed_dirty(table)
+    grant, cbs = opened(table, B)
+    assert table.state_of(F) is FileState.ONE_READER
+    assert cbs == [Callback(A, writeback=True, invalidate=False)]
+    assert grant.cache_enabled
+
+
+def test_closed_dirty_new_writer_forces_writeback_and_invalidate(table):
+    make_closed_dirty(table)
+    grant, cbs = opened(table, B, write=True)
+    assert table.state_of(F) is FileState.ONE_WRITER
+    assert cbs == [Callback(A, writeback=True, invalidate=True)]
+
+
+def test_one_rdr_dirty_new_reader_writeback(table):
+    make_closed_dirty(table)
+    opened(table, A)  # ONE_RDR_DIRTY
+    grant, cbs = opened(table, B)
+    assert table.state_of(F) is FileState.MULT_READERS
+    assert cbs == [Callback(A, writeback=True, invalidate=False)]
+
+
+def test_one_rdr_dirty_new_writer_writeback_invalidate(table):
+    make_closed_dirty(table)
+    opened(table, A)
+    grant, cbs = opened(table, B, write=True)
+    assert table.state_of(F) is FileState.WRITE_SHARED
+    assert cbs == [Callback(A, writeback=True, invalidate=True)]
+    assert not grant.cache_enabled
+
+
+def test_one_rdr_dirty_same_client_write_one_writer(table):
+    make_closed_dirty(table)
+    opened(table, A)
+    grant, cbs = opened(table, A, write=True)
+    assert table.state_of(F) is FileState.ONE_WRITER
+    assert cbs == []
+
+
+# -- version numbers ----------------------------------------------------------
+
+
+def test_version_increases_on_every_write_open(table):
+    g1, _ = opened(table, A, write=True)
+    g2, _ = opened(table, A, write=True)
+    assert g2.version > g1.version
+    assert g2.prev_version == g1.version
+
+
+def test_read_open_does_not_bump_version(table):
+    g1, _ = opened(table, A, write=True)
+    table.close_file(F, A, write=True)
+    g2, _ = opened(table, A)
+    assert g2.version == g1.version
+
+
+def test_prev_version_lets_writer_keep_cache(table):
+    """A client whose cache matches prev_version opened-for-write: the
+    version change is its own doing, so the cache stays valid."""
+    g1, _ = opened(table, A, write=True)
+    table.close_file(F, A, write=True)
+    g2, _ = opened(table, A, write=True)
+    assert g2.prev_version == g1.version  # cache tagged g1.version is valid
+
+
+def test_versions_global_across_files(table):
+    ga, _ = table.open_file("f1", A, True)
+    gb, _ = table.open_file("f2", A, True)
+    assert gb.version > ga.version  # global counter (§4.3.3)
+
+
+# -- table limits and reclamation ----------------------------------------------
+
+
+def test_entry_limit_enforced():
+    table = StateTable(max_entries=2)
+    table.open_file("f1", A, False)
+    table.open_file("f2", A, False)
+    with pytest.raises(StateTableFull):
+        table.open_file("f3", A, False)
+
+
+def test_memory_accounting_matches_paper():
+    table = StateTable()
+    table.open_file("f1", A, False)
+    assert table.memory_bytes() == ENTRY_BYTES
+    # "up to 1000 simultaneously open files ... about 70 kbytes"
+    assert 1000 * ENTRY_BYTES == pytest.approx(70_000, rel=0.05)
+
+
+def test_reclaim_picks_closed_dirty_entries(table):
+    make_closed_dirty(table)
+    pairs = table.reclaim_callbacks()
+    assert len(pairs) == 1
+    key, cb = pairs[0]
+    assert key == F
+    assert cb.client == A
+    assert cb.writeback
+    table.drop(key)
+    assert table.entry(F) is None
+
+
+def test_note_file_removed_drops_state(table):
+    make_closed_dirty(table)
+    table.note_file_removed(F)
+    assert table.state_of(F) is FileState.CLOSED
+
+
+# -- crash recovery rebuild ------------------------------------------------------
+
+
+def test_rebuild_single_writer(table):
+    table.open_file(F, A, True)
+    version = table.entry(F).version
+    table.clear()
+    assert len(table) == 0
+    table.rebuild_entry(F, A, readers=0, writers=1, version=version, dirty=True)
+    assert table.state_of(F) is FileState.ONE_WRITER
+    assert table.entry(F).version == version
+
+
+def test_rebuild_multiple_readers(table):
+    table.clear()
+    table.rebuild_entry(F, A, readers=1, writers=0, version=5, dirty=False)
+    table.rebuild_entry(F, B, readers=1, writers=0, version=5, dirty=False)
+    assert table.state_of(F) is FileState.MULT_READERS
+
+
+def test_rebuild_write_shared(table):
+    table.rebuild_entry(F, A, readers=1, writers=0, version=7, dirty=False)
+    table.rebuild_entry(F, B, readers=0, writers=1, version=8, dirty=False)
+    assert table.state_of(F) is FileState.WRITE_SHARED
+
+
+def test_rebuild_closed_dirty(table):
+    table.rebuild_entry(F, A, readers=0, writers=0, version=3, dirty=True)
+    assert table.state_of(F) is FileState.CLOSED_DIRTY
+    assert table.entry(F).last_writer == A
+
+
+def test_rebuild_version_counter_continues_past_recovered(table):
+    table.rebuild_entry(F, A, readers=0, writers=1, version=100, dirty=True)
+    grant, _ = table.open_file("other", B, True)
+    assert grant.version > 100
+
+
+# -- full lifecycle sweep ---------------------------------------------------------
+
+
+def test_randomized_lifecycle_invariants():
+    """Drive many random open/close sequences; invariants must hold:
+    WRITE_SHARED iff (writers >= 1 and clients >= 2), etc."""
+    import random
+
+    rng = random.Random(42)
+    table = StateTable(max_entries=1000)
+    open_tracker = {}  # (key, client) -> [reads, writes]
+    clients = [A, B, C]
+    keys = ["f1", "f2", "f3"]
+    for step in range(3000):
+        key = rng.choice(keys)
+        client = rng.choice(clients)
+        write = rng.random() < 0.4
+        track = open_tracker.setdefault((key, client), [0, 0])
+        if rng.random() < 0.5:
+            table.open_file(key, client, write)
+            track[1 if write else 0] += 1
+        else:
+            if write and track[1] > 0:
+                table.close_file(key, client, True)
+                track[1] -= 1
+            elif not write and track[0] > 0:
+                table.close_file(key, client, False)
+                track[0] -= 1
+            else:
+                continue
+        # check invariants for this key
+        entry = table.entry(key)
+        n_open = sum(
+            1
+            for c in clients
+            if sum(open_tracker.get((key, c), [0, 0])) > 0
+        )
+        n_writers = sum(
+            1 for c in clients if open_tracker.get((key, c), [0, 0])[1] > 0
+        )
+        state = table.state_of(key)
+        if n_writers >= 1 and n_open >= 2:
+            assert state is FileState.WRITE_SHARED, "step %d" % step
+        elif n_writers == 1:
+            assert state is FileState.ONE_WRITER, "step %d" % step
+        elif n_open >= 2:
+            assert state is FileState.MULT_READERS, "step %d" % step
+        elif n_open == 1:
+            assert state in (FileState.ONE_READER, FileState.ONE_RDR_DIRTY)
+        else:
+            assert state in (FileState.CLOSED, FileState.CLOSED_DIRTY)

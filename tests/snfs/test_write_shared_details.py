@@ -1,0 +1,114 @@
+"""Detailed behaviour of the write-shared (non-cachable) mode (§4.2.1).
+
+"If the file is not cachable, its blocks are never entered into the
+cache.  Also, the standard Unix read-ahead is disabled in SNFS for
+non-cachable files, since the extra blocks cannot be cached.  ...
+If the file is write-shared (not cachable), SNFS guarantees
+consistency by always fetching attributes from the server."
+"""
+
+import pytest
+
+from repro.fs import OpenMode
+from repro.snfs import SPROC
+from tests.snfs.conftest import SnfsWorld, read_file, write_file
+
+
+@pytest.fixture
+def world2(runner):
+    return SnfsWorld(runner, n_clients=2)
+
+
+def make_write_shared(runner, world2):
+    """Get /data/f into WRITE_SHARED with both clients holding it open."""
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+    fds = {}
+
+    def setup():
+        yield from write_file(k0, "/data/f", b"S" * 4096 * 4)
+        yield from world2.mounts[0].sync()
+        fds["w"] = yield from k0.open("/data/f", OpenMode.WRITE)
+        fds["r"] = yield from k1.open("/data/f", OpenMode.READ)
+
+    runner.run(setup())
+    return fds
+
+
+def test_blocks_never_enter_cache_when_write_shared(runner, world2):
+    fds = make_write_shared(runner, world2)
+    k1 = world2.clients[1].kernel
+
+    def scenario():
+        yield from k1.read(fds["r"], 4096)
+        k1.lseek(fds["r"], 0)
+        yield from k1.read(fds["r"], 4096)
+
+    blocks_before = len(world2.clients[1].cache)
+    runner.run(scenario())
+    # the reads did not populate the client cache at all
+    assert len(world2.clients[1].cache) == blocks_before
+    # so both reads were server RPCs
+    assert world2.client_rpc_count(SPROC.READ, i=1) >= 2
+
+
+def test_readahead_disabled_when_write_shared(runner, world2):
+    """Sequential reads of a cachable file trigger prefetch; of a
+    write-shared file they must not (nothing can be cached)."""
+    fds = make_write_shared(runner, world2)
+    k1 = world2.clients[1].kernel
+
+    def scenario():
+        # sequential read pattern that would normally trigger read-ahead
+        for bno in range(3):
+            k1.lseek(fds["r"], bno * 4096)
+            yield from k1.read(fds["r"], 4096)
+        yield runner.sim.timeout(1.0)  # any prefetch would land by now
+
+    runner.run(scenario())
+    # exactly one read RPC per explicit read; no extra prefetch reads
+    assert world2.client_rpc_count(SPROC.READ, i=1) == 3
+
+
+def test_attributes_always_fetched_when_write_shared(runner, world2):
+    fds = make_write_shared(runner, world2)
+    k1 = world2.clients[1].kernel
+
+    def scenario():
+        for _ in range(3):
+            yield from k1.fstat(fds["r"])
+
+    runner.run(scenario())
+    assert world2.client_rpc_count(SPROC.GETATTR, i=1) >= 3
+
+
+def test_write_shared_writes_are_synchronous(runner, world2):
+    fds = make_write_shared(runner, world2)
+    k0 = world2.clients[0].kernel
+
+    def scenario():
+        before = world2.client_rpc_count(SPROC.WRITE, i=0)
+        k0.lseek(fds["w"], 0)
+        yield from k0.write(fds["w"], b"W" * 4096)
+        # the write RPC happened before the syscall returned
+        return world2.client_rpc_count(SPROC.WRITE, i=0) - before
+
+    assert runner.run(scenario()) == 1
+    assert world2.clients[0].cache.dirty_count() == 0
+
+
+def test_reader_sees_every_synchronous_write_immediately(runner, world2):
+    fds = make_write_shared(runner, world2)
+    k0 = world2.clients[0].kernel
+    k1 = world2.clients[1].kernel
+
+    def scenario():
+        for i in range(3):
+            stamp = bytes([65 + i])
+            k0.lseek(fds["w"], 0)
+            yield from k0.write(fds["w"], stamp * 100)
+            k1.lseek(fds["r"], 0)
+            data = yield from k1.read(fds["r"], 100)
+            assert bytes(data) == stamp * 100, i
+
+    runner.run(scenario())

@@ -1,0 +1,116 @@
+"""Tests for the disk model."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage import Disk, DiskConfig
+
+
+def make_disk(**kw):
+    sim = Simulator()
+    return sim, Disk(sim, DiskConfig(**kw))
+
+
+def run(sim, gen):
+    out = {}
+
+    def wrapper(sim):
+        out["value"] = yield from gen
+        return out["value"]
+
+    sim.spawn(wrapper(sim))
+    sim.run()
+    return out.get("value")
+
+
+def test_single_read_latency():
+    sim, disk = make_disk(
+        avg_seek=0.020, avg_rotation=0.010, transfer_rate=1e6, block_size=1000
+    )
+    run(sim, disk.read(addr=100, n_blocks=1))
+    # seek + rotation + 1 ms transfer
+    assert sim.now == pytest.approx(0.031)
+    assert disk.stats.get("reads") == 1
+    assert disk.stats.get("read_blocks") == 1
+
+
+def test_sequential_access_skips_seek():
+    sim, disk = make_disk(
+        avg_seek=0.020, avg_rotation=0.010, transfer_rate=1e6, block_size=1000
+    )
+
+    def scenario(sim):
+        yield from disk.read(addr=0, n_blocks=1)  # 31 ms
+        yield from disk.read(addr=1, n_blocks=1)  # sequential: 1 ms
+
+    sim.spawn(scenario(sim))
+    sim.run()
+    assert sim.now == pytest.approx(0.032)
+
+
+def test_non_sequential_pays_seek_again():
+    sim, disk = make_disk(
+        avg_seek=0.020, avg_rotation=0.010, transfer_rate=1e6, block_size=1000
+    )
+
+    def scenario(sim):
+        yield from disk.read(addr=0, n_blocks=1)
+        yield from disk.read(addr=500, n_blocks=1)
+
+    sim.spawn(scenario(sim))
+    sim.run()
+    assert sim.now == pytest.approx(0.062)
+
+
+def test_multiblock_transfer_time():
+    sim, disk = make_disk(
+        avg_seek=0.0, avg_rotation=0.0, transfer_rate=1e6, block_size=1000
+    )
+    run(sim, disk.write(addr=0, n_blocks=10))
+    assert sim.now == pytest.approx(0.010)
+    assert disk.stats.get("writes") == 1
+    assert disk.stats.get("write_blocks") == 10
+
+
+def test_fifo_queueing_serializes_requests():
+    sim, disk = make_disk(
+        avg_seek=0.010, avg_rotation=0.0, transfer_rate=1e9, block_size=1000
+    )
+    done = []
+
+    def reader(sim, tag, addr):
+        yield from disk.read(addr=addr, n_blocks=1)
+        done.append((tag, sim.now))
+
+    sim.spawn(reader(sim, "a", 0))
+    sim.spawn(reader(sim, "b", 100))
+    sim.run()
+    assert done[0][0] == "a"
+    assert done[0][1] == pytest.approx(0.010, abs=1e-4)
+    assert done[1][1] == pytest.approx(0.020, abs=1e-4)
+
+
+def test_busy_time_tracks_utilization():
+    sim, disk = make_disk(
+        avg_seek=0.010, avg_rotation=0.0, transfer_rate=1e9, block_size=1000
+    )
+
+    def scenario(sim):
+        yield from disk.read(addr=0, n_blocks=1)
+        yield sim.timeout(1.0)  # idle gap
+        yield from disk.read(addr=100, n_blocks=1)
+
+    sim.spawn(scenario(sim))
+    sim.run()
+    assert disk.busy_time() == pytest.approx(0.020, abs=1e-4)
+
+
+def test_zero_block_io_rejected():
+    sim, disk = make_disk()
+
+    def scenario(sim):
+        with pytest.raises(ValueError):
+            yield from disk.read(addr=0, n_blocks=0)
+
+    sim.spawn(scenario(sim))
+    sim.run()

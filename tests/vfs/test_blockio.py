@@ -1,0 +1,264 @@
+"""Tests for the shared cached block I/O helpers."""
+
+import pytest
+
+from repro.fs.types import FileType
+from repro.storage import BufferCache
+from repro.vfs import block_range, cached_read, cached_write, merge_block
+from repro.vfs.gnode import Gnode
+
+
+class FakeFs:
+    mount_id = "m0"
+
+
+@pytest.fixture
+def env(runner):
+    cache = BufferCache(runner.sim, capacity_blocks=64)
+    g = Gnode(FakeFs(), 1, FileType.REGULAR)
+    return runner, cache, g
+
+
+# -- pure helpers -------------------------------------------------------------
+
+
+def test_block_range_spans():
+    assert list(block_range(0, 10, 4096)) == [0]
+    assert list(block_range(0, 4096, 4096)) == [0]
+    assert list(block_range(0, 4097, 4096)) == [0, 1]
+    assert list(block_range(4095, 2, 4096)) == [0, 1]
+    assert list(block_range(8192, 100, 4096)) == [2]
+    assert list(block_range(0, 0, 4096)) == []
+
+
+def test_merge_block_overlay():
+    assert merge_block(b"aaaa", 1, b"XX") == b"aXXa"
+    assert merge_block(b"", 0, b"new") == b"new"
+    assert merge_block(b"ab", 4, b"X") == b"ab\x00\x00X"
+    assert merge_block(b"abcdef", 0, b"XY") == b"XYcdef"
+
+
+# -- cached_read ---------------------------------------------------------------
+
+
+def backing_store(blocks):
+    fills = []
+
+    def fill(bno):
+        fills.append(bno)
+        yield  # placeholder for I/O; tests use a zero-delay event
+        return blocks.get(bno, b"")
+
+    return fill, fills
+
+
+def test_cached_read_fills_and_caches(env):
+    runner, cache, g = env
+    blocks = {0: b"A" * 4096, 1: b"B" * 100}
+    fill_raw, fills = backing_store(blocks)
+
+    def fill(bno):
+        yield runner.sim.timeout(0)
+        fills.append(bno)
+        return blocks.get(bno, b"")
+
+    def scenario():
+        data = yield from cached_read(
+            cache, g, 0, 4196, file_size=4196, block_size=4096, fill_fn=fill,
+            readahead=False,
+        )
+        return data
+
+    data = runner.run(scenario())
+    assert data == b"A" * 4096 + b"B" * 100
+    assert fills == [0, 1]
+    # second read hits cache, no more fills
+    data2 = runner.run(scenario())
+    assert data2 == data
+    assert fills == [0, 1]
+
+
+def test_cached_read_clamps_at_eof(env):
+    runner, cache, g = env
+
+    def fill(bno):
+        yield runner.sim.timeout(0)
+        return b"x" * 10
+
+    def scenario():
+        data = yield from cached_read(
+            cache, g, 5, 100, file_size=10, block_size=4096, fill_fn=fill,
+            readahead=False,
+        )
+        return data
+
+    assert runner.run(scenario()) == b"x" * 5
+
+
+def test_cached_read_past_eof_empty(env):
+    runner, cache, g = env
+
+    def fill(bno):
+        yield runner.sim.timeout(0)
+        return b""
+
+    def scenario():
+        data = yield from cached_read(
+            cache, g, 100, 10, file_size=50, block_size=4096, fill_fn=fill,
+            readahead=False,
+        )
+        return data
+
+    assert runner.run(scenario()) == b""
+
+
+def test_readahead_prefetches_next_block(env):
+    runner, cache, g = env
+    filled = []
+
+    def fill(bno):
+        yield runner.sim.timeout(0.001)
+        filled.append(bno)
+        return b"z" * 4096
+
+    def scenario():
+        # sequential reads of block 0 then 1 -> prefetch of 2 expected
+        yield from cached_read(
+            cache, g, 0, 4096, file_size=3 * 4096, block_size=4096,
+            fill_fn=fill, readahead=True, sim=runner.sim,
+        )
+        yield from cached_read(
+            cache, g, 4096, 4096, file_size=3 * 4096, block_size=4096,
+            fill_fn=fill, readahead=True, sim=runner.sim,
+        )
+        yield runner.sim.timeout(1.0)  # let the prefetch land
+
+    runner.run(scenario())
+    assert 2 in filled
+    assert cache.contains(g.cache_key, 2)
+
+
+def test_no_readahead_on_random_access(env):
+    runner, cache, g = env
+    filled = []
+
+    def fill(bno):
+        yield runner.sim.timeout(0.001)
+        filled.append(bno)
+        return b"z" * 4096
+
+    def scenario():
+        yield from cached_read(
+            cache, g, 8 * 4096, 4096, file_size=20 * 4096, block_size=4096,
+            fill_fn=fill, readahead=True, sim=runner.sim,
+        )
+        yield from cached_read(
+            cache, g, 2 * 4096, 4096, file_size=20 * 4096, block_size=4096,
+            fill_fn=fill, readahead=True, sim=runner.sim,
+        )
+        yield runner.sim.timeout(1.0)
+
+    runner.run(scenario())
+    assert sorted(filled) == [2, 8]
+
+
+# -- cached_write ---------------------------------------------------------------
+
+
+def test_cached_write_whole_blocks_no_fill(env):
+    runner, cache, g = env
+    fills = []
+
+    def fill(bno):
+        yield runner.sim.timeout(0)
+        fills.append(bno)
+        return b""
+
+    def scenario():
+        bufs = yield from cached_write(
+            cache, g, 0, b"D" * 8192, file_size=0, block_size=4096, fill_fn=fill,
+        )
+        return bufs
+
+    bufs = runner.run(scenario())
+    assert fills == []  # full-block writes never read
+    assert [b.block_no for b in bufs] == [0, 1]
+    assert all(b.dirty for b in bufs)
+
+
+def test_cached_write_partial_block_fills_first(env):
+    runner, cache, g = env
+    backing = {0: b"o" * 4096}
+
+    def fill(bno):
+        yield runner.sim.timeout(0)
+        return backing.get(bno, b"")
+
+    def scenario():
+        yield from cached_write(
+            cache, g, 100, b"NEW", file_size=4096, block_size=4096, fill_fn=fill,
+        )
+
+    runner.run(scenario())
+    buf = cache.lookup(g.cache_key, 0)
+    assert buf.data[100:103] == b"NEW"
+    assert buf.data[:100] == b"o" * 100
+    assert buf.data[103:] == b"o" * (4096 - 103)
+
+
+def test_cached_write_append_tail_no_fill(env):
+    runner, cache, g = env
+    fills = []
+
+    def fill(bno):
+        yield runner.sim.timeout(0)
+        fills.append(bno)
+        return b""
+
+    def scenario():
+        # appending at EOF (offset == file_size): the write covers the
+        # whole meaningful part of the block, so no fill is needed
+        yield from cached_write(
+            cache, g, 0, b"tail", file_size=0, block_size=4096, fill_fn=fill,
+        )
+
+    runner.run(scenario())
+    assert fills == []
+    assert cache.lookup(g.cache_key, 0).data == b"tail"
+
+
+def test_cached_write_no_dirty_mark_for_writethrough(env):
+    runner, cache, g = env
+
+    def fill(bno):
+        yield runner.sim.timeout(0)
+        return b""
+
+    def scenario():
+        bufs = yield from cached_write(
+            cache, g, 0, b"data", file_size=0, block_size=4096, fill_fn=fill,
+            mark_dirty=False,
+        )
+        return bufs
+
+    bufs = runner.run(scenario())
+    assert not bufs[0].dirty
+
+
+def test_cached_write_updates_existing_buffer(env):
+    runner, cache, g = env
+
+    def fill(bno):
+        yield runner.sim.timeout(0)
+        return b""
+
+    def scenario():
+        yield from cached_write(
+            cache, g, 0, b"AAAA", file_size=0, block_size=4096, fill_fn=fill,
+        )
+        yield from cached_write(
+            cache, g, 2, b"BB", file_size=4, block_size=4096, fill_fn=fill,
+        )
+
+    runner.run(scenario())
+    assert cache.lookup(g.cache_key, 0).data == b"AABB"

@@ -1,0 +1,91 @@
+"""Unit tests for the FileSystemType base and Gnode."""
+
+import pytest
+
+from repro.fs.types import FileHandle, FileType
+from repro.vfs import FileSystemType, Gnode
+
+
+class DummyFs(FileSystemType):
+    pass
+
+
+def test_gnode_canonical_per_fid():
+    fs = DummyFs("m0")
+    g1 = fs.gnode_for(42, FileType.REGULAR)
+    g2 = fs.gnode_for(42, FileType.REGULAR)
+    assert g1 is g2
+    assert len(fs.live_gnodes()) == 1
+
+
+def test_gnode_for_filehandle_uses_key():
+    fs = DummyFs("m0")
+    fh_a = FileHandle("fs", 7, 1)
+    fh_b = FileHandle("fs", 7, 1)  # equal but distinct object
+    g1 = fs.gnode_for(fh_a, FileType.REGULAR)
+    g2 = fs.gnode_for(fh_b, FileType.REGULAR)
+    assert g1 is g2
+    # a different generation is a different file
+    g3 = fs.gnode_for(FileHandle("fs", 7, 2), FileType.REGULAR)
+    assert g3 is not g1
+
+
+def test_drop_gnode():
+    fs = DummyFs("m0")
+    g = fs.gnode_for(1, FileType.REGULAR)
+    fs.drop_gnode(g)
+    assert fs.live_gnodes() == []
+    assert fs.gnode_for(1, FileType.REGULAR) is not g
+
+
+def test_gnode_cache_key_includes_mount():
+    fs_a = DummyFs("a")
+    fs_b = DummyFs("b")
+    ga = fs_a.gnode_for(1, FileType.REGULAR)
+    gb = fs_b.gnode_for(1, FileType.REGULAR)
+    assert ga.cache_key != gb.cache_key
+    assert ga.cache_key == ("a", 1)
+
+
+def test_gnode_open_tracking():
+    fs = DummyFs("m")
+    g = fs.gnode_for(1, FileType.REGULAR)
+    assert not g.is_open
+    g.open_reads += 1
+    assert g.is_open
+    g.open_reads -= 1
+    g.open_writes += 2
+    assert g.is_open
+    g.open_writes -= 2
+    assert not g.is_open
+
+
+def test_gnode_is_dir():
+    fs = DummyFs("m")
+    assert fs.gnode_for(1, FileType.DIRECTORY).is_dir
+    assert not fs.gnode_for(2, FileType.REGULAR).is_dir
+
+
+def test_abstract_methods_raise():
+    fs = DummyFs("m")
+    g = fs.gnode_for(1, FileType.REGULAR)
+    for method, args in [
+        ("root", ()),
+        ("lookup", (g, "x")),
+        ("read", (g, 0, 1)),
+        ("write", (g, 0, b"")),
+        ("getattr", (g,)),
+    ]:
+        with pytest.raises(NotImplementedError):
+            result = getattr(fs, method)(*args)
+            # coroutine-style methods raise on first next()
+            if hasattr(result, "send"):
+                next(result)
+
+
+def test_repr_mentions_mount_and_counts():
+    fs = DummyFs("mnt7")
+    g = fs.gnode_for(5, FileType.REGULAR)
+    g.open_reads = 2
+    text = repr(g)
+    assert "mnt7" in text and "r=2" in text

@@ -1,0 +1,50 @@
+"""Unit tests for the file-lifetime workload."""
+
+import pytest
+
+from repro.host import Host
+from repro.net import Network
+from repro.workloads import LifetimeConfig, LifetimeWorkload
+
+
+@pytest.fixture
+def host(runner):
+    h = Host(runner.sim, Network(runner.sim), "m")
+    h.add_local_fs("/", fsid="rootfs")
+    return h
+
+
+def test_all_files_created_and_reaped(runner, host):
+    cfg = LifetimeConfig(n_files=5, mean_lifetime=3.0, create_period=1.0)
+    bench = LifetimeWorkload(host.kernel, "/", cfg)
+    result = runner.run(bench.run())
+    assert result.files_created == 5
+    assert result.bytes_written == 5 * cfg.file_blocks * 4096
+
+    names = runner.run(host.kernel.readdir("/"))
+    assert names == []  # every file was deleted on schedule
+
+
+def test_deterministic_given_seed(runner):
+    h1 = Host(runner.sim, Network(runner.sim), "m1")
+    h1.add_local_fs("/", fsid="fs1")
+    cfg = LifetimeConfig(n_files=4, seed=9)
+    r1 = runner.run(LifetimeWorkload(h1.kernel, "/", cfg).run())
+
+    # second run in a fresh world
+    from tests.conftest import SimRunner
+
+    runner2 = SimRunner()
+    h2 = Host(runner2.sim, Network(runner2.sim), "m2")
+    h2.add_local_fs("/", fsid="fs2")
+    r2 = runner2.run(LifetimeWorkload(h2.kernel, "/", cfg).run())
+    assert r1.elapsed == r2.elapsed
+    assert r1.bytes_written == r2.bytes_written
+
+
+def test_short_lifetimes_cancel_local_writes(runner, host):
+    cfg = LifetimeConfig(n_files=6, mean_lifetime=2.0, create_period=0.5)
+    bench = LifetimeWorkload(host.kernel, "/", cfg)
+    runner.run(bench.run())
+    # most delayed data writes were cancelled before any flush
+    assert host.cache.stats.get("cancelled_writes") > 0

@@ -1,0 +1,120 @@
+"""Tests for the trace format, synthesizer, and replayer."""
+
+import pytest
+
+from repro.fs import OpenMode
+from repro.host import Host
+from repro.net import Network
+from repro.workloads.trace import (
+    Trace,
+    TraceOp,
+    TraceReplayer,
+    dump_trace,
+    parse_trace,
+    synthesize_trace,
+)
+
+
+SAMPLE = """
+# a tiny trace
+0.000 mkdir /d
+0.100 create /d/f 8192
+0.500 read /d/f
+2.000 append /d/f 100
+9.000 delete /d/f
+"""
+
+
+def test_parse_and_dump_roundtrip():
+    trace = parse_trace(SAMPLE)
+    assert len(trace) == 5
+    assert trace.ops[1] == TraceOp(0.1, "create", "/d/f", 8192)
+    again = parse_trace(dump_trace(trace))
+    assert again.ops == trace.ops
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_trace("0.0 create")  # missing path
+
+
+def test_validate_accepts_sample():
+    assert parse_trace(SAMPLE).validate() == []
+
+
+def test_validate_catches_problems():
+    bad = Trace(
+        ops=[
+            TraceOp(1.0, "read", "/never-created"),
+            TraceOp(0.5, "create", "/x", 10),  # time goes backwards
+            TraceOp(0.6, "frobnicate", "/x"),
+            TraceOp(0.7, "delete", "/ghost"),
+        ]
+    )
+    problems = bad.validate()
+    assert any("unknown path" in p for p in problems)
+    assert any("backwards" in p for p in problems)
+    assert any("unknown op" in p for p in problems)
+    assert any("delete of unknown" in p for p in problems)
+
+
+def test_synthesize_trace_is_valid_and_deterministic():
+    t1 = synthesize_trace(seed=5)
+    t2 = synthesize_trace(seed=5)
+    assert t1.ops == t2.ops
+    assert t1.validate() == []
+    assert len(t1) > 100
+    assert t1.duration() > 0
+
+
+def test_replay_on_local_fs(runner):
+    host = Host(runner.sim, Network(runner.sim), "m")
+    host.add_local_fs("/", fsid="rootfs")
+    trace = parse_trace(SAMPLE.replace("/d", "/tdir"))
+    replayer = TraceReplayer(host.kernel, trace)
+    done = runner.run(replayer.run())
+    assert done == 5
+    assert replayer.errors == []
+    # timestamps honoured: the run took as long as the trace
+    assert runner.sim.now >= 9.0
+
+
+def test_replay_time_scale(runner):
+    host = Host(runner.sim, Network(runner.sim), "m")
+    host.add_local_fs("/", fsid="rootfs")
+    trace = parse_trace(SAMPLE.replace("/d", "/tdir"))
+    replayer = TraceReplayer(host.kernel, trace, time_scale=0.1)
+    runner.run(replayer.run())
+    assert runner.sim.now < 2.0  # 9 s of trace squeezed into 0.9 s
+
+
+def test_replay_records_errors_and_continues(runner):
+    host = Host(runner.sim, Network(runner.sim), "m")
+    host.add_local_fs("/", fsid="rootfs")
+    trace = Trace(
+        ops=[
+            TraceOp(0.0, "read", "/missing"),
+            TraceOp(0.1, "create", "/ok", 100),
+        ]
+    )
+    replayer = TraceReplayer(host.kernel, trace)
+    done = runner.run(replayer.run())
+    assert done == 1
+    assert len(replayer.errors) == 1
+
+
+def test_replay_synthetic_over_snfs(runner):
+    """A synthesized trace end-to-end over SNFS: the short-lifetime
+    profile means most data never crosses the wire."""
+    from tests.snfs.conftest import SnfsWorld
+
+    world = SnfsWorld(runner)
+    trace = synthesize_trace(root="/data", n_files=10, duration=30.0)
+    replayer = TraceReplayer(world.client.kernel, trace)
+    runner.run(replayer.run())
+    assert replayer.errors == []
+    from repro.snfs import SPROC
+
+    writes = world.client_rpc_count(SPROC.WRITE)
+    # create+append traffic was mostly delayed and cancelled
+    assert writes < 20

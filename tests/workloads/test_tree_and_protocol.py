@@ -1,0 +1,99 @@
+"""Tests for the tree generator and protocol accounting helpers."""
+
+import pytest
+
+from repro.nfs import classify_ops, proc_basename
+from repro.workloads import make_tree
+from repro.workloads.sort import RECORD_LEN, make_input_records
+
+
+# -- tree generator ---------------------------------------------------------
+
+
+def test_tree_is_andrew_scale():
+    tree = make_tree()
+    assert 60 <= len(tree.files) <= 90
+    assert 150_000 <= tree.total_bytes() <= 300_000
+
+
+def test_tree_deterministic():
+    t1 = make_tree(seed=7)
+    t2 = make_tree(seed=7)
+    assert [f.path for f in t1.files] == [f.path for f in t2.files]
+    assert all(a.content == b.content for a, b in zip(t1.files, t2.files))
+
+
+def test_tree_different_seeds_differ():
+    t1 = make_tree(seed=1)
+    t2 = make_tree(seed=2)
+    assert any(a.content != b.content for a, b in zip(t1.files, t2.files))
+
+
+def test_sources_include_headers():
+    tree = make_tree()
+    header_paths = {h.path for h in tree.headers()}
+    for src in tree.sources():
+        assert src.includes
+        assert all(h in header_paths for h in src.includes)
+
+
+def test_directories_listed_parents_first():
+    tree = make_tree()
+    seen = set()
+    for d in tree.directories:
+        parent = d.rsplit("/", 1)[0] if "/" in d else None
+        assert parent is None or parent in seen
+        seen.add(d)
+
+
+# -- sort input -----------------------------------------------------------
+
+
+def test_sort_input_record_structure():
+    data = make_input_records(10 * RECORD_LEN)
+    assert len(data) == 10 * RECORD_LEN
+    records = [data[i:i + RECORD_LEN] for i in range(0, len(data), RECORD_LEN)]
+    assert all(r.endswith(b"\n") for r in records)
+    assert records != sorted(records)  # genuinely unsorted
+
+
+def test_sort_input_deterministic():
+    assert make_input_records(1024, seed=3) == make_input_records(1024, seed=3)
+    assert make_input_records(1024, seed=3) != make_input_records(1024, seed=4)
+
+
+# -- protocol op classification ----------------------------------------------
+
+
+def test_proc_basename():
+    assert proc_basename("nfs.read") == "read"
+    assert proc_basename("snfs.open") == "open"
+    assert proc_basename("bare") == "bare"
+
+
+def test_classify_ops_buckets():
+    rows = classify_ops(
+        {
+            "nfs.lookup": 10,
+            "nfs.read": 5,
+            "snfs.open": 3,
+            "snfs.close": 3,
+            "nfs.mkdir": 2,
+            "nfs.read.retransmit": 7,  # transport noise: excluded
+        }
+    )
+    assert rows["lookup"] == 10
+    assert rows["read"] == 5
+    assert rows["open"] == 3
+    assert rows["close"] == 3
+    assert rows["other"] == 2
+    assert rows["total"] == 23
+
+
+def test_classify_ops_empty():
+    rows = classify_ops({})
+    assert rows["total"] == 0
+    assert set(rows) == {
+        "lookup", "read", "write", "getattr", "open", "close",
+        "callback", "other", "total",
+    }
