@@ -88,6 +88,10 @@ def main(argv=None) -> int:
     sub.add_parser("readpatterns", help="§5.1 read-quickly/slowly RPC counts")
     sub.add_parser("blocksharing", help="block vs whole-file consistency (§2.5)")
     sub.add_parser("ablations", help="all design-decision ablations")
+    p_res = sub.add_parser(
+        "resilience", help="faulted runs judged by the consistency oracle"
+    )
+    p_res.add_argument("--seed", type=int, default=1, help="experiment seed")
     sub.add_parser("all", help="everything (several minutes)")
     args = parser.parse_args(argv)
 
@@ -134,6 +138,11 @@ def main(argv=None) -> int:
         from .experiments import all_ablations
 
         print(all_ablations())
+        return 0
+    if args.command == "resilience":
+        from .experiments import resilience_table
+
+        print(resilience_table(seed=args.seed)[0])
         return 0
     if args.command == "all":
         for name in ("5-1", "5-2", "5-3", "5-4", "5-5", "5-6"):

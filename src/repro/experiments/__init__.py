@@ -26,6 +26,12 @@ from .figures import FigureData, figure_series, render_figure
 from .lifetimes import LifetimePoint, lifetime_sweep, run_lifetime_point
 from .micro import micro_write_close_reread
 from .readpattern import read_pattern_comparison
+from .resilience import (
+    ResilienceBed,
+    ResilienceRun,
+    resilience_table,
+    run_resilience,
+)
 from .scaling import ScalingPoint, run_scaling_point, scaling_table
 from .sort import (
     SORT_SIZES,
@@ -80,4 +86,8 @@ __all__ = [
     "ablation_consistent_dir_cache",
     "ablation_block_size",
     "all_ablations",
+    "ResilienceBed",
+    "ResilienceRun",
+    "resilience_table",
+    "run_resilience",
 ]

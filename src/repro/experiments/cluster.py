@@ -16,6 +16,7 @@ benchmark's three directory roles mounted per configuration:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -129,6 +130,7 @@ def build_testbed(
     keep_call_times: bool = False,
     update_daemons: bool = True,
     max_open_files: int = 1000,
+    seed: Optional[int] = None,
 ) -> Testbed:
     """Build one of the paper's benchmark configurations.
 
@@ -137,17 +139,25 @@ def build_testbed(
     ``protocol``; /tmp is a local disk unless ``remote_tmp``, in which
     case it is a second export from the same server ("effectively
     simulating the load of a diskless workstation").
+
+    ``seed`` threads one experiment seed into every RNG in the testbed
+    (network loss, per-disk fault injection) so fault-injected runs are
+    reproducible from a single number.
     """
     if protocol not in PROTOCOLS:
         raise ValueError("unknown protocol %r" % protocol)
     sim = Simulator()
-    network = Network(sim, network_config or NetworkConfig())
+    net_cfg = network_config or NetworkConfig()
+    if seed is not None:
+        net_cfg = dataclasses.replace(net_cfg, seed=seed)
+    network = Network(sim, net_cfg)
     client = Host(
         sim,
         network,
         "client",
         host_config or HostConfig.titan_client(),
         keep_call_times=keep_call_times,
+        seed=seed,
     )
     # /input always lives on a client-local disk
     client.add_local_fs("/input", fsid="inputfs", disk_name="inputdisk")
@@ -173,6 +183,7 @@ def build_testbed(
             "server",
             server_config or HostConfig.titan_server(),
             keep_call_times=keep_call_times,
+            seed=seed,
         )
         testbed = Testbed(
             sim=sim,

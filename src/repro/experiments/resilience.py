@@ -1,0 +1,376 @@
+"""Resilience experiments: benchmarks under injected faults, judged by
+the consistency oracle.
+
+Two families of runs, both reproducible bit-for-bit from one seed:
+
+* **Sequential write-sharing** under loss bursts and a reader-side
+  partition: a writer commits a fresh record via open/write/close while
+  a reader polls via open/read/close — exactly the discipline
+  close-to-open consistency covers.  The oracle must flag NFS (whose
+  era-accurate attribute-cache open check admits a staleness window)
+  and must stay silent for SNFS and RFS.
+
+* **Andrew benchmark sweeps**: the paper's workload re-run under
+  escalating fault schedules — packet-loss bursts, repeated client⇄
+  server partitions, a server crash+reboot (exercising the §2.4
+  recovery protocol mid-benchmark), and transient disk-error plus
+  slow-disk windows — measuring completion-time degradation alongside
+  the oracle's verdicts (close-to-open, lost acknowledged writes, and
+  post-recovery client/server state agreement).
+
+``python -m repro resilience --seed 1`` prints the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..faults import (
+    ConsistencyOracle,
+    CrashReboot,
+    DiskFault,
+    FaultInjector,
+    FaultPlan,
+    LossBurst,
+    Partition,
+    SlowDisk,
+)
+from ..fs.types import OpenMode
+from ..host import Host, HostConfig
+from ..metrics import format_table
+from ..net import Network, NetworkConfig
+from ..nfs import NfsClient, NfsClientConfig, NfsServer
+from ..rfs import RfsClient, RfsServer
+from ..sim import Simulator
+from ..snfs import SnfsClient, SnfsClientConfig, SnfsServer
+from ..workloads import AndrewBenchmark, make_tree
+
+__all__ = ["ResilienceBed", "ResilienceRun", "resilience_table", "run_resilience"]
+
+_RECORD = 64
+
+
+@dataclass
+class ResilienceRun:
+    scenario: str
+    protocol: str
+    schedule: str
+    elapsed: float
+    verdicts: Dict[str, int] = field(default_factory=dict)
+    fault_log: List[Tuple[float, str]] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not any(self.verdicts.values())
+
+
+class ResilienceBed:
+    """A server plus N clients with fault injection and an oracle.
+
+    Unlike :class:`~repro.experiments.cluster.Testbed` (one client,
+    benchmark-shaped mounts) this bed exists to be abused: every host's
+    disks and the network hang off a :class:`FaultInjector`, every
+    client kernel and the server feed a :class:`ConsistencyOracle`, and
+    the whole thing is derived from one seed.
+    """
+
+    def __init__(
+        self,
+        protocol: str,
+        n_clients: int = 1,
+        seed: int = 1,
+        client_config=None,
+    ):
+        self.protocol = protocol
+        self.sim = Simulator()
+        self.network = Network(self.sim, NetworkConfig(seed=seed))
+        self.server_host = Host(
+            self.sim, self.network, "server", HostConfig.titan_server(), seed=seed
+        )
+        self.export = self.server_host.add_local_fs("/export", fsid="exportfs")
+        if protocol == "nfs":
+            self.server = NfsServer(self.server_host, self.export)
+            default_cfg = NfsClientConfig()
+        elif protocol == "snfs":
+            self.server = SnfsServer(self.server_host, self.export)
+            default_cfg = SnfsClientConfig()
+        elif protocol == "rfs":
+            self.server = RfsServer(self.server_host, self.export)
+            default_cfg = None
+        else:
+            raise ValueError("unknown protocol %r" % protocol)
+        cfg = client_config if client_config is not None else default_cfg
+
+        self.clients: List[Host] = []
+        self.mounts: List[object] = []
+        for i in range(n_clients):
+            host = Host(
+                self.sim,
+                self.network,
+                "client%d" % i,
+                HostConfig.titan_client(),
+                seed=seed + i + 1,
+            )
+            host.add_local_fs("/tmp", fsid="tmpfs%d" % i, disk_name="tmpdisk")
+            mount_id = "%s%d" % (protocol, i)
+            if protocol == "nfs":
+                client = NfsClient(mount_id, host, "server", config=cfg)
+            elif protocol == "snfs":
+                client = SnfsClient(mount_id, host, "server", config=cfg)
+            else:
+                client = RfsClient(mount_id, host, "server", config=cfg)
+            self.run(client.attach())
+            host.kernel.mount("/data", client)
+            host.update_daemon.start()
+            self.clients.append(host)
+            self.mounts.append(client)
+
+        self.oracle = ConsistencyOracle()
+        for host in self.clients:
+            self.oracle.watch_kernel(host.kernel)
+        self.oracle.watch_server(self.server)
+
+        disks = {}
+        targets: Dict[str, object] = {"server": self.server_host}
+        for host in [self.server_host] + self.clients:
+            targets[host.name] = host
+            for disk in host.disks.values():
+                disks[disk.name] = disk
+        self.injector = FaultInjector(
+            self.sim, network=self.network, disks=disks, targets=targets
+        )
+
+    def run(self, coro, limit: float = 1e7):
+        """Drive one coroutine to completion (daemons keep running)."""
+        box = {}
+
+        def wrapper():
+            box["value"] = yield from coro
+
+        proc = self.sim.spawn(wrapper(), name="workload")
+        self.sim.run_until(proc, limit=limit)
+        if not proc.triggered:
+            raise TimeoutError("workload did not finish before %g" % limit)
+        if proc.exception is not None:
+            proc.defuse()
+            raise proc.exception
+        return box.get("value")
+
+    def run_all(self, *coros, limit: float = 1e7):
+        from ..sim import AllOf
+
+        procs = [self.sim.spawn(c, name="workload") for c in coros]
+        gate = AllOf(self.sim, procs)
+        gate.defuse()
+        self.sim.run_until(gate, limit=limit)
+        for proc in procs:
+            if proc.exception is not None:
+                proc.defuse()
+                raise proc.exception
+
+    def final_checks(self) -> None:
+        """Flush delayed writes, then run the end-of-run oracle checks."""
+        for host in self.clients:
+            if not host.crashed:
+                self.run(host.kernel.sync())
+        if self.protocol == "snfs":
+            self.oracle.check_state_agreement(self.server, self.mounts)
+        self.oracle.check_lost_acked_writes()
+
+
+# -- sequential write-sharing ------------------------------------------------
+
+
+def _record(seq: int) -> bytes:
+    body = ("seq=%012d" % seq).encode()
+    return body + b"." * (_RECORD - len(body))
+
+
+def _write_record(kernel, path, seq, create=False):
+    fd = yield from kernel.open(path, OpenMode.WRITE, create=create, truncate=create)
+    yield from kernel.write(fd, _record(seq))
+    yield from kernel.close(fd)
+
+
+def run_sharing(
+    protocol: str,
+    seed: int = 1,
+    schedule: str = "faulted",
+    n_updates: int = 10,
+    write_period: float = 4.0,
+    read_period: float = 1.0,
+) -> ResilienceRun:
+    """Sequential write-sharing between two clients, optionally faulted.
+
+    The NFS clients run the era-accurate consistency configuration —
+    attribute-cache open checks with no forced getattr and no
+    invalidate-on-close — which is precisely the setup whose staleness
+    window the paper's §2.1/§2.3 discussion targets.
+    """
+    cfg = None
+    if protocol == "nfs":
+        cfg = NfsClientConfig(
+            getattr_on_open=False, invalidate_on_close=False, name_cache_ttl=30.0
+        )
+    bed = ResilienceBed(protocol, n_clients=2, seed=seed, client_config=cfg)
+    path = "/data/shared.dat"
+    bed.run(_write_record(bed.clients[0].kernel, path, 0, create=True))
+
+    if schedule == "faulted":
+        plan = FaultPlan(
+            events=(
+                LossBurst(start=8.0, duration=20.0, rate=0.15),
+                Partition(start=26.0, duration=6.0, a="client1", b="server"),
+            ),
+            seed=seed,
+        )
+        bed.injector.install(plan)
+
+    sim = bed.sim
+    writer_kernel = bed.clients[0].kernel
+    reader_kernel = bed.clients[1].kernel
+    end_time = write_period * (n_updates + 1)
+
+    def writer():
+        for seq in range(1, n_updates + 1):
+            yield sim.timeout(write_period)
+            yield from _write_record(writer_kernel, path, seq)
+
+    def reader():
+        # offset the poll phase so reads never race the millisecond-
+        # scale windows where the writer holds the file open
+        yield sim.timeout(write_period / 2 + 0.13)
+        while sim.now < end_time:
+            fd = yield from reader_kernel.open(path, OpenMode.READ)
+            yield from reader_kernel.read(fd, _RECORD)
+            yield from reader_kernel.close(fd)
+            yield sim.timeout(read_period)
+
+    t0 = sim.now
+    bed.run_all(writer(), reader())
+    elapsed = sim.now - t0
+    bed.final_checks()
+    return ResilienceRun(
+        scenario="sharing",
+        protocol=protocol,
+        schedule=schedule,
+        elapsed=elapsed,
+        verdicts=bed.oracle.summary(),
+        fault_log=list(bed.injector.log),
+    )
+
+
+# -- Andrew under fault schedules -------------------------------------------
+
+
+def _andrew_schedules() -> List[Tuple[str, tuple]]:
+    """The fault-intensity sweep, mildest first.  Times are relative to
+    benchmark start and sized for the small resilience tree (baseline
+    total ≈ 12 s of simulated time) so every window lands inside the
+    run; delays from the faults themselves only stretch the tail."""
+    return [
+        ("baseline", ()),
+        ("loss", (LossBurst(start=2.0, duration=15.0, rate=0.1),)),
+        (
+            "partition",
+            (
+                Partition(start=3.0, duration=4.0, a="client0", b="server"),
+                Partition(start=10.0, duration=3.0, a="client0", b="server"),
+            ),
+        ),
+        ("crash-reboot", (CrashReboot(at=5.0, target="server", down_for=4.0),)),
+        (
+            "disk-fault",
+            (
+                DiskFault(start=2.0, duration=8.0, disk="server:disk0", error_rate=0.3),
+                SlowDisk(start=11.0, duration=6.0, disk="server:disk0", factor=8.0),
+            ),
+        ),
+    ]
+
+
+def run_resilience(
+    protocol: str,
+    schedule: str,
+    events: tuple,
+    seed: int = 1,
+    tree=None,
+) -> ResilienceRun:
+    """One Andrew run under one fault schedule, with oracle verdicts."""
+    bed = ResilienceBed(protocol, n_clients=1, seed=seed)
+    bench = AndrewBenchmark(
+        bed.clients[0].kernel,
+        src_dir="/data/src",
+        dst_dir="/data/dst",
+        tmp_dir="/tmp",
+        tree=tree or _small_tree(),
+    )
+
+    def setup():
+        yield from bed.clients[0].kernel.mkdir("/data/src")
+        yield from bench.populate_source()
+
+    bed.run(setup())
+    bed.run(bed.clients[0].kernel.sync())
+
+    bed.injector.install(FaultPlan(events=events, seed=seed))
+    t0 = bed.sim.now
+    bed.run(bench.run())
+    elapsed = bed.sim.now - t0
+    bed.final_checks()
+    return ResilienceRun(
+        scenario="andrew",
+        protocol=protocol,
+        schedule=schedule,
+        elapsed=elapsed,
+        verdicts=bed.oracle.summary(),
+        fault_log=list(bed.injector.log),
+    )
+
+
+def _small_tree():
+    return make_tree(
+        n_dirs=2, files_per_dir=5, mean_file_size=2500, n_headers=3, header_size=1200
+    )
+
+
+# -- the table ----------------------------------------------------------------
+
+
+def resilience_table(seed: int = 1) -> Tuple[str, List[ResilienceRun]]:
+    """Run the full resilience suite; returns (table text, runs)."""
+    runs: List[ResilienceRun] = []
+    for protocol in ("nfs", "snfs", "rfs"):
+        for schedule in ("baseline", "faulted"):
+            runs.append(run_sharing(protocol, seed=seed, schedule=schedule))
+    tree = _small_tree()
+    for protocol in ("nfs", "snfs"):
+        for schedule, events in _andrew_schedules():
+            runs.append(
+                run_resilience(protocol, schedule, events, seed=seed, tree=tree)
+            )
+
+    headers = ["Scenario", "Protocol", "Faults", "Elapsed(s)", "CtO", "Lost", "State", "Verdict"]
+    rows = []
+    for r in runs:
+        rows.append(
+            [
+                r.scenario,
+                r.protocol.upper(),
+                r.schedule,
+                "%.1f" % r.elapsed,
+                str(r.verdicts.get("close-to-open", 0)),
+                str(r.verdicts.get("lost-acked-write", 0)),
+                str(r.verdicts.get("state-mismatch", 0)),
+                "consistent" if r.consistent else "VIOLATED",
+            ]
+        )
+    table = format_table(
+        headers,
+        rows,
+        title="Resilience: benchmarks under injected faults, oracle verdicts "
+        "(seed %d)" % seed,
+        align_left_cols=3,
+    )
+    return table, runs

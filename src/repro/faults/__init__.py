@@ -1,0 +1,35 @@
+"""Deterministic fault injection and consistency checking.
+
+``repro.faults`` turns the simulator into a consistency test rig: a
+:class:`FaultPlan` schedules partitions, loss/latency bursts, disk
+faults, and crash/reboot cycles against a running testbed through
+first-class hooks, and a :class:`ConsistencyOracle` watches every
+syscall and server-acknowledged write to judge close-to-open
+consistency, lost acknowledged writes, and client/server state
+agreement after recovery.  See docs/FAULTS.md.
+"""
+
+from .oracle import ConsistencyOracle, Violation
+from .plan import (
+    CrashReboot,
+    DiskFault,
+    FaultInjector,
+    FaultPlan,
+    LatencyBurst,
+    LossBurst,
+    Partition,
+    SlowDisk,
+)
+
+__all__ = [
+    "ConsistencyOracle",
+    "Violation",
+    "FaultPlan",
+    "FaultInjector",
+    "Partition",
+    "LossBurst",
+    "LatencyBurst",
+    "DiskFault",
+    "SlowDisk",
+    "CrashReboot",
+]

@@ -1,0 +1,385 @@
+"""The consistency oracle: records what applications and servers saw,
+then passes judgement on the run.
+
+The oracle attaches to the simulation through two first-class hooks:
+
+* ``watch_kernel(kernel)`` installs itself as the kernel's syscall
+  tracer, recording every open/read/write/close (plus unlink, truncate,
+  rename, and host crashes) on that host;
+* ``watch_server(server)`` registers an RPC serve-listener on the
+  server's endpoint, recording every *executed* write and truncate —
+  the server-acknowledged operations whose durability the protocols
+  promise.
+
+Three checks come out of the record:
+
+1. **Close-to-open consistency** (checked online, at every read): an
+   open must observe the data committed by the last close that
+   happened before it.  A read is acceptable if it matches a committed
+   snapshot no older than the latest commit at open time.  Reads are
+   *not* judged when the session itself wrote the range (read-your-
+   writes is a cache question, not a consistency one) or when another
+   host held the file open for writing during the reader's window —
+   true concurrent write-sharing carries no close-to-open promise
+   (§2.3: "non-serial sharing... no guarantees about the relative
+   ordering of reads and writes are needed or provided" is exactly the
+   NFS position the paper argues against; SNFS write-through makes the
+   point moot).  NFS with attribute-cache open checks violates this
+   under sequential sharing; SNFS and RFS must never.
+
+2. **No lost acknowledged writes** (checked at end of run): every
+   write the server executed — the NFS rule syncs it to stable storage
+   *before* the reply — must still be readable from the server's
+   filesystem, surviving any server crash in between.  Replayed per
+   file handle against the final disk image.
+
+3. **State-table agreement** (checked on demand, e.g. after
+   recovery): the server's state table and the clients' gnode tables
+   must agree on who has what open — property 1 of the recovery
+   design, verified rather than assumed.
+
+Violations accumulate in ``oracle.violations``; ``summary()`` buckets
+them by kind.  All bookkeeping is pure Python over deterministic
+inputs, so verdicts are as reproducible as the run itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ConsistencyOracle", "Violation"]
+
+
+@dataclass
+class Violation:
+    kind: str  # "close-to-open" | "lost-acked-write" | "state-mismatch"
+    path: str
+    t: float
+    detail: str
+
+
+@dataclass
+class _Session:
+    """One open file descriptor on one watched host."""
+
+    host: str
+    fd: int
+    path: str
+    write: bool
+    open_t: float
+    base_seq: int  # latest committed seq at open time (-1: none)
+    wrote: List[Tuple[int, int]] = field(default_factory=list)
+    interval: Optional[list] = None  # [open_t, close_t|None, host]
+    skip: bool = False  # path renamed/unlinked under us: stop judging
+
+
+class ConsistencyOracle:
+    """Records syscalls and server acks; checks consistency properties."""
+
+    def __init__(self):
+        self.violations: List[Violation] = []
+        # committed history per path: list of (seq, content-bytes);
+        # a commit is a close of a write session, a truncate, or a
+        # create/O_TRUNC at open
+        self._committed: Dict[str, List[Tuple[int, bytes]]] = {}
+        self._content: Dict[str, bytearray] = {}
+        self._next_seq = 0
+        self._sessions: Dict[Tuple[str, int], _Session] = {}
+        # per-path write-session intervals: [open_t, close_t|None, host]
+        self._write_intervals: Dict[str, List[list]] = {}
+        self._crashed: set = set()  # hosts currently crashed
+        # watched servers and their acknowledged ops, aligned by index:
+        # acked[i] maps fh.key() -> [(op, arg, data), ...] in execution
+        # order, op in ("write", "truncate")
+        self._servers: List[object] = []
+        self._acked: List[Dict] = []
+
+    # -- attachment ---------------------------------------------------------
+
+    def watch_kernel(self, kernel) -> None:
+        kernel.tracer = self
+
+    def watch_server(self, server) -> None:
+        """Record every write/truncate the server executes (acks)."""
+        acked: Dict = {}
+        self._servers.append(server)
+        self._acked.append(acked)
+
+        def listener(proc, src, args, result, error, now):
+            if error is not None:
+                return
+            name = proc.rsplit(".", 1)[-1]
+            if name == "write":
+                fh, offset, data = args[0], args[1], args[2]
+                acked.setdefault(fh.key(), []).append(
+                    ("write", offset, bytes(data))
+                )
+            elif name == "setattr":
+                fh = args[0]
+                size = args[1] if len(args) > 1 else None
+                if size is not None:
+                    acked.setdefault(fh.key(), []).append(("truncate", size, b""))
+
+        server.host.rpc.serve_listeners.append(listener)
+
+    # -- kernel tracer callbacks -------------------------------------------
+
+    def on_open(self, host, fd, path, write, trunc, now) -> None:
+        hist = self._committed.get(path)
+        base = hist[-1][0] if hist else -1
+        session = _Session(host, fd, path, write, now, base)
+        self._sessions[(host, fd)] = session
+        if write:
+            interval = [now, None, host]
+            session.interval = interval
+            self._write_intervals.setdefault(path, []).append(interval)
+        if trunc:
+            # creation or O_TRUNC: the empty file is committed at once
+            # (the size change is synchronous at the server)
+            self._content[path] = bytearray()
+            self._commit(path)
+            session.base_seq = self._committed[path][-1][0]
+
+    def on_close(self, host, fd, now) -> None:
+        session = self._sessions.pop((host, fd), None)
+        if session is None:
+            return
+        if session.interval is not None:
+            session.interval[1] = now
+        if session.write and not session.skip:
+            self._commit(session.path)
+
+    def on_write(self, host, fd, offset, data, now) -> None:
+        session = self._sessions.get((host, fd))
+        if session is None or session.skip:
+            return
+        content = self._content.setdefault(session.path, bytearray())
+        end = offset + len(data)
+        if len(content) < end:
+            content.extend(b"\0" * (end - len(content)))
+        content[offset:end] = data
+        session.wrote.append((offset, end))
+
+    def on_read(self, host, fd, offset, count, data, now) -> None:
+        session = self._sessions.get((host, fd))
+        if session is None or session.skip:
+            return
+        path = session.path
+        history = self._committed.get(path)
+        if history is None:
+            return  # initial content predates the oracle: unjudgeable
+        if any(o < offset + count and offset < e for o, e in session.wrote):
+            return  # read-your-writes: not a close-to-open question
+        if self._write_shared(path, host, session.open_t, now):
+            return  # concurrent write-sharing: no close-to-open promise
+        acceptable = [snap for seq, snap in history if seq >= session.base_seq]
+        if not acceptable:
+            return
+        data = bytes(data)
+        if not any(snap[offset : offset + count] == data for snap in acceptable):
+            self.violations.append(
+                Violation(
+                    kind="close-to-open",
+                    path=path,
+                    t=now,
+                    detail="%s read %d@%d saw data older than the last "
+                    "commit before its open" % (host, count, offset),
+                )
+            )
+
+    def on_unlink(self, host, path, now) -> None:
+        self._forget_path(path)
+
+    def on_truncate(self, host, path, size, now) -> None:
+        content = self._content.setdefault(path, bytearray())
+        if len(content) > size:
+            del content[size:]
+        elif len(content) < size:
+            content.extend(b"\0" * (size - len(content)))
+        self._commit(path)
+
+    def on_rename(self, host, src, dst, now) -> None:
+        # the file's identity moves; sessions open on either name are
+        # no longer judgeable under their recorded path
+        for session in self._sessions.values():
+            if session.path in (src, dst):
+                session.skip = True
+        if src in self._content:
+            self._content[dst] = self._content.pop(src)
+        else:
+            self._content.pop(dst, None)
+        if src in self._committed:
+            self._committed[dst] = self._committed.pop(src)
+        else:
+            self._committed.pop(dst, None)
+        self._write_intervals.pop(dst, None)
+        if src in self._write_intervals:
+            self._write_intervals[dst] = self._write_intervals.pop(src)
+
+    def on_host_crash(self, host, now) -> None:
+        """A watched host lost its volatile state: its sessions die
+        without closing (nothing commits)."""
+        self._crashed.add(host)
+        for key in [k for k in self._sessions if k[0] == host]:
+            session = self._sessions.pop(key)
+            if session.interval is not None:
+                session.interval[1] = now
+
+    # -- helpers ------------------------------------------------------------
+
+    def _commit(self, path: str) -> None:
+        seq = self._next_seq
+        self._next_seq += 1
+        content = bytes(self._content.get(path, b""))
+        self._committed.setdefault(path, []).append((seq, content))
+
+    def _write_shared(self, path: str, reader: str, t0: float, t1: float) -> bool:
+        for open_t, close_t, host in self._write_intervals.get(path, ()):
+            if host == reader:
+                continue
+            if open_t <= t1 and (close_t is None or close_t >= t0):
+                return True
+        return False
+
+    def _forget_path(self, path: str) -> None:
+        for session in self._sessions.values():
+            if session.path == path:
+                session.skip = True
+        self._content.pop(path, None)
+        self._committed.pop(path, None)
+        self._write_intervals.pop(path, None)
+
+    # -- end-of-run checks --------------------------------------------------
+
+    def check_lost_acked_writes(self) -> int:
+        """Replay every server-acknowledged write against the final
+        filesystem image; returns the number of new violations."""
+        before = len(self.violations)
+        for server, acked in zip(self._servers, self._acked):
+            lfs = server.lfs
+            for key in sorted(acked):
+                fsid, inum, generation = key
+                inode = lfs._inodes.get(inum)
+                if inode is None or inode.generation != generation:
+                    continue  # the file was deleted: its writes are moot
+                expected, covered = self._replay(acked[key])
+                actual = self._file_bytes(lfs, inode)
+                lost = sum(
+                    1
+                    for off in covered
+                    if off >= len(actual) or actual[off] != expected[off]
+                )
+                if lost:
+                    self.violations.append(
+                        Violation(
+                            kind="lost-acked-write",
+                            path="%s#%d" % (fsid, inum),
+                            t=-1.0,
+                            detail="%d acknowledged byte(s) missing or "
+                            "wrong on the server" % lost,
+                        )
+                    )
+        return len(self.violations) - before
+
+    @staticmethod
+    def _replay(ops) -> Tuple[bytearray, set]:
+        """Apply acked ops in order; returns (content, covered offsets)."""
+        expected = bytearray()
+        covered: set = set()
+        for op, arg, data in ops:
+            if op == "write":
+                end = arg + len(data)
+                if len(expected) < end:
+                    expected.extend(b"\0" * (end - len(expected)))
+                expected[arg:end] = data
+                covered.update(range(arg, end))
+            else:  # truncate
+                size = arg
+                if len(expected) > size:
+                    del expected[size:]
+                    covered = {o for o in covered if o < size}
+                elif len(expected) < size:
+                    expected.extend(b"\0" * (size - len(expected)))
+        return expected, covered
+
+    @staticmethod
+    def _file_bytes(lfs, inode) -> bytes:
+        buf = bytearray(inode.size)
+        bs = lfs.block_size
+        for bno, addr in inode.blocks.items():
+            start = bno * bs
+            if start >= inode.size:
+                continue
+            chunk = lfs._data.get(addr, b"")[: inode.size - start]
+            buf[start : start + len(chunk)] = chunk
+        return bytes(buf)
+
+    def check_state_agreement(self, server, mounts) -> int:
+        """Compare the server's state table with the clients' gnode
+        tables (skipping crashed clients); returns new violations."""
+        before = len(self.violations)
+        client_view: Dict = {}
+        for mount in mounts:
+            host = mount.host.name
+            if host in self._crashed:
+                continue
+            for g in mount._gnodes.values():
+                if g.open_reads or g.open_writes:
+                    client_view.setdefault(g.fid.key(), {})[host] = (
+                        g.open_reads,
+                        g.open_writes,
+                    )
+        # every client-side open must be in the table
+        for key in sorted(client_view):
+            entry = server.state.entry(key)
+            for host in sorted(client_view[key]):
+                reads, writes = client_view[key][host]
+                info = entry.clients.get(host) if entry is not None else None
+                if info is None or info.readers != reads or info.writers != writes:
+                    self.violations.append(
+                        Violation(
+                            kind="state-mismatch",
+                            path=repr(key),
+                            t=-1.0,
+                            detail="%s holds %dr/%dw but the server table "
+                            "says %s"
+                            % (
+                                host,
+                                reads,
+                                writes,
+                                "nothing"
+                                if info is None
+                                else "%dr/%dw" % (info.readers, info.writers),
+                            ),
+                        )
+                    )
+        # every table claim must be backed by a live client
+        for entry in sorted(server.state.entries(), key=lambda e: repr(e.key)):
+            for client in sorted(entry.clients):
+                info = entry.clients[client]
+                if info.open_count == 0 or client in self._crashed:
+                    continue
+                if client not in client_view.get(entry.key, {}):
+                    self.violations.append(
+                        Violation(
+                            kind="state-mismatch",
+                            path=repr(entry.key),
+                            t=-1.0,
+                            detail="server table claims %s has the file "
+                            "open; the client does not" % client,
+                        )
+                    )
+        return len(self.violations) - before
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for v in self.violations:
+            out[v.kind] = out.get(v.kind, 0) + 1
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations

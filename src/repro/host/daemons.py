@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Callable, Dict, Hashable, Set
+from typing import Any, Callable, Dict, Hashable
 
 from ..sim import Event, Interrupt, Simulator, Store
 
@@ -92,7 +92,9 @@ class AsyncPool:
         self.sim = sim
         self.name = name
         self._queue = Store(sim, name=name)
-        self._pending: Dict[Hashable, Set[Event]] = defaultdict(set)
+        # insertion-ordered (a set of Events would iterate in id() order,
+        # which varies run to run and breaks bit-exact reproducibility)
+        self._pending: Dict[Hashable, Dict[Event, None]] = defaultdict(dict)
         self._workers = [
             sim.spawn(self._worker(), name="%s-%d" % (name, i)) for i in range(n_workers)
         ]
@@ -104,7 +106,7 @@ class AsyncPool:
         not crash the simulation)."""
         done = self.sim.event(name="%s-done" % self.name)
         done.defuse()
-        self._pending[key].add(done)
+        self._pending[key][done] = None
         self._queue.put((make_coro, key, done))
         return done
 
@@ -143,6 +145,6 @@ class AsyncPool:
     def _finish(self, key: Hashable, done: Event) -> None:
         bucket = self._pending.get(key)
         if bucket is not None:
-            bucket.discard(done)
+            bucket.pop(done, None)
             if not bucket:
                 self._pending.pop(key, None)

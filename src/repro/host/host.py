@@ -8,7 +8,8 @@ which the SNFS crash-recovery machinery builds on.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import zlib
+from typing import Dict, List, Optional
 
 from ..fs import LocalFileSystem
 from ..net import Network, RpcEndpoint
@@ -33,11 +34,14 @@ class Host:
         name: str,
         config: Optional[HostConfig] = None,
         keep_call_times: bool = False,
+        seed: Optional[int] = None,
     ):
         self.sim = sim
         self.network = network
         self.name = name
         self.config = config or HostConfig()
+        #: base seed for per-disk fault RNGs (None -> unseeded/zero)
+        self.seed = seed
         self.cpu = Cpu(sim, speed=self.config.cpu_speed, name="cpu:%s" % name)
         self.rpc = RpcEndpoint(
             sim,
@@ -64,14 +68,25 @@ class Host:
             sim, n_workers=self.config.n_async_writers, name="biod:%s" % name
         )
         self.disks: Dict[str, Disk] = {}
+        #: objects (e.g. protocol servers) notified on crash/reboot via
+        #: their on_host_crash()/on_host_reboot() methods
+        self.services: List[object] = []
         self.crashed = False
+
+    def register_service(self, service: object) -> None:
+        if service not in self.services:
+            self.services.append(service)
 
     # -- local storage ------------------------------------------------------
 
     def add_disk(self, name: str = "disk0") -> Disk:
         if name in self.disks:
             raise ValueError("disk %r already exists on %s" % (name, self.name))
-        disk = Disk(self.sim, self.config.disk, name="%s:%s" % (self.name, name))
+        full_name = "%s:%s" % (self.name, name)
+        # derive a stable per-disk fault seed (crc32, not hash(): the
+        # latter is salted per process and would break reproducibility)
+        disk_seed = 0 if self.seed is None else zlib.crc32(full_name.encode()) ^ self.seed
+        disk = Disk(self.sim, self.config.disk, name=full_name, seed=disk_seed)
         self.disks[name] = disk
         return disk
 
@@ -118,6 +133,10 @@ class Host:
             on_crash = getattr(fs, "on_host_crash", None)
             if on_crash is not None:
                 on_crash()
+        for svc in self.services:
+            on_crash = getattr(svc, "on_host_crash", None)
+            if on_crash is not None:
+                on_crash()
 
     def reboot(self, restart_update: bool = True) -> None:
         self.crashed = False
@@ -126,5 +145,9 @@ class Host:
             self.update_daemon.start()
         for _prefix, fs in self.kernel.mounts():
             on_reboot = getattr(fs, "on_host_reboot", None)
+            if on_reboot is not None:
+                on_reboot()
+        for svc in self.services:
+            on_reboot = getattr(svc, "on_host_reboot", None)
             if on_reboot is not None:
                 on_reboot()

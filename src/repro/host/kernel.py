@@ -42,6 +42,14 @@ class Kernel:
         self._mounts_by_id: Dict[str, FileSystemType] = {}
         self._fds: Dict[int, FileDescriptor] = {}
         self._next_fd = itertools.count(3)
+        #: syscall observer (e.g. the repro.faults consistency oracle):
+        #: an object with on_open/on_read/on_write/on_close/on_unlink/
+        #: on_truncate/on_rename/on_host_crash methods; None disables
+        self.tracer = None
+
+    @staticmethod
+    def _norm(path: str) -> str:
+        return "/" + "/".join(c for c in path.split("/") if c)
 
     # -- mounts -----------------------------------------------------------
 
@@ -141,6 +149,11 @@ class Kernel:
         yield from fs.open(g, mode)
         fd = next(self._next_fd)
         self._fds[fd] = FileDescriptor(fd=fd, gnode=g, mode=mode)
+        if self.tracer is not None:
+            self.tracer.on_open(
+                self.host.name, fd, self._norm(path), mode.is_write,
+                truncate or created, self.sim.now,
+            )
         return fd
 
     def close(self, fd: int):
@@ -149,13 +162,20 @@ class Kernel:
         desc = self._fd(fd)
         del self._fds[fd]
         yield from desc.gnode.fs.close(desc.gnode, desc.mode)
+        if self.tracer is not None:
+            self.tracer.on_close(self.host.name, fd, self.sim.now)
 
     def read(self, fd: int, count: int):
         """Coroutine: read up to count bytes at the fd offset."""
         yield from self._charge()
         desc = self._fd(fd)
-        data = yield from desc.gnode.fs.read(desc.gnode, desc.offset, count)
+        offset = desc.offset
+        data = yield from desc.gnode.fs.read(desc.gnode, offset, count)
         desc.offset += len(data)
+        if self.tracer is not None:
+            self.tracer.on_read(
+                self.host.name, fd, offset, count, bytes(data), self.sim.now
+            )
         return data
 
     def write(self, fd: int, data: bytes):
@@ -164,8 +184,13 @@ class Kernel:
         desc = self._fd(fd)
         if not desc.mode.is_write:
             raise ReadOnly("fd %d is read-only" % fd)
-        yield from desc.gnode.fs.write(desc.gnode, desc.offset, data)
+        offset = desc.offset
+        yield from desc.gnode.fs.write(desc.gnode, offset, data)
         desc.offset += len(data)
+        if self.tracer is not None:
+            self.tracer.on_write(
+                self.host.name, fd, offset, bytes(data), self.sim.now
+            )
         return len(data)
 
     def lseek(self, fd: int, offset: int) -> int:
@@ -192,6 +217,8 @@ class Kernel:
         yield from self._charge()
         dirg, name = yield from self.namei_parent(path)
         yield from dirg.fs.remove(dirg, name)
+        if self.tracer is not None:
+            self.tracer.on_unlink(self.host.name, self._norm(path), self.sim.now)
 
     def mkdir(self, path: str):
         yield from self._charge()
@@ -217,11 +244,17 @@ class Kernel:
         if src_dirg.fs is not dst_dirg.fs:
             raise InvalidArgument("cross-filesystem rename")
         yield from src_dirg.fs.rename(src_dirg, src_name, dst_dirg, dst_name)
+        if self.tracer is not None:
+            self.tracer.on_rename(
+                self.host.name, self._norm(src), self._norm(dst), self.sim.now
+            )
 
     def truncate(self, path: str, size: int):
         yield from self._charge()
         g = yield from self.namei(path)
         attr = yield from g.fs.setattr(g, size=size)
+        if self.tracer is not None:
+            self.tracer.on_truncate(self.host.name, self._norm(path), size, self.sim.now)
         return attr
 
     def fsync(self, fd: int):
@@ -252,3 +285,5 @@ class Kernel:
     def clear_volatile_state(self) -> None:
         """Crash support: lose fd table (gnode tables live in mounts)."""
         self._fds.clear()
+        if self.tracer is not None:
+            self.tracer.on_host_crash(self.host.name, self.sim.now)

@@ -8,6 +8,13 @@ random packet loss exercises the RPC retransmission path.
 
 Ports multiplex services on an interface; each listening port is a FIFO
 :class:`~repro.sim.Store` of delivered packets.
+
+Fault injection (``repro.faults``) drives the network through first-class
+hooks rather than test-only monkeypatching: :meth:`Network.partition` /
+:meth:`Network.heal` cut the link between two hosts (fully or in one
+direction only), and the additive ``extra_drop`` / ``extra_latency``
+attributes model loss and latency bursts.  All randomness comes from the
+seeded RNG so a faulted run replays exactly from one seed.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..metrics import Counters
 from ..sim import Simulator, Store, Resource
@@ -117,6 +124,45 @@ class Network:
         self.stats = Counters()
         self._rng = random.Random(self.config.seed)
         self._trace: "deque" = deque(maxlen=self.config.trace_packets or None)
+        # fault-injection state (see repro.faults): refcounted directed
+        # blocks plus additive loss/latency adjustments, so overlapping
+        # fault windows compose and revert cleanly
+        self._blocked: Dict[Tuple[str, str], int] = {}
+        self.extra_drop = 0.0
+        self.extra_latency = 0.0
+
+    def reseed(self, seed: int) -> None:
+        """Reset the loss RNG (thread an experiment seed through)."""
+        self._rng = random.Random(seed)
+
+    # -- fault hooks -------------------------------------------------------
+
+    def partition(self, a: str, b: str, symmetric: bool = True) -> None:
+        """Cut delivery from ``a`` to ``b`` (and back, if symmetric)."""
+        self._block(a, b)
+        if symmetric:
+            self._block(b, a)
+
+    def heal(self, a: str, b: str, symmetric: bool = True) -> None:
+        """Undo one matching :meth:`partition`."""
+        self._unblock(a, b)
+        if symmetric:
+            self._unblock(b, a)
+
+    def _block(self, src: str, dst: str) -> None:
+        pair = (src, dst)
+        self._blocked[pair] = self._blocked.get(pair, 0) + 1
+
+    def _unblock(self, src: str, dst: str) -> None:
+        pair = (src, dst)
+        count = self._blocked.get(pair, 0) - 1
+        if count <= 0:
+            self._blocked.pop(pair, None)
+        else:
+            self._blocked[pair] = count
+
+    def link_blocked(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._blocked
 
     def packet_trace(self):
         """The last N transmissions as (time, src, dst, kind, size).
@@ -151,7 +197,11 @@ class Network:
         self.stats.record("packets")
         self.stats.record("bytes", n=packet.size)
         self._record_trace(packet)
-        if self.config.drop_rate > 0 and self._rng.random() < self.config.drop_rate:
+        if (packet.src, packet.dst) in self._blocked:
+            self.stats.record("partitioned")
+            return
+        drop_rate = min(1.0, self.config.drop_rate + self.extra_drop)
+        if drop_rate > 0 and self._rng.random() < drop_rate:
             self.stats.record("dropped")
             return
         dst = self.interfaces.get(packet.dst)
@@ -159,5 +209,7 @@ class Network:
             self.stats.record("unroutable")
             return
         self.sim._schedule_at(
-            self.sim.now + self.config.latency, dst._deliver, packet
+            self.sim.now + self.config.latency + self.extra_latency,
+            dst._deliver,
+            packet,
         )

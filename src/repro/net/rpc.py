@@ -184,6 +184,12 @@ class RpcEndpoint:
         # client_stats: calls issued from here; server_stats: calls served here
         self.client_stats = Counters(keep_times=keep_call_times)
         self.server_stats = Counters(keep_times=keep_call_times)
+        # observers called once per *executed* (not duplicate-cached)
+        # request, after its handler completes:
+        #   listener(proc, src, args, result, error, now)
+        # The consistency oracle records server-acknowledged writes here;
+        # the SNFS keepalive sweep tracks when each client was last heard.
+        self.serve_listeners: list = []
         self.alive = True
         self._dispatcher = sim.spawn(self._dispatch_loop(), name="rpc:%s" % address)
 
@@ -241,6 +247,10 @@ class RpcEndpoint:
                 reply.error = exc
             finally:
                 self.threads.release()
+            for listener in self.serve_listeners:
+                listener(
+                    msg.proc, msg.src, msg.args, reply.result, reply.error, self.sim.now
+                )
         self._dup_cache.finish(key, reply)
         yield from self._send_reply(msg.src, reply)
 

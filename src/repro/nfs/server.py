@@ -36,6 +36,9 @@ class NfsServer:
         self.export = export
         self.lfs = export.lfs
         self._register()
+        # crash/reboot notifications (SNFS uses these to clear and
+        # rebuild its state table; the NFS server itself is stateless)
+        host.register_service(self)
 
     def _register(self) -> None:
         p = self.PROC

@@ -37,6 +37,7 @@ from ..nfs.client import NfsClient
 from ..sim import Interrupt
 from ..vfs import FileSystemType, Gnode, cached_read, cached_write
 from .protocol import SPROC
+from .recovery import ReopenRejected, ServerRecovering
 from .server import OpenReply
 
 __all__ = ["SnfsClient", "SnfsClientConfig", "mount_snfs"]
@@ -96,12 +97,17 @@ class SnfsClient(NfsClient):
 
     # -- server-crash recovery (§2.4) ----------------------------------------
 
-    def _call(self, proc: str, *args):
+    def _call(self, proc: str, *args, gnode: Optional[Gnode] = None):
         """RPC with recovery: a ``ServerRecovering`` rejection means the
         server rebooted — reassert our open/dirty state with ``reopen``,
-        wait out the grace period, and retry."""
-        from .recovery import ServerRecovering
+        wait out the grace period, and retry.
 
+        ``gnode`` names the file the call operates on, if any: when the
+        server *rejects* our reopen claim on that file (we reasserted
+        after the grace period and lost), retrying would push stale data
+        over newer state, so the in-flight call aborts with
+        :class:`ReopenRejected` instead.
+        """
         while True:
             try:
                 result = yield from self.rpc.call(
@@ -111,15 +117,40 @@ class SnfsClient(NfsClient):
             except ServerRecovering as recovering:
                 if self._recovered_epoch != recovering.epoch:
                     report = self.open_state_report()
-                    yield from self.rpc.call(
+                    reply = yield from self.rpc.call(
                         self.server, self.PROC.REOPEN, report, hard=True
                     )
+                    self._handle_reopen_reply(reply)
                     self._recovered_epoch = recovering.epoch
                     # the rebooted server lost its record of our cached
                     # name translations: drop them
                     self._name_cache.clear()
                     self._dir_index.clear()
+                if gnode is not None and gnode.private.get("reopen_rejected"):
+                    raise ReopenRejected(
+                        "claim on %r rejected after server reboot" % (gnode.fid,)
+                    )
                 yield self.sim.timeout(max(recovering.retry_after, 0.5))
+
+    def _handle_reopen_reply(self, reply) -> None:
+        """Apply the server's verdict on our reasserted claims."""
+        if isinstance(reply, tuple):
+            _epoch, rejected = reply
+        else:
+            rejected = []  # plain-epoch reply (older server)
+        for fh in rejected:
+            g = self._gnodes.get(fh.key())
+            if g is None:
+                continue
+            # our claim lost to state established while we were cut
+            # off: the cached copy is stale and any dirty delayed
+            # writes must not reach the server
+            self.cache.cancel_dirty_file(g.cache_key)
+            self.cache.invalidate_file(g.cache_key)
+            g.private["cache_enabled"] = False
+            g.private.pop("version", None)
+            g.private["inconsistent"] = True
+            g.private["reopen_rejected"] = True
 
     # -- callback service registration (one handler per host) -------------
 
@@ -128,8 +159,14 @@ class SnfsClient(NfsClient):
         if mounts is None:
             self.host._snfs_mounts = [self]
             self.host.rpc.register(SPROC.CALLBACK, self._callback_dispatch)
+            self.host.rpc.register(SPROC.KEEPALIVE, self._keepalive_dispatch)
         else:
             mounts.append(self)
+
+    def _keepalive_dispatch(self, src):
+        """Answer the server's liveness probe (dead-client sweep)."""
+        return True
+        yield  # pragma: no cover
 
     def _callback_dispatch(
         self,
@@ -217,9 +254,15 @@ class SnfsClient(NfsClient):
 
     def _store_attr_snfs(self, g: Gnode, attr: FileAttr) -> None:
         # While delayed writes are pending, the client's view of the
-        # file (size, mtime) is *ahead* of the server's: keep it.
+        # file (size, mtime) is *ahead* of the server's: keep it.  A
+        # block mid-writeback is busy, not dirty, but its data still
+        # hasn't reached the server — adopting the server's (smaller)
+        # size in that window would make reads see a truncated file.
         local = g.private.get("attr")
-        if local is not None and self.cache.dirty_buffers(file_key=g.cache_key):
+        pending = any(
+            b.dirty or b.busy for b in self.cache.file_blocks(g.cache_key)
+        )
+        if local is not None and pending:
             attr = attr.copy()
             attr.size = max(attr.size, local.size)
             attr.mtime = max(attr.mtime, local.mtime)
@@ -248,6 +291,8 @@ class SnfsClient(NfsClient):
             return
         reply = yield from self._call(self.PROC.OPEN, g.fid, mode.is_write)
         reply = OpenReply(*reply)
+        # a fresh open re-establishes our claim on the file
+        g.private.pop("reopen_rejected", None)
         self._validate_cache(g, reply, mode.is_write)
         if mode.is_write:
             g.open_writes += 1
@@ -452,10 +497,12 @@ class SnfsClient(NfsClient):
     def _write_rpc(self, g: Gnode, bno: int, data: bytes):
         try:
             attr = yield from self._call(
-                self.PROC.WRITE, g.fid, bno * self.block_size, data
+                self.PROC.WRITE, g.fid, bno * self.block_size, data, gnode=g
             )
         except (StaleHandle, NoSuchFile):
             return  # file deleted under us; its data is moot
+        except ReopenRejected:
+            return  # our claim lost after a server reboot; data discarded
         self._store_attr_snfs(g, attr)
 
     def fsync(self, g: Gnode):
@@ -501,7 +548,16 @@ class SnfsClient(NfsClient):
         recovery: [(fh, readers, writers, version, dirty)]."""
         report = []
         for g in self._gnodes.values():
-            dirty = bool(self.cache.dirty_buffers(file_key=g.cache_key))
+            # count busy buffers too: a block being flushed when the
+            # server died is still dirty from the server's point of
+            # view (the write may not have executed), and the reply
+            # will never come — under-reporting it would rebuild the
+            # entry without us as last writer, so the eventual
+            # retransmitted write would land with no writeback callback
+            # coverage
+            dirty = any(
+                b.dirty or b.busy for b in self.cache.file_blocks(g.cache_key)
+            )
             pending = len(g.private.get("pending_closes") or [])
             if g.open_reads or g.open_writes or dirty or pending:
                 report.append(

@@ -50,3 +50,4 @@ class SPROC:
     # the paper)
     PING = "snfs.ping"  # keepalive / reboot detection
     REOPEN = "snfs.reopen"  # bulk state reassertion after a reboot
+    KEEPALIVE = "snfs.keepalive"  # server -> client liveness probe

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from ..fs.errors import FsError
 
-__all__ = ["ServerRecovering", "DEFAULT_GRACE_PERIOD"]
+__all__ = ["ServerRecovering", "ReopenRejected", "DEFAULT_GRACE_PERIOD"]
 
 #: how long a rebooted server waits for clients to reassert state
 DEFAULT_GRACE_PERIOD = 20.0
@@ -47,3 +47,17 @@ class ServerRecovering(FsError):
         super().__init__("server recovering (epoch %d)" % epoch)
         self.epoch = epoch
         self.retry_after = retry_after
+
+
+class ReopenRejected(FsError):
+    """The server refused this client's post-reboot claim on a file.
+
+    Raised client-side when a ``reopen`` report names a file whose
+    state moved on while this client was unreachable — the file
+    vanished, its version advanced, or other clients now hold it open.
+    The client drops its cached copy (cancelling pending delayed
+    writes, which would clobber newer data) and marks the file
+    inconsistent; applications see the failure at their next use.
+    """
+
+    errno_name = "ESTALE"

@@ -27,7 +27,7 @@ from ..fs.types import FileHandle
 from ..host import Host
 from ..net import RpcError, RpcTimeout
 from ..nfs.server import NfsServer
-from ..sim import Lock, Resource
+from ..sim import Interrupt, Lock, Resource
 from ..vfs import LocalMount
 from .protocol import SPROC
 from .recovery import DEFAULT_GRACE_PERIOD, ServerRecovering
@@ -68,6 +68,8 @@ class SnfsServer(NfsServer):
         export: LocalMount,
         max_open_files: int = 1000,
         grace_period: float = DEFAULT_GRACE_PERIOD,
+        keepalive_interval: float = 0.0,
+        dead_client_timeout: float = 45.0,
     ):
         self.state = StateTable(max_entries=max_open_files)
         self._file_locks: Dict[Hashable, Lock] = {}
@@ -85,7 +87,17 @@ class SnfsServer(NfsServer):
         self.boot_epoch = 1
         self._recovery_until = 0.0
         self._reasserted: set = set()  # clients that reopened this epoch
+        # dead-client sweep (mirrors lockd's keepalive): opt-in, since
+        # the probe loop is a perpetual daemon and would keep a bare
+        # ``sim.run()`` from ever terminating
+        self.keepalive_interval = keepalive_interval
+        self.dead_client_timeout = dead_client_timeout
+        self._last_heard: Dict[str, float] = {}
+        self._keepalive_proc = None
         super().__init__(host, export)
+        host.rpc.serve_listeners.append(self._note_client_traffic)
+        if keepalive_interval > 0:
+            self.start_keepalive()
 
     def _register(self) -> None:
         super()._register()
@@ -112,6 +124,12 @@ class SnfsServer(NfsServer):
             raise ServerRecovering(
                 self.boot_epoch, retry_after=self._recovery_until - self.sim.now
             )
+        # after the grace period, a client we have never heard from this
+        # epoch must still reassert before touching state: its claims
+        # are validated individually (and possibly rejected) rather
+        # than silently accepted against the rebuilt table
+        if self.boot_epoch > 1 and src not in self._reasserted:
+            raise ServerRecovering(self.boot_epoch, retry_after=0.0)
 
     def proc_ping(self, src):
         """Keepalive: returns the boot epoch so clients detect reboots."""
@@ -119,14 +137,32 @@ class SnfsServer(NfsServer):
         yield  # pragma: no cover
 
     def proc_reopen(self, src, report):
-        """Bulk state reassertion from one client: property 1."""
+        """Bulk state reassertion from one client: property 1.
+
+        Returns ``(boot_epoch, rejected_handles)``.  During the grace
+        period every claim on a live file is accepted (the combined
+        reports *are* the truth).  After it, a late-arriving client's
+        claims are checked against the state rebuilt without it: a
+        claim loses if the file's version moved on or other clients
+        hold it open against a writer's claim.  Rejected handles tell
+        the client its cached copy (including dirty delayed writes)
+        must be discarded, not pushed over newer data.
+        """
+        rejected = []
         for fh, readers, writers, version, dirty in report:
             try:
                 self.lfs.resolve(fh)
             except StaleHandle:
-                continue  # the file vanished; nothing to rebuild
+                rejected.append(fh)  # the file vanished; drop the claim
+                continue
+            key = fh.key()
+            if not self.in_recovery and self._claim_conflicts(
+                key, src, version, writers, dirty
+            ):
+                rejected.append(fh)
+                continue
             self.state.rebuild_entry(
-                fh.key(),
+                key,
                 src,
                 readers=readers,
                 writers=writers,
@@ -134,22 +170,123 @@ class SnfsServer(NfsServer):
                 dirty=dirty,
             )
         self._reasserted.add(src)
-        return self.boot_epoch
+        self._last_heard[src] = self.sim.now
+        return (self.boot_epoch, rejected)
         yield  # pragma: no cover
+
+    def _claim_conflicts(self, key, src, version, writers, dirty) -> bool:
+        """Would accepting this post-grace claim clobber newer state?"""
+        entry = self.state.entry(key)
+        current = (
+            entry.version if entry is not None else self.state.remembered_version(key)
+        )
+        if current is not None and version < current:
+            return True  # the file was opened for write since: stale claim
+        if entry is not None and (writers or dirty):
+            others = [c for c in entry.open_clients() if c != src]
+            if others or (entry.last_writer not in (None, src)):
+                return True
+        return False
 
     def crash(self) -> None:
         """Power-fail the server host; the state table is volatile."""
         self.host.crash()
-        self.state.clear()
-        self._file_locks.clear()
-        self._dir_interest.clear()
 
     def reboot(self) -> None:
         """Restart: begin the recovery grace period."""
+        self.host.reboot()
+
+    def on_host_crash(self) -> None:
+        """Volatile server state (the table) is lost in a crash."""
+        self.state.clear()
+        self._file_locks.clear()
+        self._dir_interest.clear()
+        self.stop_keepalive()
+
+    def on_host_reboot(self) -> None:
         self.boot_epoch += 1
         self._reasserted = set()
+        self._last_heard.clear()
         self._recovery_until = self.sim.now + self.grace_period
-        self.host.reboot()
+        # version numbers carry the boot epoch in their high bits: a
+        # freshly minted version must order after every version any
+        # client could still hold from an earlier epoch, or a stale
+        # post-grace claim could pass the version conflict check
+        self.state.advance_versions(self.boot_epoch << 32)
+        if self.keepalive_interval > 0:
+            self.start_keepalive()
+
+    # -- dead-client keepalive sweep ---------------------------------------
+
+    def start_keepalive(self) -> None:
+        """Begin periodic probing of clients that hold open state."""
+        if self.keepalive_interval <= 0:
+            raise ValueError("keepalive_interval must be positive")
+        if self._keepalive_proc is not None and self._keepalive_proc.is_alive:
+            return
+        self._keepalive_proc = self.sim.spawn(
+            self._keepalive_loop(), name="snfs-keepalive:%s" % self.host.name
+        )
+
+    def stop_keepalive(self) -> None:
+        if self._keepalive_proc is not None and self._keepalive_proc.is_alive:
+            self._keepalive_proc.interrupt("stopped")
+        self._keepalive_proc = None
+
+    def _note_client_traffic(self, proc, src, args, result, error, now) -> None:
+        """Any executed request from a client counts as a liveness proof."""
+        if src != self.host.name:
+            self._last_heard[src] = now
+
+    def _keepalive_loop(self):
+        """Like ``lockd``'s: probe clients holding state; reap the dead.
+
+        A client that crashes and never reboots would otherwise pin
+        its state-table entries (and block other clients' opens on
+        write-back callbacks that can never succeed) forever.
+        """
+        while True:
+            try:
+                yield self.sim.timeout(self.keepalive_interval)
+            except Interrupt:
+                return
+            if self.in_recovery:
+                continue  # clients are busy reasserting; don't probe
+            try:
+                yield from self._sweep_dead_clients()
+            except Interrupt:
+                return
+
+    def _sweep_dead_clients(self):
+        holders: set = set()
+        for entry in self.state.entries():
+            holders.update(entry.open_clients())
+            if entry.last_writer is not None:
+                holders.add(entry.last_writer)
+        now = self.sim.now
+        for client in sorted(holders):
+            heard = self._last_heard.get(client)
+            if heard is not None and now - heard < self.dead_client_timeout:
+                continue
+            try:
+                yield from self.host.rpc.call(
+                    client,
+                    self.PROC.KEEPALIVE,
+                    timeout=CALLBACK_TIMEOUT,
+                    max_retries=1,
+                )
+                self._last_heard[client] = self.sim.now
+            except (RpcTimeout, RpcError):
+                self._drop_dead_client(client)
+
+    def _drop_dead_client(self, client: str) -> None:
+        """Reclaim all state a dead client holds (open files, dirty
+        claims, directory interest, recovery standing)."""
+        self.state.drop_client_all(client)
+        for interested in self._dir_interest.values():
+            interested.discard(client)
+        self._reasserted.discard(client)
+        self._last_heard.pop(client, None)
 
     # -- per-file serialization -------------------------------------------
 
@@ -337,10 +474,3 @@ class SnfsServer(NfsServer):
         if ddirfh.key() != sdirfh.key():
             yield from self._invalidate_dir_names(src, ddirfh)
         return result
-
-    # -- crash support --------------------------------------------------------
-
-    def on_crash(self) -> None:
-        """Volatile server state (the table) is lost in a crash."""
-        self.state.clear()
-        self._file_locks.clear()

@@ -170,6 +170,21 @@ class StateTable:
         self._last_version = next(self._version_counter)
         return self._last_version
 
+    def advance_versions(self, floor: int) -> None:
+        """Never mint a version at or below ``floor`` again.
+
+        After a server reboot the counter restarts, so a freshly minted
+        version could compare *below* one a crashed-then-partitioned
+        client still holds — letting its stale post-grace claim pass
+        the ``version < current`` conflict check and clobber newer
+        data.  Recovery moves the floor into a new epoch range instead
+        (versions carry their boot epoch in the high bits), so every
+        post-reboot version orders after every pre-crash one.
+        """
+        if floor > self._last_version:
+            self._version_counter = itertools.count(floor + 1)
+            self._last_version = floor
+
     # -- entry management ------------------------------------------------------
 
     def reclaimable_entries(self) -> List[FileEntry]:
@@ -431,6 +446,24 @@ class StateTable:
         self._entries.pop(key, None)
         self._closed_versions.pop(key, None)
 
+    def remembered_version(self, key: Hashable) -> Optional[int]:
+        """Version memory for a file whose entry was dropped clean."""
+        return self._closed_versions.get(key)
+
+    def drop_client_all(self, client: str) -> List[Hashable]:
+        """Forget every claim a (dead) client holds; returns the keys
+        affected.  Used by the keepalive sweep when a client that never
+        reboots stops answering (the lockd analogy: reclaim state held
+        by hosts that are gone for good)."""
+        keys = [
+            e.key
+            for e in self._entries.values()
+            if client in e.clients or e.last_writer == client
+        ]
+        for key in keys:
+            self.drop_client(key, client)
+        return keys
+
     def drop_client(self, key: Hashable, client: str) -> None:
         """Forget a (dead) client's claims on a file (§3.2).
 
@@ -448,8 +481,18 @@ class StateTable:
             self._delete_entry(key)
 
     def clear(self) -> None:
-        """Crash: all volatile state is lost (rebuilt by recovery)."""
+        """Crash: all volatile state is lost (rebuilt by recovery).
+
+        The remembered versions of closed files and the version counter
+        itself are volatile too — a real server's memory does not
+        survive a power failure.  Recovery restores safe ordering by
+        advancing the counter into the new boot epoch's range (see
+        :meth:`advance_versions`); a bare ``clear()`` with no epoch
+        advance can mint versions that collide with pre-crash ones."""
         self._entries.clear()
+        self._closed_versions.clear()
+        self._version_counter = itertools.count(1)
+        self._last_version = 0
 
     def rebuild_entry(
         self,

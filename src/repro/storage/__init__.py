@@ -1,6 +1,6 @@
 """Storage substrate: disk model and block buffer cache."""
 
 from .cache import Buffer, BufferCache, CacheError
-from .disk import Disk, DiskConfig
+from .disk import Disk, DiskConfig, DiskError
 
-__all__ = ["Disk", "DiskConfig", "BufferCache", "Buffer", "CacheError"]
+__all__ = ["Disk", "DiskConfig", "DiskError", "BufferCache", "Buffer", "CacheError"]

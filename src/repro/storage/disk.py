@@ -10,17 +10,31 @@ paper: ~28 ms average seek, 8.3 ms average rotational latency, ~2.2 MB/s
 transfer.  Consecutive accesses to adjacent block addresses skip the
 seek (sequential transfer), which is what makes large sequential reads
 and writes much cheaper per block than scattered ones.
+
+Fault injection (``repro.faults``) exercises the disk through two
+first-class knobs: ``error_rate`` (transient, retryable I/O errors — the
+access time is paid, the transfer fails, the driver retries) and
+``slow_factor`` (an access-time multiplier for slow-disk windows).  The
+fault RNG is seeded so faulted runs replay exactly.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Optional
 
 from ..metrics import Counters
 from ..sim import Resource, Simulator
 
-__all__ = ["DiskConfig", "Disk"]
+__all__ = ["DiskConfig", "Disk", "DiskError"]
+
+#: retries before a transient-error window is declared a hard failure
+_MAX_IO_RETRIES = 64
+
+
+class DiskError(Exception):
+    """An I/O failed repeatedly even after retries (drive unusable)."""
 
 
 @dataclass
@@ -39,13 +53,28 @@ class Disk:
     pass the starting block address so sequential runs are detected.
     """
 
-    def __init__(self, sim: Simulator, config: Optional[DiskConfig] = None, name: str = "disk"):
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[DiskConfig] = None,
+        name: str = "disk",
+        seed: int = 0,
+    ):
         self.sim = sim
         self.config = config or DiskConfig()
         self.name = name
         self._drive = Resource(sim, capacity=1, name=name)
         self._head_pos: Optional[int] = None  # block address after last op
         self.stats = Counters()
+        # fault-injection state (see repro.faults); both revert to the
+        # fault-free values when the window closes
+        self._fault_rng = random.Random(seed)
+        self.error_rate = 0.0  # probability one access fails (retried)
+        self.slow_factor = 1.0  # access-time multiplier
+
+    def reseed(self, seed: int) -> None:
+        """Reset the fault RNG (fault plans reseed disks on install)."""
+        self._fault_rng = random.Random(seed)
 
     # -- timing -------------------------------------------------------------
 
@@ -71,8 +100,19 @@ class Disk:
             raise ValueError("disk I/O of %d blocks" % n_blocks)
         yield self._drive.acquire()
         try:
-            delay = self._access_time(addr, n_blocks)
-            yield self.sim.timeout(delay)
+            for attempt in range(_MAX_IO_RETRIES + 1):
+                delay = self._access_time(addr, n_blocks) * self.slow_factor
+                yield self.sim.timeout(delay)
+                if self.error_rate <= 0 or self._fault_rng.random() >= self.error_rate:
+                    break
+                # transient failure: the access time was paid for nothing;
+                # the driver repositions and retries
+                self.stats.record("io_errors", t=self.sim.now)
+                self._head_pos = None
+            else:
+                raise DiskError(
+                    "%s: %s at %d failed %d times" % (self.name, kind, addr, _MAX_IO_RETRIES)
+                )
             self._head_pos = addr + n_blocks
         finally:
             self._drive.release()

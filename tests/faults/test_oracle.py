@@ -1,0 +1,202 @@
+"""Tests for the consistency oracle: the tracer-level judgement logic
+plus the end-of-run server checks."""
+
+import pytest
+
+from repro.faults import ConsistencyOracle
+from repro.fs import OpenMode
+from repro.host import Host, HostConfig
+from repro.net import Network
+from repro.nfs import NfsClient, NfsServer
+from repro.snfs import SnfsClient, SnfsServer
+
+
+# -- close-to-open judgement, driven directly through the tracer API ---------
+
+
+def commit(o, host, path, data, t):
+    """One write session: open(trunc) .. write .. close."""
+    o.on_open(host, 1, path, True, True, t)
+    o.on_write(host, 1, 0, data, t + 0.1)
+    o.on_close(host, 1, t + 0.2)
+
+
+def test_stale_read_after_commit_is_flagged():
+    o = ConsistencyOracle()
+    commit(o, "w", "/f", b"old!", 1.0)
+    commit(o, "w", "/f", b"new!", 2.0)
+    o.on_open("r", 2, "/f", False, False, 3.0)
+    o.on_read("r", 2, 0, 4, b"old!", 3.1)  # older than the last commit
+    assert o.summary() == {"close-to-open": 1}
+
+
+def test_fresh_read_is_clean():
+    o = ConsistencyOracle()
+    commit(o, "w", "/f", b"old!", 1.0)
+    commit(o, "w", "/f", b"new!", 2.0)
+    o.on_open("r", 2, "/f", False, False, 3.0)
+    o.on_read("r", 2, 0, 4, b"new!", 3.1)
+    assert o.ok
+
+
+def test_commit_after_open_is_also_acceptable():
+    """A commit landing between open and read may legitimately be seen
+    (the reader's window only bounds staleness, not freshness)."""
+    o = ConsistencyOracle()
+    commit(o, "w", "/f", b"old!", 1.0)
+    o.on_open("r", 2, "/f", False, False, 3.0)
+    commit(o, "w", "/f", b"new!", 4.0)
+    o.on_read("r", 2, 0, 4, b"new!", 5.0)
+    # the writer's session [4.0, 4.2] overlaps the reader's window, so
+    # this read is in write-sharing territory and is not judged at all
+    assert o.ok
+
+
+def test_read_your_own_writes_not_judged():
+    o = ConsistencyOracle()
+    commit(o, "w", "/f", b"old!", 1.0)
+    o.on_open("w", 3, "/f", True, False, 2.0)
+    o.on_write("w", 3, 0, b"mine", 2.1)
+    o.on_read("w", 3, 0, 4, b"mine", 2.2)
+    assert o.ok
+
+
+def test_concurrent_write_sharing_not_judged():
+    o = ConsistencyOracle()
+    commit(o, "w", "/f", b"old!", 1.0)
+    o.on_open("w", 3, "/f", True, False, 2.0)  # writer holds it open
+    o.on_open("r", 2, "/f", False, False, 2.5)
+    o.on_read("r", 2, 0, 4, b"????", 2.6)  # anything goes: no promise
+    assert o.ok
+
+
+def test_pre_oracle_content_not_judged():
+    o = ConsistencyOracle()
+    o.on_open("r", 2, "/f", False, False, 1.0)
+    o.on_read("r", 2, 0, 4, b"????", 1.1)
+    assert o.ok
+
+
+def test_unlink_forgets_history():
+    o = ConsistencyOracle()
+    commit(o, "w", "/f", b"old!", 1.0)
+    o.on_unlink("w", "/f", 2.0)
+    o.on_open("r", 2, "/f", False, False, 3.0)
+    o.on_read("r", 2, 0, 4, b"????", 3.1)  # re-created file: no history
+    assert o.ok
+
+
+def test_rename_moves_history():
+    o = ConsistencyOracle()
+    commit(o, "w", "/a", b"data", 1.0)
+    o.on_rename("w", "/a", "/b", 2.0)
+    o.on_open("r", 2, "/b", False, False, 3.0)
+    o.on_read("r", 2, 0, 4, b"data", 3.1)
+    assert o.ok
+    o.on_open("r", 3, "/b", False, False, 4.0)
+    o.on_read("r", 3, 0, 4, b"????", 4.1)
+    assert o.summary() == {"close-to-open": 1}
+
+
+def test_host_crash_kills_sessions_without_commit():
+    o = ConsistencyOracle()
+    commit(o, "w", "/f", b"old!", 1.0)
+    o.on_open("w", 3, "/f", True, False, 2.0)
+    o.on_write("w", 3, 0, b"lost", 2.1)
+    o.on_host_crash("w", 2.2)  # dies before close: nothing committed
+    o.on_open("r", 2, "/f", False, False, 3.0)
+    o.on_read("r", 2, 0, 4, b"old!", 3.1)
+    assert o.ok
+
+
+def test_truncate_commits_shrunk_content():
+    o = ConsistencyOracle()
+    commit(o, "w", "/f", b"abcdef", 1.0)
+    o.on_truncate("w", "/f", 3, 2.0)
+    o.on_open("r", 2, "/f", False, False, 3.0)
+    o.on_read("r", 2, 0, 3, b"abc", 3.1)
+    assert o.ok
+
+
+# -- end-of-run checks against real servers ----------------------------------
+
+
+def _nfs_world(runner):
+    sim = runner.sim
+    net = Network(sim)
+    server_host = Host(sim, net, "server", HostConfig.titan_server())
+    export = server_host.add_local_fs("/export", fsid="exportfs")
+    server = NfsServer(server_host, export)
+    client_host = Host(sim, net, "client0", HostConfig.titan_client())
+    mount = NfsClient("nfs0", client_host, "server")
+    runner.run(mount.attach())
+    client_host.kernel.mount("/data", mount)
+    return server, client_host, export
+
+
+def _write(k, path, data):
+    fd = yield from k.open(path, OpenMode.WRITE, create=True, truncate=True)
+    yield from k.write(fd, data)
+    yield from k.close(fd)
+
+
+def test_lost_acked_write_detected(runner):
+    server, client, export = _nfs_world(runner)
+    oracle = ConsistencyOracle()
+    oracle.watch_server(server)
+    k = client.kernel
+    runner.run(_write(k, "/data/f", b"x" * 100))
+    runner.run(k.sync())
+    assert oracle.check_lost_acked_writes() == 0
+
+    # sabotage stable storage behind the server's back: acknowledged
+    # bytes vanish, which no real execution should ever produce
+    lfs = export.lfs
+    (key,) = [k_ for k_ in oracle._acked[0] if oracle._acked[0][k_]]
+    inode = lfs._inodes[key[1]]
+    for addr in inode.blocks.values():
+        lfs._data[addr] = b"\0" * len(lfs._data.get(addr, b""))
+    assert oracle.check_lost_acked_writes() == 1
+    assert oracle.summary() == {"lost-acked-write": 1}
+
+
+def _snfs_world(runner):
+    sim = runner.sim
+    net = Network(sim)
+    server_host = Host(sim, net, "server", HostConfig.titan_server())
+    export = server_host.add_local_fs("/export", fsid="exportfs")
+    server = SnfsServer(server_host, export)
+    client_host = Host(sim, net, "client0", HostConfig.titan_client())
+    mount = SnfsClient("snfs0", client_host, "server")
+    runner.run(mount.attach())
+    client_host.kernel.mount("/data", mount)
+    return server, client_host, mount
+
+
+def test_state_agreement_clean_and_after_drift(runner):
+    server, client, mount = _snfs_world(runner)
+    oracle = ConsistencyOracle()
+    k = client.kernel
+    runner.run(_write(k, "/data/f", b"hello"))
+    fd = runner.run(k.open("/data/f", OpenMode.WRITE))
+    assert oracle.check_state_agreement(server, [mount]) == 0
+
+    # simulate state drift: the server forgets the client's open
+    dropped = server.state.drop_client_all("client0")
+    assert dropped
+    assert oracle.check_state_agreement(server, [mount]) >= 1
+    assert all(v.kind == "state-mismatch" for v in oracle.violations)
+    runner.run(k.close(fd))
+
+
+def test_state_agreement_flags_phantom_table_entry(runner):
+    server, client, mount = _snfs_world(runner)
+    oracle = ConsistencyOracle()
+    runner.run(_write(client.kernel, "/data/f", b"hello"))
+    # the client closed the file, but the table still claims it's open
+    g = list(mount._gnodes.values())
+    key = [e.key for e in server.state.entries()] or [
+        gn.fid.key() for gn in g if gn.fid.key()[1] != 1
+    ]
+    server.state.open_file(key[0], "client0", False)
+    assert oracle.check_state_agreement(server, [mount]) >= 1

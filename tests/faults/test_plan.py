@@ -1,0 +1,232 @@
+"""Tests for the deterministic fault-injection scheduler."""
+
+import pytest
+
+from repro.experiments import build_testbed
+from repro.faults import (
+    CrashReboot,
+    DiskFault,
+    FaultInjector,
+    FaultPlan,
+    LatencyBurst,
+    LossBurst,
+    Partition,
+    SlowDisk,
+)
+from repro.host import Host, HostConfig
+from repro.net import Network, NetworkConfig, RpcTimeout
+from repro.sim import Simulator
+from repro.storage import DiskError
+
+
+def make_net(runner, seed=0):
+    return Network(runner.sim, NetworkConfig(seed=seed))
+
+
+def probe_at(runner, times, sample):
+    """Run the sim past each time in ``times``, sampling ``sample()``."""
+    out = []
+
+    def probe():
+        last = 0.0
+        for t in times:
+            yield runner.sim.timeout(t - last)
+            out.append(sample())
+            last = t
+
+    runner.run(probe())
+    return out
+
+
+def test_partition_window_blocks_and_heals(runner):
+    net = make_net(runner)
+    inj = FaultInjector(runner.sim, network=net)
+    inj.install(
+        FaultPlan(events=(Partition(start=5.0, duration=10.0, a="a", b="b"),))
+    )
+    states = probe_at(
+        runner,
+        [1.0, 6.0, 20.0],
+        lambda: (net.link_blocked("a", "b"), net.link_blocked("b", "a")),
+    )
+    assert states == [(False, False), (True, True), (False, False)]
+    assert [what for _, what in inj.log] == [
+        "partition a <-> b",
+        "heal a <-> b",
+    ]
+
+
+def test_asymmetric_partition_blocks_one_direction(runner):
+    net = make_net(runner)
+    inj = FaultInjector(runner.sim, network=net)
+    inj.install(
+        FaultPlan(
+            events=(
+                Partition(start=1.0, duration=4.0, a="a", b="b", symmetric=False),
+            )
+        )
+    )
+    states = probe_at(
+        runner,
+        [2.0, 10.0],
+        lambda: (net.link_blocked("a", "b"), net.link_blocked("b", "a")),
+    )
+    assert states == [(True, False), (False, False)]
+
+
+def test_overlapping_partitions_refcount(runner):
+    net = make_net(runner)
+    inj = FaultInjector(runner.sim, network=net)
+    inj.install(
+        FaultPlan(
+            events=(
+                Partition(start=1.0, duration=10.0, a="a", b="b"),
+                Partition(start=5.0, duration=10.0, a="a", b="b"),
+            )
+        )
+    )
+    states = probe_at(
+        runner, [6.0, 12.0, 16.0], lambda: net.link_blocked("a", "b")
+    )
+    # still blocked at 12.0: the second window holds the link down
+    assert states == [True, True, False]
+
+
+def test_permanent_partition_never_heals(runner):
+    net = make_net(runner)
+    inj = FaultInjector(runner.sim, network=net)
+    inj.install(
+        FaultPlan(events=(Partition(start=1.0, duration=None, a="a", b="b"),))
+    )
+    states = probe_at(runner, [2.0, 1000.0], lambda: net.link_blocked("a", "b"))
+    assert states == [True, True]
+
+
+def test_loss_and_latency_bursts_revert(runner):
+    net = make_net(runner)
+    inj = FaultInjector(runner.sim, network=net)
+    inj.install(
+        FaultPlan(
+            events=(
+                LossBurst(start=2.0, duration=5.0, rate=0.25),
+                LatencyBurst(start=3.0, duration=5.0, extra=0.05),
+            )
+        )
+    )
+    states = probe_at(
+        runner, [4.0, 20.0], lambda: (net.extra_drop, net.extra_latency)
+    )
+    assert states[0] == (0.25, 0.05)
+    assert states[1] == (0.0, 0.0)
+
+
+def test_disk_fault_and_slow_disk_windows(runner):
+    host = Host(runner.sim, make_net(runner), "h", HostConfig.titan_client(), seed=3)
+    disk = host.add_disk("disk0")
+    inj = FaultInjector(runner.sim, disks={disk.name: disk})
+    inj.install(
+        FaultPlan(
+            events=(
+                DiskFault(start=1.0, duration=4.0, disk=disk.name, error_rate=0.5),
+                SlowDisk(start=1.0, duration=4.0, disk=disk.name, factor=8.0),
+            )
+        )
+    )
+    states = probe_at(
+        runner, [2.0, 10.0], lambda: (disk.error_rate, disk.slow_factor)
+    )
+    assert states[0] == (0.5, 8.0)
+    assert states[1] == (0.0, 1.0)
+
+
+def test_disk_errors_are_retried_then_fatal(runner):
+    host = Host(runner.sim, make_net(runner), "h", HostConfig.titan_client(), seed=3)
+    disk = host.add_disk("disk0")
+
+    disk.error_rate = 0.5
+    runner.run(disk.read(10))  # retried transparently
+    assert disk.stats.get("io_errors") > 0
+
+    disk.error_rate = 1.0  # nothing can succeed: the retry budget runs out
+    with pytest.raises(DiskError):
+        runner.run(disk.read(10))
+
+
+def test_crash_reboot_schedule(runner):
+    net = make_net(runner)
+    host = Host(runner.sim, net, "victim", HostConfig.titan_client())
+    inj = FaultInjector(runner.sim, targets={"victim": host})
+    inj.install(
+        FaultPlan(events=(CrashReboot(at=2.0, target="victim", down_for=3.0),))
+    )
+    states = probe_at(runner, [3.0, 10.0], lambda: host.crashed)
+    assert states == [True, False]
+    assert [what for _, what in inj.log] == ["crash victim", "reboot victim"]
+
+
+def test_crash_without_reboot_stays_down(runner):
+    net = make_net(runner)
+    host = Host(runner.sim, net, "victim", HostConfig.titan_client())
+    inj = FaultInjector(runner.sim, targets={"victim": host})
+    inj.install(FaultPlan(events=(CrashReboot(at=2.0, target="victim"),)))
+    states = probe_at(runner, [3.0, 500.0], lambda: host.crashed)
+    assert states == [True, True]
+
+
+def test_unknown_event_type_rejected(runner):
+    inj = FaultInjector(runner.sim)
+    with pytest.raises(TypeError):
+        inj.install(FaultPlan(events=(object(),)))
+
+
+def test_faulted_run_is_deterministic(runner):
+    """Same plan + seed -> identical packet-drop decisions."""
+
+    def one_run():
+        sim = Simulator()
+        net = Network(sim, NetworkConfig(seed=9))
+        a = Host(sim, net, "a", HostConfig.titan_client())
+        b = Host(sim, net, "b", HostConfig.titan_client())
+
+        def pong(src):
+            yield sim.timeout(0.0001)
+            return "pong"
+
+        b.rpc.register("ping", pong)
+        inj = FaultInjector(sim, network=net)
+        inj.install(
+            FaultPlan(events=(LossBurst(start=0.0, duration=60.0, rate=0.4),), seed=9)
+        )
+        times = []
+
+        def caller():
+            for _ in range(30):
+                yield from a.rpc.call("b", "ping")
+                times.append(sim.now)
+
+        proc = sim.spawn(caller())
+        sim.run_until(proc, limit=1e6)
+        assert proc.triggered and proc.exception is None
+        return times
+
+    first, second = one_run(), one_run()
+    assert first == second
+    assert len(first) == 30
+
+
+def test_build_testbed_threads_seed_into_fault_rngs():
+    bed_a = build_testbed("nfs", seed=7)
+    bed_b = build_testbed("nfs", seed=7)
+    bed_c = build_testbed("nfs", seed=8)
+    assert bed_a.network._rng.random() == bed_b.network._rng.random()
+    assert bed_a.network._rng.random() != bed_c.network._rng.random()
+    for name in bed_a.client.disks:
+        ra = bed_a.client.disks[name]._fault_rng.random()
+        rb = bed_b.client.disks[name]._fault_rng.random()
+        rc = bed_c.client.disks[name]._fault_rng.random()
+        assert ra == rb != rc
+    # distinct disks on one host must not share a fault stream
+    server_disks = list(bed_a.server_host.disks.values())
+    client_disks = list(bed_a.client.disks.values())
+    streams = {d._fault_rng.random() for d in server_disks + client_disks}
+    assert len(streams) == len(server_disks) + len(client_disks)

@@ -1,0 +1,46 @@
+"""End-to-end resilience runs: the oracle's verdicts on real protocol
+stacks under faults, and determinism of the whole harness."""
+
+from repro.experiments.resilience import (
+    _andrew_schedules,
+    _small_tree,
+    run_resilience,
+    run_sharing,
+)
+
+
+def test_nfs_sequential_sharing_violates_close_to_open():
+    run = run_sharing("nfs", seed=1, schedule="baseline")
+    assert run.verdicts.get("close-to-open", 0) >= 1
+    assert run.verdicts.get("lost-acked-write", 0) == 0
+
+
+def test_snfs_sequential_sharing_is_consistent():
+    run = run_sharing("snfs", seed=1, schedule="faulted")
+    assert run.verdicts == {}
+
+
+def test_rfs_sequential_sharing_is_consistent():
+    run = run_sharing("rfs", seed=1, schedule="faulted")
+    assert run.verdicts == {}
+
+
+def test_snfs_crash_reboot_andrew_is_consistent():
+    """Regression: a client's delayed-write flush in flight while the
+    rebooted server's copy is still stale must not surface truncated
+    reads (the busy-buffer attribute-adoption bug)."""
+    schedules = dict(_andrew_schedules())
+    run = run_resilience(
+        "snfs", "crash-reboot", schedules["crash-reboot"], seed=1, tree=_small_tree()
+    )
+    assert run.verdicts == {}
+    assert any("crash server" in what for _, what in run.fault_log)
+    assert any("reboot server" in what for _, what in run.fault_log)
+
+
+def test_faulted_sharing_run_is_deterministic():
+    a = run_sharing("nfs", seed=5, schedule="faulted")
+    b = run_sharing("nfs", seed=5, schedule="faulted")
+    assert a.elapsed == b.elapsed
+    assert a.verdicts == b.verdicts
+    assert a.fault_log == b.fault_log

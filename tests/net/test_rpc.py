@@ -227,6 +227,30 @@ def test_estimate_size_rules():
     assert estimate_size([b"a", b"bc"]) == 3
 
 
+def test_hard_mount_retries_through_long_outage():
+    """hard=True never gives up: the call outlasts a server crash that
+    spans several backed-off retry cycles (the backoff caps at 30 s)."""
+    sim, net, client, server = make_pair(
+        rpc_kw={"timeout": 0.5, "max_retries": 1, "backoff": 2.0}
+    )
+
+    def add(src, a, b):
+        yield sim.timeout(0.001)
+        return a + b
+
+    server.register("add", add)
+    server.crash()
+
+    def resurrect(sim):
+        yield sim.timeout(70.0)
+        server.reboot()
+
+    sim.spawn(resurrect(sim))
+    result = run_call(sim, client, "server", "add", 2, 3, hard=True)
+    assert result["value"] == 5
+    assert sim.now >= 70.0
+
+
 def test_crash_and_reboot_cycle():
     sim, net, client, server = make_pair(
         rpc_kw={"timeout": 0.1, "max_retries": 1, "backoff": 1.0}

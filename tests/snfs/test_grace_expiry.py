@@ -1,0 +1,118 @@
+"""A client partitioned through the server's entire grace period.
+
+The §2.4 recovery design assumes clients reassert their state during
+the grace period.  A client that *cannot* — partitioned away until
+after recovery ends — comes back holding dirty delayed writes and a
+stale idea of the file.  Its late claim must be rejected (ESTALE-style)
+rather than allowed to clobber data written since recovery, and the
+rejection must also abort any dirty write-back already in flight.
+
+This exercises two fixes:
+
+* post-grace claims are individually validated (``_claim_conflicts``);
+* version numbers carry the boot epoch in their high bits, so a
+  version minted after the reboot always orders *above* any version
+  the partitioned client still holds (without this, the restarted
+  counter could mint small versions and the stale claim would pass
+  the ``version < current`` check).
+"""
+
+import pytest
+
+from repro.fs import OpenMode
+from repro.host import Host, HostConfig
+from repro.net import Network
+from repro.snfs import SnfsClient, SnfsClientConfig, SnfsServer
+
+from .conftest import read_file, write_file
+
+GRACE = 6.0
+
+
+class GraceWorld:
+    def __init__(self, runner):
+        sim = runner.sim
+        self.runner = runner
+        self.network = Network(sim)
+        self.server_host = Host(sim, self.network, "server", HostConfig.titan_server())
+        self.export = self.server_host.add_local_fs("/export", fsid="exportfs")
+        self.server = SnfsServer(self.server_host, self.export, grace_period=GRACE)
+        self.clients = []
+        self.mounts = []
+        for i in range(2):
+            host = Host(sim, self.network, "client%d" % i, HostConfig.titan_client())
+            mount = SnfsClient("snfs%d" % i, host, "server", config=SnfsClientConfig())
+            runner.run(mount.attach())
+            host.kernel.mount("/data", mount)
+            self.clients.append(host)
+            self.mounts.append(mount)
+
+    def sleep(self, seconds):
+        def nap():
+            yield self.runner.sim.timeout(seconds)
+
+        self.runner.run(nap())
+
+
+@pytest.fixture
+def gworld(runner):
+    return GraceWorld(runner)
+
+
+def test_partitioned_client_claim_rejected_after_grace(gworld):
+    runner = gworld.runner
+    ka, kb = gworld.clients[0].kernel, gworld.clients[1].kernel
+    mount_a = gworld.mounts[0]
+
+    # A writes and closes; the data is dirty in A's cache (delayed)
+    runner.run(write_file(ka, "/data/f", b"A" * 100))
+    assert mount_a.cache.dirty_buffers()
+
+    # server power-fails; A is partitioned before the reboot and stays
+    # cut off through the whole grace period
+    gworld.server.crash()
+    gworld.network.partition("client0", "server")
+    gworld.server.reboot()
+    gworld.sleep(GRACE + 1.0)
+    assert not gworld.server.in_recovery
+
+    # B (who missed the crash entirely) writes newer content, closes,
+    # and makes it durable
+    runner.run(write_file(kb, "/data/f", b"B" * 80))
+    runner.run(kb.sync())
+
+    # the partition heals; A's delayed write-back finally goes out, is
+    # answered with ServerRecovering, and A's REOPEN claim is rejected:
+    # the dirty data is discarded, not pushed over B's newer bytes
+    gworld.network.heal("client0", "server")
+    runner.run(ka.sync())
+    assert not mount_a.cache.dirty_buffers()
+
+    # server keeps B's content; A sees it too after a fresh open
+    assert runner.run(read_file(kb, "/data/f")) == b"B" * 80
+    assert runner.run(read_file(ka, "/data/f")) == b"B" * 80
+
+
+def test_rebooted_server_versions_order_above_pre_crash_ones(gworld):
+    runner = gworld.runner
+    ka, kb = gworld.clients[0].kernel, gworld.clients[1].kernel
+
+    runner.run(write_file(ka, "/data/f", b"before"))
+    pre = gworld.mounts[0]._gnodes  # at least one version minted
+    pre_versions = [
+        g.private["version"] for g in pre.values() if "version" in g.private
+    ]
+    assert pre_versions
+
+    gworld.server.crash()
+    gworld.server.reboot()
+    gworld.sleep(GRACE + 1.0)
+
+    runner.run(write_file(kb, "/data/g", b"after"))
+    post_versions = [
+        g.private["version"]
+        for g in gworld.mounts[1]._gnodes.values()
+        if "version" in g.private
+    ]
+    assert post_versions
+    assert min(post_versions) > max(pre_versions)

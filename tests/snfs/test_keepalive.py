@@ -1,0 +1,78 @@
+"""Dead-client reclamation: the server's keepalive sweep.
+
+A client that crashes while holding files open would pin state-table
+entries forever (and force every later conflicting open through a
+doomed callback).  With ``keepalive_interval`` set, the server probes
+clients it has not heard from and reclaims the state of any that fail
+to answer — the same job ``lockd``'s status monitor does for locks.
+"""
+
+import pytest
+
+from repro.fs import OpenMode
+from repro.host import Host, HostConfig
+from repro.net import Network
+from repro.snfs import SnfsClient, SnfsServer
+
+
+class KeepaliveWorld:
+    def __init__(self, runner):
+        sim = runner.sim
+        self.runner = runner
+        self.network = Network(sim)
+        self.server_host = Host(sim, self.network, "server", HostConfig.titan_server())
+        self.export = self.server_host.add_local_fs("/export", fsid="exportfs")
+        self.server = SnfsServer(
+            self.server_host,
+            self.export,
+            keepalive_interval=10.0,
+            dead_client_timeout=20.0,
+        )
+        self.client_host = Host(sim, self.network, "client0", HostConfig.titan_client())
+        self.mount = SnfsClient("snfs0", self.client_host, "server")
+        runner.run(self.mount.attach())
+        self.client_host.kernel.mount("/data", self.mount)
+
+    def sleep(self, seconds):
+        def nap():
+            yield self.runner.sim.timeout(seconds)
+
+        # the keepalive loop is a perpetual daemon, so the sim is driven
+        # with run_until on a finite probe, never a bare run()
+        self.runner.run(nap())
+
+    def holds_state(self, client):
+        return any(
+            client in e.open_clients() for e in self.server.state.entries()
+        )
+
+
+@pytest.fixture
+def kworld(runner):
+    return KeepaliveWorld(runner)
+
+
+def _open_for_write(k, path):
+    fd = yield from k.open(path, OpenMode.WRITE, create=True)
+    yield from k.write(fd, b"x" * 64)
+    return fd
+
+
+def test_crashed_client_state_is_reclaimed(kworld):
+    k = kworld.client_host.kernel
+    kworld.runner.run(_open_for_write(k, "/data/f"))
+    assert kworld.holds_state("client0")
+
+    kworld.client_host.crash()  # and never reboots
+    # silent past dead_client_timeout, then one probe that times out
+    kworld.sleep(120.0)
+    assert not kworld.holds_state("client0")
+
+
+def test_live_but_idle_client_survives_the_sweep(kworld):
+    """Idleness is not death: a client that answers the probe keeps its
+    open-file state no matter how long it goes without making calls."""
+    k = kworld.client_host.kernel
+    kworld.runner.run(_open_for_write(k, "/data/f"))
+    kworld.sleep(120.0)
+    assert kworld.holds_state("client0")
