@@ -92,6 +92,20 @@ def main(argv=None) -> int:
         "resilience", help="faulted runs judged by the consistency oracle"
     )
     p_res.add_argument("--seed", type=int, default=1, help="experiment seed")
+    p_lint = sub.add_parser(
+        "lint", help="determinism/sim-discipline lint + Table 4-1 conformance"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", help="files or directories (default: the repro package)"
+    )
+    p_lint.add_argument(
+        "--strict", action="store_true", help="fail on warnings too"
+    )
+    p_lint.add_argument(
+        "--no-conformance",
+        action="store_true",
+        help="skip the Table 4-1 conformance pass",
+    )
     sub.add_parser("all", help="everything (several minutes)")
     args = parser.parse_args(argv)
 
@@ -144,6 +158,14 @@ def main(argv=None) -> int:
 
         print(resilience_table(seed=args.seed)[0])
         return 0
+    if args.command == "lint":
+        from .analysis.cli import run_lint
+
+        return run_lint(
+            paths=args.paths,
+            strict=args.strict,
+            conformance=not args.no_conformance,
+        )
     if args.command == "all":
         for name in ("5-1", "5-2", "5-3", "5-4", "5-5", "5-6"):
             print(_table(name))

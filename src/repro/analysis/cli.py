@@ -1,0 +1,63 @@
+"""``python -m repro lint``: run the static passes over the tree.
+
+Runs the determinism and sim-discipline rules over ``src/repro`` (or
+explicit paths), then the Table 4-1 conformance pass against the live
+:class:`~repro.snfs.state_table.StateTable`.  Exit status 0 means
+clean; 1 means errors (or, with ``--strict``, any finding at all).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from .linter import Finding, lint_paths
+
+__all__ = ["run_lint", "default_target"]
+
+
+def default_target() -> str:
+    """The repro package directory this module was imported from."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_lint(
+    paths: Optional[Sequence[str]] = None,
+    strict: bool = False,
+    conformance: bool = True,
+    out=None,
+) -> int:
+    import sys
+
+    if out is None:
+        out = sys.stdout
+    if not paths:
+        paths = [default_target()]
+        package_root = paths[0]
+    else:
+        package_root = None
+
+    findings: List[Finding] = lint_paths(paths, package_root=package_root)
+    for finding in findings:
+        print(finding.format(), file=out)
+
+    conformance_diffs: List[str] = []
+    if conformance:
+        from .table41 import conformance_findings
+
+        conformance_diffs = conformance_findings()
+        for diff in conformance_diffs:
+            print("state_table: error [TBL41] %s" % diff, file=out)
+
+    errors = sum(1 for f in findings if f.severity == "error") + len(conformance_diffs)
+    warnings = sum(1 for f in findings if f.severity == "warning")
+    print(
+        "lint: %d error(s), %d warning(s), %d conformance diff(s)"
+        % (errors, warnings, len(conformance_diffs)),
+        file=out,
+    )
+    if errors:
+        return 1
+    if strict and warnings:
+        return 1
+    return 0

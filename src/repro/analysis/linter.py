@@ -1,0 +1,262 @@
+"""A sim-aware linter built on :mod:`ast` (stdlib only).
+
+Two families of passes protect the repository's core invariants:
+
+* **determinism** (``DET*``) — the whole point of the harness is that a
+  seed reproduces a run bit-for-bit, so nothing in ``src/repro`` may
+  consult the process-global RNG, the wall clock, or OS entropy, and
+  scheduler-adjacent code may not depend on set iteration order;
+* **sim discipline** (``SIM*``) — process coroutines must yield
+  waitables, spawn (not call) other process functions, and never touch
+  real blocking I/O.
+
+Findings carry a rule id, location, and message.  A finding is
+suppressed by a comment on the flagged line::
+
+    x = random.random()  # lint: ok
+    y = time.time()      # lint: ok=DET002
+
+The bare form suppresses every rule on that line; the ``=`` form names
+the rule ids it covers.  See docs/ANALYSIS.md for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Finding", "Module", "Rule", "lint_paths", "lint_source", "iter_py_files"]
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"  # or "warning"
+
+    def format(self) -> str:
+        return "%s:%d:%d: %s [%s] %s" % (
+            self.path,
+            self.line,
+            self.col,
+            self.severity,
+            self.rule,
+            self.message,
+        )
+
+
+#: subpackages whose code runs inside (or feeds) the event loop; set
+#: iteration order there becomes event order, hence run-to-run drift
+SCHEDULER_ADJACENT = (
+    "sim",
+    "host",
+    "net",
+    "snfs",
+    "nfs",
+    "rfs",
+    "kent",
+    "lockd",
+    "storage",
+    "vfs",
+    "faults",
+)
+
+
+def _parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> None (suppress all) or a set of rule ids."""
+    import io
+    import tokenize
+
+    out: Dict[int, Optional[Set[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            text = tok.string.lstrip("#").strip()
+            if not text.startswith("lint:"):
+                continue
+            directive = text[len("lint:"):].strip()
+            if directive == "ok":
+                out[tok.start[0]] = None
+            elif directive.startswith("ok="):
+                rules = {r.strip() for r in directive[3:].split(",") if r.strip()}
+                out[tok.start[0]] = rules
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+class Module:
+    """One parsed source file plus the metadata rules need."""
+
+    def __init__(self, path: str, source: str, package_root: Optional[str] = None):
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions = _parse_suppressions(source)
+        # parent links (ast has none): node -> enclosing node
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+        # where does this file sit relative to the package?
+        self.subpackage = self._subpackage(path, package_root)
+
+    @staticmethod
+    def _subpackage(path: str, package_root: Optional[str]) -> Optional[str]:
+        norm = path.replace(os.sep, "/")
+        marker = "/repro/"
+        if package_root is not None:
+            root = package_root.replace(os.sep, "/").rstrip("/") + "/"
+            if norm.startswith(root):
+                rel = norm[len(root):]
+                return rel.split("/", 1)[0] if "/" in rel else ""
+        if marker in norm:
+            rel = norm.rsplit(marker, 1)[1]
+            return rel.split("/", 1)[0] if "/" in rel else ""
+        return None
+
+    @property
+    def scheduler_adjacent(self) -> bool:
+        # unknown provenance (fixtures, tests): apply every rule
+        if self.subpackage is None:
+            return True
+        return self.subpackage in SCHEDULER_ADJACENT
+
+    # -- helpers for rules -------------------------------------------------
+
+    def enclosing_function(self, node: ast.AST):
+        cur = self.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = self.parents.get(cur)
+        return None
+
+    def enclosing_class(self, node: ast.AST):
+        cur = self.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, ast.ClassDef):
+                return cur
+            cur = self.parents.get(cur)
+        return None
+
+    def is_generator(self, fn) -> bool:
+        """Does this function contain a yield of its own?"""
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                owner = self.enclosing_function(node)
+                if owner is fn:
+                    return True
+        return False
+
+    def generator_functions(self) -> List:
+        return [
+            node
+            for node in ast.walk(self.tree)
+            if isinstance(node, ast.FunctionDef) and self.is_generator(node)
+        ]
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        if line not in self.suppressions:
+            return False
+        rules = self.suppressions[line]
+        return rules is None or rule in rules
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``severity`` and implement check."""
+
+    id = "RULE000"
+    severity = "error"
+
+    def check(self, module: Module) -> Iterable[Tuple[ast.AST, str]]:
+        raise NotImplementedError
+
+    def run(self, module: Module) -> List[Finding]:
+        out = []
+        for node, message in self.check(module):
+            line = getattr(node, "lineno", 0)
+            if module.suppressed(self.id, line):
+                continue
+            out.append(
+                Finding(
+                    rule=self.id,
+                    path=module.path,
+                    line=line,
+                    col=getattr(node, "col_offset", 0),
+                    message=message,
+                    severity=self.severity,
+                )
+            )
+        return out
+
+
+def default_rules() -> List[Rule]:
+    from .rules_determinism import DETERMINISM_RULES
+    from .rules_sim import SIM_RULES
+
+    return [cls() for cls in DETERMINISM_RULES + SIM_RULES]
+
+
+def iter_py_files(paths: Sequence[str]) -> List[str]:
+    out = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                out.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    out.append(os.path.join(dirpath, name))
+    return out
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[List[Rule]] = None,
+    package_root: Optional[str] = None,
+) -> List[Finding]:
+    module = Module(path, source, package_root=package_root)
+    findings: List[Finding] = []
+    for rule in rules if rules is not None else default_rules():
+        findings.extend(rule.run(module))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[List[Rule]] = None,
+    package_root: Optional[str] = None,
+) -> List[Finding]:
+    rules = rules if rules is not None else default_rules()
+    findings: List[Finding] = []
+    for path in iter_py_files(paths):
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        try:
+            findings.extend(
+                lint_source(source, path=path, rules=rules, package_root=package_root)
+            )
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule="PARSE",
+                    path=path,
+                    line=exc.lineno or 0,
+                    col=exc.offset or 0,
+                    message="could not parse: %s" % exc.msg,
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

@@ -1,0 +1,416 @@
+"""A machine-readable spec of the paper's Table 4-1, independent of
+:mod:`repro.snfs.state_table`.
+
+The state table implements the transitions; this module *states* them,
+straight from §4.3 of the paper, so the two can be diffed.  The
+conformance pass (``python -m repro lint``) drives a fresh
+:class:`~repro.snfs.state_table.StateTable` through every
+(state × event) combination and reports any divergence — end state,
+callback set, caching decision, or version behaviour — as a finding.
+The property suite in ``tests/property`` uses the same spec.
+
+Vocabulary
+----------
+
+Client ``A`` is the incumbent (the reader/writer that put the file in
+its current state), ``B`` the second party of two-client states, and
+``C`` a newcomer.  Eight events cover Table 4-1's columns:
+
+* ``open_read`` / ``open_write``, each by the *same* client (A) or a
+  *new* one (C);
+* ``close_read`` / ``close_write``, by the client actually holding
+  that kind of open ("same"), or by a stranger (C) — the latter must
+  be a tolerated no-op (RPC retransmissions make spurious closes a
+  fact of life).
+
+In ``WRITE_SHARED`` the writer is B, so "close_write same" is B's
+close there; everywhere else the acting incumbent is A.
+
+Expected rows give the end state, the exact callback set as sorted
+``(client, writeback, invalidate)`` triples, whether an open may cache
+(``None`` for closes), and whether a version bump is required (write
+opens mint a new version; nothing else may).  ``IMPOSSIBLE`` marks the
+combinations Table 4-1 leaves blank: in ``CLOSED`` no client holds the
+file, so there is no "same" client to act.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+__all__ = [
+    "STATES",
+    "EVENTS",
+    "SETUP",
+    "EXPECTED",
+    "IMPOSSIBLE",
+    "CALLBACK_LEGALITY",
+    "build_state",
+    "apply_event",
+    "enumerate_transitions",
+    "conformance_findings",
+]
+
+#: the paper's seven per-file states (§4.3.4)
+STATES = (
+    "CLOSED",
+    "CLOSED_DIRTY",
+    "ONE_READER",
+    "ONE_RDR_DIRTY",
+    "MULT_READERS",
+    "ONE_WRITER",
+    "WRITE_SHARED",
+)
+
+A, B, C = "clientA", "clientB", "clientC"
+
+#: canonical op scripts driving a fresh table into each state.
+#: ops are (kind, client, write) with kind in {"open", "close"}.
+SETUP: Dict[str, Tuple[Tuple[str, str, bool], ...]] = {
+    "CLOSED": (),
+    "ONE_READER": (("open", A, False),),
+    "MULT_READERS": (("open", A, False), ("open", B, False)),
+    "ONE_WRITER": (("open", A, True),),
+    "CLOSED_DIRTY": (("open", A, True), ("close", A, True)),
+    "ONE_RDR_DIRTY": (
+        ("open", A, True),
+        ("close", A, True),
+        ("open", A, False),
+    ),
+    "WRITE_SHARED": (("open", A, False), ("open", B, True)),
+}
+
+#: event alphabet: (kind, actor, write) where actor is "same" or "new"
+EVENTS = (
+    ("open", "same", False),
+    ("open", "new", False),
+    ("open", "same", True),
+    ("open", "new", True),
+    ("close", "same", False),
+    ("close", "new", False),
+    ("close", "same", True),
+    ("close", "new", True),
+)
+
+IMPOSSIBLE = object()
+
+
+def event_name(event: Tuple[str, str, bool]) -> str:
+    kind, actor, write = event
+    return "%s_%s_%s" % (kind, "write" if write else "read", actor)
+
+
+def _actor(state: str, event: Tuple[str, str, bool]) -> Optional[str]:
+    """Resolve "same"/"new" to a concrete client for this state."""
+    kind, actor, write = event
+    if actor == "new":
+        return C
+    if state == "CLOSED":
+        return None  # nobody holds the file: no "same" client exists
+    if state == "WRITE_SHARED" and kind == "close" and write:
+        return B  # the writer of the canonical WRITE_SHARED setup
+    return A
+
+
+Cb = Tuple[str, bool, bool]  # (client, writeback, invalidate)
+
+
+def _row(end: str, callbacks=(), cache=None, bump=None):
+    return {
+        "end": end,
+        "callbacks": tuple(sorted(callbacks)),
+        "cache": cache,
+        "bump": bump,
+    }
+
+
+#: Table 4-1, row by row.  Keys are (state, event); values as _row(),
+#: or IMPOSSIBLE for blank table cells.
+EXPECTED: Dict[Tuple[str, Tuple[str, str, bool]], object] = {}
+
+
+def _expect(state, event, value):
+    EXPECTED[(state, event)] = value
+
+
+# -- CLOSED: no entry exists ------------------------------------------------
+_expect("CLOSED", ("open", "same", False), IMPOSSIBLE)
+_expect("CLOSED", ("open", "same", True), IMPOSSIBLE)
+_expect("CLOSED", ("close", "same", False), IMPOSSIBLE)
+_expect("CLOSED", ("close", "same", True), IMPOSSIBLE)
+_expect("CLOSED", ("open", "new", False), _row("ONE_READER", cache=True, bump=False))
+_expect("CLOSED", ("open", "new", True), _row("ONE_WRITER", cache=True, bump=True))
+_expect("CLOSED", ("close", "new", False), _row("CLOSED"))
+_expect("CLOSED", ("close", "new", True), _row("CLOSED"))
+
+# -- ONE_READER: A reading --------------------------------------------------
+_expect("ONE_READER", ("open", "same", False), _row("ONE_READER", cache=True, bump=False))
+_expect("ONE_READER", ("open", "new", False), _row("MULT_READERS", cache=True, bump=False))
+_expect("ONE_READER", ("open", "same", True), _row("ONE_WRITER", cache=True, bump=True))
+# a second client starts writing: the reader must drop its cache
+_expect(
+    "ONE_READER",
+    ("open", "new", True),
+    _row("WRITE_SHARED", [(A, False, True)], cache=False, bump=True),
+)
+_expect("ONE_READER", ("close", "same", False), _row("CLOSED"))
+_expect("ONE_READER", ("close", "new", False), _row("ONE_READER"))
+_expect("ONE_READER", ("close", "same", True), _row("ONE_READER"))  # spurious
+_expect("ONE_READER", ("close", "new", True), _row("ONE_READER"))
+
+# -- MULT_READERS: A and B reading -----------------------------------------
+_expect("MULT_READERS", ("open", "same", False), _row("MULT_READERS", cache=True, bump=False))
+_expect("MULT_READERS", ("open", "new", False), _row("MULT_READERS", cache=True, bump=False))
+# A (already reading) starts writing: the *other* reader stops caching
+_expect(
+    "MULT_READERS",
+    ("open", "same", True),
+    _row("WRITE_SHARED", [(B, False, True)], cache=False, bump=True),
+)
+_expect(
+    "MULT_READERS",
+    ("open", "new", True),
+    _row("WRITE_SHARED", [(A, False, True), (B, False, True)], cache=False, bump=True),
+)
+_expect("MULT_READERS", ("close", "same", False), _row("ONE_READER"))
+_expect("MULT_READERS", ("close", "new", False), _row("MULT_READERS"))
+_expect("MULT_READERS", ("close", "same", True), _row("MULT_READERS"))  # spurious
+_expect("MULT_READERS", ("close", "new", True), _row("MULT_READERS"))
+
+# -- ONE_WRITER: A writing --------------------------------------------------
+_expect("ONE_WRITER", ("open", "same", False), _row("ONE_WRITER", cache=True, bump=False))
+# a new reader arrives: the writer flushes and stops caching (§4.3.4)
+_expect(
+    "ONE_WRITER",
+    ("open", "new", False),
+    _row("WRITE_SHARED", [(A, True, True)], cache=False, bump=False),
+)
+_expect("ONE_WRITER", ("open", "same", True), _row("ONE_WRITER", cache=True, bump=True))
+_expect(
+    "ONE_WRITER",
+    ("open", "new", True),
+    _row("WRITE_SHARED", [(A, True, True)], cache=False, bump=True),
+)
+_expect("ONE_WRITER", ("close", "same", False), _row("ONE_WRITER"))  # spurious
+_expect("ONE_WRITER", ("close", "new", False), _row("ONE_WRITER"))
+# the writer closes: its delayed writes may still be cached there
+_expect("ONE_WRITER", ("close", "same", True), _row("CLOSED_DIRTY"))
+_expect("ONE_WRITER", ("close", "new", True), _row("ONE_WRITER"))
+
+# -- CLOSED_DIRTY: nobody open; A may hold dirty blocks ---------------------
+_expect("CLOSED_DIRTY", ("open", "same", False), _row("ONE_RDR_DIRTY", cache=True, bump=False))
+# a different reader: A writes back, but its cache stays valid
+_expect(
+    "CLOSED_DIRTY",
+    ("open", "new", False),
+    _row("ONE_READER", [(A, True, False)], cache=True, bump=False),
+)
+_expect("CLOSED_DIRTY", ("open", "same", True), _row("ONE_WRITER", cache=True, bump=True))
+# a different writer: A must write back *and* invalidate
+_expect(
+    "CLOSED_DIRTY",
+    ("open", "new", True),
+    _row("ONE_WRITER", [(A, True, True)], cache=True, bump=True),
+)
+_expect("CLOSED_DIRTY", ("close", "same", False), _row("CLOSED_DIRTY"))
+_expect("CLOSED_DIRTY", ("close", "new", False), _row("CLOSED_DIRTY"))
+_expect("CLOSED_DIRTY", ("close", "same", True), _row("CLOSED_DIRTY"))
+_expect("CLOSED_DIRTY", ("close", "new", True), _row("CLOSED_DIRTY"))
+
+# -- ONE_RDR_DIRTY: A reading, holding dirty blocks from its last write ----
+_expect("ONE_RDR_DIRTY", ("open", "same", False), _row("ONE_RDR_DIRTY", cache=True, bump=False))
+# a second reader: A's dirty blocks must come back first
+_expect(
+    "ONE_RDR_DIRTY",
+    ("open", "new", False),
+    _row("MULT_READERS", [(A, True, False)], cache=True, bump=False),
+)
+_expect("ONE_RDR_DIRTY", ("open", "same", True), _row("ONE_WRITER", cache=True, bump=True))
+_expect(
+    "ONE_RDR_DIRTY",
+    ("open", "new", True),
+    _row("WRITE_SHARED", [(A, True, True)], cache=False, bump=True),
+)
+_expect("ONE_RDR_DIRTY", ("close", "same", False), _row("CLOSED_DIRTY"))
+_expect("ONE_RDR_DIRTY", ("close", "new", False), _row("ONE_RDR_DIRTY"))
+_expect("ONE_RDR_DIRTY", ("close", "same", True), _row("ONE_RDR_DIRTY"))  # spurious
+_expect("ONE_RDR_DIRTY", ("close", "new", True), _row("ONE_RDR_DIRTY"))
+
+# -- WRITE_SHARED: A reading, B writing, nobody caching ---------------------
+_expect("WRITE_SHARED", ("open", "same", False), _row("WRITE_SHARED", cache=False, bump=False))
+_expect("WRITE_SHARED", ("open", "new", False), _row("WRITE_SHARED", cache=False, bump=False))
+_expect("WRITE_SHARED", ("open", "same", True), _row("WRITE_SHARED", cache=False, bump=True))
+_expect("WRITE_SHARED", ("open", "new", True), _row("WRITE_SHARED", cache=False, bump=True))
+# the reader leaves: only the writer remains
+_expect("WRITE_SHARED", ("close", "same", False), _row("ONE_WRITER"))
+_expect("WRITE_SHARED", ("close", "new", False), _row("WRITE_SHARED"))
+# the writer (B) leaves: it wrote through, so nothing is dirty
+_expect("WRITE_SHARED", ("close", "same", True), _row("ONE_READER"))
+_expect("WRITE_SHARED", ("close", "new", True), _row("WRITE_SHARED"))
+
+#: which callback shapes each *source* state may ever emit — the
+#: property suite audits every live transition against this.
+CALLBACK_LEGALITY: Dict[str, frozenset] = {
+    # (writeback, invalidate) pairs
+    "CLOSED": frozenset(),
+    "ONE_READER": frozenset({(False, True)}),
+    "MULT_READERS": frozenset({(False, True)}),
+    "ONE_WRITER": frozenset({(True, True)}),
+    "CLOSED_DIRTY": frozenset({(True, False), (True, True)}),
+    "ONE_RDR_DIRTY": frozenset({(True, False), (True, True)}),
+    "WRITE_SHARED": frozenset(),
+}
+
+
+# -- driving an implementation ---------------------------------------------
+
+
+def build_state(table, state: str, key: Hashable = "file"):
+    """Drive a fresh StateTable into ``state`` via its SETUP script."""
+    for kind, client, write in SETUP[state]:
+        if kind == "open":
+            table.open_file(key, client, write)
+        else:
+            table.close_file(key, client, write)
+    got = table.state_of(key).value
+    if got != state:
+        raise AssertionError(
+            "setup script for %s left the table in %s" % (state, got)
+        )
+    return key
+
+
+def apply_event(table, key: Hashable, state: str, event: Tuple[str, str, bool]):
+    """Apply one event; returns (end_state, callbacks, grant-or-None)."""
+    kind, _actor_kind, write = event
+    client = _actor(state, event)
+    assert client is not None, "caller must skip IMPOSSIBLE combinations"
+    grant = None
+    if kind == "open":
+        grant, callbacks = table.open_file(key, client, write)
+    else:
+        callbacks = table.close_file(key, client, write)
+    observed_cbs = tuple(
+        sorted((cb.client, bool(cb.writeback), bool(cb.invalidate)) for cb in callbacks)
+    )
+    return table.state_of(key).value, observed_cbs, grant
+
+
+def enumerate_transitions(table_factory: Callable):
+    """Run every (state x event) case on fresh tables.
+
+    Yields ``(state, event, expected, observed)`` where observed is a
+    dict shaped like the EXPECTED rows (or None for IMPOSSIBLE skips).
+    """
+    for state in STATES:
+        for event in EVENTS:
+            expected = EXPECTED[(state, event)]
+            if expected is IMPOSSIBLE:
+                yield state, event, expected, None
+                continue
+            table = table_factory()
+            try:
+                key = build_state(table, state)
+                pre_version = (
+                    table.entry(key).version if table.entry(key) is not None else None
+                )
+                end, callbacks, grant = apply_event(table, key, state, event)
+            except Exception as exc:  # noqa: BLE001 - reported as a diff
+                yield state, event, expected, {"error": "%s: %s" % (type(exc).__name__, exc)}
+                continue
+            observed = {
+                "end": end,
+                "callbacks": callbacks,
+                "cache": None if grant is None else bool(grant.cache_enabled),
+                "bump": None,
+            }
+            if grant is not None:
+                if pre_version is None:
+                    # fresh entry: a bump means version moved past prev
+                    observed["bump"] = grant.version > grant.prev_version
+                else:
+                    observed["bump"] = grant.version > pre_version
+            yield state, event, expected, observed
+
+
+def _diff_row(state, event, expected, observed) -> List[str]:
+    out = []
+    name = "%s x %s" % (state, event_name(event))
+    if "error" in observed:
+        return ["TBL41: %s: could not drive the table (%s)" % (name, observed["error"])]
+    for field in ("end", "callbacks", "cache", "bump"):
+        want, got = expected[field], observed[field]
+        if want is None:
+            continue  # not specified for this row (e.g. cache on close)
+        if want != got:
+            out.append(
+                "TBL41: %s: %s should be %r, implementation gives %r"
+                % (name, field, want, got)
+            )
+    return out
+
+
+def _drain_findings(table_factory: Callable) -> List[str]:
+    """Supplementary multi-step checks: WRITE_SHARED episodes drain to
+    CLOSED (everyone wrote through — nothing left dirty), in either
+    close order, and version numbers never move backwards."""
+    out = []
+    # order 1: reader leaves, then writer
+    table = table_factory()
+    key = build_state(table, "WRITE_SHARED")
+    table.close_file(key, A, False)
+    table.close_file(key, B, True)
+    got = table.state_of(key).value
+    if got != "CLOSED":
+        out.append(
+            "TBL41: WRITE_SHARED drain (reader then writer) should end "
+            "CLOSED (write-through leaves nothing dirty), got %s" % got
+        )
+    # order 2: writer leaves, then reader
+    table = table_factory()
+    key = build_state(table, "WRITE_SHARED")
+    table.close_file(key, B, True)
+    table.close_file(key, A, False)
+    got = table.state_of(key).value
+    if got != "CLOSED":
+        out.append(
+            "TBL41: WRITE_SHARED drain (writer then reader) should end "
+            "CLOSED, got %s" % got
+        )
+    # version monotonicity across a reopen cycle
+    table = table_factory()
+    key = "file"
+    grant1, _ = table.open_file(key, A, True)
+    table.close_file(key, A, True)
+    grant2, _ = table.open_file(key, A, True)
+    if not grant2.version > grant1.version:
+        out.append(
+            "TBL41: reopening for write must mint a later version "
+            "(got %r after %r)" % (grant2.version, grant1.version)
+        )
+    if grant2.prev_version != grant1.version:
+        out.append(
+            "TBL41: a write reopen must carry the previous version so the "
+            "writer can keep its own cache (§4.3.3); expected prev=%r, got %r"
+            % (grant1.version, grant2.prev_version)
+        )
+    return out
+
+
+def conformance_findings(table_factory: Callable = None) -> List[str]:
+    """Diff an implementation against the spec; [] means conformant."""
+    if table_factory is None:
+        from ..snfs.state_table import StateTable as table_factory
+    out = []
+    for state, event, expected, observed in enumerate_transitions(table_factory):
+        if expected is IMPOSSIBLE:
+            continue
+        out.extend(_diff_row(state, event, expected, observed))
+    try:
+        out.extend(_drain_findings(table_factory))
+    except Exception as exc:  # noqa: BLE001 - reported as a diff
+        out.append(
+            "TBL41: drain/version checks could not run (%s: %s)"
+            % (type(exc).__name__, exc)
+        )
+    return out

@@ -91,7 +91,7 @@ class AsyncPool:
             raise ValueError("need at least one worker")
         self.sim = sim
         self.name = name
-        self._queue = Store(sim, name=name)
+        self._queue = Store(sim, name=name, daemon=True)
         # insertion-ordered (a set of Events would iterate in id() order,
         # which varies run to run and breaks bit-exact reproducibility)
         self._pending: Dict[Hashable, Dict[Event, None]] = defaultdict(dict)

@@ -156,12 +156,35 @@ class Kernel:
             )
         return fd
 
+    def _fd_span(self, fd: int, label: str):
+        """SimTSan: open an operation span on this descriptor.
+
+        Each read/write/close is a multi-interval read-modify-write of
+        the descriptor (offset, fd table); two processes driving one fd
+        with no lock between them interleave those updates, which the
+        sanitizer reports as a write/write race.
+        """
+        sanitizer = self.sim.sanitizer
+        if sanitizer is None:
+            return None
+        span = sanitizer.begin("fd", (self.host.name, fd), label)
+        sanitizer.note_write("fd", (self.host.name, fd), what=label)
+        return span
+
+    def _fd_span_end(self, span) -> None:
+        if span is not None:
+            self.sim.sanitizer.end(span)
+
     def close(self, fd: int):
         """Coroutine: close a descriptor (protocol close actions run here)."""
         yield from self._charge()
         desc = self._fd(fd)
-        del self._fds[fd]
-        yield from desc.gnode.fs.close(desc.gnode, desc.mode)
+        span = self._fd_span(fd, "close")
+        try:
+            del self._fds[fd]
+            yield from desc.gnode.fs.close(desc.gnode, desc.mode)
+        finally:
+            self._fd_span_end(span)
         if self.tracer is not None:
             self.tracer.on_close(self.host.name, fd, self.sim.now)
 
@@ -169,9 +192,13 @@ class Kernel:
         """Coroutine: read up to count bytes at the fd offset."""
         yield from self._charge()
         desc = self._fd(fd)
-        offset = desc.offset
-        data = yield from desc.gnode.fs.read(desc.gnode, offset, count)
-        desc.offset += len(data)
+        span = self._fd_span(fd, "read")
+        try:
+            offset = desc.offset
+            data = yield from desc.gnode.fs.read(desc.gnode, offset, count)
+            desc.offset += len(data)
+        finally:
+            self._fd_span_end(span)
         if self.tracer is not None:
             self.tracer.on_read(
                 self.host.name, fd, offset, count, bytes(data), self.sim.now
@@ -184,9 +211,13 @@ class Kernel:
         desc = self._fd(fd)
         if not desc.mode.is_write:
             raise ReadOnly("fd %d is read-only" % fd)
-        offset = desc.offset
-        yield from desc.gnode.fs.write(desc.gnode, offset, data)
-        desc.offset += len(data)
+        span = self._fd_span(fd, "write")
+        try:
+            offset = desc.offset
+            yield from desc.gnode.fs.write(desc.gnode, offset, data)
+            desc.offset += len(data)
+        finally:
+            self._fd_span_end(span)
         if self.tracer is not None:
             self.tracer.on_write(
                 self.host.name, fd, offset, bytes(data), self.sim.now

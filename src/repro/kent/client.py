@@ -68,12 +68,13 @@ class KentClient(NfsClient):
         if g is not None:
             buf = self.cache.lookup(g.cache_key, bno)
             if buf is not None and buf.dirty and not buf.busy:
-                buf.busy = True
+                stamp = self.cache.flush_begin(buf)
+                ok = False
                 try:
                     yield from self._write_rpc(g, bno, bytes(buf.data))
+                    ok = True
                 finally:
-                    buf.busy = False
-                self.cache.mark_clean(buf)
+                    self.cache.flush_end(buf, stamp, clean=ok)
             if invalidate and buf is not None:
                 if self.cache.contains(g.cache_key, bno):
                     del self.cache._buffers[(g.cache_key, bno)]
@@ -227,12 +228,13 @@ class KentClient(NfsClient):
             g = buf.tag
             if g is None:
                 continue
-            buf.busy = True
+            stamp = self.cache.flush_begin(buf)
+            ok = False
             try:
                 yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
+                ok = True
             finally:
-                buf.busy = False
-            self.cache.mark_clean(buf)
+                self.cache.flush_end(buf, stamp, clean=ok)
 
     def _write_rpc(self, g: Gnode, bno: int, data: bytes):
         try:

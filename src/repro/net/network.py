@@ -76,10 +76,10 @@ class Interface:
         self._ports: Dict[int, Store] = {}
         self.up = True  # goes False while the host is crashed
 
-    def listen(self, port: int) -> Store:
+    def listen(self, port: int, daemon: bool = False) -> Store:
         if port in self._ports:
             raise NetworkError("port %d already bound on %s" % (port, self.address))
-        store = Store(self.sim, name="%s:%d" % (self.address, port))
+        store = Store(self.sim, name="%s:%d" % (self.address, port), daemon=daemon)
         self._ports[port] = store
         return store
 

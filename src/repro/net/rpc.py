@@ -173,7 +173,7 @@ class RpcEndpoint:
         self.cpu = cpu  # object with consume(seconds) coroutine, or None
         self.port = port
         self.iface: Interface = network.attach(address)
-        self._inbox: Store = self.iface.listen(port)
+        self._inbox: Store = self.iface.listen(port, daemon=True)
         self._handlers: Dict[str, Handler] = {}
         self._pending: Dict[int, Event] = {}
         self._xids = itertools.count(1)
@@ -251,6 +251,11 @@ class RpcEndpoint:
                 listener(
                     msg.proc, msg.src, msg.args, reply.result, reply.error, self.sim.now
                 )
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None and key in self._dup_cache._done:
+            sanitizer.on_rpc_double_reply(
+                self.address, key, self._dup_cache._done[key], reply
+            )
         self._dup_cache.finish(key, reply)
         yield from self._send_reply(msg.src, reply)
 

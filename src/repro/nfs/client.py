@@ -332,12 +332,13 @@ class NfsClient(FileSystemType):
     def _flush_dirty(self, g: Gnode):
         """Push out delayed partial-block writes, synchronously."""
         for buf in self.cache.dirty_buffers(file_key=g.cache_key):
-            buf.busy = True
+            stamp = self.cache.flush_begin(buf)
+            ok = False
             try:
                 yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
+                ok = True
             finally:
-                buf.busy = False
-            self.cache.mark_clean(buf)
+                self.cache.flush_end(buf, stamp, clean=ok)
 
     def getattr(self, g: Gnode):
         attr = yield from self._probe(g)
@@ -362,12 +363,13 @@ class NfsClient(FileSystemType):
             g = buf.tag
             if g is None:
                 continue
-            buf.busy = True
+            stamp = self.cache.flush_begin(buf)
+            ok = False
             try:
                 yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
+                ok = True
             finally:
-                buf.busy = False
-            self.cache.mark_clean(buf)
+                self.cache.flush_end(buf, stamp, clean=ok)
 
     def flush_block(self, buf):
         """Cache eviction of a delayed partial block: write it through."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = [
@@ -67,6 +68,8 @@ class Event:
         self._value: Any = _UNSET
         self._exception: Optional[BaseException] = None
         self._defused = False
+        if sim.sanitizer is not None:
+            sim.sanitizer.on_event_created(self)
 
     # -- state inspection -------------------------------------------------
 
@@ -105,6 +108,8 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         if self.triggered:
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.on_double_trigger(self)
             raise SimulationError("event %r already triggered" % self.name)
         self._value = value
         self.sim._trigger(self)
@@ -112,6 +117,8 @@ class Event:
 
     def fail(self, exception: BaseException) -> "Event":
         if self.triggered:
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.on_double_trigger(self)
             raise SimulationError("event %r already triggered" % self.name)
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
@@ -209,6 +216,25 @@ class Simulator:
         self._counter = itertools.count()
         self._running = False
         self._process_count = 0
+        #: the process whose slice is executing right now (None between
+        #: slices, e.g. inside a plain scheduled callback)
+        self.current_process = None
+        #: failed events that had no waiters when they triggered; their
+        #: exceptions are surfaced when the run ends instead of being
+        #: silently dropped (the dispatch callback may never execute if
+        #: the run stops in the same instant the failure was scheduled)
+        self._unhandled_failures: List[Event] = []
+        #: runtime race/leak sanitizer (repro.analysis); None disables
+        self.sanitizer = None
+        if os.environ.get("REPRO_SANITIZE", "") not in ("", "0"):
+            self.enable_sanitizer()
+
+    def enable_sanitizer(self, strict: bool = True):
+        """Attach a :class:`repro.analysis.Sanitizer` to this simulator."""
+        from ..analysis.sanitizer import Sanitizer
+
+        self.sanitizer = Sanitizer(self, strict=strict)
+        return self.sanitizer
 
     # -- low-level scheduling ----------------------------------------------
 
@@ -226,9 +252,15 @@ class Simulator:
     def _trigger(self, event: Event) -> None:
         """Deliver an event to its waiters at the current time."""
         callbacks, event.callbacks = event.callbacks, None
+        if self.sanitizer is not None:
+            self.sanitizer.on_trigger(event, len(callbacks))
+        if event._exception is not None and not callbacks and not event._defused:
+            self._unhandled_failures.append(event)
         self.call_soon(self._dispatch, event, callbacks)
 
     def _dispatch(self, event: Event, callbacks: List[Callable]) -> None:
+        if self._unhandled_failures and event in self._unhandled_failures:
+            self._unhandled_failures.remove(event)
         for cb in callbacks:
             cb(event)
         if (
@@ -236,7 +268,28 @@ class Simulator:
             and not event._defused
             and not callbacks
         ):
+            if self.sanitizer is not None:
+                self.sanitizer.on_unhandled_failure(event)
             raise event._exception
+
+    def _surface_unhandled(self, skip: Optional[Event] = None) -> None:
+        """Raise the exception of a failed, waiterless, un-defused event
+        whose dispatch never ran before the run stopped (satisfying the
+        no-silently-dropped-failures guarantee).  ``skip`` is the event
+        a ``run_until`` caller is about to inspect themselves."""
+        if not self._unhandled_failures:
+            return
+        pending = [
+            ev
+            for ev in self._unhandled_failures
+            if ev is not skip and not ev._defused and ev._exception is not None
+        ]
+        self._unhandled_failures = []
+        if pending:
+            if self.sanitizer is not None:
+                for ev in pending:
+                    self.sanitizer.on_unhandled_failure(ev)
+            raise pending[0]._exception
 
     # -- public API ----------------------------------------------------------
 
@@ -278,6 +331,9 @@ class Simulator:
             else:
                 if until is not None and until > self.now:
                     self.now = until
+                if self.sanitizer is not None:
+                    self.sanitizer.on_queue_drained()
+            self._surface_unhandled()
         finally:
             self._running = False
         return self.now
@@ -301,6 +357,7 @@ class Simulator:
                 heapq.heappop(self._queue)
                 self.now = when
                 callback(*args)
+            self._surface_unhandled(skip=event)
         finally:
             self._running = False
         return self.now

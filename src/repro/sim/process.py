@@ -82,33 +82,43 @@ class Process(Event):
     def _resume(self, event: Optional[Event]) -> None:
         if self.triggered:
             return
+        prev = self.sim.current_process
+        self.sim.current_process = self
         try:
-            if event is None:
-                target = next(self._gen)
-            elif event.ok:
-                target = self._gen.send(event.value)
-            else:
-                event.defuse()
-                target = self._gen.throw(event.exception)
-        except StopIteration as stop:
-            self._finish_ok(stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001 - propagate into event
-            self._finish_fail(exc)
-            return
+            try:
+                if event is None:
+                    target = next(self._gen)
+                elif event.ok:
+                    target = self._gen.send(event.value)
+                else:
+                    event.defuse()
+                    target = self._gen.throw(event.exception)
+            except StopIteration as stop:
+                self._finish_ok(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate into event
+                self._finish_fail(exc)
+                return
+        finally:
+            self.sim.current_process = prev
         self._wait_for(target)
 
     def _throw_in(self, exc: BaseException) -> None:
         if self.triggered:
             return
+        prev = self.sim.current_process
+        self.sim.current_process = self
         try:
-            target = self._gen.throw(exc)
-        except StopIteration as stop:
-            self._finish_ok(stop.value)
-            return
-        except BaseException as raised:  # noqa: BLE001
-            self._finish_fail(raised)
-            return
+            try:
+                target = self._gen.throw(exc)
+            except StopIteration as stop:
+                self._finish_ok(stop.value)
+                return
+            except BaseException as raised:  # noqa: BLE001
+                self._finish_fail(raised)
+                return
+        finally:
+            self.sim.current_process = prev
         self._wait_for(target)
 
     def _wait_for(self, target: Any) -> None:

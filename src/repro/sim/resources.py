@@ -153,9 +153,13 @@ class Store:
     the oldest item.  Waiters are served FIFO.
     """
 
-    def __init__(self, sim: Simulator, name: str = ""):
+    def __init__(self, sim: Simulator, name: str = "", daemon: bool = False):
         self.sim = sim
         self.name = name
+        #: a daemon store feeds an idle service loop (an RPC dispatcher,
+        #: a worker pool): its forever-pending gets are not deadlocks,
+        #: so the sanitizer's leak check skips them
+        self.daemon = daemon
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
 
@@ -170,6 +174,8 @@ class Store:
 
     def get(self) -> Event:
         ev = self.sim.event(name="store-get:%s" % self.name)
+        if self.daemon:
+            ev.leak_ok = True
         if self._items:
             ev.succeed(self._items.popleft())
         else:

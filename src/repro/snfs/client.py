@@ -403,12 +403,13 @@ class SnfsClient(NfsClient):
             for buf in bufs:
                 if not buf.dirty or buf.busy:
                     continue
-                buf.busy = True
+                stamp = self.cache.flush_begin(buf)
+                ok = False
                 try:
                     yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
+                    ok = True
                 finally:
-                    buf.busy = False
-                self.cache.mark_clean(buf)
+                    self.cache.flush_end(buf, stamp, clean=ok)
 
     def _fill_from_server(self, g: Gnode):
         def fill(bno):
@@ -487,12 +488,13 @@ class SnfsClient(NfsClient):
             key=lambda b: b.block_no,
         )
         for buf in bufs:
-            buf.busy = True
+            stamp = self.cache.flush_begin(buf)
+            ok = False
             try:
                 yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
+                ok = True
             finally:
-                buf.busy = False
-            self.cache.mark_clean(buf)
+                self.cache.flush_end(buf, stamp, clean=ok)
 
     def _write_rpc(self, g: Gnode, bno: int, data: bytes):
         try:
@@ -516,12 +518,13 @@ class SnfsClient(NfsClient):
             g = buf.tag
             if g is None:
                 continue
-            buf.busy = True
+            stamp = self.cache.flush_begin(buf)
+            ok = False
             try:
                 yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
+                ok = True
             finally:
-                buf.busy = False
-            self.cache.mark_clean(buf)
+                self.cache.flush_end(buf, stamp, clean=ok)
 
     def flush_block(self, buf):
         g = buf.tag

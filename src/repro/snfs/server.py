@@ -95,9 +95,18 @@ class SnfsServer(NfsServer):
         self._last_heard: Dict[str, float] = {}
         self._keepalive_proc = None
         super().__init__(host, export)
+        # SimTSan: every table mutation is reported as a write to the
+        # per-file shared structure, so an unserialized mutation during
+        # another open's callback wait is flagged as a race
+        self.state.observer = self._observe_table
         host.rpc.serve_listeners.append(self._note_client_traffic)
         if keepalive_interval > 0:
             self.start_keepalive()
+
+    def _observe_table(self, event, key, client, before, after) -> None:
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.note_write("snfs-state", key, what=event)
 
     def _register(self) -> None:
         super()._register()
@@ -156,23 +165,30 @@ class SnfsServer(NfsServer):
                 rejected.append(fh)  # the file vanished; drop the claim
                 continue
             key = fh.key()
-            if not self.in_recovery and self._claim_conflicts(
-                key, src, version, writers, dirty
-            ):
-                rejected.append(fh)
-                continue
-            self.state.rebuild_entry(
-                key,
-                src,
-                readers=readers,
-                writers=writers,
-                version=version,
-                dirty=dirty,
-            )
+            # a late (post-grace) reopen can race an in-flight open that
+            # is mid-callback for the same file: take the per-file lock
+            # so the claim is validated against settled state
+            lock = self._lock_for(key)
+            yield lock.acquire()
+            try:
+                if not self.in_recovery and self._claim_conflicts(
+                    key, src, version, writers, dirty
+                ):
+                    rejected.append(fh)
+                    continue
+                self.state.rebuild_entry(
+                    key,
+                    src,
+                    readers=readers,
+                    writers=writers,
+                    version=version,
+                    dirty=dirty,
+                )
+            finally:
+                lock.release()
         self._reasserted.add(src)
         self._last_heard[src] = self.sim.now
         return (self.boot_epoch, rejected)
-        yield  # pragma: no cover
 
     def _claim_conflicts(self, key, src, version, writers, dirty) -> bool:
         """Would accepting this post-grace claim clobber newer state?"""
@@ -277,12 +293,28 @@ class SnfsServer(NfsServer):
                 )
                 self._last_heard[client] = self.sim.now
             except (RpcTimeout, RpcError):
-                self._drop_dead_client(client)
+                yield from self._drop_dead_client(client)
 
-    def _drop_dead_client(self, client: str) -> None:
-        """Reclaim all state a dead client holds (open files, dirty
-        claims, directory interest, recovery standing)."""
-        self.state.drop_client_all(client)
+    def _drop_dead_client(self, client: str):
+        """Coroutine: reclaim all state a dead client holds (open files,
+        dirty claims, directory interest, recovery standing).
+
+        Each file's claim is dropped under that file's lock: the sweep
+        must not mutate an entry while an open for the same file is
+        mid-callback (the sanitizer flags that interleaving as a race).
+        """
+        keys = [
+            e.key
+            for e in self.state.entries()
+            if client in e.clients or e.last_writer == client
+        ]
+        for key in keys:
+            lock = self._lock_for(key)
+            yield lock.acquire()
+            try:
+                self.state.drop_client(key, client)
+            finally:
+                lock.release()
         for interested in self._dir_interest.values():
             interested.discard(client)
         self._reasserted.discard(client)
@@ -299,26 +331,40 @@ class SnfsServer(NfsServer):
 
     # -- open / close services --------------------------------------------
 
+    def _state_span(self, key: Hashable, label: str):
+        sanitizer = self.sim.sanitizer
+        if sanitizer is None:
+            return None
+        return sanitizer.begin("snfs-state", key, label)
+
+    def _state_span_end(self, span) -> None:
+        if span is not None:
+            self.sim.sanitizer.end(span)
+
     def proc_open(self, src, fh: FileHandle, write: bool):
         """The SNFS open RPC (§3.1)."""
         self._check_available(src)
         inum = self.lfs.resolve(fh)  # raises StaleHandle for dead handles
         key = fh.key()
-        lock = self._lock_for(key)
-        yield lock.acquire()
+        span = self._state_span(key, "open:%s" % src)
         try:
-            grant, callbacks = yield from self._open_locked(key, src, write)
-            inconsistent = yield from self._run_callbacks(fh, callbacks)
-            attr = self.lfs._attr(inum)
-            return OpenReply(
-                grant.cache_enabled,
-                grant.version,
-                grant.prev_version,
-                attr,
-                inconsistent,
-            )
+            lock = self._lock_for(key)
+            yield lock.acquire()
+            try:
+                grant, callbacks = yield from self._open_locked(key, src, write)
+                inconsistent = yield from self._run_callbacks(fh, callbacks)
+                attr = self.lfs._attr(inum)
+                return OpenReply(
+                    grant.cache_enabled,
+                    grant.version,
+                    grant.prev_version,
+                    attr,
+                    inconsistent,
+                )
+            finally:
+                lock.release()
         finally:
-            lock.release()
+            self._state_span_end(span)
 
     def _open_locked(self, key, src, write):
         while True:
@@ -353,12 +399,16 @@ class SnfsServer(NfsServer):
         manager' (§4.3.1)."""
         self._check_available(src)
         key = fh.key()
-        lock = self._lock_for(key)
-        yield lock.acquire()
+        span = self._state_span(key, "close:%s" % src)
         try:
-            self.state.close_file(key, src, write)
+            lock = self._lock_for(key)
+            yield lock.acquire()
+            try:
+                self.state.close_file(key, src, write)
+            finally:
+                lock.release()
         finally:
-            lock.release()
+            self._state_span_end(span)
         return None
 
     # -- callbacks ---------------------------------------------------------

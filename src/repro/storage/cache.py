@@ -33,7 +33,7 @@ class CacheError(Exception):
 class Buffer:
     """One cached block."""
 
-    __slots__ = ("key", "data", "dirty", "dirty_since", "busy", "tag")
+    __slots__ = ("key", "data", "dirty", "dirty_since", "busy", "wstamp", "tag")
 
     def __init__(self, key: BlockKey, data: bytes):
         self.key = key
@@ -41,6 +41,7 @@ class Buffer:
         self.dirty = False
         self.dirty_since: Optional[float] = None
         self.busy = False  # being flushed; not evictable or cancellable
+        self.wstamp = 0  # write generation; bumped on every data change
         self.tag: Any = None  # filesystem-private (e.g. write credentials)
 
     @property
@@ -102,12 +103,24 @@ class BufferCache:
             self.stats.record("inserts")
         else:
             buf.data = data
+            buf.wstamp += 1
             self._buffers.move_to_end(key)
         if dirty:
             self.mark_dirty(buf)
         return buf
 
+    def overwrite(self, buf: Buffer, data: bytes, dirty: bool = False) -> None:
+        """Replace a cached buffer's data in place (the delayed-write
+        merge path).  Routing the mutation through the cache keeps the
+        write-generation stamp honest, which is what protects a block
+        written *during* its own flush from being marked clean."""
+        buf.data = data
+        buf.wstamp += 1
+        if dirty:
+            self.mark_dirty(buf)
+
     def mark_dirty(self, buf: Buffer) -> None:
+        buf.wstamp += 1
         if not buf.dirty:
             buf.dirty = True
             buf.dirty_since = self.sim.now
@@ -115,6 +128,38 @@ class BufferCache:
     def mark_clean(self, buf: Buffer) -> None:
         buf.dirty = False
         buf.dirty_since = None
+
+    # -- the flush protocol ------------------------------------------------
+
+    def flush_begin(self, buf: Buffer) -> int:
+        """Start writing a dirty buffer back.  Marks the buffer busy
+        (not evictable, not cancellable, skipped by other flushers) and
+        returns its current write stamp; pass it to :meth:`flush_end`.
+        """
+        if buf.busy:
+            raise CacheError("buffer %r is already being flushed" % (buf.key,))
+        buf.busy = True
+        return buf.wstamp
+
+    def flush_end(self, buf: Buffer, stamp: int, clean: bool = True) -> bool:
+        """Finish a flush started by :meth:`flush_begin`.
+
+        ``clean=False`` means the write-back failed (or was abandoned):
+        the buffer just becomes un-busy and stays dirty.  When the
+        buffer's data changed while the flush was in flight, the image
+        that reached the server/disk is stale, so the buffer likewise
+        stays dirty to be written again — marking it clean here would
+        silently lose the overlapping write.  Returns True if the
+        buffer was marked clean.
+        """
+        buf.busy = False
+        if not clean:
+            return False
+        if buf.wstamp != stamp:
+            self.stats.record("overlapped_flushes")
+            return False
+        self.mark_clean(buf)
+        return True
 
     def _make_room(self):
         while len(self._buffers) >= self.capacity:
@@ -128,13 +173,16 @@ class BufferCache:
                     raise CacheError(
                         "cache %s: dirty eviction with no flush_fn" % self.name
                     )
-                victim.busy = True
+                stamp = self.flush_begin(victim)
+                ok = False
                 try:
                     yield from self.flush_fn(victim)
+                    ok = True
                 finally:
-                    victim.busy = False
-                self.mark_clean(victim)
+                    self.flush_end(victim, stamp, clean=ok)
                 self.stats.record("dirty_evictions")
+                if victim.dirty:
+                    continue  # written to during the flush; not evictable yet
             # victim may have been invalidated during the flush
             if victim.key in self._buffers and self._buffers[victim.key] is victim:
                 del self._buffers[victim.key]
@@ -215,12 +263,13 @@ class BufferCache:
         for buf in bufs:
             if not buf.dirty or buf.busy:
                 continue
-            buf.busy = True
+            stamp = self.flush_begin(buf)
+            ok = False
             try:
                 yield from self.flush_fn(buf)
+                ok = True
             finally:
-                buf.busy = False
-            self.mark_clean(buf)
+                self.flush_end(buf, stamp, clean=ok)
         return len(bufs)
 
     def hit_rate(self) -> float:

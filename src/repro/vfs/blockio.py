@@ -125,6 +125,7 @@ def cached_write(
     file_key = g.cache_key
     buffers = []
     pos = 0
+    sanitizer = cache.sim.sanitizer
     for bno in block_range(offset, len(data), block_size):
         block_start = bno * block_size
         start_in_block = max(offset - block_start, 0)
@@ -134,17 +135,28 @@ def cached_write(
         covers_whole = start_in_block == 0 and (
             end_in_block == block_size or block_start + end_in_block >= file_size
         )
-        buf = cache.lookup(file_key, bno)
-        if buf is None:
-            if covers_whole:
-                old = b""
+        # SimTSan: a partial-block write is a read-modify-write that can
+        # yield (the fill); a second writer touching the same block in
+        # that window would have its bytes clobbered by the merge.
+        span = None
+        if sanitizer is not None:
+            span = sanitizer.begin("buffer", (cache.name, file_key, bno), "write")
+            sanitizer.note_write("buffer", (cache.name, file_key, bno), what="write")
+        try:
+            buf = cache.lookup(file_key, bno)
+            if buf is None:
+                if covers_whole:
+                    old = b""
+                else:
+                    old = yield from fill_fn(bno)
+                merged = merge_block(old, start_in_block, piece)
+                buf = yield from cache.insert(file_key, bno, merged, dirty=mark_dirty)
             else:
-                old = yield from fill_fn(bno)
-            merged = merge_block(old, start_in_block, piece)
-            buf = yield from cache.insert(file_key, bno, merged, dirty=mark_dirty)
-        else:
-            buf.data = merge_block(buf.data, start_in_block, piece)
-            if mark_dirty:
-                cache.mark_dirty(buf)
+                cache.overwrite(
+                    buf, merge_block(buf.data, start_in_block, piece), dirty=mark_dirty
+                )
+        finally:
+            if span is not None:
+                sanitizer.end(span)
         buffers.append(buf)
     return buffers

@@ -156,12 +156,13 @@ class LocalMount(FileSystemType):
                 continue
             if not buf.dirty or buf.busy:
                 continue
-            buf.busy = True
+            stamp = self.cache.flush_begin(buf)
+            ok = False
             try:
                 yield from self.flush_block(buf)
+                ok = True
             finally:
-                buf.busy = False
-            self.cache.mark_clean(buf)
+                self.cache.flush_end(buf, stamp, clean=ok)
 
     def flush_block(self, buf: Buffer):
         inum = buf.file_key[1]

@@ -1,0 +1,19 @@
+"""DET001 fixture: calls through the process-global random module."""
+import random
+
+
+def bad_pick(items):
+    return random.choice(items)  # DET001
+
+
+def bad_seed():
+    random.seed(42)  # DET001: still the shared global stream
+
+
+def good_pick(items, seed):
+    rng = random.Random(seed)  # constructor is fine (DET004 vets seeding)
+    return rng.choice(items)
+
+
+def suppressed_pick(items):
+    return random.shuffle(items)  # lint: ok=DET001

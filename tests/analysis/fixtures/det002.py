@@ -1,0 +1,24 @@
+"""DET002 fixture: wall clock and OS entropy."""
+import datetime
+import os
+import time
+
+
+def bad_stamp():
+    return time.time()  # DET002
+
+
+def bad_now():
+    return datetime.datetime.now()  # DET002
+
+
+def bad_entropy():
+    return os.urandom(8)  # DET002
+
+
+def good_clock(sim):
+    return sim.now  # simulated time is the only clock
+
+
+def suppressed_stamp():
+    return time.monotonic()  # lint: ok=DET002

@@ -1,0 +1,30 @@
+"""DET003 fixture: set iteration order in scheduler-adjacent code."""
+
+
+def bad_literal(sched):
+    for host in {"a", "b", "c"}:  # DET003
+        sched(host)
+
+
+def bad_constructor(hosts, sched):
+    for host in set(hosts):  # DET003
+        sched(host)
+
+
+def bad_comprehension(hosts):
+    return [h for h in set(hosts)]  # DET003
+
+
+def good_sorted(hosts, sched):
+    for host in sorted(set(hosts)):  # sorted() restores a stable order
+        sched(host)
+
+
+def good_list(hosts, sched):
+    for host in list(hosts):
+        sched(host)
+
+
+def suppressed(hosts, sched):
+    for host in set(hosts):  # lint: ok
+        sched(host)

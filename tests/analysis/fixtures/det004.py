@@ -1,0 +1,23 @@
+"""DET004 fixture: RNGs constructed without a seed."""
+import random
+from random import Random, SystemRandom
+
+
+def bad_unseeded():
+    return random.Random()  # DET004
+
+
+def bad_unseeded_bare():
+    return Random()  # DET004
+
+
+def bad_system():
+    return SystemRandom()  # DET004: unseedable by design
+
+
+def good_seeded(seed):
+    return random.Random(seed)
+
+
+def suppressed():
+    return random.Random()  # lint: ok=DET004

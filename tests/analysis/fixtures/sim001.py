@@ -1,0 +1,24 @@
+"""SIM001 fixture: yielding non-waitables from process coroutines."""
+
+
+def bad_proc(sim):
+    yield 5  # SIM001: the engine cannot wait on an int
+
+
+def bad_proc_str(sim):
+    yield "done"  # SIM001
+
+
+def good_proc(sim):
+    yield sim.timeout(1.0)
+
+
+def good_handler(sim):
+    # the non-blocking-handler idiom: return, then a bare yield to make
+    # this function a coroutine at all
+    return 42
+    yield
+
+
+def suppressed_proc(sim):
+    yield 5  # lint: ok=SIM001

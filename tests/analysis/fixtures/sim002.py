@@ -1,0 +1,31 @@
+"""SIM002 fixture: process functions called but never driven."""
+
+
+def worker(sim):
+    yield sim.timeout(1.0)
+
+
+def bad_caller(sim):
+    worker(sim)  # SIM002: builds a generator and drops it
+
+
+def good_caller(sim):
+    yield from worker(sim)
+
+
+def good_spawner(sim):
+    sim.spawn(worker(sim))
+
+
+class Service:
+    def loop(self, sim):
+        yield sim.timeout(1.0)
+
+    def bad_start(self, sim):
+        self.loop(sim)  # SIM002
+
+    def good_start(self, sim):
+        sim.spawn(self.loop(sim))
+
+    def suppressed_start(self, sim):
+        self.loop(sim)  # lint: ok=SIM002

@@ -1,0 +1,27 @@
+"""SIM003 fixture: real blocking I/O inside simulated processes."""
+import time
+
+
+def bad_sleeper(sim):
+    time.sleep(1)  # SIM003: stalls the interpreter, not simulated time
+    yield sim.timeout(1.0)
+
+
+def bad_reader(sim, path):
+    data = open(path).read()  # SIM003: real filesystem
+    yield sim.timeout(1.0)
+    return data
+
+
+def good_sleeper(sim):
+    yield sim.timeout(1.0)
+
+
+def fine_outside_processes(path):
+    # not a coroutine: plain tooling code may touch the real OS
+    return open(path).read()
+
+
+def suppressed_sleeper(sim):
+    time.sleep(0)  # lint: ok=SIM003
+    yield sim.timeout(1.0)

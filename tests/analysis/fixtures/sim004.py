@@ -1,0 +1,14 @@
+"""SIM004 fixture: failing an event that may never have a waiter."""
+
+
+def bad_fail(done, exc):
+    done.fail(exc)  # SIM004 (warning): droppable if nobody waits
+
+
+def good_fail_defused(done, exc):
+    done.fail(exc)
+    done.defuse()  # failure is reported out-of-band; waiters optional
+
+
+def suppressed_fail(done, exc):
+    done.fail(exc)  # lint: ok=SIM004

@@ -1,0 +1,96 @@
+"""The Table 4-1 conformance pass: clean on the real table, loud on
+deliberately broken ones."""
+
+import pytest
+
+from repro.analysis.table41 import (
+    EVENTS,
+    EXPECTED,
+    IMPOSSIBLE,
+    STATES,
+    conformance_findings,
+    enumerate_transitions,
+)
+from repro.snfs.state_table import Callback, FileState, StateTable
+
+
+def test_spec_covers_the_full_alphabet():
+    assert len(STATES) == 7
+    assert len(EVENTS) == 8
+    assert set(EXPECTED) == {(s, e) for s in STATES for e in EVENTS}
+
+
+def test_impossible_cells_are_exactly_the_closed_same_ones():
+    blanks = {k for k, v in EXPECTED.items() if v is IMPOSSIBLE}
+    assert blanks == {
+        ("CLOSED", ("open", "same", False)),
+        ("CLOSED", ("open", "same", True)),
+        ("CLOSED", ("close", "same", False)),
+        ("CLOSED", ("close", "same", True)),
+    }
+
+
+def test_live_state_table_is_conformant():
+    assert conformance_findings(StateTable) == []
+
+
+def test_default_factory_is_the_live_table():
+    assert conformance_findings() == []
+
+
+def test_enumeration_visits_every_cell():
+    rows = list(enumerate_transitions(StateTable))
+    assert len(rows) == 7 * 8
+    checked = [r for r in rows if r[2] is not IMPOSSIBLE]
+    assert len(checked) == 7 * 8 - 4
+    assert all(r[3] is not None for r in checked)
+
+
+def test_missing_invalidate_callback_is_detected():
+    class NoInvalidate(StateTable):
+        def _open_transition(self, entry, client, write):
+            cbs = super()._open_transition(entry, client, write)
+            return [cb for cb in cbs if cb.writeback or not cb.invalidate]
+
+    diffs = conformance_findings(NoInvalidate)
+    assert any("ONE_READER x open_write_new" in d for d in diffs)
+    assert any("callbacks" in d for d in diffs)
+
+
+def test_lost_dirty_state_is_detected():
+    class ForgetsDirty(StateTable):
+        def _close_transition(self, entry, client, write, was_caching):
+            super()._close_transition(entry, client, write, was_caching)
+            if entry.state is FileState.CLOSED_DIRTY:
+                entry.state = FileState.CLOSED
+
+    assert conformance_findings(ForgetsDirty)
+
+
+def test_stuck_version_counter_is_detected():
+    class StuckVersions(StateTable):
+        def _next_version(self):
+            return self._last_version
+
+    diffs = conformance_findings(StuckVersions)
+    assert any("bump" in d for d in diffs)
+
+
+def test_caching_during_write_sharing_is_detected():
+    class AlwaysCaches(StateTable):
+        def open_file(self, key, client, write):
+            grant, cbs = super().open_file(key, client, write)
+            grant.cache_enabled = True
+            return grant, cbs
+
+    diffs = conformance_findings(AlwaysCaches)
+    assert any("cache" in d for d in diffs)
+
+
+def test_spurious_callback_is_detected():
+    class ChattyTable(StateTable):
+        def _open_transition(self, entry, client, write):
+            cbs = super()._open_transition(entry, client, write)
+            return cbs + [Callback("clientA", writeback=True, invalidate=True)]
+
+    assert conformance_findings(ChattyTable)

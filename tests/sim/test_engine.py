@@ -213,3 +213,69 @@ def test_unhandled_failed_event_raises_from_run():
     sim.spawn(proc(sim))
     with pytest.raises(ValueError, match="unobserved crash"):
         sim.run()
+
+
+def test_waiterless_failed_event_surfaces_at_run_end():
+    # the failure happens in the run's final instant: no dispatch ever
+    # executes for the event, so without explicit surfacing the
+    # exception would be dropped on the floor
+    sim = Simulator()
+
+    def proc(sim):
+        ev = sim.event(name="orphan")
+        ev.fail(RuntimeError("dropped failure"))
+        return 0
+        yield
+
+    sim.spawn(proc(sim))
+    with pytest.raises(RuntimeError, match="dropped failure"):
+        sim.run()
+
+
+def test_waiterless_failed_event_surfaces_from_run_until():
+    sim = Simulator()
+
+    def proc(sim):
+        ev = sim.event(name="orphan")
+        ev.fail(RuntimeError("dropped failure"))
+        return 0
+        yield
+
+    target = sim.spawn(proc(sim))
+    with pytest.raises(RuntimeError, match="dropped failure"):
+        sim.run_until(target)
+
+
+def test_defused_waiterless_failure_stays_silent():
+    sim = Simulator()
+
+    def proc(sim):
+        ev = sim.event(name="orphan")
+        ev.fail(RuntimeError("reported elsewhere"))
+        ev.defuse()
+        return 0
+        yield
+
+    sim.spawn(proc(sim))
+    sim.run()  # must not raise
+
+
+def test_failed_event_with_waiter_is_not_double_reported():
+    sim = Simulator()
+    seen = []
+
+    def failer(sim, ev):
+        yield sim.timeout(1.0)
+        ev.fail(RuntimeError("handled"))
+
+    def waiter(sim, ev):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            seen.append(str(exc))
+
+    ev = sim.event(name="shared")
+    sim.spawn(failer(sim, ev))
+    sim.spawn(waiter(sim, ev))
+    sim.run()  # the waiter caught it; nothing should surface
+    assert seen == ["handled"]
