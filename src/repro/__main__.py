@@ -82,7 +82,13 @@ def main(argv=None) -> int:
     p_fig = sub.add_parser("figure", help="print one figure (ASCII)")
     p_fig.add_argument("name", help="5-1 or 5-2")
     sub.add_parser("consistency", help="the §2.3 stale-read comparison")
-    sub.add_parser("micro", help="the §5.3 write-close-reread microbenchmark")
+    p_micro = sub.add_parser("micro", help="the §5.3 write-close-reread microbenchmark")
+    p_micro.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help="record causal traces and export them into DIR",
+    )
     sub.add_parser("scaling", help="N-concurrent-clients extension experiment")
     sub.add_parser("lifetimes", help="write traffic vs file lifetime (§2.1)")
     sub.add_parser("readpatterns", help="§5.1 read-quickly/slowly RPC counts")
@@ -92,6 +98,29 @@ def main(argv=None) -> int:
         "resilience", help="faulted runs judged by the consistency oracle"
     )
     p_res.add_argument("--seed", type=int, default=1, help="experiment seed")
+    p_res.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help="record causal traces and export them into DIR",
+    )
+    p_tr = sub.add_parser(
+        "trace", help="run a workload traced; export Chrome trace/flamegraph/report"
+    )
+    p_tr.add_argument("workload", help="workload to trace (andrew)")
+    p_tr.add_argument(
+        "--protocol",
+        choices=["nfs", "snfs", "both"],
+        default="both",
+        help="protocol(s) to run (default: both)",
+    )
+    p_tr.add_argument("--seed", type=int, default=1989, help="run seed")
+    p_tr.add_argument(
+        "--drop-rate", type=float, default=0.0, help="network packet loss rate"
+    )
+    p_tr.add_argument(
+        "--out", metavar="DIR", default="traces", help="output directory"
+    )
     p_lint = sub.add_parser(
         "lint", help="determinism/sim-discipline lint + Table 4-1 conformance"
     )
@@ -126,6 +155,16 @@ def main(argv=None) -> int:
     if args.command == "micro":
         from .experiments import micro_write_close_reread
 
+        if args.trace:
+            from .trace.cli import trace_experiment
+
+            (text, _), exports = trace_experiment(
+                micro_write_close_reread, args.trace, prefix="micro"
+            )
+            print(text)
+            for export in exports:
+                print("trace: %s" % export["trace"])
+            return 0
         print(micro_write_close_reread()[0])
         return 0
     if args.command == "scaling":
@@ -156,8 +195,23 @@ def main(argv=None) -> int:
     if args.command == "resilience":
         from .experiments import resilience_table
 
+        if args.trace:
+            from .trace.cli import trace_experiment
+
+            result, exports = trace_experiment(
+                lambda: resilience_table(seed=args.seed), args.trace,
+                prefix="resilience",
+            )
+            print(result[0])
+            for export in exports:
+                print("trace: %s" % export["trace"])
+            return 0
         print(resilience_table(seed=args.seed)[0])
         return 0
+    if args.command == "trace":
+        from .trace.cli import run_trace
+
+        return run_trace(args)
     if args.command == "lint":
         from .analysis.cli import run_lint
 

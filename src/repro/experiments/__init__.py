@@ -33,6 +33,7 @@ from .resilience import (
     run_resilience,
 )
 from .scaling import ScalingPoint, run_scaling_point, scaling_table
+from .traced import TracedRun, run_traced_andrew, small_tree
 from .sort import (
     SORT_SIZES,
     SortRun,
@@ -47,6 +48,9 @@ __all__ = [
     "build_testbed",
     "Testbed",
     "PROTOCOLS",
+    "TracedRun",
+    "run_traced_andrew",
+    "small_tree",
     "run_andrew",
     "AndrewRun",
     "andrew_table_5_1",

@@ -116,10 +116,8 @@ def run_andrew(
         server_disk=bed.server_disk_stats(),
     )
     if sampler is not None:
-        series = sampler.series
-        # re-zero timestamps to benchmark start
-        series.points = [(t - t0, v) for t, v in series.points]
-        run.server_utilization = series
+        # keep the benchmark window only, re-zeroed to its start
+        run.server_utilization = sampler.series.window(t0, bed.sim.now).shifted(-t0)
         stats = bed.server_host.rpc.server_stats
         run.call_times = {
             "total": [t - t0 for t, _name in stats.all_times()],

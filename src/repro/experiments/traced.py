@@ -1,0 +1,162 @@
+"""Traced multi-client Andrew run: the observability showcase.
+
+Runs the Andrew benchmark on one client of a two-client cluster with
+the tracer and metrics registry enabled, then has the *second* client
+read the freshly linked ``a.out`` — which, under SNFS, the server's
+state table still records as CLOSED_DIRTY (the writer holds delayed
+writes).  That open forces the full consistency machinery through one
+causal chain:
+
+    client1 ``rpc.call:snfs.open``
+      -> server ``rpc.serve:snfs.open``
+           -> ``snfs.transition`` (CLOSED_DIRTY -> ONE_READER)
+           -> ``snfs.callback`` span
+                -> client0 ``rpc.serve:snfs.callback``
+                     -> ``snfs.writeback`` span
+                          -> ``rpc.call:snfs.write`` ...
+
+all visible as one tree in the exported Chrome trace.  With
+``protocol="nfs"`` the same workload runs without callbacks, which is
+exactly the comparison the paper draws.
+
+Everything is seeded: the network loss RNG (``drop_rate`` > 0 makes
+the trace seed-sensitive, which the determinism tests exploit) and the
+tree generator.  Two runs with equal seeds export byte-identical
+traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from ..fs.types import OpenMode
+from ..host import Host, HostConfig
+from ..net import Network, NetworkConfig
+from ..nfs import NfsClient, NfsServer
+from ..sim import Simulator
+from ..snfs import SnfsClient, SnfsServer
+from ..workloads import AndrewBenchmark, AndrewConfig, make_tree
+
+__all__ = ["TracedRun", "run_traced_andrew", "small_tree"]
+
+
+def small_tree(seed: int = 1989):
+    """A scaled-down Andrew source tree for tests and CI runs."""
+    return make_tree(
+        n_dirs=2,
+        files_per_dir=4,
+        mean_file_size=2000,
+        n_headers=3,
+        header_size=800,
+        seed=seed,
+    )
+
+
+@dataclass
+class TracedRun:
+    protocol: str
+    seed: int
+    sim: Simulator
+    tracer: Any
+    metrics: Any
+    result: Any  # AndrewResult
+    epilogue_bytes: int  # bytes the second client read from a.out
+
+
+def _drive(sim: Simulator, gen, limit: float = 1e7):
+    box = {}
+
+    def wrapper():
+        box["v"] = yield from gen
+
+    proc = sim.spawn(wrapper(), name="workload")
+    sim.run_until(proc, limit=limit)
+    if not proc.triggered:
+        raise TimeoutError("traced workload did not finish before %g" % limit)
+    if proc.exception is not None:
+        proc.defuse()
+        raise proc.exception
+    return box.get("v")
+
+
+def run_traced_andrew(
+    protocol: str = "snfs",
+    seed: int = 1989,
+    drop_rate: float = 0.0,
+    tree=None,
+    bench_config: Optional[AndrewConfig] = None,
+    trace_resumes: bool = False,
+) -> TracedRun:
+    """Run the small Andrew benchmark traced, on a two-client cluster."""
+    if protocol not in ("nfs", "snfs"):
+        raise ValueError("traced run supports nfs/snfs, not %r" % protocol)
+    sim = Simulator()
+    # REPRO_TRACE=1 may already have enabled these in __init__
+    tracer = sim.tracer if sim.tracer is not None else sim.enable_tracer(trace_resumes)
+    metrics = sim.metrics if sim.metrics is not None else sim.enable_metrics()
+
+    network = Network(sim, NetworkConfig(drop_rate=drop_rate, seed=seed))
+    server_host = Host(sim, network, "server", HostConfig.titan_server())
+    export = server_host.add_local_fs("/export", fsid="exportfs")
+    if protocol == "nfs":
+        NfsServer(server_host, export)
+        client_cls = NfsClient
+    else:
+        SnfsServer(server_host, export, max_open_files=4000)
+        client_cls = SnfsClient
+    server_host.update_daemon.start()
+
+    kernels = []
+    for i in range(2):
+        host = Host(sim, network, "client%d" % i, HostConfig.titan_client())
+        mount = client_cls("m%d" % i, host, "server")
+        _drive(sim, mount.attach())
+        host.kernel.mount("/data", mount)
+        host.add_local_fs("/tmp", fsid="tmpfs%d" % i, disk_name="tmpdisk")
+        host.update_daemon.start()
+        kernels.append(host.kernel)
+
+    bench = AndrewBenchmark(
+        kernels[0],
+        src_dir="/data/src",
+        dst_dir="/data/dst",
+        tmp_dir="/tmp",
+        tree=tree or small_tree(seed),
+        config=bench_config,
+    )
+
+    def setup():
+        yield from kernels[0].mkdir("/data/src")
+        yield from bench.populate_source()
+
+    _drive(sim, setup())
+    result = _drive(sim, bench.run())
+
+    # Epilogue: before the writer's 30-second delayed writes age out,
+    # the second client reads the linked binary.  Under SNFS the server
+    # must first call back client0 for a write-back.
+    read_bytes: List[int] = [0]
+
+    def epilogue(kernel):
+        fd = yield from kernel.open("/data/dst/a.out", OpenMode.READ)
+        try:
+            while True:
+                data = yield from kernel.read(fd, 8192)
+                if not data:
+                    break
+                read_bytes[0] += len(data)
+        finally:
+            yield from kernel.close(fd)
+
+    _drive(sim, epilogue(kernels[1]))
+
+    return TracedRun(
+        protocol=protocol,
+        seed=seed,
+        sim=sim,
+        tracer=tracer,
+        metrics=metrics,
+        result=result,
+        epilogue_bytes=read_bytes[0],
+    )

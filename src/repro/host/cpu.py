@@ -22,6 +22,7 @@ class Cpu:
             raise ValueError("cpu speed must be positive")
         self.sim = sim
         self.speed = speed
+        self.name = name
         self._proc = Resource(sim, capacity=1, name=name)
 
     def consume(self, seconds: float):
@@ -31,9 +32,16 @@ class Cpu:
         if seconds == 0:
             return
         yield self._proc.acquire()
+        span = None
+        if self.sim.tracer is not None:
+            span = self.sim.tracer.begin(
+                "cpu.busy", cat="cpu", track=self.name, seconds=seconds
+            )
         try:
             yield self.sim.timeout(seconds / self.speed)
         finally:
+            if span is not None:
+                self.sim.tracer.end(span)
             self._proc.release()
 
     def busy_time(self) -> float:

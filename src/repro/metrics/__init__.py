@@ -1,11 +1,17 @@
 """Measurement infrastructure: counters, utilization sampling, reports."""
 
-from .counters import Counters
+from .counters import Counters, CountersTimestampWarning
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
 from .report import format_series_table, format_strip_chart, format_table, series_to_csv
 from .timeseries import TimeSeries, UtilizationSampler
 
 __all__ = [
     "Counters",
+    "CountersTimestampWarning",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
     "TimeSeries",
     "UtilizationSampler",
     "format_table",

@@ -8,10 +8,15 @@ be derived from the same data as *totals* (tables 5-2/5-4/5-6).
 
 from __future__ import annotations
 
+import warnings
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["Counters"]
+__all__ = ["Counters", "CountersTimestampWarning"]
+
+
+class CountersTimestampWarning(RuntimeWarning):
+    """A timed Counters.record() call had no timestamp to record."""
 
 
 class Counters:
@@ -20,18 +25,42 @@ class Counters:
     ``record(name, t)`` bumps the total for ``name`` and, when the
     counter was created with ``keep_times=True``, appends ``t`` to the
     event log for that name — enough to reconstruct rate curves.
+
+    When a simulator is attached (``sim=`` or :meth:`attach_sim`), a
+    missing ``t`` defaults to the simulated clock instead of being
+    silently dropped from the event log; without a simulator a
+    :class:`CountersTimestampWarning` is emitted so the gap in the rate
+    data is visible.
     """
 
-    def __init__(self, keep_times: bool = False):
+    def __init__(self, keep_times: bool = False, sim=None):
+        self.sim = sim
         self._totals: Dict[str, int] = defaultdict(int)
         self._times: Optional[Dict[str, List[float]]] = (
             defaultdict(list) if keep_times else None
         )
 
+    def attach_sim(self, sim) -> "Counters":
+        """Use ``sim.now`` as the default timestamp for record()."""
+        self.sim = sim
+        return self
+
     def record(self, name: str, t: Optional[float] = None, n: int = 1) -> None:
         self._totals[name] += n
-        if self._times is not None and t is not None:
-            self._times[name].extend([t] * n)
+        if self._times is not None:
+            if t is None:
+                if self.sim is not None:
+                    t = self.sim.now
+                else:
+                    warnings.warn(
+                        "Counters.record(%r): keep_times=True but no timestamp "
+                        "given and no simulator attached; event dropped from "
+                        "the time log (pass t=sim.now or attach_sim(sim))" % name,
+                        CountersTimestampWarning,
+                        stacklevel=2,
+                    )
+            if t is not None:
+                self._times[name].extend([t] * n)
 
     def get(self, name: str) -> int:
         return self._totals.get(name, 0)

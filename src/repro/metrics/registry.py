@@ -1,0 +1,217 @@
+"""A unified registry of named, labeled instruments.
+
+The older measurement layer grew one ad-hoc :class:`Counters` object
+per component (``endpoint.client_stats``, ``disk.stats`` ...), and
+experiments hand-merged their dicts to build tables.  The registry
+gives the stack one namespace of instruments:
+
+* :class:`Counter` — monotonically increasing count (``rpc.retrans``);
+* :class:`Gauge` — last-set value (``cache.dirty_buffers``);
+* :class:`Histogram` — bucketed distribution (``rpc.latency``).
+
+Each instrument keys its values by a **label set** (sorted key/value
+tuple), e.g. ``registry.counter("rpc.retrans").inc(proc="snfs.write",
+endpoint="m1")`` — so one instrument carries the per-proc / per-host
+breakdown that the paper's tables slice by.
+
+The registry is opt-in (``sim.enable_metrics()``), costs nothing when
+off, and is deterministic: :meth:`MetricsRegistry.as_dict` sorts every
+level so a JSON dump of two same-seed runs is byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["MetricsRegistry", "Counter", "Gauge", "Histogram"]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _label_str(key: LabelKey) -> str:
+    return ",".join("%s=%s" % kv for kv in key)
+
+
+class _Instrument:
+    kind = "instrument"
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def as_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonic count, one total per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, n: float = 1, **labels) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + n
+
+    def get(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    def total(self) -> float:
+        return sum(self._values.values())
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {_label_str(k): v for k, v in sorted(self._values.items())}
+
+
+class Gauge(_Instrument):
+    """Last-written value per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        self._values[_label_key(labels)] = value
+
+    def add(self, delta: float, **labels) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + delta
+
+    def get(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {_label_str(k): v for k, v in sorted(self._values.items())}
+
+
+#: default latency-style buckets (simulated seconds)
+_DEFAULT_BUCKETS = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0,
+)
+
+
+class Histogram(_Instrument):
+    """Bucketed distribution with count/sum/min/max per label set."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: Tuple[float, ...] = _DEFAULT_BUCKETS):
+        super().__init__(name)
+        self.buckets = tuple(sorted(buckets))
+        self._series: Dict[LabelKey, Dict[str, Any]] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        cell = self._series.get(key)
+        if cell is None:
+            cell = self._series[key] = {
+                "count": 0,
+                "sum": 0.0,
+                "min": value,
+                "max": value,
+                "bucket_counts": [0] * (len(self.buckets) + 1),
+            }
+        cell["count"] += 1
+        cell["sum"] += value
+        cell["min"] = min(cell["min"], value)
+        cell["max"] = max(cell["max"], value)
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                cell["bucket_counts"][i] += 1
+                break
+        else:
+            cell["bucket_counts"][-1] += 1
+
+    def count(self, **labels) -> int:
+        cell = self._series.get(_label_key(labels))
+        return cell["count"] if cell else 0
+
+    def mean(self, **labels) -> float:
+        cell = self._series.get(_label_key(labels))
+        if not cell or not cell["count"]:
+            return 0.0
+        return cell["sum"] / cell["count"]
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for key, cell in sorted(self._series.items()):
+            out[_label_str(key)] = {
+                "count": cell["count"],
+                "sum": round(cell["sum"], 9),
+                "min": cell["min"],
+                "max": cell["max"],
+                "buckets": [
+                    [edge, n] for edge, n in zip(self.buckets, cell["bucket_counts"])
+                ] + [["inf", cell["bucket_counts"][-1]]],
+            }
+        return out
+
+
+class MetricsRegistry:
+    """Create-or-fetch instruments by name; export deterministically."""
+
+    def __init__(self, sim=None):
+        self.sim = sim
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get(self, name: str, factory, kind: str):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = factory()
+        elif inst.kind != kind:
+            raise TypeError(
+                "instrument %r is a %s, not a %s" % (name, inst.kind, kind)
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, lambda: Gauge(name), "gauge")
+
+    def histogram(
+        self, name: str, buckets: Optional[Tuple[float, ...]] = None
+    ) -> Histogram:
+        factory = lambda: Histogram(name, buckets or _DEFAULT_BUCKETS)
+        return self._get(name, factory, "histogram")
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    # -- bridging the legacy per-component objects -------------------------
+
+    def absorb_counters(self, name: str, counters, **labels) -> Counter:
+        """Fold a legacy :class:`repro.metrics.Counters` into ``name``,
+        one label set per counter key (``op=<key>`` plus ``labels``)."""
+        inst = self.counter(name)
+        for op, value in sorted(counters.as_dict().items()):
+            inst.inc(value, op=op, **labels)
+        return inst
+
+    def absorb_series(self, name: str, series, **labels) -> Histogram:
+        """Fold a legacy :class:`TimeSeries`' values into a histogram
+        (unit-interval buckets suit utilization fractions)."""
+        inst = self.histogram(
+            name, buckets=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+        )
+        for _, value in series.points:
+            inst.observe(value, **labels)
+        return inst
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            name: {"kind": inst.kind, "values": inst.as_dict()}
+            for name, inst in sorted(self._instruments.items())
+        }
+
+    def __repr__(self) -> str:
+        return "<MetricsRegistry %s>" % ", ".join(self.names())

@@ -38,14 +38,43 @@ class TimeSeries:
         vs = self.values()
         return max(vs) if vs else 0.0
 
-    def integral(self) -> float:
-        """Sum of value * preceding-interval width (left Riemann sum)."""
+    def integral(self, t0: float = 0.0, t1: Optional[float] = None) -> float:
+        """Sum of value * preceding-interval width (left Riemann sum).
+
+        Each point ``(t, v)`` is the value over the interval ending at
+        ``t``.  ``t0`` is the window start — historically this was
+        hard-wired to 0, which overcharged the first sample of any
+        series that did not begin at the epoch (e.g. a sampler started
+        mid-run).  ``t1`` truncates the final interval; intervals
+        outside ``(t0, t1]`` contribute nothing.
+        """
         total = 0.0
-        prev_t = 0.0
+        prev_t = t0
         for t, v in self.points:
-            total += v * (t - prev_t)
-            prev_t = t
+            if t1 is not None and prev_t >= t1:
+                break
+            hi = t if t1 is None else min(t, t1)
+            if hi > prev_t:
+                total += v * (hi - prev_t)
+            prev_t = max(prev_t, t)
         return total
+
+    def window(self, t0: float, t1: float) -> "TimeSeries":
+        """New series with the points in ``(t0, t1]``.
+
+        Samples are stamped at interval *end*, so a point at exactly
+        ``t0`` belongs to the preceding window and is excluded.
+        """
+        out = TimeSeries(self.name)
+        out.points = [(t, v) for t, v in self.points if t0 < t <= t1]
+        return out
+
+    def shifted(self, dt: float) -> "TimeSeries":
+        """New series with every timestamp moved by ``dt`` (e.g.
+        ``window(t0, t1).shifted(-t0)`` re-zeroes a mid-run window)."""
+        out = TimeSeries(self.name)
+        out.points = [(t + dt, v) for t, v in self.points]
+        return out
 
     def __len__(self) -> int:
         return len(self.points)

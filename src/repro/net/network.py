@@ -60,6 +60,14 @@ class Packet:
     size: int
 
 
+def _payload_kind(payload: Any) -> str:
+    """Short label for a packet's payload ("call:nfs.read", "raw")."""
+    proc = getattr(payload, "proc", None)
+    if proc is not None:
+        return ("reply:" if getattr(payload, "is_reply", False) else "call:") + proc
+    return "raw"
+
+
 class Interface:
     """A host's attachment to the network.
 
@@ -98,8 +106,20 @@ class Interface:
         self.network._transmit(Packet(self.address, dst, port, payload, size))
 
     def _deliver(self, packet: Packet) -> None:
+        tracer = self.sim.tracer
         if not self.up:
+            if tracer is not None:
+                tracer.instant(
+                    "net.drop", cat="net", track="net", reason="host-down",
+                    src=packet.src, dst=packet.dst, kind=_payload_kind(packet.payload),
+                )
             return  # host is down: packet lost
+        if tracer is not None:
+            tracer.instant(
+                "net.recv", cat="net", track="net",
+                src=packet.src, dst=packet.dst, size=packet.size,
+                kind=_payload_kind(packet.payload),
+            )
         store = self._ports.get(packet.port)
         if store is not None:
             store.put(packet)
@@ -176,14 +196,8 @@ class Network:
     def _record_trace(self, packet: Packet) -> None:
         if not self.config.trace_packets:
             return
-        payload = packet.payload
-        proc = getattr(payload, "proc", None)
-        if proc is not None:
-            kind = ("reply:" if getattr(payload, "is_reply", False) else "call:") + proc
-        else:
-            kind = "raw"
         self._trace.append(
-            (self.sim.now, packet.src, packet.dst, kind, packet.size)
+            (self.sim.now, packet.src, packet.dst, _payload_kind(packet.payload), packet.size)
         )
 
     def attach(self, address: str) -> Interface:
@@ -193,21 +207,37 @@ class Network:
         self.interfaces[address] = iface
         return iface
 
+    def _drop_event(self, packet: Packet, reason: str) -> None:
+        if self.sim.tracer is not None:
+            self.sim.tracer.instant(
+                "net.drop", cat="net", track="net", reason=reason,
+                src=packet.src, dst=packet.dst, kind=_payload_kind(packet.payload),
+            )
+
     def _transmit(self, packet: Packet) -> None:
         self.stats.record("packets")
         self.stats.record("bytes", n=packet.size)
         self._record_trace(packet)
         if (packet.src, packet.dst) in self._blocked:
             self.stats.record("partitioned")
+            self._drop_event(packet, "partitioned")
             return
         drop_rate = min(1.0, self.config.drop_rate + self.extra_drop)
         if drop_rate > 0 and self._rng.random() < drop_rate:
             self.stats.record("dropped")
+            self._drop_event(packet, "loss")
             return
         dst = self.interfaces.get(packet.dst)
         if dst is None:
             self.stats.record("unroutable")
+            self._drop_event(packet, "unroutable")
             return
+        if self.sim.tracer is not None:
+            self.sim.tracer.instant(
+                "net.xmit", cat="net", track="net",
+                src=packet.src, dst=packet.dst, size=packet.size,
+                kind=_payload_kind(packet.payload),
+            )
         self.sim._schedule_at(
             self.sim.now + self.config.latency + self.extra_latency,
             dst._deliver,

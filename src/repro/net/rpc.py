@@ -105,6 +105,10 @@ class _Call:
     is_reply: bool = False
     result: Any = None
     error: Optional[BaseException] = None
+    #: trace context (trace id, parent span id) shipped with the request
+    #: so the server-side handler joins the caller's causal tree; not
+    #: counted in estimate_size (metadata, not payload)
+    ctx: Optional[tuple] = None
 
 
 class _DupCache:
@@ -182,8 +186,8 @@ class RpcEndpoint:
             sim, capacity=self.config.server_threads, name="rpcthreads:%s" % address
         )
         # client_stats: calls issued from here; server_stats: calls served here
-        self.client_stats = Counters(keep_times=keep_call_times)
-        self.server_stats = Counters(keep_times=keep_call_times)
+        self.client_stats = Counters(keep_times=keep_call_times, sim=sim)
+        self.server_stats = Counters(keep_times=keep_call_times, sim=sim)
         # observers called once per *executed* (not duplicate-cached)
         # request, after its handler completes:
         #   listener(proc, src, args, result, error, now)
@@ -220,44 +224,75 @@ class RpcEndpoint:
                 self._serve(msg), name="serve:%s:%s" % (self.address, msg.proc)
             )
 
+    def _note_duplicate(self, msg: _Call, kind: str) -> None:
+        """A retransmission hit the duplicate cache (``kind`` is "busy"
+        for a still-executing original, "done" for a cached reply)."""
+        if self.sim.tracer is not None:
+            self.sim.tracer.instant(
+                "rpc.dup_hit", cat="rpc", track=self.address,
+                proc=msg.proc, src=msg.src, kind=kind,
+            )
+        if self.sim.metrics is not None:
+            self.sim.metrics.counter("rpc.dup_hits").inc(
+                proc=msg.proc, endpoint=self.address, kind=kind
+            )
+
     def _serve(self, msg: _Call):
+        tracer = self.sim.tracer
+        if tracer is not None:
+            # join the caller's causal tree before recording anything
+            tracer.adopt(msg.ctx)
         key = (msg.src, msg.xid)
         try:
             cached = self._dup_cache.begin(key)
         except _Busy:
+            self._note_duplicate(msg, "busy")
             return  # retransmission of an executing request: drop it
         if cached is not None:
+            self._note_duplicate(msg, "done")
             yield from self._send_reply(msg.src, cached)
             return
 
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "rpc.serve:%s" % msg.proc, cat="rpc", track=self.address, src=msg.src
+            )
         handler = self._handlers.get(msg.proc)
         reply = _Call(xid=msg.xid, src=self.address, proc=msg.proc, is_reply=True)
-        if handler is None:
-            reply.error = RpcProcedureError("no such procedure: %s" % msg.proc)
-        else:
-            yield self.threads.acquire()
-            try:
-                if self.cpu is not None and self.config.cpu_per_call > 0:
-                    yield from self.cpu.consume(self.config.cpu_per_call)
-                self.server_stats.record(msg.proc, t=self.sim.now)
-                reply.result = yield from handler(msg.src, *msg.args)
-            except GeneratorExit:
-                raise  # service process torn down, not a handler error
-            except BaseException as exc:  # noqa: BLE001 - shipped to caller
-                reply.error = exc
-            finally:
-                self.threads.release()
-            for listener in self.serve_listeners:
-                listener(
-                    msg.proc, msg.src, msg.args, reply.result, reply.error, self.sim.now
+        try:
+            if handler is None:
+                reply.error = RpcProcedureError("no such procedure: %s" % msg.proc)
+            else:
+                yield self.threads.acquire()
+                try:
+                    if self.cpu is not None and self.config.cpu_per_call > 0:
+                        yield from self.cpu.consume(self.config.cpu_per_call)
+                    self.server_stats.record(msg.proc, t=self.sim.now)
+                    reply.result = yield from handler(msg.src, *msg.args)
+                except GeneratorExit:
+                    raise  # service process torn down, not a handler error
+                except BaseException as exc:  # noqa: BLE001 - shipped to caller
+                    reply.error = exc
+                finally:
+                    self.threads.release()
+                for listener in self.serve_listeners:
+                    listener(
+                        msg.proc, msg.src, msg.args, reply.result, reply.error, self.sim.now
+                    )
+            sanitizer = self.sim.sanitizer
+            if sanitizer is not None and key in self._dup_cache._done:
+                sanitizer.on_rpc_double_reply(
+                    self.address, key, self._dup_cache._done[key], reply
                 )
-        sanitizer = self.sim.sanitizer
-        if sanitizer is not None and key in self._dup_cache._done:
-            sanitizer.on_rpc_double_reply(
-                self.address, key, self._dup_cache._done[key], reply
-            )
-        self._dup_cache.finish(key, reply)
-        yield from self._send_reply(msg.src, reply)
+            self._dup_cache.finish(key, reply)
+            yield from self._send_reply(msg.src, reply)
+        finally:
+            if span is not None and span.t1 is None:
+                if reply.error is not None:
+                    tracer.end(span, error=type(reply.error).__name__)
+                else:
+                    tracer.end(span)
 
     def _send_reply(self, dst: str, reply: _Call):
         size = _HEADER_BYTES + estimate_size(reply.result)
@@ -282,8 +317,47 @@ class RpcEndpoint:
         forever (backoff capped at 30 s) — an NFS client never gives up
         on its server.
         """
+        tracer, metrics = self.sim.tracer, self.sim.metrics
+        if tracer is None and metrics is None:
+            return (yield from self._call_inner(
+                dst, proc, args, timeout, max_retries, hard, None
+            ))
+        span = None
+        ctx = None
+        if tracer is not None:
+            span = tracer.begin(
+                "rpc.call:%s" % proc, cat="rpc", track=self.address, dst=dst
+            )
+            ctx = tracer.context_of(span)
+        t_start = self.sim.now
+        try:
+            result = yield from self._call_inner(
+                dst, proc, args, timeout, max_retries, hard, ctx
+            )
+        except BaseException as exc:
+            if span is not None:
+                tracer.end(span, error=type(exc).__name__)
+            raise
+        if span is not None:
+            tracer.end(span)
+        if metrics is not None:
+            metrics.histogram("rpc.latency").observe(
+                self.sim.now - t_start, proc=proc, endpoint=self.address
+            )
+        return result
+
+    def _call_inner(
+        self,
+        dst: str,
+        proc: str,
+        args: tuple,
+        timeout: Optional[float],
+        max_retries: Optional[int],
+        hard: bool,
+        ctx: Optional[tuple],
+    ):
         xid = next(self._xids)
-        msg = _Call(xid=xid, src=self.address, proc=proc, args=args)
+        msg = _Call(xid=xid, src=self.address, proc=proc, args=args, ctx=ctx)
         size = _HEADER_BYTES + estimate_size(args)
         wait = self.config.timeout if timeout is None else timeout
         self.client_stats.record(proc, t=self.sim.now)
@@ -312,6 +386,15 @@ class RpcEndpoint:
             wait = min(wait * self.config.backoff, 30.0)
             if attempt + 1 < attempts:
                 self.client_stats.record("%s.retransmit" % proc, t=self.sim.now)
+                if self.sim.tracer is not None:
+                    self.sim.tracer.instant(
+                        "rpc.retransmit", cat="rpc", track=self.address,
+                        proc=proc, attempt=attempt + 1,
+                    )
+                if self.sim.metrics is not None:
+                    self.sim.metrics.counter("rpc.retrans").inc(
+                        proc=proc, endpoint=self.address
+                    )
         raise RpcTimeout(
             "%s -> %s %s: no reply after %d attempts"
             % (self.address, dst, proc, attempts)

@@ -226,8 +226,15 @@ class Simulator:
         self._unhandled_failures: List[Event] = []
         #: runtime race/leak sanitizer (repro.analysis); None disables
         self.sanitizer = None
+        #: causal tracer (repro.trace); None disables all instrumentation
+        self.tracer = None
+        #: unified metrics registry (repro.metrics); None disables
+        self.metrics = None
         if os.environ.get("REPRO_SANITIZE", "") not in ("", "0"):
             self.enable_sanitizer()
+        if os.environ.get("REPRO_TRACE", "") not in ("", "0"):
+            self.enable_tracer()
+            self.enable_metrics()
 
     def enable_sanitizer(self, strict: bool = True):
         """Attach a :class:`repro.analysis.Sanitizer` to this simulator."""
@@ -235,6 +242,27 @@ class Simulator:
 
         self.sanitizer = Sanitizer(self, strict=strict)
         return self.sanitizer
+
+    def enable_tracer(self, trace_resumes: bool = False):
+        """Attach a :class:`repro.trace.Tracer` to this simulator.
+
+        Every instrumented layer (rpc, network, cache, disk, cpu, snfs
+        state table) starts recording into it; with the default
+        ``tracer = None`` those hooks are single attribute tests.
+        """
+        from ..trace import Tracer
+
+        if self.tracer is None:
+            self.tracer = Tracer(self, trace_resumes=trace_resumes)
+        return self.tracer
+
+    def enable_metrics(self):
+        """Attach a :class:`repro.metrics.MetricsRegistry`."""
+        from ..metrics.registry import MetricsRegistry
+
+        if self.metrics is None:
+            self.metrics = MetricsRegistry(self)
+        return self.metrics
 
     # -- low-level scheduling ----------------------------------------------
 

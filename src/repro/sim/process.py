@@ -46,6 +46,14 @@ class Process(Event):
         self._gen = generator
         self._waiting_on: Optional[Event] = None
         self._interrupt_pending = False
+        #: (trace id, span id) causal context — inherited from the
+        #: spawning process so forked work stays inside its trace tree
+        parent = sim.current_process
+        self.trace_ctx = parent.trace_ctx if parent is not None else None
+        if sim.tracer is not None:
+            sim.tracer.instant(
+                "proc.spawn", cat="sim", track="sim", child=self.name
+            )
         sim._process_count += 1
         sim.call_soon(self._resume, None)
 
@@ -84,6 +92,9 @@ class Process(Event):
             return
         prev = self.sim.current_process
         self.sim.current_process = self
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.trace_resumes:
+            tracer.instant("proc.resume", cat="sim", track="sim")
         try:
             try:
                 if event is None:
@@ -137,8 +148,14 @@ class Process(Event):
 
     def _finish_ok(self, value: Any) -> None:
         self._gen.close()
+        if self.sim.tracer is not None:
+            self.sim.tracer.instant("proc.finish", cat="sim", track="sim")
         self.succeed(value)
 
     def _finish_fail(self, exc: BaseException) -> None:
+        if self.sim.tracer is not None:
+            self.sim.tracer.instant(
+                "proc.fail", cat="sim", track="sim", error=type(exc).__name__
+            )
         self._exception = exc
         self.sim._trigger(self)

@@ -191,7 +191,18 @@ class SnfsClient(NfsClient):
         if g is None:
             return None  # nothing known about this file
         if writeback:
-            yield from self._flush_dirty(g)
+            tracer = self.sim.tracer
+            span = None
+            if tracer is not None:
+                span = tracer.begin(
+                    "snfs.writeback", cat="snfs", track=self.host.name,
+                    file=str(fh.key()),
+                )
+            try:
+                yield from self._flush_dirty(g)
+            finally:
+                if span is not None:
+                    tracer.end(span)
         if invalidate:
             self.cache.invalidate_file(g.cache_key)
             g.private["cache_enabled"] = False

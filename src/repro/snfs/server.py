@@ -107,6 +107,13 @@ class SnfsServer(NfsServer):
         sanitizer = self.sim.sanitizer
         if sanitizer is not None:
             sanitizer.note_write("snfs-state", key, what=event)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "snfs.transition", cat="snfs", track=self.host.name,
+                event=event, file=repr(key), client=client,
+                before=before.value, after=after.value,
+            )
 
     def _register(self) -> None:
         super()._register()
@@ -378,6 +385,10 @@ class SnfsServer(NfsServer):
     def _reclaim_entries(self, want: int = 8):
         """Free CLOSED_DIRTY entries by calling back their last writers."""
         pairs = self.state.reclaim_callbacks(want=want)
+        if pairs and self.sim.tracer is not None:
+            self.sim.tracer.instant(
+                "snfs.reclaim", cat="snfs", track=self.host.name, entries=len(pairs)
+            )
         for key, cb in pairs:
             fh = self._fh_for_key(key)
             if fh is not None:
@@ -426,6 +437,13 @@ class SnfsServer(NfsServer):
     def _callback(self, fh: FileHandle, cb: Callback):
         """One server->client callback RPC, honouring the N-1 rule."""
         yield self._callback_slots.acquire()
+        tracer = self.sim.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "snfs.callback", cat="snfs", track=self.host.name,
+                client=cb.client, writeback=cb.writeback, invalidate=cb.invalidate,
+            )
         try:
             yield from self.host.rpc.call(
                 cb.client,
@@ -440,9 +458,16 @@ class SnfsServer(NfsServer):
         except (RpcTimeout, RpcError):
             # the client is down: honour the open anyway (§3.2); its
             # claim on the file is forgotten
+            if tracer is not None:
+                tracer.instant(
+                    "snfs.callback.dead", cat="snfs", track=self.host.name,
+                    client=cb.client,
+                )
             self.state.drop_client(fh.key(), cb.client)
             return False
         finally:
+            if span is not None:
+                tracer.end(span)
             self._callback_slots.release()
 
     # -- consistent directory caching (§7 extension) -----------------------

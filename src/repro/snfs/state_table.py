@@ -134,6 +134,11 @@ class StateTable:
 
     def __init__(self, max_entries: int = 1000, version_start: int = 0):
         self.max_entries = max_entries
+        #: optional transition hook, called after each Table 4-1
+        #: transition as ``observer(event, key, client, before, after)``
+        #: where before/after are :class:`FileState`; the server wires
+        #: this to the tracer/sanitizer
+        self.observer = None
         self._entries: Dict[Hashable, FileEntry] = {}
         self._version_counter = itertools.count(version_start + 1)
         self._last_version = version_start
@@ -239,6 +244,7 @@ class StateTable:
     ) -> Tuple[OpenGrant, List[Callback]]:
         """Record an open; returns (grant, callbacks to run first)."""
         entry = self._get_or_create(key)
+        before = entry.state
         callbacks = self._open_transition(entry, client, write)
         info = entry._client(client)
         if write:
@@ -258,6 +264,11 @@ class StateTable:
             version=entry.version,
             prev_version=entry.prev_version,
         )
+        if self.observer is not None:
+            self.observer(
+                "open-write" if write else "open-read",
+                key, client, before, entry.state,
+            )
         return grant, callbacks
 
     def _open_transition(
@@ -360,7 +371,13 @@ class StateTable:
         was_caching = info.caching
         if info.open_count == 0 and client != entry.last_writer:
             del entry.clients[client]
+        before = entry.state
         self._close_transition(entry, client, write, was_caching)
+        if self.observer is not None:
+            self.observer(
+                "close-write" if write else "close-read",
+                key, client, before, entry.state,
+            )
         if entry.state is FileState.CLOSED:
             self._delete_entry(entry.key)
         return []
@@ -473,10 +490,13 @@ class StateTable:
         entry = self._entries.get(key)
         if entry is None:
             return
+        before = entry.state
         entry.clients.pop(client, None)
         if entry.last_writer == client:
             entry.last_writer = None
         self._recompute_state(entry, dirty_client=None)
+        if self.observer is not None:
+            self.observer("drop-client", key, client, before, entry.state)
         if entry.state is FileState.CLOSED:
             self._delete_entry(key)
 

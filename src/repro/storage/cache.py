@@ -80,13 +80,19 @@ class BufferCache:
     def __len__(self) -> int:
         return len(self._buffers)
 
+    def _trace(self, name: str, **args) -> None:
+        if self.sim.tracer is not None:
+            self.sim.tracer.instant(name, cat="cache", track=self.name, **args)
+
     def lookup(self, file_key: Hashable, block_no: int) -> Optional[Buffer]:
         buf = self._buffers.get((file_key, block_no))
         if buf is not None:
             self._buffers.move_to_end(buf.key)
             self.stats.record("hits")
+            self._trace("cache.hit", file=str(file_key), block=block_no)
         else:
             self.stats.record("misses")
+            self._trace("cache.miss", file=str(file_key), block=block_no)
         return buf
 
     def contains(self, file_key: Hashable, block_no: int) -> bool:
@@ -139,6 +145,10 @@ class BufferCache:
         if buf.busy:
             raise CacheError("buffer %r is already being flushed" % (buf.key,))
         buf.busy = True
+        self._trace(
+            "cache.flush_begin", file=str(buf.file_key), block=buf.block_no,
+            stamp=buf.wstamp,
+        )
         return buf.wstamp
 
     def flush_end(self, buf: Buffer, stamp: int, clean: bool = True) -> bool:
@@ -154,11 +164,23 @@ class BufferCache:
         """
         buf.busy = False
         if not clean:
+            self._trace(
+                "cache.flush_end", file=str(buf.file_key), block=buf.block_no,
+                stamp=stamp, outcome="abandoned",
+            )
             return False
         if buf.wstamp != stamp:
             self.stats.record("overlapped_flushes")
+            self._trace(
+                "cache.flush_end", file=str(buf.file_key), block=buf.block_no,
+                stamp=stamp, outcome="overlapped",
+            )
             return False
         self.mark_clean(buf)
+        self._trace(
+            "cache.flush_end", file=str(buf.file_key), block=buf.block_no,
+            stamp=stamp, outcome="clean",
+        )
         return True
 
     def _make_room(self):
@@ -187,6 +209,9 @@ class BufferCache:
             if victim.key in self._buffers and self._buffers[victim.key] is victim:
                 del self._buffers[victim.key]
                 self.stats.record("evictions")
+                self._trace(
+                    "cache.evict", file=str(victim.file_key), block=victim.block_no
+                )
 
     def _pick_victim(self) -> Optional[Buffer]:
         # Prefer the LRU clean buffer; fall back to the LRU dirty one.
@@ -215,6 +240,7 @@ class BufferCache:
             dropped += 1
         if dropped:
             self.stats.record("invalidated", n=dropped)
+            self._trace("cache.invalidate", file=str(file_key), blocks=dropped)
         return dropped
 
     def cancel_dirty_file(self, file_key: Hashable) -> int:
@@ -232,6 +258,7 @@ class BufferCache:
             del self._buffers[buf.key]
         if cancelled:
             self.stats.record("cancelled_writes", n=cancelled)
+            self._trace("cache.cancel_dirty", file=str(file_key), blocks=cancelled)
         return cancelled
 
     def dirty_buffers(

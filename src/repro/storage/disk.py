@@ -99,6 +99,12 @@ class Disk:
         if n_blocks < 1:
             raise ValueError("disk I/O of %d blocks" % n_blocks)
         yield self._drive.acquire()
+        span = None
+        if self.sim.tracer is not None:
+            span = self.sim.tracer.begin(
+                "disk.%s" % kind[:-1], cat="disk", track=self.name,
+                addr=addr, blocks=n_blocks,
+            )
         try:
             for attempt in range(_MAX_IO_RETRIES + 1):
                 delay = self._access_time(addr, n_blocks) * self.slow_factor
@@ -108,6 +114,10 @@ class Disk:
                 # transient failure: the access time was paid for nothing;
                 # the driver repositions and retries
                 self.stats.record("io_errors", t=self.sim.now)
+                if self.sim.tracer is not None:
+                    self.sim.tracer.instant(
+                        "disk.io_error", cat="disk", track=self.name, addr=addr
+                    )
                 self._head_pos = None
             else:
                 raise DiskError(
@@ -115,6 +125,8 @@ class Disk:
                 )
             self._head_pos = addr + n_blocks
         finally:
+            if span is not None:
+                self.sim.tracer.end(span)
             self._drive.release()
         self.stats.record(kind, t=self.sim.now)
         self.stats.record(kind[:-1] + "_blocks", n=n_blocks)

@@ -89,3 +89,49 @@ def test_repr_readable():
     c = Counters()
     c.record("x")
     assert "x=1" in repr(c)
+
+
+def test_timed_record_without_t_defaults_to_sim_clock():
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    c = Counters(keep_times=True, sim=sim)
+
+    def work():
+        yield sim.timeout(2.5)
+        c.record("op")  # no t: should stamp sim.now
+
+    proc = sim.spawn(work())
+    sim.run_until(proc, limit=100)
+    assert c.times("op") == [2.5]
+
+
+def test_attach_sim_enables_clock_default():
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    c = Counters(keep_times=True)
+    assert c.attach_sim(sim) is c
+    c.record("op")
+    assert c.times("op") == [0.0]
+
+
+def test_timed_record_without_t_or_sim_warns():
+    from repro.metrics import CountersTimestampWarning
+
+    c = Counters(keep_times=True)
+    with pytest.warns(CountersTimestampWarning):
+        c.record("op")
+    # the count still lands; only the time log has the gap
+    assert c.get("op") == 1
+    assert c.times("op") == []
+
+
+def test_untimed_counters_never_warn():
+    import warnings
+
+    c = Counters()  # keep_times=False
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        c.record("op")
+    assert c.get("op") == 1

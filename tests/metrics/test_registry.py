@@ -1,0 +1,108 @@
+"""Tests for the unified MetricsRegistry and its instruments."""
+
+import json
+
+import pytest
+
+from repro.metrics import Counter, Counters, Gauge, Histogram, MetricsRegistry, TimeSeries
+
+
+def test_counter_labels_and_totals():
+    c = Counter("rpc.retrans")
+    c.inc(proc="nfs.read", endpoint="m1")
+    c.inc(2, proc="nfs.read", endpoint="m1")
+    c.inc(proc="nfs.write", endpoint="m1")
+    assert c.get(proc="nfs.read", endpoint="m1") == 3
+    assert c.get(endpoint="m1", proc="nfs.read") == 3  # order-insensitive
+    assert c.get(proc="absent") == 0
+    assert c.total() == 4
+
+
+def test_gauge_set_add_get():
+    g = Gauge("cache.dirty")
+    g.set(5, host="c0")
+    g.add(2, host="c0")
+    g.set(1, host="c1")
+    assert g.get(host="c0") == 7
+    assert g.get(host="c1") == 1
+    assert g.get(host="c2") == 0
+
+
+def test_histogram_buckets_and_stats():
+    h = Histogram("lat", buckets=(0.01, 0.1, 1.0))
+    for v in (0.005, 0.05, 0.5, 5.0):
+        h.observe(v, proc="read")
+    assert h.count(proc="read") == 4
+    assert h.mean(proc="read") == pytest.approx(5.555 / 4)
+    cell = h.as_dict()["proc=read"]
+    assert cell["count"] == 4
+    assert cell["min"] == 0.005
+    assert cell["max"] == 5.0
+    assert cell["buckets"] == [[0.01, 1], [0.1, 1], [1.0, 1], ["inf", 1]]
+
+
+def test_histogram_empty_labels():
+    h = Histogram("lat")
+    assert h.count() == 0
+    assert h.mean() == 0.0
+
+
+def test_registry_create_or_fetch():
+    reg = MetricsRegistry()
+    a = reg.counter("x")
+    assert reg.counter("x") is a
+    assert reg.names() == ["x"]
+    reg.gauge("g")
+    reg.histogram("h")
+    assert reg.names() == ["g", "h", "x"]
+
+
+def test_registry_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")
+
+
+def test_absorb_counters_bridges_legacy_objects():
+    reg = MetricsRegistry()
+    legacy = Counters()
+    legacy.record("nfs.read", n=10)
+    legacy.record("nfs.write", n=3)
+    inst = reg.absorb_counters("rpc.calls", legacy, endpoint="m1")
+    assert inst.get(op="nfs.read", endpoint="m1") == 10
+    assert inst.get(op="nfs.write", endpoint="m1") == 3
+
+
+def test_absorb_series_bridges_timeseries():
+    reg = MetricsRegistry()
+    series = TimeSeries("util")
+    for t, v in ((5.0, 0.15), (10.0, 0.85), (15.0, 0.85)):
+        series.append(t, v)
+    inst = reg.absorb_series("server.cpu", series, host="server")
+    assert inst.count(host="server") == 3
+    assert inst.mean(host="server") == pytest.approx((0.15 + 0.85 + 0.85) / 3)
+
+
+def test_as_dict_is_sorted_and_json_stable():
+    reg = MetricsRegistry()
+    reg.counter("zeta").inc(b="2", a="1")
+    reg.counter("alpha").inc()
+    reg.gauge("mid").set(3.0, k="v")
+    d = reg.as_dict()
+    assert list(d) == ["alpha", "mid", "zeta"]
+    assert d["zeta"]["kind"] == "counter"
+    assert d["zeta"]["values"] == {"a=1,b=2": 1}
+    assert json.dumps(d, sort_keys=True) == json.dumps(reg.as_dict(), sort_keys=True)
+
+
+def test_enable_metrics_on_simulator():
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    assert sim.metrics is None
+    reg = sim.enable_metrics()
+    assert sim.metrics is reg
+    assert sim.enable_metrics() is reg  # idempotent

@@ -41,6 +41,47 @@ def test_empty_timeseries():
     assert ts.integral() == 0.0
 
 
+def test_integral_window_start_not_overcharged():
+    # a sampler started at t=100 must not charge its first sample for
+    # the whole [0, 105) span
+    ts = TimeSeries()
+    ts.append(105.0, 1.0)
+    ts.append(110.0, 0.5)
+    assert ts.integral(t0=100.0) == pytest.approx(1.0 * 5 + 0.5 * 5)
+    # legacy default (t0=0) keeps the historical behavior
+    assert ts.integral() == pytest.approx(1.0 * 105 + 0.5 * 5)
+
+
+def test_integral_truncates_at_t1():
+    ts = TimeSeries()
+    ts.append(2.0, 1.0)
+    ts.append(4.0, 0.5)
+    assert ts.integral(t1=3.0) == pytest.approx(1.0 * 2 + 0.5 * 1)
+    assert ts.integral(t0=1.0, t1=3.0) == pytest.approx(1.0 * 1 + 0.5 * 1)
+    # window entirely before / after the data
+    assert ts.integral(t0=10.0, t1=20.0) == 0.0
+
+
+def test_window_excludes_left_edge_includes_right():
+    ts = TimeSeries("u")
+    for t in (5.0, 10.0, 15.0, 20.0):
+        ts.append(t, t / 100.0)
+    w = ts.window(5.0, 15.0)
+    assert w.name == "u"
+    assert w.points == [(10.0, 0.10), (15.0, 0.15)]
+    assert ts.window(100.0, 200.0).points == []
+
+
+def test_shifted_rezeroes_a_window():
+    ts = TimeSeries()
+    ts.append(105.0, 1.0)
+    ts.append(110.0, 0.5)
+    w = ts.window(100.0, 110.0).shifted(-100.0)
+    assert w.points == [(5.0, 1.0), (10.0, 0.5)]
+    # the original is untouched
+    assert ts.points[0] == (105.0, 1.0)
+
+
 # -- UtilizationSampler ------------------------------------------------------
 
 
