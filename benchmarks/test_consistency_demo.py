@@ -22,5 +22,6 @@ def test_consistency_demo(benchmark):
     assert by_proto["snfs"].stale == 0, "SNFS must never serve stale data"
     assert by_proto["rfs"].stale == 0, "RFS must never serve stale data"
     assert by_proto["kent"].stale == 0, "block tokens must never serve stale data"
+    assert by_proto["lease"].stale == 0, "lease recall must never serve stale data"
     for o in outcomes:
         assert o.total > 20  # the reader genuinely sampled the file

@@ -54,6 +54,13 @@ from .host import Host, HostConfig
 from .net import Network, NetworkConfig, RpcConfig, RpcEndpoint
 from .nfs import NfsClient, NfsClientConfig, NfsServer, mount_nfs
 from .kent import KentClient, KentServer, mount_kent
+from .lease import LeaseClient, LeaseServer, mount_lease
+from .proto import (
+    ConsistencyPolicy,
+    RemoteFsClient,
+    RemoteFsConfig,
+    RemoteFsServer,
+)
 from .lockd import LockClient, LockServer, LockTimeout
 from .rfs import RfsClient, RfsServer, mount_rfs
 from .sim import Simulator
@@ -99,6 +106,11 @@ __all__ = [
     "FsError",
     "NoSuchFile",
     "StaleHandle",
+    # the protocol-agnostic remote-FS core
+    "RemoteFsClient",
+    "RemoteFsServer",
+    "RemoteFsConfig",
+    "ConsistencyPolicy",
     # protocols
     "NfsServer",
     "NfsClient",
@@ -116,6 +128,9 @@ __all__ = [
     "KentServer",
     "KentClient",
     "mount_kent",
+    "LeaseServer",
+    "LeaseClient",
+    "mount_lease",
     "LockServer",
     "LockClient",
     "LockTimeout",

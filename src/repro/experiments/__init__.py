@@ -7,6 +7,7 @@ from .ablations import (
     ablation_name_cache,
     ablation_delete_cancellation,
     ablation_invalidate_bug,
+    ablation_lease,
     ablation_probe_interval,
     ablation_write_policy,
     all_ablations,
@@ -89,6 +90,7 @@ __all__ = [
     "ablation_name_cache",
     "ablation_consistent_dir_cache",
     "ablation_block_size",
+    "ablation_lease",
     "all_ablations",
     "ResilienceBed",
     "ResilienceRun",

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from ..host import Host, HostConfig
+from ..kent import KentClient, KentServer
+from ..lease import LeaseClient, LeaseServer
 from ..net import Network, NetworkConfig
 from ..nfs import NfsClient, NfsClientConfig, NfsServer, classify_ops
 from ..rfs import RfsClient, RfsServer
@@ -29,7 +31,7 @@ from ..snfs import SnfsClient, SnfsClientConfig, SnfsServer
 
 __all__ = ["Testbed", "build_testbed", "PROTOCOLS"]
 
-PROTOCOLS = ("local", "nfs", "snfs", "rfs")
+PROTOCOLS = ("local", "nfs", "snfs", "rfs", "kent", "lease")
 
 
 @dataclass
@@ -97,7 +99,7 @@ class Testbed:
             callbacks = sum(
                 count
                 for proc, count in self.server_host.rpc.client_stats.as_dict().items()
-                if proc.endswith(".callback") or proc.endswith(".invalidate")
+                if proc.endswith((".callback", ".invalidate", ".revoke", ".vacate"))
             )
             rows["callback"] += callbacks
             rows["total"] += callbacks
@@ -203,6 +205,12 @@ def build_testbed(
         elif protocol == "snfs":
             server = SnfsServer(server_host, export, max_open_files=max_open_files)
             default_cfg = SnfsClientConfig()
+        elif protocol == "kent":
+            server = KentServer(server_host, export)
+            default_cfg = None
+        elif protocol == "lease":
+            server = LeaseServer(server_host, export)
+            default_cfg = None
         else:
             server = RfsServer(server_host, export)
             default_cfg = None
@@ -246,6 +254,10 @@ def _make_client(protocol, tag, host, server_addr, cfg):
         return SnfsClient(mount_id, host, server_addr, config=cfg)
     if protocol == "rfs":
         return RfsClient(mount_id, host, server_addr, config=cfg)
+    if protocol == "kent":
+        return KentClient(mount_id, host, server_addr, config=cfg)
+    if protocol == "lease":
+        return LeaseClient(mount_id, host, server_addr, config=cfg)
     raise ValueError(protocol)
 
 

@@ -16,6 +16,7 @@ from ..host import Host, HostConfig
 from ..metrics import format_table
 from ..net import Network
 from ..kent import KentClient, KentServer
+from ..lease import LeaseClient, LeaseServer
 from ..nfs import NfsClient, NfsServer
 from ..rfs import RfsClient, RfsServer
 from ..sim import AllOf, Simulator
@@ -29,6 +30,10 @@ __all__ = ["ConsistencyOutcome", "run_consistency", "consistency_table"]
 class ConsistencyOutcome:
     protocol: str
     result: SharingResult
+    #: wire traffic for the whole run: every client call plus every
+    #: server->client push (callbacks, invalidations, revokes, vacates),
+    #: excluding mount-time setup — the cost of the consistency guarantee
+    rpc_calls: int = 0
 
     @property
     def total(self) -> int:
@@ -58,6 +63,8 @@ def run_consistency(
         server = RfsServer(server_host, export)
     elif protocol == "kent":
         server = KentServer(server_host, export)
+    elif protocol == "lease":
+        server = LeaseServer(server_host, export)
     else:
         raise ValueError(protocol)
 
@@ -70,6 +77,8 @@ def run_consistency(
             client = SnfsClient("m%d" % i, host, "server")
         elif protocol == "kent":
             client = KentClient("m%d" % i, host, "server")
+        elif protocol == "lease":
+            client = LeaseClient("m%d" % i, host, "server")
         else:
             client = RfsClient("m%d" % i, host, "server")
         _run_one(sim, client.attach())
@@ -92,7 +101,12 @@ def run_consistency(
         if proc.exception is not None:
             proc.defuse()
             raise proc.exception
-    return ConsistencyOutcome(protocol=protocol, result=result)
+    rpc_calls = 0
+    for host in hosts + [server_host]:
+        for name, count in sorted(host.rpc.client_stats.as_dict().items()):
+            if not name.endswith(".mnt"):
+                rpc_calls += count
+    return ConsistencyOutcome(protocol=protocol, result=result, rpc_calls=rpc_calls)
 
 
 def _run_one(sim, coro):
@@ -109,7 +123,7 @@ def _run_one(sim, coro):
     return box.get("v")
 
 
-def consistency_table(protocols=("nfs", "rfs", "snfs", "kent")) -> Tuple[str, List[ConsistencyOutcome]]:
+def consistency_table(protocols=("nfs", "rfs", "snfs", "kent", "lease")) -> Tuple[str, List[ConsistencyOutcome]]:
     outcomes = [run_consistency(p) for p in protocols]
     headers = ["Protocol", "Reads", "Stale reads", "Stale %"]
     rows = [

@@ -9,247 +9,205 @@ of the same file, the case where SNFS turns caching off entirely.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, Tuple
 
 from ..fs import NoSuchFile, StaleHandle
 from ..fs.types import FileAttr, FileHandle, OpenMode
 from ..host import Host
-from ..nfs.client import NfsClient
-from ..vfs import FileSystemType, Gnode, block_range, merge_block
+from ..proto import ConsistencyPolicy, RemoteFsClient, RemoteFsConfig
+from ..vfs import Gnode, block_range, merge_block
 from .server import KPROC
 
-__all__ = ["KentClient", "mount_kent"]
+__all__ = ["KentClient", "KentPolicy", "mount_kent"]
 
 
-class KentClient(NfsClient):
-    """A remote mount with per-block ownership tokens."""
+class KentPolicy(ConsistencyPolicy):
+    """Per-block MSI ownership: consistency one block at a time."""
 
-    PROC = KPROC
-
-    def __init__(self, mount_id: str, host: Host, server_addr: str, config=None):
-        FileSystemType.__init__(self, mount_id)
-        self.host = host
-        self.sim = host.sim
-        self.cache = host.cache
-        self.rpc = host.rpc
-        self.server = server_addr
-        self.block_size = host.config.block_size
-        self._root: Optional[Gnode] = None
-        self._name_cache: dict = {}
+    def __init__(self, client):
+        super().__init__(client)
         # (file key, bno) -> "shared" | "exclusive"
         self._tokens: Dict[Tuple[Hashable, int], str] = {}
-        self._register_revoke_service()
-        from ..nfs.client import NfsClientConfig
 
-        self.config = config or NfsClientConfig(invalidate_on_close=False)
-
-    # -- revoke service ------------------------------------------------------
-
-    def _register_revoke_service(self) -> None:
-        mounts = getattr(self.host, "_kent_mounts", None)
-        if mounts is None:
-            self.host._kent_mounts = [self]
-            self.host.rpc.register(KPROC.REVOKE, self._revoke_dispatch)
-        else:
-            mounts.append(self)
-
-    def _revoke_dispatch(self, src, fh: FileHandle, bno: int, invalidate: bool):
-        for mount in self.host._kent_mounts:
-            if mount.server == src:
-                result = yield from mount.serve_revoke(fh, bno, invalidate)
-                return result
-        return None
+    def push_procs(self):
+        return {KPROC.REVOKE: "serve_revoke"}
 
     def serve_revoke(self, fh: FileHandle, bno: int, invalidate: bool):
         """Write the block back if dirty; drop it (and the token) if
         the server demands invalidation, else downgrade to shared."""
-        g = self._gnodes.get(fh.key())
+        c = self.client
+        g = c._gnodes.get(fh.key())
         key = (fh.key(), bno)
         if g is not None:
-            buf = self.cache.lookup(g.cache_key, bno)
+            buf = c.cache.lookup(g.cache_key, bno)
             if buf is not None and buf.dirty and not buf.busy:
-                stamp = self.cache.flush_begin(buf)
+                stamp = c.cache.flush_begin(buf)
                 ok = False
                 try:
-                    yield from self._write_rpc(g, bno, bytes(buf.data))
+                    yield from self.write_rpc(g, bno, bytes(buf.data))
                     ok = True
                 finally:
-                    self.cache.flush_end(buf, stamp, clean=ok)
+                    c.cache.flush_end(buf, stamp, clean=ok)
             if invalidate and buf is not None:
-                if self.cache.contains(g.cache_key, bno):
-                    del self.cache._buffers[(g.cache_key, bno)]
+                if c.cache.contains(g.cache_key, bno):
+                    del c.cache._buffers[(g.cache_key, bno)]
         if invalidate:
             self._tokens.pop(key, None)
         elif self._tokens.get(key) == "exclusive":
             self._tokens[key] = "shared"
         return None
 
-    # -- attribute handling ----------------------------------------------------
+    # -- attribute handling ------------------------------------------------
 
-    def _store_attr(self, g: Gnode, attr: FileAttr) -> None:
+    def store_attr(self, g: Gnode, attr: FileAttr) -> None:
         """Never mtime-invalidate: consistency comes from block tokens,
         and our delayed writes keep the local view ahead of the server's
-        (same reasoning as the SNFS client)."""
+        (same reasoning as the SNFS policy)."""
+        c = self.client
         local = g.private.get("attr")
-        if local is not None and self.cache.dirty_buffers(file_key=g.cache_key):
+        if local is not None and c.cache.dirty_buffers(file_key=g.cache_key):
             attr = attr.copy()
             attr.size = max(attr.size, local.size)
             attr.mtime = max(attr.mtime, local.mtime)
         g.private["attr"] = attr
-        g.private["attr_time"] = self.sim.now
+        g.private["attr_time"] = c.sim.now
         g.private["known_mtime"] = attr.mtime
 
-    # -- token acquisition ----------------------------------------------------
+    # -- token acquisition -------------------------------------------------
 
     def _ensure_token(self, g: Gnode, bno: int, write: bool):
         """Coroutine: hold a sufficient token; returns the block bytes
         when the grant carried them (fresh acquisition), else None."""
+        c = self.client
         key = (g._fid_key(), bno)
         have = self._tokens.get(key)
         if have == "exclusive" or (have == "shared" and not write):
             return None
-        data, attr = yield from self._call(
-            self.PROC.ACQUIRE, g.fid, bno, write
-        )
+        data, attr = yield from c._call(c.PROC.ACQUIRE, g.fid, bno, write)
         self._tokens[key] = "exclusive" if write else "shared"
-        self._note_server_attr(g, attr)
+        c._note_server_attr(g, attr)
         return data
 
-    # -- open / close: nothing on the wire -----------------------------------
+    # -- open / close: nothing on the wire ---------------------------------
 
-    def open(self, g: Gnode, mode: OpenMode):
-        if mode.is_write:
-            g.open_writes += 1
-        else:
-            g.open_reads += 1
+    def on_open(self, g: Gnode, mode: OpenMode):
         return
         yield  # pragma: no cover
 
-    def close(self, g: Gnode, mode: OpenMode):
-        if mode.is_write:
-            g.open_writes -= 1
-        else:
-            g.open_reads -= 1
+    def on_close(self, g: Gnode, mode: OpenMode):
         return
         yield  # pragma: no cover
 
-    # -- data: token-protected cached blocks ---------------------------------
+    # -- data: token-protected cached blocks -------------------------------
 
-    def read(self, g: Gnode, offset: int, count: int):
+    def on_read(self, g: Gnode, offset: int, count: int):
+        c = self.client
         # acquire the first block's token *before* trusting attributes:
         # the grant revokes any writer (forcing its write-back) and
         # carries post-revocation attributes, so the size we clamp by
         # reflects that writer's delayed data
         first_grant = yield from self._ensure_token(
-            g, offset // self.block_size, write=False
+            g, offset // c.block_size, write=False
         )
-        attr = yield from self.getattr(g)
+        attr = yield from self.on_getattr(g)
         if offset >= attr.size:
             return b""
         count = min(count, attr.size - offset)
         chunks = []
-        blocks = list(block_range(offset, count, self.block_size))
+        blocks = list(block_range(offset, count, c.block_size))
         for bno in blocks:
             if bno == blocks[0] and first_grant is not None:
                 data = first_grant
             else:
                 data = yield from self._ensure_token(g, bno, write=False)
-            buf = self.cache.lookup(g.cache_key, bno)
+            buf = c.cache.lookup(g.cache_key, bno)
             if buf is None:
                 if data is None:
                     # token was cached but the block was evicted
-                    data, attr2 = yield from self._call(
-                        self.PROC.READ, g.fid, bno * self.block_size,
-                        self.block_size,
+                    data, attr2 = yield from c._call(
+                        c.PROC.READ, g.fid, bno * c.block_size,
+                        c.block_size,
                     )
-                buf = yield from self.cache.insert(g.cache_key, bno, data)
+                buf = yield from c.cache.insert(g.cache_key, bno, data)
             block = buf.data
-            needed = min(self.block_size, attr.size - bno * self.block_size)
+            needed = min(c.block_size, attr.size - bno * c.block_size)
             if len(block) < needed:
                 block = block + b"\x00" * (needed - len(block))
             chunks.append(block)
         whole = b"".join(chunks)
-        skip = offset - blocks[0] * self.block_size
+        skip = offset - blocks[0] * c.block_size
         return whole[skip:skip + count]
 
-    def write(self, g: Gnode, offset: int, data: bytes):
-        attr = self._local_attr(g)
+    def on_write(self, g: Gnode, offset: int, data: bytes):
+        c = self.client
+        attr = c._local_attr(g)
         pos = 0
-        for bno in block_range(offset, len(data), self.block_size):
+        for bno in block_range(offset, len(data), c.block_size):
             granted = yield from self._ensure_token(g, bno, write=True)
-            block_start = bno * self.block_size
+            block_start = bno * c.block_size
             start = max(offset - block_start, 0)
-            end = min(offset + len(data) - block_start, self.block_size)
+            end = min(offset + len(data) - block_start, c.block_size)
             piece = data[pos:pos + (end - start)]
             pos += len(piece)
-            buf = self.cache.lookup(g.cache_key, bno)
+            buf = c.cache.lookup(g.cache_key, bno)
             if buf is None:
                 old = granted if granted is not None else b""
                 merged = merge_block(old, start, piece)
-                buf = yield from self.cache.insert(
+                buf = yield from c.cache.insert(
                     g.cache_key, bno, merged, dirty=True
                 )
             else:
                 buf.data = merge_block(buf.data, start, piece)
-                self.cache.mark_dirty(buf)
+                c.cache.mark_dirty(buf)
             buf.tag = g
-        attr = g.private.get("attr", attr)
-        attr.size = max(attr.size, offset + len(data))
-        attr.mtime = self.sim.now
-        g.private["attr"] = attr
-        g.private["attr_time"] = self.sim.now
+        c.bump_local_attr(g, offset + len(data), attr)
 
-    def getattr(self, g: Gnode):
+    def on_getattr(self, g: Gnode):
         """Attributes: trust the local view while we hold dirty blocks;
-        else fall back to the NFS probe machinery."""
+        else fall back to the probe machinery."""
+        c = self.client
         attr = g.private.get("attr")
-        if attr is not None and self.cache.dirty_buffers(file_key=g.cache_key):
+        if attr is not None and c.cache.dirty_buffers(file_key=g.cache_key):
             return attr
-        attr = yield from self._probe(g)
+        attr = yield from c._probe(g)
         return attr
 
-    def remove(self, dirg: Gnode, name: str):
-        g = yield from self.lookup(dirg, name)
+    def before_remove(self, g: Gnode):
         # release our tokens and cancel delayed writes: block ownership
         # makes delete-before-writeback safe here too
-        self.cache.cancel_dirty_file(g.cache_key)
+        c = self.client
+        c.cache.cancel_dirty_file(g.cache_key)
         for key in [k for k in self._tokens if k[0] == g._fid_key()]:
             del self._tokens[key]
-        yield from self._call(self.PROC.REMOVE, dirg.fid, name)
-        self.drop_gnode(g)
+        return
+        yield  # pragma: no cover
 
-    def fsync(self, g: Gnode):
-        yield from self._flush_dirty(g)
-
-    def sync(self, min_age=None):
-        for buf in list(self.cache.dirty_buffers(older_than=min_age)):
-            if buf.file_key[0] != self.mount_id or buf.busy or not buf.dirty:
-                continue
-            g = buf.tag
-            if g is None:
-                continue
-            stamp = self.cache.flush_begin(buf)
-            ok = False
-            try:
-                yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
-                ok = True
-            finally:
-                self.cache.flush_end(buf, stamp, clean=ok)
-
-    def _write_rpc(self, g: Gnode, bno: int, data: bytes):
+    def write_rpc(self, g: Gnode, bno: int, data: bytes):
+        c = self.client
         try:
-            attr = yield from self._call(
-                self.PROC.WRITE, g.fid, bno * self.block_size, data
+            attr = yield from c._call(
+                c.PROC.WRITE, g.fid, bno * c.block_size, data
             )
         except (StaleHandle, NoSuchFile):
             return
-        self._note_server_attr(g, attr)
+        c._note_server_attr(g, attr)
 
-    def flush_block(self, buf):
-        g = buf.tag
-        if g is None:
-            return
-        yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
+
+class KentClient(RemoteFsClient):
+    """A remote mount with per-block ownership tokens."""
+
+    PROC = KPROC
+    policy_class = KentPolicy
+
+    @classmethod
+    def default_config(cls) -> RemoteFsConfig:
+        # the invalidate-on-close bug is an Ultrix NFS artifact; token
+        # consistency keeps the cache across closes
+        return RemoteFsConfig(invalidate_on_close=False)
+
+    @property
+    def _tokens(self):
+        return self.policy._tokens
 
 
 def mount_kent(host: Host, server_addr: str, mount_point: str, mount_id=None):

@@ -33,34 +33,19 @@ from typing import Dict, Hashable, Set, Tuple
 from ..fs.types import FileHandle
 from ..host import Host
 from ..net import RpcError
-from ..nfs.server import NfsServer
-from ..sim import Lock
+from ..proto import RemoteFsServer, proc_namespace
 from ..vfs import LocalMount
 
 __all__ = ["KentServer", "KPROC", "BlockToken"]
 
 
-class KPROC:
-    """Kent-scheme procedure names."""
-
-    PREFIX = "kent."
-
-    MNT = "kent.mnt"
-    LOOKUP = "kent.lookup"
-    GETATTR = "kent.getattr"
-    SETATTR = "kent.setattr"
-    READ = "kent.read"
-    WRITE = "kent.write"
-    CREATE = "kent.create"
-    REMOVE = "kent.remove"
-    RENAME = "kent.rename"
-    MKDIR = "kent.mkdir"
-    RMDIR = "kent.rmdir"
-    READDIR = "kent.readdir"
-
-    ACQUIRE = "kent.acquire"
-    RELEASE = "kent.release"
-    REVOKE = "kent.revoke"  # server -> client
+KPROC = proc_namespace(
+    "kent",
+    doc="Kent-scheme procedure names.",
+    ACQUIRE="kent.acquire",
+    RELEASE="kent.release",
+    REVOKE="kent.revoke",  # server -> client
+)
 
 
 @dataclass
@@ -79,15 +64,14 @@ class BlockToken:
         return "free"
 
 
-class KentServer(NfsServer):
-    """NFS service plus per-block ownership tokens."""
+class KentServer(RemoteFsServer):
+    """The standard remote-FS service plus per-block ownership tokens."""
 
     PROC = KPROC
     REVOKE_TIMEOUT = 10.0
 
     def __init__(self, host: Host, export: LocalMount):
         self._tokens: Dict[Tuple[Hashable, int], BlockToken] = {}
-        self._block_locks: Dict[Tuple[Hashable, int], Lock] = {}
         super().__init__(host, export)
 
     def _register(self) -> None:
@@ -103,13 +87,6 @@ class KentServer(NfsServer):
             self._tokens[key] = token
         return token
 
-    def _lock(self, key) -> Lock:
-        lock = self._block_locks.get(key)
-        if lock is None:
-            lock = Lock(self.sim, name="block:%r" % (key,))
-            self._block_locks[key] = lock
-        return lock
-
     # -- token services -------------------------------------------------------
 
     def proc_acquire(self, src, fh: FileHandle, bno: int, write: bool):
@@ -120,7 +97,7 @@ class KentServer(NfsServer):
         """
         inum = self.lfs.resolve(fh)
         key = (fh.key(), bno)
-        lock = self._lock(key)
+        lock = self._lock_for(key)  # per-(file, block) serialization
         yield lock.acquire()
         try:
             token = self._token(key)
@@ -214,7 +191,7 @@ class KentServer(NfsServer):
         if fkey is not None:
             for key in [k for k in self._tokens if k[0] == fkey]:
                 del self._tokens[key]
-                self._block_locks.pop(key, None)
+                self._file_locks.pop(key, None)
         return result
 
     # -- observability ------------------------------------------------------

@@ -1,7 +1,8 @@
 """The NFS client: stateless-server consistency via periodic probes.
 
 Implements the Ultrix-era client behaviour the paper measures against
-(§2.1, §5.2):
+(§2.1, §5.2), as a :class:`~repro.proto.ConsistencyPolicy` over the
+shared :class:`~repro.proto.RemoteFsClient` core:
 
 * **Attribute cache with adaptive probe interval** — cached attributes
   are revalidated with ``getattr`` after an interval that doubles from
@@ -19,373 +20,93 @@ Implements the Ultrix-era client behaviour the paper measures against
   in tables 5-2/5-4.  On by default to match the paper; turn it off via
   :class:`NfsClientConfig` for the "modern client" ablation.
 
-No name cache: every path component costs a ``lookup`` RPC, which is
-why roughly half of all RPCs in Table 5-2 are lookups.
+No name cache by default: every path component costs a ``lookup`` RPC,
+which is why roughly half of all RPCs in Table 5-2 are lookups.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
-from ..fs import NoSuchFile
-from ..fs.types import FileAttr, OpenMode
 from ..host import Host
-from ..vfs import FileSystemType, Gnode, cached_read, cached_write
+from ..proto import ConsistencyPolicy, RemoteFsClient, RemoteFsConfig
+from ..vfs import Gnode
 from .protocol import PROC
 
-__all__ = ["NfsClient", "NfsClientConfig", "mount_nfs"]
+__all__ = ["NfsClient", "NfsClientConfig", "NfsPolicy", "mount_nfs"]
+
+#: unified layered config (see repro.proto.config); kept as an alias
+#: so call sites and experiments keep reading naturally
+NfsClientConfig = RemoteFsConfig
 
 
-@dataclass
-class NfsClientConfig:
-    attr_min_interval: float = 3.0  # seconds (paper footnote 3)
-    attr_max_interval: float = 150.0
-    invalidate_on_close: bool = True  # the old-reference-port bug
-    async_writes: bool = True  # biod-style write-behind
-    #: the consistency check "made each time the client opens a file"
-    #: (§2.1) — a getattr RPC at open; the paper equates SNFS's open
-    #: RPC with "the getattr operation done at file-open time by NFS"
-    getattr_on_open: bool = True
-    #: directory-name-lookup cache TTL in seconds; 0 disables it.  The
-    #: paper (§5.2/§7) observes that "roughly half of the RPC calls are
-    #: file name lookups" and suggests caching name translations; this
-    #: is the simple TTL variant later NFS clients shipped (the
-    #: Sprite-consistent variant would need directory callbacks)
-    name_cache_ttl: float = 0.0
+class NfsPolicy(ConsistencyPolicy):
+    """Probes + write-through: the paper's baseline consistency."""
 
+    drain_on_fsync = True  # fsync must catch the biod pool's writes
 
-class NfsClient(FileSystemType):
-    """A remote-mounted NFS filesystem on a client host."""
-
-    #: procedure names (SNFS client subclass overrides)
-    PROC = PROC
-
-    def __init__(
-        self,
-        mount_id: str,
-        host: Host,
-        server_addr: str,
-        config: Optional[NfsClientConfig] = None,
-    ):
-        super().__init__(mount_id)
-        self.host = host
-        self.sim = host.sim
-        self.cache = host.cache
-        self.rpc = host.rpc
-        self.server = server_addr
-        self.config = config or NfsClientConfig()
-        self.block_size = host.config.block_size
-        self._root: Optional[Gnode] = None
-        # dnlc: (dir fid key, name) -> (fh, ftype, cached-at time)
-        self._name_cache: dict = {}
-
-    # -- mount ---------------------------------------------------------------
-
-    def attach(self):
-        """Coroutine: fetch the export's root handle (the mount protocol)."""
-        fh, attr = yield from self._call(self.PROC.MNT)
-        self._root = self.gnode_for(fh, attr.ftype)
-        self._store_attr(self._root, attr)
-        return self._root
-
-    def root(self) -> Gnode:
-        if self._root is None:
-            raise RuntimeError("NFS mount %s not attached yet" % self.mount_id)
-        return self._root
-
-    def _call(self, proc: str, *args):
-        # hard-mount semantics: an NFS client retries forever
-        result = yield from self.rpc.call(self.server, proc, *args, hard=True)
-        return result
-
-    # -- attribute cache ---------------------------------------------------
-
-    def _store_attr(self, g: Gnode, attr: FileAttr) -> None:
+    def store_attr(self, g: Gnode, attr) -> None:
         """Record fresh attributes; a changed mtime invalidates data."""
-        priv = g.private
-        known = priv.get("known_mtime")
-        if known is not None and attr.mtime != known:
-            self.cache.invalidate_file(g.cache_key)
-            priv["attr_interval"] = self.config.attr_min_interval
-        priv["attr"] = attr
-        priv["attr_time"] = self.sim.now
-        priv["known_mtime"] = attr.mtime
+        self.client.store_attr_probed(g, attr)
 
-    def _attr_fresh(self, g: Gnode) -> bool:
-        priv = g.private
-        attr = priv.get("attr")
-        if attr is None:
-            return False
-        age = self.sim.now - priv.get("attr_time", -1e9)
-        interval = priv.get("attr_interval", self.config.attr_min_interval)
-        return age <= interval
-
-    def _probe(self, g: Gnode, force: bool = False):
-        """Coroutine: revalidate cached attributes if stale (§2.1)."""
-        if not force and self._attr_fresh(g):
-            return g.private["attr"]
-        old = g.private.get("attr")
-        attr = yield from self._call(self.PROC.GETATTR, g.fid)
-        # adapt the probe interval: unchanged file -> check less often
-        interval = g.private.get("attr_interval", self.config.attr_min_interval)
-        if old is not None and old.mtime == attr.mtime:
-            interval = min(interval * 2, self.config.attr_max_interval)
-        else:
-            interval = self.config.attr_min_interval
-        g.private["attr_interval"] = interval
-        self._store_attr(g, attr)
-        return attr
-
-    def _local_attr(self, g: Gnode) -> FileAttr:
-        attr = g.private.get("attr")
-        if attr is None:
-            attr = FileAttr(file_id=0, ftype=g.ftype)
-        return attr
-
-    # -- namespace --------------------------------------------------------
-
-    def _dnlc_key(self, dirg: Gnode, name: str):
-        return (dirg._fid_key(), name)
-
-    def _dnlc_get(self, dirg: Gnode, name: str):
-        if self.config.name_cache_ttl <= 0:
-            return None
-        hit = self._name_cache.get(self._dnlc_key(dirg, name))
-        if hit is None:
-            return None
-        fh, ftype, cached_at = hit
-        if self.sim.now - cached_at > self.config.name_cache_ttl:
-            del self._name_cache[self._dnlc_key(dirg, name)]
-            return None
-        return self.gnode_for(fh, ftype)
-
-    def _dnlc_put(self, dirg: Gnode, name: str, g: Gnode) -> None:
-        if self.config.name_cache_ttl > 0:
-            self._name_cache[self._dnlc_key(dirg, name)] = (
-                g.fid, g.ftype, self.sim.now,
-            )
-
-    def _dnlc_purge(self, dirg: Gnode, name: str) -> None:
-        self._name_cache.pop(self._dnlc_key(dirg, name), None)
-
-    def lookup(self, dirg: Gnode, name: str):
-        cached = self._dnlc_get(dirg, name)
-        if cached is not None:
-            return cached
-        fh, attr = yield from self._call(self.PROC.LOOKUP, dirg.fid, name)
-        g = self.gnode_for(fh, attr.ftype)
-        self._store_attr(g, attr)
-        self._dnlc_put(dirg, name, g)
-        return g
-
-    def create(self, dirg: Gnode, name: str, mode: int = 0o644):
-        fh, attr = yield from self._call(self.PROC.CREATE, dirg.fid, name, mode)
-        g = self.gnode_for(fh, attr.ftype)
-        self._store_attr(g, attr)
-        self._dnlc_put(dirg, name, g)
-        return g
-
-    def remove(self, dirg: Gnode, name: str):
-        # namei resolves the victim first (BSD DELETE lookup), letting us
-        # purge its cached blocks; pending async writes cannot be
-        # cancelled — NFS already wrote through (§4.2.3)
-        g = yield from self.lookup(dirg, name)
-        yield from self.host.async_writers.drain(g.cache_key)
-        self.cache.invalidate_file(g.cache_key)
-        yield from self._call(self.PROC.REMOVE, dirg.fid, name)
-        self._dnlc_purge(dirg, name)
-        self.drop_gnode(g)
-
-    def mkdir(self, dirg: Gnode, name: str, mode: int = 0o755):
-        fh, attr = yield from self._call(self.PROC.MKDIR, dirg.fid, name, mode)
-        g = self.gnode_for(fh, attr.ftype)
-        self._store_attr(g, attr)
-        return g
-
-    def rmdir(self, dirg: Gnode, name: str):
-        yield from self._call(self.PROC.RMDIR, dirg.fid, name)
-
-    def rename(self, src_dirg: Gnode, src_name: str, dst_dirg: Gnode, dst_name: str):
-        try:
-            victim = yield from self.lookup(dst_dirg, dst_name)
-            self.cache.invalidate_file(victim.cache_key)
-        except NoSuchFile:
-            pass
-        yield from self._call(
-            self.PROC.RENAME, src_dirg.fid, src_name, dst_dirg.fid, dst_name
-        )
-        self._dnlc_purge(src_dirg, src_name)
-        self._dnlc_purge(dst_dirg, dst_name)
-
-    def readdir(self, dirg: Gnode):
-        names = yield from self._call(self.PROC.READDIR, dirg.fid)
-        return names
-
-    # -- open / close ------------------------------------------------------
-
-    def open(self, g: Gnode, mode: OpenMode):
+    def on_open(self, g: Gnode, mode):
         """Consistency check on every open (§2.1)."""
-        yield from self._probe(g, force=self.config.getattr_on_open)
-        if mode.is_write:
-            g.open_writes += 1
-        else:
-            g.open_reads += 1
+        yield from self.client._probe(g, force=self.client.config.getattr_on_open)
 
-    def close(self, g: Gnode, mode: OpenMode):
+    def on_close(self, g: Gnode, mode):
         """Synchronously finish pending write-throughs, then (bug) drop
         the cached data."""
-        if mode.is_write:
-            g.open_writes -= 1
-        else:
-            g.open_reads -= 1
-        yield from self._flush_dirty(g)
-        yield from self.host.async_writers.drain(g.cache_key)
+        c = self.client
+        yield from c._flush_dirty(g)
+        yield from c.host.async_writers.drain(g.cache_key)
         # the old-reference-port bug: "the client first writes a file,
         # closes it, and then reopens and reads it, and this bug
         # prevents the client from using its cached copy" (§5.2)
-        if self.config.invalidate_on_close and mode.is_write:
-            self.cache.invalidate_file(g.cache_key)
+        if c.config.invalidate_on_close and mode.is_write:
+            c.cache.invalidate_file(g.cache_key)
 
-    # -- data ---------------------------------------------------------------
-
-    def _fill_from_server(self, g: Gnode):
-        def fill(bno):
-            data, attr = yield from self._call(
-                self.PROC.READ, g.fid, bno * self.block_size, self.block_size
-            )
-            self._note_server_attr(g, attr)
-            return data
-
-        return fill
-
-    def _note_server_attr(self, g: Gnode, attr: FileAttr) -> None:
-        """Attributes piggybacked on read/write replies refresh the cache
-        without invalidating it (they reflect our own traffic)."""
-        g.private["attr"] = attr
-        g.private["attr_time"] = self.sim.now
-        g.private["known_mtime"] = attr.mtime
-
-    def read(self, g: Gnode, offset: int, count: int):
-        attr = yield from self._probe(g)
-        data = yield from cached_read(
-            self.cache,
-            g,
-            offset,
-            count,
-            file_size=attr.size,
-            block_size=self.block_size,
-            fill_fn=self._fill_from_server(g),
-            readahead=self.host.config.readahead,
-            sim=self.sim,
-        )
+    def on_read(self, g: Gnode, offset: int, count: int):
+        c = self.client
+        attr = yield from c._probe(g)
+        data = yield from c.read_cached(g, offset, count, file_size=attr.size)
         return data
 
-    def write(self, g: Gnode, offset: int, data: bytes):
+    def on_write(self, g: Gnode, offset: int, data: bytes):
         """Write-through: full blocks go to the server immediately
         (asynchronously, via the biod pool); partial tail blocks are
         delayed until they fill or the file is closed."""
-        attr = self._local_attr(g)
-        bufs = yield from cached_write(
-            self.cache,
-            g,
-            offset,
-            data,
-            file_size=attr.size,
-            block_size=self.block_size,
-            fill_fn=self._fill_from_server(g),
-            mark_dirty=False,
+        c = self.client
+        attr = c._local_attr(g)
+        bufs = yield from c.write_cached(
+            g, offset, data, file_size=attr.size, mark_dirty=False
         )
-        # grow the local view of the file immediately (re-fetch the attr
-        # object first: the fill path may have replaced it from a read
-        # reply while this write was read-modify-writing)
-        attr = g.private.get("attr", attr)
-        attr.size = max(attr.size, offset + len(data))
-        attr.mtime = self.sim.now
-        g.private["attr"] = attr
-        g.private["attr_time"] = self.sim.now
+        # grow the local view of the file immediately
+        c.bump_local_attr(g, offset + len(data), attr)
         for buf in bufs:
             buf.tag = g
-            if len(buf.data) >= self.block_size:
-                self.cache.mark_clean(buf)
-                yield from self._send_block(g, buf.block_no, bytes(buf.data))
+            if len(buf.data) >= c.block_size:
+                c.cache.mark_clean(buf)
+                yield from c.send_block(g, buf.block_no, bytes(buf.data))
             else:
-                self.cache.mark_dirty(buf)
+                c.cache.mark_dirty(buf)
 
-    def _send_block(self, g: Gnode, bno: int, data: bytes):
-        """Write one block through to the server (async when enabled)."""
-        if self.config.async_writes:
-            self.host.async_writers.submit(
-                lambda: self._write_rpc(g, bno, data), key=g.cache_key
-            )
-        else:
-            yield from self._write_rpc(g, bno, data)
-        return
-        yield  # pragma: no cover
-
-    def _write_rpc(self, g: Gnode, bno: int, data: bytes):
-        attr = yield from self._call(
-            self.PROC.WRITE, g.fid, bno * self.block_size, data
-        )
-        self._note_server_attr(g, attr)
-
-    def _flush_dirty(self, g: Gnode):
-        """Push out delayed partial-block writes, synchronously."""
-        for buf in self.cache.dirty_buffers(file_key=g.cache_key):
-            stamp = self.cache.flush_begin(buf)
-            ok = False
-            try:
-                yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
-                ok = True
-            finally:
-                self.cache.flush_end(buf, stamp, clean=ok)
-
-    def getattr(self, g: Gnode):
-        attr = yield from self._probe(g)
+    def on_getattr(self, g: Gnode):
+        attr = yield from self.client._probe(g)
         return attr
 
-    def setattr(self, g: Gnode, size: Optional[int] = None, mode: Optional[int] = None):
-        if size is not None:
-            self.cache.invalidate_file(g.cache_key)
-        attr = yield from self._call(self.PROC.SETATTR, g.fid, size, mode)
-        self._note_server_attr(g, attr)
-        return attr
+    def before_remove(self, g: Gnode):
+        # pending async writes cannot be cancelled — NFS already wrote
+        # through (§4.2.3) — so drain them, then drop the cached blocks
+        c = self.client
+        yield from c.host.async_writers.drain(g.cache_key)
+        c.cache.invalidate_file(g.cache_key)
 
-    def fsync(self, g: Gnode):
-        yield from self._flush_dirty(g)
-        yield from self.host.async_writers.drain(g.cache_key)
 
-    def sync(self, min_age=None):
-        """Periodic write-back: only delayed partial blocks can be dirty."""
-        for buf in list(self.cache.dirty_buffers(older_than=min_age)):
-            if buf.file_key[0] != self.mount_id or buf.busy or not buf.dirty:
-                continue
-            g = buf.tag
-            if g is None:
-                continue
-            stamp = self.cache.flush_begin(buf)
-            ok = False
-            try:
-                yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
-                ok = True
-            finally:
-                self.cache.flush_end(buf, stamp, clean=ok)
+class NfsClient(RemoteFsClient):
+    """A remote-mounted NFS filesystem on a client host."""
 
-    def flush_block(self, buf):
-        """Cache eviction of a delayed partial block: write it through."""
-        g = buf.tag
-        if g is None:
-            return
-        yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
-
-    # -- crash support --------------------------------------------------------
-
-    def on_host_crash(self) -> None:
-        self._gnodes.clear()
-        self._root = None
-
-    def on_host_reboot(self) -> None:
-        pass
+    PROC = PROC
+    policy_class = NfsPolicy
 
 
 def mount_nfs(

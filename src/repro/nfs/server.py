@@ -1,156 +1,26 @@
 """The stateless NFS server.
 
-Per §2.1 and §4.1: the server keeps *no* per-client state between RPC
-requests; every ``write`` reaches stable storage (the simulated disk)
-before the reply goes out; reads are served through the server host's
-buffer cache, so they often avoid the disk entirely.  The service code
-"simply translates RPC requests into GFS operations on the appropriate
-file system, normally the standard Unix local file system".
+Per §2.1 and §4.1 the server keeps *no* per-client state between RPC
+requests — it is exactly the protocol-agnostic core
+(:class:`~repro.proto.RemoteFsServer`) under the ``nfs.`` procedure
+prefix: writes reach stable storage before the reply, reads go
+through the server host's buffer cache, and the service code "simply
+translates RPC requests into GFS operations on the appropriate file
+system".
 
-The same class also backs the SNFS server (which subclasses it and adds
-the state table, open/close services, and callbacks).
+The stateful servers (SNFS, Kent, RFS, lease) layer their tables on
+the same core rather than on this class.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
-
-from ..fs import NoSuchFile, StaleHandle
-from ..fs.types import FileAttr, FileHandle
-from ..host import Host
-from ..vfs import Gnode, LocalMount
+from ..proto import RemoteFsServer
 from .protocol import PROC
 
 __all__ = ["NfsServer"]
 
 
-class NfsServer:
+class NfsServer(RemoteFsServer):
     """NFS service for one exported local filesystem on a host."""
 
-    #: procedure-name prefix; SNFS overrides this
     PROC = PROC
-
-    def __init__(self, host: Host, export: LocalMount):
-        self.host = host
-        self.sim = host.sim
-        self.export = export
-        self.lfs = export.lfs
-        self._register()
-        # crash/reboot notifications (SNFS uses these to clear and
-        # rebuild its state table; the NFS server itself is stateless)
-        host.register_service(self)
-
-    def _register(self) -> None:
-        p = self.PROC
-        rpc = self.host.rpc
-        rpc.register(p.MNT, self.proc_mnt)
-        rpc.register(p.LOOKUP, self.proc_lookup)
-        rpc.register(p.GETATTR, self.proc_getattr)
-        rpc.register(p.SETATTR, self.proc_setattr)
-        rpc.register(p.READ, self.proc_read)
-        rpc.register(p.WRITE, self.proc_write)
-        rpc.register(p.CREATE, self.proc_create)
-        rpc.register(p.REMOVE, self.proc_remove)
-        rpc.register(p.RENAME, self.proc_rename)
-        rpc.register(p.MKDIR, self.proc_mkdir)
-        rpc.register(p.RMDIR, self.proc_rmdir)
-        rpc.register(p.READDIR, self.proc_readdir)
-
-
-    def _check_available(self, src: str) -> None:
-        """Hook: reject calls while unavailable (SNFS recovery overrides)."""
-
-    # -- handle helpers ----------------------------------------------------
-
-    def _gnode(self, fh: FileHandle) -> Gnode:
-        inum = self.lfs.resolve(fh)
-        inode = self.lfs._inode(inum)
-        return self.export.gnode_for(inum, inode.ftype)
-
-    def _handle_and_attr(self, inum: int) -> Tuple[FileHandle, FileAttr]:
-        return self.lfs.handle(inum), self.lfs._attr(inum)
-
-    # -- procedures (all coroutines taking the caller's address first) ----
-
-    def proc_mnt(self, src):
-        """Export the root: returns (root handle, attributes)."""
-        return self._handle_and_attr(self.lfs.root_inum)
-        yield  # pragma: no cover
-
-    def proc_lookup(self, src, dirfh: FileHandle, name: str):
-        self._check_available(src)
-        dirg = self._gnode(dirfh)
-        inum = yield from self.lfs.lookup(dirg.fid, name)
-        return self._handle_and_attr(inum)
-
-    def proc_getattr(self, src, fh: FileHandle):
-        self._check_available(src)
-        g = self._gnode(fh)
-        attr = yield from self.export.getattr(g)
-        return attr
-
-    def proc_setattr(self, src, fh: FileHandle, size=None, mode=None):
-        self._check_available(src)
-        g = self._gnode(fh)
-        attr = yield from self.export.setattr(g, size=size, mode=mode)
-        return attr
-
-    def proc_read(self, src, fh: FileHandle, offset: int, count: int):
-        """Read through the server cache; returns (data, attrs)."""
-        self._check_available(src)
-        g = self._gnode(fh)
-        data = yield from self.export.read(g, offset, count)
-        return data, self.lfs._attr(g.fid)
-
-    def proc_write(self, src, fh: FileHandle, offset: int, data: bytes):
-        """Write to stable storage before replying (the NFS rule)."""
-        self._check_available(src)
-        g = self._gnode(fh)
-        try:
-            yield from self.export.write(g, offset, data)
-            yield from self.export.fsync(g)  # stable storage, synchronously
-            return self.lfs._attr(g.fid)
-        except NoSuchFile:
-            # the file was removed while this write was in flight
-            raise StaleHandle("file deleted during write")
-
-    def proc_create(self, src, dirfh: FileHandle, name: str, mode: int = 0o644):
-        self._check_available(src)
-        dirg = self._gnode(dirfh)
-        try:
-            inum = yield from self.lfs.lookup(dirg.fid, name)
-        except NoSuchFile:
-            g = yield from self.export.create(dirg, name, mode)
-            inum = g.fid
-        return self._handle_and_attr(inum)
-
-    def proc_remove(self, src, dirfh: FileHandle, name: str):
-        self._check_available(src)
-        dirg = self._gnode(dirfh)
-        yield from self.export.remove(dirg, name)
-        return None
-
-    def proc_rename(self, src, sdirfh: FileHandle, sname: str, ddirfh: FileHandle, dname: str):
-        self._check_available(src)
-        sdirg = self._gnode(sdirfh)
-        ddirg = self._gnode(ddirfh)
-        yield from self.export.rename(sdirg, sname, ddirg, dname)
-        return None
-
-    def proc_mkdir(self, src, dirfh: FileHandle, name: str, mode: int = 0o755):
-        self._check_available(src)
-        dirg = self._gnode(dirfh)
-        g = yield from self.export.mkdir(dirg, name, mode)
-        return self._handle_and_attr(g.fid)
-
-    def proc_rmdir(self, src, dirfh: FileHandle, name: str):
-        self._check_available(src)
-        dirg = self._gnode(dirfh)
-        yield from self.export.rmdir(dirg, name)
-        return None
-
-    def proc_readdir(self, src, dirfh: FileHandle):
-        self._check_available(src)
-        dirg = self._gnode(dirfh)
-        names = yield from self.export.readdir(dirg)
-        return names

@@ -1,0 +1,29 @@
+"""``repro.proto`` — the protocol-agnostic remote-FS core.
+
+The paper's point is that the *consistency mechanism* is separable
+from the rest of the file-access stack.  This package is that
+separation: :class:`RemoteFsClient`/:class:`RemoteFsServer` carry the
+shared mechanism (transport, caches, DNLC, write-back plumbing,
+dispatch, per-file serialization, attribute versioning) and a
+:class:`ConsistencyPolicy` strategy object carries each protocol's
+decisions.  ``repro.nfs``, ``repro.snfs``, ``repro.kent``,
+``repro.rfs``, and ``repro.lease`` are thin policies over this core;
+see docs/PROTOCOLS.md for the layering diagram.
+"""
+
+from .client import RemoteFsClient
+from .config import RemoteFsConfig
+from .dnlc import NameCache
+from .policy import ConsistencyPolicy
+from .procs import STANDARD_PROCS, proc_namespace
+from .server import RemoteFsServer
+
+__all__ = [
+    "ConsistencyPolicy",
+    "NameCache",
+    "RemoteFsClient",
+    "RemoteFsConfig",
+    "RemoteFsServer",
+    "STANDARD_PROCS",
+    "proc_namespace",
+]

@@ -1,0 +1,90 @@
+"""One layered configuration dataclass for every remote-FS client.
+
+Before the ``repro.proto`` refactor each protocol carried its own
+config class (``NfsClientConfig``, ``SnfsClientConfig``) and the
+experiments had to build parallel objects.  The knobs never actually
+conflicted — they configure different *layers* (attribute cache,
+write policy, name cache, close policy), and each policy simply
+ignores the layers it does not implement — so they now live in one
+flat dataclass.  ``NfsClientConfig`` and ``SnfsClientConfig`` remain
+as aliases for source compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RemoteFsConfig"]
+
+
+@dataclass
+class RemoteFsConfig:
+    """Knobs for a remote mount, grouped by the layer that reads them.
+
+    Attribute-cache layer (probe-based policies: NFS):
+
+    * ``attr_min_interval`` / ``attr_max_interval`` — the adaptive
+      getattr-probe window (§2.1, paper footnote 3): 3 s for
+      recently-modified files doubling to 150 s while unchanged.
+    * ``getattr_on_open`` — the consistency check "made each time the
+      client opens a file" (§2.1): a getattr RPC at open; the paper
+      equates SNFS's open RPC with "the getattr operation done at
+      file-open time by NFS".
+
+    Write-policy layer (NFS-style write-through):
+
+    * ``async_writes`` — biod-style write-behind for full blocks.
+    * ``invalidate_on_close`` — the old-reference-port bug: "the
+      client first writes a file, closes it, and then reopens and
+      reads it, and this bug prevents the client from using its
+      cached copy" (§5.2).  On by default to match the paper's NFS;
+      other policies force or default it off.
+
+    Write-policy layer (SNFS-style delayed writes):
+
+    * ``write_through`` — ablation: force NFS-style write-through
+      despite the consistency protocol allowing delayed writes
+      (isolates the write policy, which §7 credits with most of
+      Sprite's advantage).
+    * ``cancel_on_delete`` — ablation: disable delayed-write
+      cancellation on delete (§4.2.3).
+
+    Name-cache layer (all policies; see :mod:`repro.proto.dnlc`):
+
+    * ``name_cache_ttl`` — DNLC TTL in seconds; 0 disables it.  The
+      paper (§5.2/§7) observes that "roughly half of the RPC calls
+      are file name lookups" and suggests caching name translations;
+      this is the simple TTL variant later NFS clients shipped.
+    * ``consistent_dir_cache`` — §7 done properly: cache name
+      translations indefinitely, kept consistent by server-issued
+      name-invalidation callbacks.  Only the SNFS server issues
+      those callbacks, so enable this only on SNFS mounts.
+
+    Close-policy layer (SNFS):
+
+    * ``delayed_close`` — §6.2: withhold close RPCs anticipating a
+      re-open.
+    * ``delayed_close_timeout`` — spontaneously relinquish
+      delayed-close files after this long.
+    """
+
+    # attribute-cache layer
+    attr_min_interval: float = 3.0  # seconds (paper footnote 3)
+    attr_max_interval: float = 150.0
+    getattr_on_open: bool = True
+
+    # write-policy layer: NFS-style write-through
+    async_writes: bool = True  # biod-style write-behind
+    invalidate_on_close: bool = True  # the old-reference-port bug
+
+    # write-policy layer: SNFS-style delayed writes
+    write_through: bool = False
+    cancel_on_delete: bool = True
+
+    # name-cache layer
+    name_cache_ttl: float = 0.0
+    consistent_dir_cache: bool = False
+
+    # close-policy layer
+    delayed_close: bool = False
+    delayed_close_timeout: float = 180.0

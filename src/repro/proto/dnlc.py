@@ -1,0 +1,91 @@
+"""The directory-name-lookup cache (DNLC), shared by every protocol.
+
+One implementation with one purge semantics, replacing the copies the
+NFS and SNFS clients used to carry.  Three modes, selected by the
+mount's :class:`~repro.proto.config.RemoteFsConfig`:
+
+* disabled (the default): every path component costs a lookup RPC,
+  which is why roughly half of all RPCs in Table 5-2 are lookups;
+* TTL (``name_cache_ttl > 0``): entries expire after a fixed window —
+  the simple variant later NFS clients shipped (§7);
+* consistent (``consistent_dir_cache``): entries never expire; the
+  server invalidates them by name-invalidation callback when the
+  directory's namespace changes (the §7 "Sprite consistency protocols
+  applied to directory entries" extension), which lands here as
+  :meth:`NameCache.purge_dir`.
+
+In every mode a local rename or remove purges the affected entries
+(see ``RemoteFsClient.rename``/``remove``) — the single
+purge-on-rename/remove semantics all protocols now share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Set, Tuple
+
+__all__ = ["NameCache"]
+
+
+class NameCache:
+    """Maps ``(directory key, name)`` to ``(fid, ftype)`` translations.
+
+    Reads its mode off the mount's live config object on every
+    operation, so flipping ``name_cache_ttl`` mid-run behaves the way
+    the old per-client implementations did.
+    """
+
+    def __init__(self, sim, config):
+        self.sim = sim
+        self.config = config
+        #: (dir key, name) -> (fid, ftype, cached-at time)
+        self._entries: Dict[Tuple[Hashable, str], tuple] = {}
+        #: dir key -> names cached under it (for purge_dir)
+        self._dir_index: Dict[Hashable, Set[str]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.consistent_dir_cache or self.config.name_cache_ttl > 0
+
+    def get(self, dir_key: Hashable, name: str) -> Optional[tuple]:
+        """Return ``(fid, ftype)`` or None (miss or expired entry)."""
+        if self.config.consistent_dir_cache:
+            hit = self._entries.get((dir_key, name))
+            if hit is None:
+                return None
+            return hit[0], hit[1]  # never expires: the server
+            # invalidates us when the directory changes
+        if self.config.name_cache_ttl <= 0:
+            return None
+        hit = self._entries.get((dir_key, name))
+        if hit is None:
+            return None
+        fid, ftype, cached_at = hit
+        if self.sim.now - cached_at > self.config.name_cache_ttl:
+            del self._entries[(dir_key, name)]
+            return None
+        return fid, ftype
+
+    def put(self, dir_key: Hashable, name: str, fid, ftype) -> None:
+        if not self.enabled:
+            return
+        self._entries[(dir_key, name)] = (fid, ftype, self.sim.now)
+        if self.config.consistent_dir_cache:
+            self._dir_index.setdefault(dir_key, set()).add(name)
+
+    def purge(self, dir_key: Hashable, name: str) -> None:
+        """Drop one translation (local rename/remove of the name)."""
+        self._entries.pop((dir_key, name), None)
+
+    def purge_dir(self, dir_key: Hashable) -> None:
+        """Name-invalidation callback: drop every cached entry of the
+        directory (its namespace changed at the server)."""
+        names = self._dir_index.pop(dir_key, set())
+        for name in names:
+            self._entries.pop((dir_key, name), None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._dir_index.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,141 @@
+"""The consistency-policy strategy interface.
+
+A :class:`~repro.proto.client.RemoteFsClient` owns the mechanism —
+transport, buffer cache, attribute cache, DNLC, write-back plumbing —
+and delegates every *decision* to a :class:`ConsistencyPolicy`
+composed into it: what happens at open and close, whether reads trust
+the cache, whether writes are delayed or written through, how a
+server push (callback, revoke, invalidate, vacate) is serviced.  The
+paper's whole argument is that these decisions are separable from the
+file-access stack; this interface is that separation made literal.
+
+Policies are deliberately *thin* objects: all shared state (gnodes,
+caches, config) stays on the client, so a policy method reads like
+the protocol section of the paper it implements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["ConsistencyPolicy"]
+
+
+class ConsistencyPolicy:
+    """Base strategy: the hooks a protocol may override.
+
+    The defaults implement the *least* machinery: plain hard-mount
+    RPCs, piggybacked attributes absorbed without invalidation, no
+    server-push procedures, invalidate-on-truncate.  Lifecycle hooks
+    (``on_open``/``on_close``/``on_read``/``on_write``/``on_getattr``)
+    have no sensible protocol-independent default and must be
+    provided.
+    """
+
+    #: write dirty blocks back in block order (delayed-write policies
+    #: flush whole files, so deterministic block order matters; the
+    #: write-through policies flush in cache order, preserving their
+    #: historical RPC sequences)
+    flush_in_block_order = False
+    #: fsync must also drain the host's async write-through pool
+    drain_on_fsync = False
+
+    def __init__(self, client):
+        self.client = client
+
+    # -- transport ---------------------------------------------------------
+
+    def call(self, proc: str, *args, gnode=None):
+        """Coroutine: one RPC to the mount's server.
+
+        Hard-mount semantics: the client retries forever.  ``gnode``
+        names the file the call operates on, if any; recovery-aware
+        policies (SNFS) use it to abort calls whose reopen claim the
+        rebooted server rejected.
+        """
+        c = self.client
+        result = yield from c.rpc.call(c.server, proc, *args, hard=True)
+        return result
+
+    # -- server push -------------------------------------------------------
+
+    def push_procs(self) -> Dict[str, str]:
+        """RPC procedures the *server* invokes on this client, mapping
+        procedure name -> policy method name.  The client registers
+        one host-wide dispatcher per protocol and routes by source
+        address (several mounts of one protocol share the handler)."""
+        return {}
+
+    # -- attribute handling ------------------------------------------------
+
+    def store_attr(self, g, attr) -> None:
+        """Record attributes from a lookup/create/attach reply."""
+        raise NotImplementedError
+
+    def absorb_attr(self, g, attr) -> None:
+        """Record attributes piggybacked on read/write replies: they
+        reflect our own traffic, so they refresh the attribute cache
+        without invalidating data."""
+        self.client._note_server_attr(g, attr)
+
+    # -- cache validity ----------------------------------------------------
+
+    def validate_cache(self, g, *args, **kwargs) -> None:
+        """Decide whether the cached copy survives an open (stateful
+        protocols compare version numbers here, §3.1)."""
+
+    # -- file lifecycle ----------------------------------------------------
+
+    def on_open(self, g, mode):
+        """Coroutine: the protocol's open-time work (probe, open RPC,
+        lease acquisition...).  The client bumps open counts after."""
+        raise NotImplementedError
+
+    def on_close(self, g, mode):
+        """Coroutine: the protocol's close-time work.  The client has
+        already decremented the open counts."""
+        raise NotImplementedError
+
+    def on_read(self, g, offset: int, count: int):
+        """Coroutine: return file data, deciding cache use."""
+        raise NotImplementedError
+
+    def on_write(self, g, offset: int, data: bytes):
+        """Coroutine: apply a write, deciding the write-back policy."""
+        raise NotImplementedError
+
+    def on_getattr(self, g):
+        """Coroutine: return attributes, deciding whether to probe."""
+        raise NotImplementedError
+
+    # -- data plumbing -----------------------------------------------------
+
+    def write_rpc(self, g, bno: int, data: bytes):
+        """Coroutine: push one block to the server."""
+        c = self.client
+        attr = yield from c._call(
+            c.PROC.WRITE, g.fid, bno * c.block_size, data
+        )
+        self.absorb_attr(g, attr)
+
+    # -- namespace side effects --------------------------------------------
+
+    def before_remove(self, g):
+        """Coroutine: settle the victim's cached data before the
+        REMOVE RPC goes out (flush, cancel, or release tokens)."""
+        return
+        yield  # pragma: no cover
+
+    def on_rename_victim(self, victim) -> None:
+        """A rename is about to clobber ``victim``'s file."""
+        self.client.cache.invalidate_file(victim.cache_key)
+
+    def on_truncate(self, g) -> None:
+        """setattr is about to shrink the file."""
+        self.client.cache.invalidate_file(g.cache_key)
+
+    # -- host lifecycle ----------------------------------------------------
+
+    def on_host_crash(self) -> None:
+        """The client host crashed; drop volatile policy state.  The
+        client clears its gnode table afterwards."""

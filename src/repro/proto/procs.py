@@ -1,0 +1,48 @@
+"""Procedure-namespace factory for remote-FS protocols.
+
+Every protocol speaks the same twelve core procedures (mount, name
+ops, data ops) under its own prefix so that several services can
+coexist on one endpoint (§6.1), plus protocol-specific extras (SNFS
+open/close/callback, Kent acquire/revoke, RFS invalidate, lease
+vacate).  :func:`proc_namespace` builds the class-style namespace the
+clients and servers index (``PROC.READ`` etc.) without each protocol
+hand-writing the standard dozen.
+"""
+
+from __future__ import annotations
+
+__all__ = ["STANDARD_PROCS", "proc_namespace"]
+
+#: the protocol-independent procedures every remote FS serves, in
+#: registration order
+STANDARD_PROCS = (
+    "MNT",  # mount protocol: export root handle
+    "LOOKUP",
+    "GETATTR",
+    "SETATTR",
+    "READ",
+    "WRITE",
+    "CREATE",
+    "REMOVE",
+    "RENAME",
+    "MKDIR",
+    "RMDIR",
+    "READDIR",
+)
+
+
+def proc_namespace(prefix: str, doc: str = "", **extras: str) -> type:
+    """Build a ``PROC``-style namespace class for one protocol.
+
+    ``prefix`` is the bare protocol name (``"kent"``); the standard
+    procedures become ``kent.mnt`` … ``kent.readdir`` and each extra
+    keyword adds one more attribute verbatim (so server→client
+    procedures can carry comments at the call site).
+    """
+    attrs = {"PREFIX": prefix + "."}
+    for name in STANDARD_PROCS:
+        attrs[name] = prefix + "." + name.lower()
+    attrs.update(extras)
+    cls = type(prefix.upper() + "PROC", (), attrs)
+    cls.__doc__ = doc or ("%s procedure names." % prefix)
+    return cls

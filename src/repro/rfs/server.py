@@ -15,40 +15,25 @@ file; version numbers (bumped per write) catch reopen-after-close.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Hashable
 
 from ..fs.types import FileHandle
 from ..host import Host
 from ..net import RpcError
-from ..nfs.server import NfsServer
+from ..proto import RemoteFsServer, proc_namespace
 from ..vfs import LocalMount
 
 __all__ = ["RfsServer", "RPROC"]
 
 
-class RPROC:
-    """RFS procedure names."""
-
-    PREFIX = "rfs."
-
-    MNT = "rfs.mnt"
-    LOOKUP = "rfs.lookup"
-    GETATTR = "rfs.getattr"
-    SETATTR = "rfs.setattr"
-    READ = "rfs.read"
-    WRITE = "rfs.write"
-    CREATE = "rfs.create"
-    REMOVE = "rfs.remove"
-    RENAME = "rfs.rename"
-    MKDIR = "rfs.mkdir"
-    RMDIR = "rfs.rmdir"
-    READDIR = "rfs.readdir"
-
-    OPEN = "rfs.open"
-    CLOSE = "rfs.close"
-    INVALIDATE = "rfs.invalidate"  # server -> client
+RPROC = proc_namespace(
+    "rfs",
+    doc="RFS procedure names.",
+    OPEN="rfs.open",
+    CLOSE="rfs.close",
+    INVALIDATE="rfs.invalidate",  # server -> client
+)
 
 
 @dataclass
@@ -58,15 +43,15 @@ class _RfsEntry:
     open_counts: Dict[str, int] = field(default_factory=dict)
 
 
-class RfsServer(NfsServer):
+class RfsServer(RemoteFsServer):
     """RFS service: NFS semantics plus open/close tracking and
-    write-triggered invalidations."""
+    write-triggered invalidations.  Versions come from the core's
+    attribute-version counter."""
 
     PROC = RPROC
 
     def __init__(self, host: Host, export: LocalMount):
         self._entries: Dict[Hashable, _RfsEntry] = {}
-        self._versions = itertools.count(1)
         super().__init__(host, export)
 
     def _register(self) -> None:
@@ -78,7 +63,7 @@ class RfsServer(NfsServer):
     def _entry(self, key: Hashable) -> _RfsEntry:
         entry = self._entries.get(key)
         if entry is None:
-            entry = _RfsEntry(version=next(self._versions))
+            entry = _RfsEntry(version=self.next_version())
             self._entries[key] = entry
         return entry
 
@@ -106,7 +91,7 @@ class RfsServer(NfsServer):
     def proc_write(self, src, fh: FileHandle, offset: int, data: bytes):
         result = yield from super().proc_write(src, fh, offset, data)
         entry = self._entry(fh.key())
-        entry.version = next(self._versions)
+        entry.version = self.next_version()
         for client in list(entry.open_counts):
             if client == src:
                 continue

@@ -1,6 +1,8 @@
 """The SNFS client (§4.2): explicit consistency instead of probes.
 
-Differences from the NFS client it subclasses:
+A :class:`~repro.proto.ConsistencyPolicy` over the shared
+:class:`~repro.proto.RemoteFsClient` core.  Differences from the NFS
+policy:
 
 * ``open`` sends the SNFS open RPC; the reply's version numbers decide
   whether the client's cached blocks survive ("a client's cache is
@@ -27,77 +29,42 @@ a delayed-close file relinquishes it first.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from ..fs import NoSuchFile, StaleHandle
 from ..fs.types import FileAttr, FileHandle, OpenMode
 from ..host import Host
-from ..nfs.client import NfsClient
+from ..proto import ConsistencyPolicy, RemoteFsClient, RemoteFsConfig
 from ..sim import Interrupt
-from ..vfs import FileSystemType, Gnode, cached_read, cached_write
+from ..vfs import Gnode
 from .protocol import SPROC
 from .recovery import ReopenRejected, ServerRecovering
 from .server import OpenReply
 
-__all__ = ["SnfsClient", "SnfsClientConfig", "mount_snfs"]
+__all__ = ["SnfsClient", "SnfsClientConfig", "SnfsPolicy", "mount_snfs"]
+
+#: unified layered config (see repro.proto.config); kept as an alias
+SnfsClientConfig = RemoteFsConfig
 
 
-@dataclass
-class SnfsClientConfig:
-    #: §6.2: withhold close RPCs anticipating a re-open
-    delayed_close: bool = False
-    #: spontaneously relinquish delayed-close files after this long
-    delayed_close_timeout: float = 180.0
-    #: ablation: force NFS-style write-through despite the consistency
-    #: protocol allowing delayed writes (isolates the write policy,
-    #: which §7 credits with most of Sprite's advantage)
-    write_through: bool = False
-    #: ablation: disable delayed-write cancellation on delete
-    cancel_on_delete: bool = True
-    #: directory-name-lookup cache TTL (0 disables); see
-    #: NfsClientConfig.name_cache_ttl — §7 suggests applying the Sprite
-    #: consistency protocols to directory entries; this is the TTL
-    #: approximation
-    name_cache_ttl: float = 0.0
-    #: §7 done properly: cache name translations indefinitely, kept
-    #: consistent by server-issued name-invalidation callbacks (the
-    #: server tracks which clients have resolved names in a directory
-    #: and calls them back when its namespace changes).  "We suspect
-    #: that applying the Sprite consistency protocols to a cache of
-    #: directory entries might be a good approach."
-    consistent_dir_cache: bool = False
+class SnfsPolicy(ConsistencyPolicy):
+    """The Sprite consistency mechanism grafted onto NFS (§4)."""
 
+    flush_in_block_order = True  # whole-file delayed-write flushes
 
-class SnfsClient(NfsClient):
-    """A remote-mounted Spritely NFS filesystem on a client host."""
-
-    PROC = SPROC
-
-    def __init__(
-        self,
-        mount_id: str,
-        host: Host,
-        server_addr: str,
-        config: Optional[SnfsClientConfig] = None,
-    ):
-        FileSystemType.__init__(self, mount_id)
-        self.host = host
-        self.sim = host.sim
-        self.cache = host.cache
-        self.rpc = host.rpc
-        self.server = server_addr
-        self.config = config or SnfsClientConfig()
-        self.block_size = host.config.block_size
-        self._root: Optional[Gnode] = None
+    def __init__(self, client):
+        super().__init__(client)
         self._recovered_epoch: Optional[int] = None
-        self._name_cache: dict = {}
-        self._dir_index: dict = {}  # dir fh key -> cached names in it
-        self._register_callback_service()
 
-    # -- server-crash recovery (§2.4) ----------------------------------------
+    def push_procs(self):
+        return {
+            SPROC.CALLBACK: "serve_callback",
+            SPROC.KEEPALIVE: "serve_keepalive",
+        }
 
-    def _call(self, proc: str, *args, gnode: Optional[Gnode] = None):
+    # -- server-crash recovery (§2.4) --------------------------------------
+
+    def call(self, proc: str, *args, gnode: Optional[Gnode] = None):
         """RPC with recovery: a ``ServerRecovering`` rejection means the
         server rebooted — reassert our open/dirty state with ``reopen``,
         wait out the grace period, and retry.
@@ -108,103 +75,88 @@ class SnfsClient(NfsClient):
         over newer state, so the in-flight call aborts with
         :class:`ReopenRejected` instead.
         """
+        c = self.client
         while True:
             try:
-                result = yield from self.rpc.call(
-                    self.server, proc, *args, hard=True
+                result = yield from c.rpc.call(
+                    c.server, proc, *args, hard=True
                 )
                 return result
             except ServerRecovering as recovering:
                 if self._recovered_epoch != recovering.epoch:
                     report = self.open_state_report()
-                    reply = yield from self.rpc.call(
-                        self.server, self.PROC.REOPEN, report, hard=True
+                    reply = yield from c.rpc.call(
+                        c.server, c.PROC.REOPEN, report, hard=True
                     )
                     self._handle_reopen_reply(reply)
                     self._recovered_epoch = recovering.epoch
                     # the rebooted server lost its record of our cached
                     # name translations: drop them
-                    self._name_cache.clear()
-                    self._dir_index.clear()
+                    c.dnlc.clear()
                 if gnode is not None and gnode.private.get("reopen_rejected"):
                     raise ReopenRejected(
                         "claim on %r rejected after server reboot" % (gnode.fid,)
                     )
-                yield self.sim.timeout(max(recovering.retry_after, 0.5))
+                yield c.sim.timeout(max(recovering.retry_after, 0.5))
 
     def _handle_reopen_reply(self, reply) -> None:
         """Apply the server's verdict on our reasserted claims."""
+        c = self.client
         if isinstance(reply, tuple):
             _epoch, rejected = reply
         else:
             rejected = []  # plain-epoch reply (older server)
         for fh in rejected:
-            g = self._gnodes.get(fh.key())
+            g = c._gnodes.get(fh.key())
             if g is None:
                 continue
             # our claim lost to state established while we were cut
             # off: the cached copy is stale and any dirty delayed
             # writes must not reach the server
-            self.cache.cancel_dirty_file(g.cache_key)
-            self.cache.invalidate_file(g.cache_key)
+            c.cache.cancel_dirty_file(g.cache_key)
+            c.cache.invalidate_file(g.cache_key)
             g.private["cache_enabled"] = False
             g.private.pop("version", None)
             g.private["inconsistent"] = True
             g.private["reopen_rejected"] = True
 
-    # -- callback service registration (one handler per host) -------------
+    # -- callback service (§4.2.2) -----------------------------------------
 
-    def _register_callback_service(self) -> None:
-        mounts = getattr(self.host, "_snfs_mounts", None)
-        if mounts is None:
-            self.host._snfs_mounts = [self]
-            self.host.rpc.register(SPROC.CALLBACK, self._callback_dispatch)
-            self.host.rpc.register(SPROC.KEEPALIVE, self._keepalive_dispatch)
-        else:
-            mounts.append(self)
-
-    def _keepalive_dispatch(self, src):
+    def serve_keepalive(self):
         """Answer the server's liveness probe (dead-client sweep)."""
         return True
         yield  # pragma: no cover
 
-    def _callback_dispatch(
+    def serve_callback(
         self,
-        src,
         fh: FileHandle,
         writeback: bool,
         invalidate: bool,
         invalidate_names: bool = False,
     ):
-        """Route an incoming callback to the right mount on this host."""
-        for mount in self.host._snfs_mounts:
-            if mount.server == src:
-                if invalidate_names:
-                    mount.purge_dir_names(fh)
-                result = yield from mount.serve_callback(fh, writeback, invalidate)
-                return result
-        return None  # no such mount (e.g. unmounted): nothing cached
-
-    def serve_callback(self, fh: FileHandle, writeback: bool, invalidate: bool):
         """Perform the callback actions for one file (§4.2.2)."""
-        g = self._gnodes.get(fh.key())
+        c = self.client
+        if invalidate_names:
+            # §7: the directory's namespace changed at the server
+            c.dnlc.purge_dir(fh.key())
+        g = c._gnodes.get(fh.key())
         if g is None:
             return None  # nothing known about this file
         if writeback:
-            tracer = self.sim.tracer
+            tracer = c.sim.tracer
             span = None
             if tracer is not None:
                 span = tracer.begin(
-                    "snfs.writeback", cat="snfs", track=self.host.name,
+                    "snfs.writeback", cat="snfs", track=c.host.name,
                     file=str(fh.key()),
                 )
             try:
-                yield from self._flush_dirty(g)
+                yield from c._flush_dirty(g)
             finally:
                 if span is not None:
                     tracer.end(span)
         if invalidate:
-            self.cache.invalidate_file(g.cache_key)
+            c.cache.invalidate_file(g.cache_key)
             g.private["cache_enabled"] = False
         if g.private.get("pending_closes"):
             # §6.2: a delayed-close file got a callback — relinquish it.
@@ -214,51 +166,24 @@ class SnfsClient(NfsClient):
             # the paper says its state assignment would hit ("would
             # have to be changed to support delayed close without
             # deadlocking", §4.3.4).
-            self.sim.spawn(
+            c.sim.spawn(
                 self._send_pending_closes(g), name="relinquish-delayed-close"
             )
         return None
 
-    # -- consistent directory-entry cache (§7 extension) --------------------
-
-    def _dnlc_get(self, dirg: Gnode, name: str):
-        if self.config.consistent_dir_cache:
-            hit = self._name_cache.get(self._dnlc_key(dirg, name))
-            if hit is None:
-                return None
-            fh, ftype, _cached_at = hit
-            return self.gnode_for(fh, ftype)  # never expires: the server
-            # invalidates us when the directory changes
-        return super()._dnlc_get(dirg, name)
-
-    def _dnlc_put(self, dirg: Gnode, name: str, g: Gnode) -> None:
-        if self.config.consistent_dir_cache:
-            key = self._dnlc_key(dirg, name)
-            self._name_cache[key] = (g.fid, g.ftype, self.sim.now)
-            self._dir_index.setdefault(dirg._fid_key(), set()).add(name)
-            return
-        super()._dnlc_put(dirg, name, g)
-
-    def purge_dir_names(self, dirfh: FileHandle) -> None:
-        """Name-invalidation callback: drop every cached entry of the
-        directory (its namespace changed at the server)."""
-        dir_key = dirfh.key()
-        names = self._dir_index.pop(dir_key, set())
-        for name in names:
-            self._name_cache.pop((dir_key, name), None)
-
     # -- cache validity ----------------------------------------------------
 
-    def _validate_cache(self, g: Gnode, reply: OpenReply, write: bool) -> None:
+    def validate_cache(self, g: Gnode, reply: OpenReply, write: bool) -> None:
+        c = self.client
         cached_version = g.private.get("version")
         valid = cached_version == reply.version or (
             write and cached_version == reply.prev_version
         )
         if not valid:
-            self.cache.invalidate_file(g.cache_key)
+            c.cache.invalidate_file(g.cache_key)
         g.private["version"] = reply.version
         if not reply.cache_enabled:
-            self.cache.invalidate_file(g.cache_key)
+            c.cache.invalidate_file(g.cache_key)
         g.private["cache_enabled"] = reply.cache_enabled
         g.private["inconsistent"] = reply.inconsistent
         self._store_attr_snfs(g, reply.attr)
@@ -269,21 +194,25 @@ class SnfsClient(NfsClient):
         # block mid-writeback is busy, not dirty, but its data still
         # hasn't reached the server — adopting the server's (smaller)
         # size in that window would make reads see a truncated file.
+        c = self.client
         local = g.private.get("attr")
         pending = any(
-            b.dirty or b.busy for b in self.cache.file_blocks(g.cache_key)
+            b.dirty or b.busy for b in c.cache.file_blocks(g.cache_key)
         )
         if local is not None and pending:
             attr = attr.copy()
             attr.size = max(attr.size, local.size)
             attr.mtime = max(attr.mtime, local.mtime)
         g.private["attr"] = attr
-        g.private["attr_time"] = self.sim.now
+        g.private["attr_time"] = c.sim.now
 
-    def _store_attr(self, g: Gnode, attr: FileAttr) -> None:
-        """Override the NFS behaviour: SNFS consistency comes from
-        version numbers, never from mtime comparisons — an mtime-based
-        invalidation here could destroy pending delayed writes."""
+    def store_attr(self, g: Gnode, attr: FileAttr) -> None:
+        """SNFS consistency comes from version numbers, never from
+        mtime comparisons — an mtime-based invalidation here could
+        destroy pending delayed writes."""
+        self._store_attr_snfs(g, attr)
+
+    def absorb_attr(self, g: Gnode, attr: FileAttr) -> None:
         self._store_attr_snfs(g, attr)
 
     def _cachable(self, g: Gnode) -> bool:
@@ -291,43 +220,33 @@ class SnfsClient(NfsClient):
 
     # -- open / close ------------------------------------------------------
 
-    def open(self, g: Gnode, mode: OpenMode):
+    def on_open(self, g: Gnode, mode: OpenMode):
         """Send (or satisfy locally, §6.2) the SNFS open."""
-        if self.config.delayed_close and self._consume_pending_close(g, mode):
+        c = self.client
+        if c.config.delayed_close and self._consume_pending_close(g, mode):
             # the matching delayed close is cancelled: a local open
-            if mode.is_write:
-                g.open_writes += 1
-            else:
-                g.open_reads += 1
             return
-        reply = yield from self._call(self.PROC.OPEN, g.fid, mode.is_write)
+        reply = yield from c._call(c.PROC.OPEN, g.fid, mode.is_write)
         reply = OpenReply(*reply)
         # a fresh open re-establishes our claim on the file
         g.private.pop("reopen_rejected", None)
-        self._validate_cache(g, reply, mode.is_write)
-        if mode.is_write:
-            g.open_writes += 1
-        else:
-            g.open_reads += 1
+        self.validate_cache(g, reply, mode.is_write)
 
-    def close(self, g: Gnode, mode: OpenMode):
+    def on_close(self, g: Gnode, mode: OpenMode):
         """Notify the server; the cache is retained across the close."""
-        if mode.is_write:
-            g.open_writes -= 1
-        else:
-            g.open_reads -= 1
-        if self.config.delayed_close:
+        c = self.client
+        if c.config.delayed_close:
             self._defer_close(g, mode)
             return
-        yield from self._call(self.PROC.CLOSE, g.fid, mode.is_write)
+        yield from c._call(c.PROC.CLOSE, g.fid, mode.is_write)
 
-    # -- delayed close (§6.2) -----------------------------------------------
+    # -- delayed close (§6.2) ----------------------------------------------
 
     def _defer_close(self, g: Gnode, mode: OpenMode) -> None:
         pending: List[OpenMode] = g.private.setdefault("pending_closes", [])
         pending.append(mode)
         if g.private.get("close_daemon") is None:
-            g.private["close_daemon"] = self.sim.spawn(
+            g.private["close_daemon"] = self.client.sim.spawn(
                 self._close_daemon(g), name="delayed-close"
             )
 
@@ -340,16 +259,17 @@ class SnfsClient(NfsClient):
         return False
 
     def _send_pending_closes(self, g: Gnode):
+        c = self.client
         pending = g.private.get("pending_closes") or []
         g.private["pending_closes"] = []
         for mode in pending:
-            yield from self._call(self.PROC.CLOSE, g.fid, mode.is_write)
+            yield from c._call(c.PROC.CLOSE, g.fid, mode.is_write)
 
     def _close_daemon(self, g: Gnode):
         """Spontaneously relinquish files not re-opened for a while."""
         try:
             while True:
-                yield self.sim.timeout(self.config.delayed_close_timeout)
+                yield self.client.sim.timeout(self.client.config.delayed_close_timeout)
                 if g.private.get("pending_closes"):
                     yield from self._send_pending_closes(g)
                 if not g.private.get("pending_closes") and not g.is_open:
@@ -361,156 +281,97 @@ class SnfsClient(NfsClient):
 
     # -- data ---------------------------------------------------------------
 
-    def read(self, g: Gnode, offset: int, count: int):
+    def on_read(self, g: Gnode, offset: int, count: int):
+        c = self.client
         if not self._cachable(g):
             # write-shared: every read goes to the server (§2.2)
-            data, attr = yield from self._call(
-                self.PROC.READ, g.fid, offset, count
+            data, attr = yield from c._call(
+                c.PROC.READ, g.fid, offset, count
             )
             self._store_attr_snfs(g, attr)
             return data
-        attr = yield from self.getattr(g)
-        data = yield from cached_read(
-            self.cache,
-            g,
-            offset,
-            count,
-            file_size=attr.size,
-            block_size=self.block_size,
-            fill_fn=self._fill_from_server(g),
-            readahead=self.host.config.readahead,  # disabled when non-cachable
-            sim=self.sim,
-        )
+        attr = yield from self.on_getattr(g)
+        data = yield from c.read_cached(g, offset, count, file_size=attr.size)
         return data
 
-    def write(self, g: Gnode, offset: int, data: bytes):
+    def on_write(self, g: Gnode, offset: int, data: bytes):
+        c = self.client
         if not self._cachable(g):
             # write-shared: write through, nothing cached
-            attr = yield from self._call(self.PROC.WRITE, g.fid, offset, data)
+            attr = yield from c._call(c.PROC.WRITE, g.fid, offset, data)
             self._store_attr_snfs(g, attr)
             return
-        attr = self._local_attr(g)
-        bufs = yield from cached_write(
-            self.cache,
-            g,
-            offset,
-            data,
-            file_size=attr.size,
-            block_size=self.block_size,
-            fill_fn=self._fill_from_server(g),
+        attr = c._local_attr(g)
+        bufs = yield from c.write_cached(
+            g, offset, data, file_size=attr.size,
             mark_dirty=True,  # delayed write: the whole point (§2.3)
         )
         for buf in bufs:
             buf.tag = g
-        # the fill path may have refreshed the attr object from a read
-        # reply: re-fetch it so the size bump lands on the live object
-        attr = g.private.get("attr", attr)
-        attr.size = max(attr.size, offset + len(data))
-        attr.mtime = self.sim.now
-        g.private["attr"] = attr
-        g.private["attr_time"] = self.sim.now
-        if self.config.write_through:
+        c.bump_local_attr(g, offset + len(data), attr)
+        if c.config.write_through:
             # ablation: the consistency protocol with NFS's write policy
             for buf in bufs:
                 if not buf.dirty or buf.busy:
                     continue
-                stamp = self.cache.flush_begin(buf)
+                stamp = c.cache.flush_begin(buf)
                 ok = False
                 try:
-                    yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
+                    yield from self.write_rpc(g, buf.block_no, bytes(buf.data))
                     ok = True
                 finally:
-                    self.cache.flush_end(buf, stamp, clean=ok)
-
-    def _fill_from_server(self, g: Gnode):
-        def fill(bno):
-            data, attr = yield from self._call(
-                self.PROC.READ, g.fid, bno * self.block_size, self.block_size
-            )
-            self._store_attr_snfs(g, attr)
-            return data
-
-        return fill
+                    c.cache.flush_end(buf, stamp, clean=ok)
 
     # -- attributes ----------------------------------------------------------
 
-    def getattr(self, g: Gnode):
+    def on_getattr(self, g: Gnode):
         """Cachable files need no attribute refresh; write-shared files
         always fetch from the server (§4.2.1)."""
+        c = self.client
         attr = g.private.get("attr")
         if not self._cachable(g):
-            attr = yield from self._call(self.PROC.GETATTR, g.fid)
+            attr = yield from c._call(c.PROC.GETATTR, g.fid)
             self._store_attr_snfs(g, attr)
             return attr
         if attr is not None and (g.is_open or g.private.get("pending_closes")):
             return attr
-        if attr is not None and g.private.get("attr_time") == self.sim.now:
+        if attr is not None and g.private.get("attr_time") == c.sim.now:
             return attr  # piggybacked on the lookup that just ran
-        attr = yield from self._call(self.PROC.GETATTR, g.fid)
+        attr = yield from c._call(c.PROC.GETATTR, g.fid)
         self._store_attr_snfs(g, attr)
         return attr
 
-    def setattr(self, g: Gnode, size: Optional[int] = None, mode: Optional[int] = None):
-        if size is not None:
-            # truncation: cached blocks beyond the new size are stale;
-            # dirty delayed writes for them must not be flushed later
-            self.cache.cancel_dirty_file(g.cache_key)
-            self.cache.invalidate_file(g.cache_key)
-        attr = yield from self._call(self.PROC.SETATTR, g.fid, size, mode)
-        self._store_attr_snfs(g, attr)
-        return attr
+    def on_truncate(self, g: Gnode) -> None:
+        # truncation: cached blocks beyond the new size are stale;
+        # dirty delayed writes for them must not be flushed later
+        self.client.cache.cancel_dirty_file(g.cache_key)
+        self.client.cache.invalidate_file(g.cache_key)
 
     # -- namespace: delete-before-writeback ---------------------------------
 
-    def remove(self, dirg: Gnode, name: str):
-        """Unlink with delayed-write cancellation (§4.2.3): 'Sprite and
-        SNFS take advantage of this behavior by cancelling delayed
-        writes when a file is deleted.'"""
-        g = yield from self.lookup(dirg, name)
-        if self.config.cancel_on_delete:
-            self.cache.cancel_dirty_file(g.cache_key)
+    def before_remove(self, g: Gnode):
+        """Delayed-write cancellation (§4.2.3): 'Sprite and SNFS take
+        advantage of this behavior by cancelling delayed writes when a
+        file is deleted.'"""
+        c = self.client
+        if c.config.cancel_on_delete:
+            c.cache.cancel_dirty_file(g.cache_key)
         else:
             # ablation: without cancellation the dirty data must be
             # written back before the file can be removed
-            yield from self._flush_dirty(g)
-            self.cache.invalidate_file(g.cache_key)
-        yield from self._call(self.PROC.REMOVE, dirg.fid, name)
-        self._dnlc_purge(dirg, name)
-        self.drop_gnode(g)
+            yield from c._flush_dirty(g)
+            c.cache.invalidate_file(g.cache_key)
 
-    def rename(self, src_dirg: Gnode, src_name: str, dst_dirg: Gnode, dst_name: str):
+    def on_rename_victim(self, victim: Gnode) -> None:
+        self.client.cache.cancel_dirty_file(victim.cache_key)
+
+    # -- write-back plumbing -------------------------------------------------
+
+    def write_rpc(self, g: Gnode, bno: int, data: bytes):
+        c = self.client
         try:
-            victim = yield from self.lookup(dst_dirg, dst_name)
-            self.cache.cancel_dirty_file(victim.cache_key)
-        except NoSuchFile:
-            pass
-        yield from self._call(
-            self.PROC.RENAME, src_dirg.fid, src_name, dst_dirg.fid, dst_name
-        )
-        self._dnlc_purge(src_dirg, src_name)
-        self._dnlc_purge(dst_dirg, dst_name)
-
-    # -- write-back plumbing ---------------------------------------------------
-
-    def _flush_dirty(self, g: Gnode):
-        """Write this file's dirty blocks back, in block order."""
-        bufs = sorted(
-            self.cache.dirty_buffers(file_key=g.cache_key),
-            key=lambda b: b.block_no,
-        )
-        for buf in bufs:
-            stamp = self.cache.flush_begin(buf)
-            ok = False
-            try:
-                yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
-                ok = True
-            finally:
-                self.cache.flush_end(buf, stamp, clean=ok)
-
-    def _write_rpc(self, g: Gnode, bno: int, data: bytes):
-        try:
-            attr = yield from self._call(
-                self.PROC.WRITE, g.fid, bno * self.block_size, data, gnode=g
+            attr = yield from c._call(
+                c.PROC.WRITE, g.fid, bno * c.block_size, data, gnode=g
             )
         except (StaleHandle, NoSuchFile):
             return  # file deleted under us; its data is moot
@@ -518,50 +379,23 @@ class SnfsClient(NfsClient):
             return  # our claim lost after a server reboot; data discarded
         self._store_attr_snfs(g, attr)
 
-    def fsync(self, g: Gnode):
-        yield from self._flush_dirty(g)
-
-    def sync(self, min_age=None):
-        """The periodic update sync: flush delayed writes (§4.2.3)."""
-        for buf in list(self.cache.dirty_buffers(older_than=min_age)):
-            if buf.file_key[0] != self.mount_id or buf.busy or not buf.dirty:
-                continue
-            g = buf.tag
-            if g is None:
-                continue
-            stamp = self.cache.flush_begin(buf)
-            ok = False
-            try:
-                yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
-                ok = True
-            finally:
-                self.cache.flush_end(buf, stamp, clean=ok)
-
-    def flush_block(self, buf):
-        g = buf.tag
-        if g is None:
-            return
-        yield from self._write_rpc(g, buf.block_no, bytes(buf.data))
-
     # -- crash support --------------------------------------------------------
 
     def on_host_crash(self) -> None:
-        for g in self._gnodes.values():
+        for g in self.client._gnodes.values():
             daemon = g.private.get("close_daemon")
             if daemon is not None and daemon.is_alive:
                 daemon.interrupt("crash")
-        self._gnodes.clear()
-        self._name_cache.clear()
-        self._dir_index.clear()
-        self._root = None
+        self.client.dnlc.clear()
 
     # -- recovery participation (§2.4) ------------------------------------
 
     def open_state_report(self):
         """What this client knows about its open files, for server
         recovery: [(fh, readers, writers, version, dirty)]."""
+        c = self.client
         report = []
-        for g in self._gnodes.values():
+        for g in c._gnodes.values():
             # count busy buffers too: a block being flushed when the
             # server died is still dirty from the server's point of
             # view (the write may not have executed), and the reply
@@ -570,7 +404,7 @@ class SnfsClient(NfsClient):
             # retransmitted write would land with no writeback callback
             # coverage
             dirty = any(
-                b.dirty or b.busy for b in self.cache.file_blocks(g.cache_key)
+                b.dirty or b.busy for b in c.cache.file_blocks(g.cache_key)
             )
             pending = len(g.private.get("pending_closes") or [])
             if g.open_reads or g.open_writes or dirty or pending:
@@ -584,6 +418,25 @@ class SnfsClient(NfsClient):
                     )
                 )
         return report
+
+
+class SnfsClient(RemoteFsClient):
+    """A remote-mounted Spritely NFS filesystem on a client host."""
+
+    PROC = SPROC
+    policy_class = SnfsPolicy
+
+    # compatibility delegations for callers that predate the policy split
+
+    def serve_callback(self, fh: FileHandle, writeback: bool, invalidate: bool):
+        result = yield from self.policy.serve_callback(fh, writeback, invalidate)
+        return result
+
+    def purge_dir_names(self, dirfh: FileHandle) -> None:
+        self.dnlc.purge_dir(dirfh.key())
+
+    def open_state_report(self):
+        return self.policy.open_state_report()
 
 
 def mount_snfs(

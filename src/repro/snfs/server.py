@@ -26,8 +26,8 @@ from ..fs import NoSuchFile, StaleHandle
 from ..fs.types import FileHandle
 from ..host import Host
 from ..net import RpcError, RpcTimeout
-from ..nfs.server import NfsServer
-from ..sim import Interrupt, Lock, Resource
+from ..proto import RemoteFsServer
+from ..sim import Interrupt, Resource
 from ..vfs import LocalMount
 from .protocol import SPROC
 from .recovery import DEFAULT_GRACE_PERIOD, ServerRecovering
@@ -57,7 +57,7 @@ class OpenReply(tuple):
     inconsistent = property(lambda self: self[4])
 
 
-class SnfsServer(NfsServer):
+class SnfsServer(RemoteFsServer):
     """SNFS service for one exported filesystem."""
 
     PROC = SPROC
@@ -72,7 +72,6 @@ class SnfsServer(NfsServer):
         dead_client_timeout: float = 45.0,
     ):
         self.state = StateTable(max_entries=max_open_files)
-        self._file_locks: Dict[Hashable, Lock] = {}
         # §7 extension: which clients have resolved names in each
         # directory (they may cache those translations; namespace
         # mutations invalidate them by callback)
@@ -326,15 +325,6 @@ class SnfsServer(NfsServer):
             interested.discard(client)
         self._reasserted.discard(client)
         self._last_heard.pop(client, None)
-
-    # -- per-file serialization -------------------------------------------
-
-    def _lock_for(self, key: Hashable) -> Lock:
-        lock = self._file_locks.get(key)
-        if lock is None:
-            lock = Lock(self.sim, name="file:%r" % (key,))
-            self._file_locks[key] = lock
-        return lock
 
     # -- open / close services --------------------------------------------
 

@@ -65,6 +65,7 @@ def run_sharing_experiment(
     time (true concurrent write-sharing, not sequential)."""
     result = SharingResult()
     committed = {"seq": 0}
+    t0 = sim.now  # anchor: the workload may start deep into a long sim
 
     def writer():
         k = writer_kernel
@@ -83,7 +84,7 @@ def run_sharing_experiment(
         k = reader_kernel
         yield sim.timeout(write_period / 2)  # let the file appear
         fd = yield from k.open(path, OpenMode.READ)
-        end_time = write_period * (n_updates + 1)
+        end_time = t0 + write_period * (n_updates + 1)
         while sim.now < end_time:
             yield sim.timeout(read_period)
             k.lseek(fd, 0)

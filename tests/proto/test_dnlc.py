@@ -1,0 +1,100 @@
+"""Unit tests for the shared name cache (repro.proto.dnlc).
+
+One DNLC implementation now serves every protocol; these tests pin
+down the purge semantics that keep it from serving stale entries.
+"""
+
+from repro.fs import FileType
+from repro.proto import NameCache, RemoteFsConfig
+
+
+def make_cache(runner, ttl=0.0, consistent=False):
+    cfg = RemoteFsConfig(name_cache_ttl=ttl, consistent_dir_cache=consistent)
+    return NameCache(runner.sim, cfg), cfg
+
+
+def test_disabled_by_default(runner):
+    cache, _ = make_cache(runner)
+    cache.put("d", "f", fid=1, ftype=FileType.REGULAR)
+    assert cache.get("d", "f") is None
+    assert len(cache) == 0
+
+
+def test_ttl_hit_and_expiry(runner):
+    cache, _ = make_cache(runner, ttl=10.0)
+    cache.put("d", "f", fid=1, ftype=FileType.REGULAR)
+    assert cache.get("d", "f") == (1, FileType.REGULAR)
+
+    def wait():
+        yield runner.sim.timeout(11.0)
+
+    runner.run(wait())
+    # expired entries are dropped on lookup, not served stale
+    assert cache.get("d", "f") is None
+    assert len(cache) == 0
+
+
+def test_consistent_mode_never_expires(runner):
+    cache, _ = make_cache(runner, consistent=True)
+    cache.put("d", "f", fid=1, ftype=FileType.REGULAR)
+
+    def wait():
+        yield runner.sim.timeout(1e6)
+
+    runner.run(wait(), limit=1e7)
+    assert cache.get("d", "f") == (1, FileType.REGULAR)
+
+
+def test_purge_on_remove_semantics(runner):
+    """remove/rename purge exactly the (dir, name) pair they touch."""
+    cache, _ = make_cache(runner, ttl=60.0)
+    cache.put("d", "a", fid=1, ftype=FileType.REGULAR)
+    cache.put("d", "b", fid=2, ftype=FileType.REGULAR)
+    cache.purge("d", "a")
+    assert cache.get("d", "a") is None
+    assert cache.get("d", "b") == (2, FileType.REGULAR)
+    # purging an absent entry is a no-op, not an error
+    cache.purge("d", "never-cached")
+
+
+def test_rename_purges_both_directories(runner):
+    """The client purges source and destination names on rename; a
+    stale destination entry must not survive."""
+    cache, _ = make_cache(runner, ttl=60.0)
+    cache.put("d1", "old", fid=1, ftype=FileType.REGULAR)
+    cache.put("d2", "new", fid=2, ftype=FileType.REGULAR)
+    # rename d1/old -> d2/new: both ends go
+    cache.purge("d1", "old")
+    cache.purge("d2", "new")
+    assert cache.get("d1", "old") is None
+    assert cache.get("d2", "new") is None
+
+
+def test_purge_dir_drops_whole_directory(runner):
+    cache, _ = make_cache(runner, consistent=True)
+    cache.put("d1", "a", fid=1, ftype=FileType.REGULAR)
+    cache.put("d1", "b", fid=2, ftype=FileType.REGULAR)
+    cache.put("d2", "c", fid=3, ftype=FileType.REGULAR)
+    cache.purge_dir("d1")
+    assert cache.get("d1", "a") is None
+    assert cache.get("d1", "b") is None
+    assert cache.get("d2", "c") == (3, FileType.REGULAR)
+
+
+def test_clear_empties_everything(runner):
+    cache, _ = make_cache(runner, consistent=True)
+    cache.put("d", "a", fid=1, ftype=FileType.REGULAR)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get("d", "a") is None
+
+
+def test_config_read_live_not_snapshotted(runner):
+    """Flipping the config after construction takes effect: ablations
+    toggle caching without rebuilding mounts."""
+    cache, cfg = make_cache(runner)
+    assert not cache.enabled
+    cfg.name_cache_ttl = 30.0
+    assert cache.enabled
+    cache.put("d", "f", fid=1, ftype=FileType.REGULAR)
+    assert cache.get("d", "f") == (1, FileType.REGULAR)
