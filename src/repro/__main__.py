@@ -9,6 +9,7 @@ Usage::
     python -m repro micro                # the §5.3 microbenchmark
     python -m repro scaling              # the N-clients extension
     python -m repro ablations            # all five ablations
+    python -m repro bench                # wall-clock benchmarks -> BENCH_*.json
     python -m repro all                  # everything (several minutes)
 """
 
@@ -121,6 +122,39 @@ def main(argv=None) -> int:
     p_tr.add_argument(
         "--out", metavar="DIR", default="traces", help="output directory"
     )
+    p_bench = sub.add_parser(
+        "bench", help="wall-clock benchmarks; write BENCH_*.json documents"
+    )
+    p_bench.add_argument(
+        "--suite",
+        choices=["engine", "workloads", "all"],
+        default="all",
+        help="which suite(s) to run (default: all)",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true", help="CI-sized scenario variants"
+    )
+    p_bench.add_argument(
+        "--out", metavar="DIR", default=".", help="output directory (default: .)"
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=3, help="engine timing repeats (best-of)"
+    )
+    p_bench.add_argument(
+        "--no-digests", action="store_true", help="skip trace-digest variants"
+    )
+    p_bench.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="compare against a committed BENCH_*.json; non-zero exit on regression",
+    )
+    p_bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed events/sec regression vs the baseline (default: 0.20)",
+    )
     p_lint = sub.add_parser(
         "lint", help="determinism/sim-discipline lint + Table 4-1 conformance"
     )
@@ -212,6 +246,10 @@ def main(argv=None) -> int:
         from .trace.cli import run_trace
 
         return run_trace(args)
+    if args.command == "bench":
+        from .bench.cli import run_bench
+
+        return run_bench(args)
     if args.command == "lint":
         from .analysis.cli import run_lint
 

@@ -1,0 +1,82 @@
+"""``python -m repro bench``: run the wall-clock benchmark suites.
+
+Runs the pure-engine microbenchmarks and/or the protocol-stack
+workload benchmarks, writes ``BENCH_engine.json`` /
+``BENCH_workloads.json`` documents (schema ``repro-bench/1``), and
+optionally gates against a committed baseline::
+
+    python -m repro bench                      # both suites, full size
+    python -m repro bench --quick              # CI-sized variants
+    python -m repro bench --suite engine \\
+        --check BENCH_engine.json --tolerance 0.2
+
+``--check`` compares each produced document against the baseline file
+whose ``suite`` field matches and exits non-zero when any scenario's
+events/sec falls more than ``tolerance`` below the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List
+
+from .engine_bench import run_engine_suite
+from .schema import (
+    bench_document,
+    compare_to_baseline,
+    validate_bench_document,
+    write_bench_document,
+)
+from .workloads import run_workload_suite
+
+__all__ = ["run_bench"]
+
+
+def _summary_lines(suite: str, scenarios: List[dict]) -> List[str]:
+    lines = ["%s suite:" % suite]
+    for s in scenarios:
+        digest = (s.get("trace_digest") or "-")[:12]
+        lines.append(
+            "  %-22s %12d ops  %8.3fs wall  %10d ev/s  digest %s"
+            % (s["name"], s["ops"], s["wall_seconds"], s["events_per_sec"], digest)
+        )
+    return lines
+
+
+def run_bench(args) -> int:
+    suites = ("engine", "workloads") if args.suite == "all" else (args.suite,)
+    baseline = None
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+    rc = 0
+    for suite in suites:
+        if suite == "engine":
+            scenarios = run_engine_suite(quick=args.quick, repeats=args.repeats)
+        else:
+            scenarios = run_workload_suite(
+                quick=args.quick,
+                digests=not args.no_digests,
+                progress=lambda name: print("running %s ..." % name),
+            )
+        doc = bench_document(suite, scenarios, quick=args.quick)
+        problems = validate_bench_document(doc)
+        if problems:
+            for problem in problems:
+                print("schema problem: %s" % problem)
+            rc = 1
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, "BENCH_%s.json" % suite)
+        write_bench_document(doc, path)
+        for line in _summary_lines(suite, scenarios):
+            print(line)
+        print("wrote %s" % path)
+        if baseline is not None and baseline.get("suite") == suite:
+            ok, lines = compare_to_baseline(doc, baseline, tolerance=args.tolerance)
+            print("baseline check (%s, tolerance %.0f%%):" % (args.check, 100 * args.tolerance))
+            for line in lines:
+                print("  " + line)
+            if not ok:
+                rc = 1
+    return rc

@@ -1,0 +1,174 @@
+"""Fixed-seed golden digests for every paper-facing artifact.
+
+Optimization PRs must not change *what* the simulator computes, only
+how fast.  This module canonicalizes that contract: each golden
+scenario renders one paper table/figure (or runs a traced workload)
+at a fixed seed and hashes the result.  The checked-in digests
+(``tests/golden/golden.json``) are the pre-optimization reference;
+``tests/bench/test_golden.py`` recomputes and compares them, so a
+schedule-visible regression fails loudly with the scenario name.
+
+Two digest families:
+
+* **output digests** — sha256 of the rendered table/figure text
+  (Tables 5-1..5-6, Figures 5-1/5-2, the §5.3 microbenchmark, the
+  §2.3 consistency demo, the seeded resilience table).  The rendered
+  text includes simulated elapsed times and RPC counts, so any
+  behavioral drift shows up.
+* **trace digests** — :func:`repro.trace.trace_digest` over the full
+  causal trace of the traced scenarios (the §5.3 microbenchmark, the
+  resilience scenario, the two-client Andrew run per protocol).  A
+  trace hashes every span and instant with timestamps, so these are
+  byte-identical-schedule oracles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "GOLDEN_OUTPUTS",
+    "GOLDEN_TRACED",
+    "compute_output_digests",
+    "compute_trace_digests",
+]
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# -- output digests ----------------------------------------------------------
+
+
+def _table(name: str) -> Callable[[], str]:
+    def build() -> str:
+        from .. import experiments as ex
+
+        builders = {
+            "5-1": lambda: ex.andrew_table_5_1()[0],
+            "5-2": lambda: ex.andrew_table_5_2()[0],
+            "5-3": lambda: ex.sort_table_5_3()[0],
+            "5-4": lambda: ex.sort_table_5_4()[0],
+            "5-5": lambda: ex.sort_table_5_5()[0],
+            "5-6": lambda: ex.sort_table_5_6()[0],
+        }
+        return builders[name]()
+
+    return build
+
+
+def _figure(protocol: str) -> Callable[[], str]:
+    def build() -> str:
+        from ..experiments import figure_series, render_figure
+
+        return render_figure(figure_series(protocol))
+
+    return build
+
+
+def _micro() -> str:
+    from ..experiments import micro_write_close_reread
+
+    return micro_write_close_reread()[0]
+
+
+def _consistency() -> str:
+    from ..experiments import consistency_table
+
+    return consistency_table()[0]
+
+
+def _resilience() -> str:
+    from ..experiments import resilience_table
+
+    return resilience_table(seed=1)[0]
+
+
+#: scenario name -> zero-argument callable returning the canonical text
+GOLDEN_OUTPUTS: Dict[str, Callable[[], str]] = {
+    "table-5-1": _table("5-1"),
+    "table-5-2": _table("5-2"),
+    "table-5-3": _table("5-3"),
+    "table-5-4": _table("5-4"),
+    "table-5-5": _table("5-5"),
+    "table-5-6": _table("5-6"),
+    "figure-5-1": _figure("nfs"),
+    "figure-5-2": _figure("snfs"),
+    "micro-5-3": _micro,
+    "consistency-2-3": _consistency,
+    "resilience-seed1": _resilience,
+}
+
+
+def compute_output_digests(
+    names: Optional[List[str]] = None,
+) -> Dict[str, str]:
+    """Render each requested golden scenario and hash its text."""
+    out = {}
+    for name, build in GOLDEN_OUTPUTS.items():
+        if names is not None and name not in names:
+            continue
+        out[name] = _sha(build())
+    return out
+
+
+# -- trace digests -----------------------------------------------------------
+
+
+def _traced_andrew(protocol: str) -> Callable[[], List[str]]:
+    def run() -> List[str]:
+        from ..experiments import run_traced_andrew
+        from ..trace import trace_digest
+
+        result = run_traced_andrew(protocol, seed=1989)
+        return [trace_digest(result.tracer)]
+
+    return run
+
+
+def _traced_experiment(run_fn_name: str, **kwargs) -> Callable[[], List[str]]:
+    """Run an experiment with ``REPRO_TRACE`` armed; digest every
+    simulator's trace (one experiment may build several testbeds)."""
+
+    def run() -> List[str]:
+        from .. import experiments as ex
+        from ..trace import Tracer, trace_digest
+
+        run_fn = getattr(ex, run_fn_name)
+        Tracer.drain_instances()
+        had = os.environ.get("REPRO_TRACE")
+        os.environ["REPRO_TRACE"] = "1"
+        try:
+            run_fn(**kwargs)
+        finally:
+            if had is None:
+                os.environ.pop("REPRO_TRACE", None)
+            else:
+                os.environ["REPRO_TRACE"] = had
+        return [trace_digest(tracer) for tracer in Tracer.drain_instances()]
+
+    return run
+
+
+#: scenario name -> zero-argument callable returning a digest list
+GOLDEN_TRACED: Dict[str, Callable[[], List[str]]] = {
+    "andrew-traced-nfs": _traced_andrew("nfs"),
+    "andrew-traced-snfs": _traced_andrew("snfs"),
+    "micro-5-3-traced": _traced_experiment("micro_write_close_reread"),
+    "resilience-seed1-traced": _traced_experiment("resilience_table", seed=1),
+}
+
+
+def compute_trace_digests(
+    names: Optional[List[str]] = None,
+) -> Dict[str, List[str]]:
+    """Run each traced golden scenario and collect its trace digests."""
+    out = {}
+    for name, run in GOLDEN_TRACED.items():
+        if names is not None and name not in names:
+            continue
+        out[name] = run()
+    return out

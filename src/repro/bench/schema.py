@@ -1,0 +1,155 @@
+"""The ``BENCH_*.json`` document schema, builder, and validator.
+
+A bench document is deterministic in *shape* (key set, ordering,
+types) while its wall-clock fields vary run to run; the per-scenario
+``trace_digest`` fields are fully deterministic and double as a
+schedule-identity oracle.  Documents are written with sorted keys and
+a trailing newline so regenerating one produces a minimal diff.
+
+Top-level document::
+
+    {
+      "schema": "repro-bench/1",
+      "suite": "engine" | "workloads",
+      "quick": bool,
+      "host": {"python": "3.11.7", "platform": "linux"},
+      "scenarios": [
+        {
+          "name": str,
+          "params": {...},            # scenario-defining knobs
+          "ops": int,                  # deterministic op count
+          "sim_seconds": float | null, # simulated time covered
+          "wall_seconds": float,       # best-of-N wall clock
+          "events_per_sec": int,       # ops / wall_seconds
+          "trace_digest": str | null   # schedule-identity hash
+        }, ...
+      ]
+    }
+
+:func:`compare_to_baseline` implements the CI regression gate: each
+scenario present in both documents must be no slower than
+``(1 - tolerance) *`` the baseline's events/sec.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "bench_document",
+    "validate_bench_document",
+    "compare_to_baseline",
+    "write_bench_document",
+]
+
+BENCH_SCHEMA = "repro-bench/1"
+
+_SCENARIO_FIELDS = {
+    "name": str,
+    "params": dict,
+    "ops": int,
+    "wall_seconds": (int, float),
+    "events_per_sec": int,
+}
+
+
+def bench_document(suite: str, scenarios: List[Dict], quick: bool = False) -> Dict:
+    """Assemble a bench document from scenario result dicts."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "quick": quick,
+        "host": {
+            "python": "%d.%d.%d" % sys.version_info[:3],
+            "platform": sys.platform,
+            "machine": platform.machine(),
+        },
+        "scenarios": scenarios,
+    }
+
+
+def write_bench_document(doc: Dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def validate_bench_document(doc: Dict) -> List[str]:
+    """Schema check; returns a list of problems (empty when valid)."""
+    problems = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append("schema is %r, expected %r" % (doc.get("schema"), BENCH_SCHEMA))
+    if doc.get("suite") not in ("engine", "workloads"):
+        problems.append("suite is %r, expected 'engine' or 'workloads'" % doc.get("suite"))
+    if not isinstance(doc.get("quick"), bool):
+        problems.append("quick must be a bool")
+    host = doc.get("host")
+    if not isinstance(host, dict) or "python" not in host:
+        problems.append("host must be an object with a 'python' field")
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        return problems + ["scenarios must be a non-empty list"]
+    seen = set()
+    for i, scenario in enumerate(scenarios):
+        where = "scenarios[%d]" % i
+        if not isinstance(scenario, dict):
+            problems.append("%s is not an object" % where)
+            continue
+        for field, types in _SCENARIO_FIELDS.items():
+            if field not in scenario:
+                problems.append("%s missing field %r" % (where, field))
+            elif not isinstance(scenario[field], types):
+                problems.append(
+                    "%s.%s has type %s" % (where, field, type(scenario[field]).__name__)
+                )
+        digest = scenario.get("trace_digest")
+        if digest is not None and not (
+            isinstance(digest, str) and len(digest) == 64
+        ):
+            problems.append("%s.trace_digest must be null or a sha256 hex" % where)
+        name = scenario.get("name")
+        if name in seen:
+            problems.append("duplicate scenario name %r" % name)
+        seen.add(name)
+    return problems
+
+
+def compare_to_baseline(
+    fresh: Dict, baseline: Dict, tolerance: float = 0.20
+) -> Tuple[bool, List[str]]:
+    """Regression gate: fresh events/sec vs the committed baseline.
+
+    Returns ``(ok, report_lines)``.  Scenarios only present on one side
+    are reported but do not fail the gate (suites may grow).
+    """
+    base = {s["name"]: s for s in baseline.get("scenarios", [])}
+    lines = []
+    ok = True
+    for scenario in fresh.get("scenarios", []):
+        name = scenario["name"]
+        ref = base.pop(name, None)
+        if ref is None:
+            lines.append("%-20s new scenario (no baseline)" % name)
+            continue
+        rate, ref_rate = scenario["events_per_sec"], ref["events_per_sec"]
+        if ref_rate <= 0:
+            lines.append("%-20s baseline rate is 0; skipped" % name)
+            continue
+        ratio = rate / ref_rate
+        status = "ok"
+        if ratio < (1.0 - tolerance):
+            status = "REGRESSION"
+            ok = False
+        lines.append(
+            "%-20s %10d ev/s vs %10d baseline (%+5.1f%%) %s"
+            % (name, rate, ref_rate, 100.0 * (ratio - 1.0), status)
+        )
+    for name in sorted(base):
+        lines.append("%-20s missing from fresh run" % name)
+    return ok, lines

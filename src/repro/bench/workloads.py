@@ -1,0 +1,250 @@
+"""Macro benchmarks: wall-clock cost of full protocol-stack workloads.
+
+Three families:
+
+``andrew-2client-<protocol>``
+    The two-client Andrew run (small tree, seed 1989) including the
+    cross-client epilogue read — the consistency machinery end to end.
+``sort-external-<protocol>``
+    The §5.3 external sort over a remote /data and /tmp.
+``cluster-<protocol>-n<N>``
+    N clients (16/64/256) looping an edit/compile workload against one
+    server — the cluster-scale sweep the engine fast path unlocks.
+
+``ops`` is always a *simulation-defined* work count (RPCs plus disk
+transfers), which is invariant under engine changes, so events/sec
+measures the substrate and not the workload definition.
+
+``trace_digest`` is computed from a small traced variant of each
+scenario (tracing a 256-client sweep would distort the timing and the
+memory footprint); the variant's parameters are recorded in
+``params.digest_variant``.
+"""
+
+from __future__ import annotations
+
+import posixpath
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["WORKLOAD_SCENARIOS", "run_workload_suite", "cluster_point"]
+
+
+# -- the per-client cluster workload ----------------------------------------
+
+
+def _cluster_client(kernel, home: str, iterations: int, file_blocks: int):
+    """One user's edit/compile loop (create, reread, keep, delete)."""
+    from ..fs.types import OpenMode
+
+    block = b"w" * 4096
+    yield from kernel.mkdir(home)
+    for i in range(iterations):
+        scratch = posixpath.join(home, "scratch%d" % i)
+        keeper = posixpath.join(home, "out%d" % i)
+        fd = yield from kernel.open(scratch, OpenMode.WRITE, create=True)
+        for _ in range(file_blocks):
+            yield from kernel.write(fd, block)
+        yield from kernel.close(fd)
+        fd = yield from kernel.open(scratch, OpenMode.READ)
+        while True:
+            data = yield from kernel.read(fd, 8192)
+            if not data:
+                break
+        yield from kernel.close(fd)
+        fd = yield from kernel.open(keeper, OpenMode.WRITE, create=True)
+        yield from kernel.write(fd, block)
+        yield from kernel.close(fd)
+        yield from kernel.unlink(scratch)
+        yield kernel.sim.timeout(0.2)
+
+
+def cluster_point(
+    protocol: str,
+    n_clients: int,
+    iterations: int = 3,
+    file_blocks: int = 4,
+    seed: Optional[int] = None,
+):
+    """Run one (protocol, N) cluster workload; returns (bed, sim_seconds)."""
+    from ..experiments.cluster import build_cluster
+
+    bed = build_cluster(protocol, n_clients, seed=seed)
+    t0 = bed.sim.now
+    coros = [
+        _cluster_client(host.kernel, "/data/user%d" % i, iterations, file_blocks)
+        for i, host in enumerate(bed.client_hosts)
+    ]
+    bed.run_all(*coros, limit=1e6)
+    return bed, bed.sim.now - t0
+
+
+# -- scenario runners --------------------------------------------------------
+#
+# Each runner returns a dict with ops / sim_seconds (wall timing is
+# taken by the caller around the runner).
+
+
+def _run_andrew(protocol: str):
+    def run() -> Dict:
+        from ..experiments.traced import run_traced_andrew
+
+        result = run_traced_andrew(protocol, seed=1989, trace=False)
+        server = result.server_host
+        ops = (
+            server.rpc.server_stats.total()
+            + server.rpc.client_stats.total()
+            + sum(d.stats.total() for d in server.disks.values())
+        )
+        return {"ops": ops, "sim_seconds": result.sim.now}
+
+    return run
+
+
+def _run_sort(protocol: str, full_bytes_index: int = -1):
+    def run(quick_bytes_index: Optional[int] = None) -> Dict:
+        from ..experiments.sort import SORT_SIZES, run_sort
+
+        index = full_bytes_index if quick_bytes_index is None else quick_bytes_index
+        result = run_sort(protocol, input_bytes=SORT_SIZES[index])
+        ops = result.rpc_rows.get("total", 0)
+        ops += sum(result.server_disk.values()) + sum(result.client_disk.values())
+        return {"ops": ops, "sim_seconds": result.result.elapsed}
+
+    return run
+
+
+def _run_cluster(protocol: str, n_clients: int, iterations: int = 3):
+    def run() -> Dict:
+        bed, sim_seconds = cluster_point(protocol, n_clients, iterations=iterations)
+        ops = bed.total_rpcs() + sum(
+            d.stats.total() for d in bed.server_host.disks.values()
+        )
+        return {"ops": ops, "sim_seconds": sim_seconds}
+
+    return run
+
+
+# -- trace-digest variants ---------------------------------------------------
+
+
+def _digest_of(run_fn: Callable[[], object]) -> List[str]:
+    """Run ``run_fn`` with the tracer armed; return its trace digests."""
+    import os
+
+    from ..trace import Tracer, trace_digest
+
+    Tracer.drain_instances()
+    had = os.environ.get("REPRO_TRACE")
+    os.environ["REPRO_TRACE"] = "1"
+    try:
+        run_fn()
+    finally:
+        if had is None:
+            os.environ.pop("REPRO_TRACE", None)
+        else:
+            os.environ["REPRO_TRACE"] = had
+    return [trace_digest(tracer) for tracer in Tracer.drain_instances()]
+
+
+def _andrew_digest(protocol: str) -> str:
+    from ..experiments.traced import run_traced_andrew
+    from ..trace import trace_digest
+
+    return trace_digest(run_traced_andrew(protocol, seed=1989).tracer)
+
+
+def _sort_digest(protocol: str) -> str:
+    from ..experiments.sort import SORT_SIZES, run_sort
+
+    digests = _digest_of(lambda: run_sort(protocol, input_bytes=SORT_SIZES[0]))
+    return digests[0]
+
+
+def _cluster_digest(protocol: str) -> str:
+    digests = _digest_of(lambda: cluster_point(protocol, 4, iterations=2))
+    return digests[0]
+
+
+# -- the suite ---------------------------------------------------------------
+
+CLUSTER_NS = (16, 64, 256)
+CLUSTER_PROTOCOLS = ("nfs", "snfs", "rfs", "kent", "lease")
+
+
+def _scenarios(quick: bool) -> List[Dict]:
+    """Scenario descriptors: name, params, runner, digest thunk."""
+    out: List[Dict] = []
+    for protocol in ("nfs", "snfs"):
+        out.append(
+            {
+                "name": "andrew-2client-%s" % protocol,
+                "params": {"protocol": protocol, "seed": 1989, "tree": "small"},
+                "run": _run_andrew(protocol),
+                "digest": lambda p=protocol: _andrew_digest(p),
+            }
+        )
+    sort_index = 0 if quick else -1
+    out.append(
+        {
+            "name": "sort-external-nfs",
+            "params": {
+                "protocol": "nfs",
+                "size_index": sort_index,
+                "digest_variant": {"size_index": 0},
+            },
+            "run": lambda: _run_sort("nfs")(sort_index),
+            "digest": lambda: _sort_digest("nfs"),
+        }
+    )
+    cluster_ns = (16,) if quick else CLUSTER_NS
+    protocols = ("nfs", "snfs") if quick else CLUSTER_PROTOCOLS
+    for protocol in protocols:
+        for n in cluster_ns:
+            out.append(
+                {
+                    "name": "cluster-%s-n%d" % (protocol, n),
+                    "params": {
+                        "protocol": protocol,
+                        "n_clients": n,
+                        "iterations": 3,
+                        "digest_variant": {"n_clients": 4, "iterations": 2},
+                    },
+                    "run": _run_cluster(protocol, n),
+                    # digest one small variant per protocol (at every N
+                    # the schedule differs; the variant is the oracle)
+                    "digest": (lambda p=protocol: _cluster_digest(p)) if n == min(cluster_ns) else None,
+                }
+            )
+    return out
+
+
+def run_workload_suite(
+    quick: bool = False, digests: bool = True, progress: Optional[Callable[[str], None]] = None
+) -> List[Dict]:
+    """Run every workload scenario once; returns scenario result dicts."""
+    results = []
+    for scenario in _scenarios(quick):
+        if progress is not None:
+            progress(scenario["name"])
+        t0 = time.perf_counter()  # lint: ok=DET002
+        measured = scenario["run"]()
+        wall = time.perf_counter() - t0  # lint: ok=DET002
+        digest = None
+        if digests and scenario["digest"] is not None:
+            digest = scenario["digest"]()
+        results.append(
+            {
+                "name": scenario["name"],
+                "params": scenario["params"],
+                "ops": measured["ops"],
+                "sim_seconds": round(measured["sim_seconds"], 6),
+                "wall_seconds": round(wall, 6),
+                "events_per_sec": round(measured["ops"] / wall) if wall else 0,
+                "trace_digest": digest,
+            }
+        )
+    return results
+
+
+WORKLOAD_SCENARIOS = [s["name"] for s in _scenarios(quick=False)]

@@ -29,9 +29,18 @@ from ..rfs import RfsClient, RfsServer
 from ..sim import Simulator
 from ..snfs import SnfsClient, SnfsClientConfig, SnfsServer
 
-__all__ = ["Testbed", "build_testbed", "PROTOCOLS"]
+__all__ = [
+    "Testbed",
+    "build_testbed",
+    "PROTOCOLS",
+    "ClusterBed",
+    "build_cluster",
+]
 
 PROTOCOLS = ("local", "nfs", "snfs", "rfs", "kent", "lease")
+
+#: protocols that can serve an N-client cluster (everything remote)
+CLUSTER_PROTOCOLS = ("nfs", "snfs", "rfs", "kent", "lease")
 
 
 @dataclass
@@ -244,6 +253,132 @@ def build_testbed(
         if testbed.server_host is not None:
             testbed.server_host.update_daemon.start()
     return testbed
+
+
+@dataclass
+class ClusterBed:
+    """One server and N clients on a shared LAN, any remote protocol."""
+
+    sim: Simulator
+    network: Network
+    server_host: Host
+    server: Any
+    protocol: str
+    client_hosts: list
+
+    @property
+    def kernels(self):
+        return [host.kernel for host in self.client_hosts]
+
+    def run_all(self, *coros, limit: float = 1e7):
+        """Drive several coroutines concurrently to completion."""
+        from ..sim import AllOf
+
+        procs = [self.sim.spawn(Testbed._wrap(c)) for c in coros]
+        gate = AllOf(self.sim, procs)
+        gate.defuse()
+        self.sim.run_until(gate, limit=limit)
+        out = []
+        for proc in procs:
+            if not proc.triggered:
+                raise TimeoutError("cluster workload did not finish before %g" % limit)
+            if proc.exception is not None:
+                proc.defuse()
+                raise proc.exception
+            out.append(proc.value)
+        return out
+
+    def total_rpcs(self) -> int:
+        """RPCs served by the server plus callbacks it issued."""
+        return (
+            self.server_host.rpc.server_stats.total()
+            + self.server_host.rpc.client_stats.total()
+        )
+
+
+def build_cluster(
+    protocol: str,
+    n_clients: int,
+    host_config: Optional[HostConfig] = None,
+    server_config: Optional[HostConfig] = None,
+    network_config: Optional[NetworkConfig] = None,
+    max_open_files: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> ClusterBed:
+    """Build an N-client single-server cluster for any remote protocol.
+
+    This is the testbed behind the scaling experiment and the cluster
+    benchmark sweep: one server exporting one filesystem, ``n_clients``
+    hosts each mounting it at ``/data`` with their own update daemon.
+    """
+    if protocol not in CLUSTER_PROTOCOLS:
+        raise ValueError(
+            "cluster protocol must be one of %s, got %r"
+            % (", ".join(CLUSTER_PROTOCOLS), protocol)
+        )
+    sim = Simulator()
+    net_cfg = network_config or NetworkConfig()
+    if seed is not None:
+        net_cfg = dataclasses.replace(net_cfg, seed=seed)
+    network = Network(sim, net_cfg)
+    server_host = Host(
+        sim,
+        network,
+        "server",
+        server_config or HostConfig.titan_server(),
+        seed=seed,
+    )
+    export = server_host.add_local_fs("/export", fsid="exportfs")
+    if max_open_files is None:
+        max_open_files = max(4000, 64 * n_clients)
+    if protocol == "nfs":
+        server = NfsServer(server_host, export)
+    elif protocol == "snfs":
+        server = SnfsServer(server_host, export, max_open_files=max_open_files)
+    elif protocol == "rfs":
+        server = RfsServer(server_host, export)
+    elif protocol == "kent":
+        server = KentServer(server_host, export)
+    else:
+        server = LeaseServer(server_host, export)
+    server_host.update_daemon.start()
+
+    bed = ClusterBed(
+        sim=sim,
+        network=network,
+        server_host=server_host,
+        server=server,
+        protocol=protocol,
+        client_hosts=[],
+    )
+    for i in range(n_clients):
+        host = Host(
+            sim,
+            network,
+            "client%d" % i,
+            host_config or HostConfig.titan_client(),
+            seed=seed,
+        )
+        client = _make_client(protocol, "m%d" % i, host, "server", None)
+        _drive_to_completion(sim, client.attach())
+        host.kernel.mount("/data", client)
+        host.update_daemon.start()
+        bed.client_hosts.append(host)
+    return bed
+
+
+def _drive_to_completion(sim, gen, limit: float = 1e6):
+    box = {}
+
+    def wrapper():
+        box["v"] = yield from gen
+
+    proc = sim.spawn(wrapper())
+    sim.run_until(proc, limit=limit)
+    if proc.exception is not None:
+        proc.defuse()
+        raise proc.exception
+    return box.get("v")
 
 
 def _make_client(protocol, tag, host, server_addr, cfg):

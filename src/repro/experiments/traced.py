@@ -58,10 +58,11 @@ class TracedRun:
     protocol: str
     seed: int
     sim: Simulator
-    tracer: Any
+    tracer: Any  # None when run with trace=False
     metrics: Any
     result: Any  # AndrewResult
     epilogue_bytes: int  # bytes the second client read from a.out
+    server_host: Any = None  # the server Host (RPC/disk counters)
 
 
 def _drive(sim: Simulator, gen, limit: float = 1e7):
@@ -87,14 +88,24 @@ def run_traced_andrew(
     tree=None,
     bench_config: Optional[AndrewConfig] = None,
     trace_resumes: bool = False,
+    trace: bool = True,
 ) -> TracedRun:
-    """Run the small Andrew benchmark traced, on a two-client cluster."""
+    """Run the small Andrew benchmark traced, on a two-client cluster.
+
+    ``trace=False`` runs the identical workload without attaching the
+    tracer or metrics registry — the wall-clock benchmark uses this to
+    time the bare stack (the simulated behavior is byte-identical
+    either way, which the determinism tests assert).
+    """
     if protocol not in ("nfs", "snfs"):
         raise ValueError("traced run supports nfs/snfs, not %r" % protocol)
     sim = Simulator()
-    # REPRO_TRACE=1 may already have enabled these in __init__
-    tracer = sim.tracer if sim.tracer is not None else sim.enable_tracer(trace_resumes)
-    metrics = sim.metrics if sim.metrics is not None else sim.enable_metrics()
+    if trace:
+        # REPRO_TRACE=1 may already have enabled these in __init__
+        tracer = sim.tracer if sim.tracer is not None else sim.enable_tracer(trace_resumes)
+        metrics = sim.metrics if sim.metrics is not None else sim.enable_metrics()
+    else:
+        tracer, metrics = sim.tracer, sim.metrics
 
     network = Network(sim, NetworkConfig(drop_rate=drop_rate, seed=seed))
     server_host = Host(sim, network, "server", HostConfig.titan_server())
@@ -159,4 +170,5 @@ def run_traced_andrew(
         metrics=metrics,
         result=result,
         epilogue_bytes=read_bytes[0],
+        server_host=server_host,
     )

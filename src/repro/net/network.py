@@ -217,13 +217,17 @@ class Network:
     def _transmit(self, packet: Packet) -> None:
         self.stats.record("packets")
         self.stats.record("bytes", n=packet.size)
-        self._record_trace(packet)
-        if (packet.src, packet.dst) in self._blocked:
+        if self.config.trace_packets:
+            self._record_trace(packet)
+        if self._blocked and (packet.src, packet.dst) in self._blocked:
             self.stats.record("partitioned")
             self._drop_event(packet, "partitioned")
             return
-        drop_rate = min(1.0, self.config.drop_rate + self.extra_drop)
-        if drop_rate > 0 and self._rng.random() < drop_rate:
+        # the RNG is drawn iff the combined rate is positive — the same
+        # condition as before the fast path, so seeded runs replay
+        # identically whether or not loss is configured
+        raw_rate = self.config.drop_rate + self.extra_drop
+        if raw_rate > 0 and self._rng.random() < min(1.0, raw_rate):
             self.stats.record("dropped")
             self._drop_event(packet, "loss")
             return

@@ -148,6 +148,11 @@ class _Busy(Exception):
     pass
 
 
+#: sentinel value a retransmit timer delivers into the reply event; the
+#: call loop distinguishes it from a real _Call reply by identity
+_TIMED_OUT = object()
+
+
 Handler = Callable[..., Generator]
 
 
@@ -368,14 +373,18 @@ class RpcEndpoint:
         while (attempt := attempt + 1) < attempts:
             if self.cpu is not None and self.config.cpu_per_call > 0:
                 yield from self.cpu.consume(self.config.cpu_per_call)
-            reply_ev = self.sim.event(name="rpc-reply:%d" % xid)
+            # One event serves both outcomes per attempt: the dispatcher
+            # succeeds it with the reply _Call; a bare cancellable timer
+            # (no Timeout event, no AnyOf condition) succeeds it with the
+            # _TIMED_OUT sentinel.  Whichever fires first wins; the
+            # loser is cancelled or sees the event already triggered.
+            reply_ev = Event(self.sim, "rpc-reply")
             self._pending[xid] = reply_ev
             yield from self.iface.send(dst, self.port, msg, size)
-            timer = self.sim.timeout(wait)
-            winner = yield self.sim.any_of([reply_ev, timer])
-            ev, _value = winner
-            if ev is reply_ev:
-                reply: _Call = reply_ev.value
+            timer = self.sim.after(wait, self._expire, reply_ev)
+            reply = yield reply_ev
+            if reply is not _TIMED_OUT:
+                timer.cancel()
                 if self.cpu is not None and self.config.cpu_per_call > 0:
                     yield from self.cpu.consume(self.config.cpu_per_call)
                 if reply.error is not None:
@@ -399,6 +408,11 @@ class RpcEndpoint:
             "%s -> %s %s: no reply after %d attempts"
             % (self.address, dst, proc, attempts)
         )
+
+    @staticmethod
+    def _expire(reply_ev: Event) -> None:
+        if not reply_ev.triggered:
+            reply_ev.succeed(_TIMED_OUT)
 
     # -- crash modelling ---------------------------------------------------
 

@@ -13,6 +13,7 @@ from .engine import (
     Interrupt,
     SimulationError,
     Simulator,
+    TimerHandle,
     Timeout,
 )
 from .process import Process
@@ -26,6 +27,7 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "TimerHandle",
     "Process",
     "Resource",
     "Lock",

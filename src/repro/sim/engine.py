@@ -13,6 +13,19 @@ resumed when the waitable triggers.
 Determinism: given the same seed and the same sequence of spawns, a
 simulation is fully deterministic.  Events scheduled for the same
 simulated time fire in FIFO order of scheduling.
+
+Scheduling internals (see docs/PERFORMANCE.md for the full story):
+
+* Future work lives in a binary heap of ``[when, seq, callback, args]``
+  list entries.  Entries are mutable so a timer can be *cancelled in
+  place* (``entry[2] = None``); the run loop discards dead entries when
+  they surface at the heap top instead of paying O(n) removal.
+* Work due at the current instant lives in a FIFO deque (``_ready``).
+  Triggering an event appends directly to it — no heap churn for the
+  dominant trigger/dispatch traffic.  Both structures draw sequence
+  numbers from one counter, and the run loop always executes the due
+  entry with the smallest sequence number, so the interleaving is
+  byte-identical to the historical single-heap order.
 """
 
 from __future__ import annotations
@@ -20,7 +33,8 @@ from __future__ import annotations
 import heapq
 import itertools
 import os
-from typing import Any, Callable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, List, Optional
 
 __all__ = [
     "Simulator",
@@ -30,6 +44,7 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "TimerHandle",
 ]
 
 
@@ -61,6 +76,20 @@ class Event:
     them) in the order in which they started waiting.
     """
 
+    __slots__ = (
+        "sim",
+        "name",
+        "callbacks",
+        "_value",
+        "_exception",
+        "_defused",
+        # set lazily: Store(daemon=True) marks its gets leak_ok; the
+        # sanitizer stamps _san_trigger and reads both via getattr()
+        "leak_ok",
+        "_san_trigger",
+        "__weakref__",
+    )
+
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
@@ -81,14 +110,14 @@ class Event:
     @property
     def ok(self) -> bool:
         """True if the event succeeded (only meaningful once triggered)."""
-        return self.triggered and self._exception is None
+        return self._exception is None and self._value is not _UNSET
 
     @property
     def value(self) -> Any:
-        if not self.triggered:
-            raise SimulationError("event %r has not triggered yet" % self.name)
         if self._exception is not None:
             raise self._exception
+        if self._value is _UNSET:
+            raise SimulationError("event %r has not triggered yet" % self.name)
         return self._value
 
     @property
@@ -107,7 +136,7 @@ class Event:
     # -- triggering --------------------------------------------------------
 
     def succeed(self, value: Any = None) -> "Event":
-        if self.triggered:
+        if self._value is not _UNSET or self._exception is not None:
             if self.sim.sanitizer is not None:
                 self.sim.sanitizer.on_double_trigger(self)
             raise SimulationError("event %r already triggered" % self.name)
@@ -116,7 +145,7 @@ class Event:
         return self
 
     def fail(self, exception: BaseException) -> "Event":
-        if self.triggered:
+        if self._value is not _UNSET or self._exception is not None:
             if self.sim.sanitizer is not None:
                 self.sim.sanitizer.on_double_trigger(self)
             raise SimulationError("event %r already triggered" % self.name)
@@ -132,24 +161,66 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that succeeds automatically after a simulated delay."""
+    """An event that succeeds automatically after a simulated delay.
+
+    A pending timeout can be :meth:`cancel`-led: its heap entry is
+    blanked in place and skipped when it reaches the heap top, so
+    cancellation is O(1) and a cancelled timer never fires (the event
+    simply stays untriggered forever).
+    """
+
+    __slots__ = ("delay", "_entry")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError("negative timeout delay %r" % delay)
-        super().__init__(sim, name="timeout(%g)" % delay)
+        Event.__init__(self, sim, "timeout")
         self.delay = delay
-        self._value = _UNSET
-        sim._schedule_at(sim.now + delay, self._fire, value)
+        self._entry = sim._schedule_at(sim.now + delay, self._fire, value)
 
     def _fire(self, value: Any) -> None:
-        if not self.triggered:
+        self._entry = None
+        if self._value is _UNSET and self._exception is None:
             self._value = value
             self.sim._trigger(self)
+
+    def cancel(self) -> None:
+        """Discard the pending timer; a no-op once fired or cancelled."""
+        entry = self._entry
+        if entry is not None:
+            self._entry = None
+            entry[2] = None
+            entry[3] = ()
+
+
+class TimerHandle:
+    """Cancellation handle for :meth:`Simulator.after`.
+
+    Cancelling after the callback has fired is a harmless no-op.
+    """
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list):
+        self._entry = entry
+
+    @property
+    def active(self) -> bool:
+        entry = self._entry
+        return entry is not None and entry[2] is not None
+
+    def cancel(self) -> None:
+        entry = self._entry
+        if entry is not None:
+            self._entry = None
+            entry[2] = None
+            entry[3] = ()
 
 
 class _Condition(Event):
     """Base for AllOf/AnyOf combinators."""
+
+    __slots__ = ("events", "_n_done")
 
     def __init__(self, sim: "Simulator", events: List[Event]):
         super().__init__(sim, name=type(self).__name__)
@@ -167,6 +238,21 @@ class _Condition(Event):
     def _on_child(self, ev: Event) -> None:
         raise NotImplementedError
 
+    def _detach_pending(self) -> None:
+        """Drop our callback from children that have not triggered.
+
+        Without this, the losers of an :class:`AnyOf` race keep a
+        reference to the condition (and its waiters) alive until they
+        trigger — a leak when the loser is a long-dated timeout."""
+        on_child = self._on_child
+        for ev in self.events:
+            callbacks = ev.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(on_child)
+                except ValueError:
+                    pass
+
 
 class AllOf(_Condition):
     """Succeeds when every child event has succeeded.
@@ -175,12 +261,15 @@ class AllOf(_Condition):
     The value is the list of child values in construction order.
     """
 
+    __slots__ = ()
+
     def _on_child(self, ev: Event) -> None:
         if self.triggered:
             return
         if not ev.ok:
             ev.defuse()
             self.fail(ev.exception)  # type: ignore[arg-type]
+            self._detach_pending()
             return
         self._n_done += 1
         if self._n_done == len(self.events):
@@ -190,14 +279,18 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Succeeds when the first child succeeds; value is (event, value)."""
 
+    __slots__ = ()
+
     def _on_child(self, ev: Event) -> None:
         if self.triggered:
             return
         if not ev.ok:
             ev.defuse()
             self.fail(ev.exception)  # type: ignore[arg-type]
+            self._detach_pending()
             return
-        self.succeed((ev, ev.value))
+        self.succeed((ev, ev._value))
+        self._detach_pending()
 
 
 class Simulator:
@@ -212,7 +305,11 @@ class Simulator:
 
     def __init__(self):
         self.now: float = 0.0
-        self._queue: List[Tuple[float, int, Callable, tuple]] = []
+        #: future callbacks: a heap of [when, seq, callback, args] lists
+        #: (lists, not tuples, so cancellation can blank them in place)
+        self._queue: List[list] = []
+        #: callbacks due at the current instant, FIFO by seq
+        self._ready: deque = deque()
         self._counter = itertools.count()
         self._running = False
         self._process_count = 0
@@ -222,8 +319,10 @@ class Simulator:
         #: failed events that had no waiters when they triggered; their
         #: exceptions are surfaced when the run ends instead of being
         #: silently dropped (the dispatch callback may never execute if
-        #: the run stops in the same instant the failure was scheduled)
-        self._unhandled_failures: List[Event] = []
+        #: the run stops in the same instant the failure was scheduled).
+        #: An insertion-ordered dict keyed by identity: O(1) discard in
+        #: _dispatch, deterministic iteration in _surface_unhandled.
+        self._unhandled_failures: dict = {}
         #: runtime race/leak sanitizer (repro.analysis); None disables
         self.sanitizer = None
         #: causal tracer (repro.trace); None disables all instrumentation
@@ -266,29 +365,47 @@ class Simulator:
 
     # -- low-level scheduling ----------------------------------------------
 
-    def _schedule_at(self, when: float, callback: Callable, *args: Any) -> None:
+    def _schedule_at(self, when: float, callback: Callable, *args: Any) -> list:
+        """Schedule at an absolute time; returns the (mutable) heap entry."""
         if when < self.now:
             raise SimulationError(
                 "cannot schedule in the past (%g < %g)" % (when, self.now)
             )
-        heapq.heappush(self._queue, (when, next(self._counter), callback, args))
+        entry = [when, next(self._counter), callback, args]
+        heapq.heappush(self._queue, entry)
+        return entry
+
+    def after(self, delay: float, callback: Callable, *args: Any) -> TimerHandle:
+        """Schedule ``callback(*args)`` after ``delay``; returns a
+        :class:`TimerHandle` whose ``cancel()`` discards it in O(1).
+
+        This is the bare-callback timer the hot paths use (RPC
+        retransmit timers): no Event is allocated, and the cancelled
+        entry is lazily skipped by the run loop."""
+        return TimerHandle(self._schedule_at(self.now + delay, callback, *args))
 
     def call_soon(self, callback: Callable, *args: Any) -> None:
         """Schedule ``callback`` at the current simulated time."""
-        self._schedule_at(self.now, callback, *args)
+        self._ready.append((next(self._counter), callback, args))
 
     def _trigger(self, event: Event) -> None:
         """Deliver an event to its waiters at the current time."""
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
+        event.callbacks = None
         if self.sanitizer is not None:
             self.sanitizer.on_trigger(event, len(callbacks))
+        if event._exception is None and len(callbacks) == 1:
+            # dominant case: one waiter, successful trigger — dispatch
+            # the callback directly, skipping _dispatch's bookkeeping
+            self._ready.append((next(self._counter), callbacks[0], (event,)))
+            return
         if event._exception is not None and not callbacks and not event._defused:
-            self._unhandled_failures.append(event)
-        self.call_soon(self._dispatch, event, callbacks)
+            self._unhandled_failures[event] = None
+        self._ready.append((next(self._counter), self._dispatch, (event, callbacks)))
 
     def _dispatch(self, event: Event, callbacks: List[Callable]) -> None:
-        if self._unhandled_failures and event in self._unhandled_failures:
-            self._unhandled_failures.remove(event)
+        if self._unhandled_failures:
+            self._unhandled_failures.pop(event, None)
         for cb in callbacks:
             cb(event)
         if (
@@ -312,7 +429,7 @@ class Simulator:
             for ev in self._unhandled_failures
             if ev is not skip and not ev._defused and ev._exception is not None
         ]
-        self._unhandled_failures = []
+        self._unhandled_failures = {}
         if pending:
             if self.sanitizer is not None:
                 for ev in pending:
@@ -333,11 +450,16 @@ class Simulator:
     def any_of(self, events: List[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    _process_cls = None  # cached by spawn() (circular-import break)
+
     def spawn(self, generator, name: str = "") -> "Process":
         """Start a new process from a generator; returns the Process."""
-        from .process import Process
+        cls = Simulator._process_cls
+        if cls is None:
+            from .process import Process
 
-        return Process(self, generator, name=name)
+            cls = Simulator._process_cls = Process
+        return cls(self, generator, name=name)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains or simulated time reaches ``until``.
@@ -347,20 +469,49 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
+        queue = self._queue
+        ready = self._ready
+        pop = heapq.heappop
         try:
-            while self._queue:
-                when, _seq, callback, args = self._queue[0]
+            while True:
+                while queue and queue[0][2] is None:  # cancelled timers
+                    pop(queue)
+                if ready:
+                    if until is not None and self.now > until:
+                        self.now = until
+                        break
+                    # FIFO at equal time: a heap entry due *now* with a
+                    # smaller seq was scheduled before the oldest ready
+                    # entry and must run first
+                    if (
+                        queue
+                        and queue[0][0] == self.now
+                        and queue[0][1] < ready[0][0]
+                    ):
+                        head = pop(queue)
+                        callback, args = head[2], head[3]
+                        head[2] = None  # consumed: TimerHandle.active -> False
+                        callback(*args)
+                    else:
+                        item = ready.popleft()
+                        item[1](*item[2])
+                    continue
+                if not queue:
+                    if until is not None and until > self.now:
+                        self.now = until
+                    if self.sanitizer is not None:
+                        self.sanitizer.on_queue_drained()
+                    break
+                head = queue[0]
+                when = head[0]
                 if until is not None and when > until:
                     self.now = until
                     break
-                heapq.heappop(self._queue)
+                pop(queue)
                 self.now = when
+                callback, args = head[2], head[3]
+                head[2] = None  # consumed: TimerHandle.active -> False
                 callback(*args)
-            else:
-                if until is not None and until > self.now:
-                    self.now = until
-                if self.sanitizer is not None:
-                    self.sanitizer.on_queue_drained()
             self._surface_unhandled()
         finally:
             self._running = False
@@ -376,14 +527,41 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
+        queue = self._queue
+        ready = self._ready
+        pop = heapq.heappop
         try:
-            while self._queue and not event.triggered:
-                when, _seq, callback, args = self._queue[0]
+            while event._value is _UNSET and event._exception is None:
+                while queue and queue[0][2] is None:  # cancelled timers
+                    pop(queue)
+                if ready:
+                    if limit is not None and self.now > limit:
+                        self.now = limit
+                        break
+                    if (
+                        queue
+                        and queue[0][0] == self.now
+                        and queue[0][1] < ready[0][0]
+                    ):
+                        head = pop(queue)
+                        callback, args = head[2], head[3]
+                        head[2] = None  # consumed: TimerHandle.active -> False
+                        callback(*args)
+                    else:
+                        item = ready.popleft()
+                        item[1](*item[2])
+                    continue
+                if not queue:
+                    break
+                head = queue[0]
+                when = head[0]
                 if limit is not None and when > limit:
                     self.now = limit
                     break
-                heapq.heappop(self._queue)
+                pop(queue)
                 self.now = when
+                callback, args = head[2], head[3]
+                head[2] = None  # consumed: TimerHandle.active -> False
                 callback(*args)
             self._surface_unhandled(skip=event)
         finally:
@@ -392,4 +570,9 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next scheduled callback, or None if queue empty."""
-        return self._queue[0][0] if self._queue else None
+        if self._ready:
+            return self.now
+        queue = self._queue
+        while queue and queue[0][2] is None:
+            heapq.heappop(queue)
+        return queue[0][0] if queue else None

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from .engine import Event, Interrupt, SimulationError, Simulator
+from .engine import Event, Interrupt, SimulationError, Simulator, _UNSET
 
 __all__ = ["Process"]
 
@@ -37,12 +37,14 @@ class Process(Event):
     joins, the simulator surfaces it from :meth:`Simulator.run`.
     """
 
+    __slots__ = ("_gen", "_waiting_on", "_interrupt_pending", "trace_ctx")
+
     def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(
                 "spawn() requires a generator, got %r" % (generator,)
             )
-        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        Event.__init__(self, sim, name or getattr(generator, "__name__", "process"))
         self._gen = generator
         self._waiting_on: Optional[Event] = None
         self._interrupt_pending = False
@@ -88,22 +90,25 @@ class Process(Event):
         self._resume(event)
 
     def _resume(self, event: Optional[Event]) -> None:
-        if self.triggered:
+        # hot path: attribute checks instead of the triggered/ok/value
+        # properties; the semantics are identical
+        if self._value is not _UNSET or self._exception is not None:
             return
-        prev = self.sim.current_process
-        self.sim.current_process = self
-        tracer = self.sim.tracer
+        sim = self.sim
+        prev = sim.current_process
+        sim.current_process = self
+        tracer = sim.tracer
         if tracer is not None and tracer.trace_resumes:
             tracer.instant("proc.resume", cat="sim", track="sim")
         try:
             try:
                 if event is None:
                     target = next(self._gen)
-                elif event.ok:
-                    target = self._gen.send(event.value)
+                elif event._exception is None:
+                    target = self._gen.send(event._value)
                 else:
-                    event.defuse()
-                    target = self._gen.throw(event.exception)
+                    event._defused = True
+                    target = self._gen.throw(event._exception)
             except StopIteration as stop:
                 self._finish_ok(stop.value)
                 return
@@ -111,11 +116,21 @@ class Process(Event):
                 self._finish_fail(exc)
                 return
         finally:
-            self.sim.current_process = prev
-        self._wait_for(target)
+            sim.current_process = prev
+        # inlined _wait_for for the common wait-on-pending-event case
+        # (callbacks is None exactly when the target already triggered)
+        if isinstance(target, Event):
+            callbacks = target.callbacks
+            if callbacks is not None:
+                self._waiting_on = target
+                callbacks.append(self._on_event)
+            else:
+                sim.call_soon(self._resume, target)
+        else:
+            self._wait_for(target)
 
     def _throw_in(self, exc: BaseException) -> None:
-        if self.triggered:
+        if self._value is not _UNSET or self._exception is not None:
             return
         prev = self.sim.current_process
         self.sim.current_process = self
@@ -140,7 +155,7 @@ class Process(Event):
                 )
             )
             return
-        if target.triggered:
+        if target.callbacks is None:  # already triggered
             self.sim.call_soon(self._resume, target)
         else:
             self._waiting_on = target

@@ -39,6 +39,7 @@ class Resource:
             raise SimulationError("resource capacity must be >= 1")
         self.sim = sim
         self.name = name
+        self._ev_name = "acquire:%s" % name
         self.capacity = capacity
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
@@ -59,7 +60,7 @@ class Resource:
         return len(self._waiters)
 
     def acquire(self) -> Event:
-        ev = self.sim.event(name="acquire:%s" % self.name)
+        ev = Event(self.sim, self._ev_name)
         if self._in_use < self.capacity:
             self._grant(ev)
         else:
@@ -123,6 +124,7 @@ class Semaphore:
             raise SimulationError("semaphore value must be >= 0")
         self.sim = sim
         self.name = name
+        self._ev_name = "sem-down:%s" % name
         self._value = value
         self._waiters: Deque[Event] = deque()
 
@@ -131,7 +133,7 @@ class Semaphore:
         return self._value
 
     def down(self) -> Event:
-        ev = self.sim.event(name="sem-down:%s" % self.name)
+        ev = Event(self.sim, self._ev_name)
         if self._value > 0:
             self._value -= 1
             ev.succeed(self)
@@ -160,6 +162,7 @@ class Store:
         #: a worker pool): its forever-pending gets are not deadlocks,
         #: so the sanitizer's leak check skips them
         self.daemon = daemon
+        self._ev_name = "store-get:%s" % name
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
 
@@ -173,7 +176,7 @@ class Store:
             self._items.append(item)
 
     def get(self) -> Event:
-        ev = self.sim.event(name="store-get:%s" % self.name)
+        ev = Event(self.sim, self._ev_name)
         if self.daemon:
             ev.leak_ok = True
         if self._items:
@@ -206,10 +209,11 @@ class Broadcast:
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
         self.name = name
+        self._ev_name = "broadcast:%s" % name
         self._waiters: List[Event] = []
 
     def wait(self) -> Event:
-        ev = self.sim.event(name="broadcast:%s" % self.name)
+        ev = Event(self.sim, self._ev_name)
         self._waiters.append(ev)
         return ev
 

@@ -81,6 +81,9 @@ class BufferCache:
         return len(self._buffers)
 
     def _trace(self, name: str, **args) -> None:
+        # call sites guard on ``self.sim.tracer is not None`` themselves
+        # so a disabled tracer costs nothing (no str() formatting, no
+        # kwargs dict, no call) on the block-lookup hot path
         if self.sim.tracer is not None:
             self.sim.tracer.instant(name, cat="cache", track=self.name, **args)
 
@@ -89,10 +92,12 @@ class BufferCache:
         if buf is not None:
             self._buffers.move_to_end(buf.key)
             self.stats.record("hits")
-            self._trace("cache.hit", file=str(file_key), block=block_no)
+            if self.sim.tracer is not None:
+                self._trace("cache.hit", file=str(file_key), block=block_no)
         else:
             self.stats.record("misses")
-            self._trace("cache.miss", file=str(file_key), block=block_no)
+            if self.sim.tracer is not None:
+                self._trace("cache.miss", file=str(file_key), block=block_no)
         return buf
 
     def contains(self, file_key: Hashable, block_no: int) -> bool:
@@ -145,10 +150,11 @@ class BufferCache:
         if buf.busy:
             raise CacheError("buffer %r is already being flushed" % (buf.key,))
         buf.busy = True
-        self._trace(
-            "cache.flush_begin", file=str(buf.file_key), block=buf.block_no,
-            stamp=buf.wstamp,
-        )
+        if self.sim.tracer is not None:
+            self._trace(
+                "cache.flush_begin", file=str(buf.file_key), block=buf.block_no,
+                stamp=buf.wstamp,
+            )
         return buf.wstamp
 
     def flush_end(self, buf: Buffer, stamp: int, clean: bool = True) -> bool:
@@ -163,24 +169,28 @@ class BufferCache:
         buffer was marked clean.
         """
         buf.busy = False
+        tracing = self.sim.tracer is not None
         if not clean:
-            self._trace(
-                "cache.flush_end", file=str(buf.file_key), block=buf.block_no,
-                stamp=stamp, outcome="abandoned",
-            )
+            if tracing:
+                self._trace(
+                    "cache.flush_end", file=str(buf.file_key), block=buf.block_no,
+                    stamp=stamp, outcome="abandoned",
+                )
             return False
         if buf.wstamp != stamp:
             self.stats.record("overlapped_flushes")
-            self._trace(
-                "cache.flush_end", file=str(buf.file_key), block=buf.block_no,
-                stamp=stamp, outcome="overlapped",
-            )
+            if tracing:
+                self._trace(
+                    "cache.flush_end", file=str(buf.file_key), block=buf.block_no,
+                    stamp=stamp, outcome="overlapped",
+                )
             return False
         self.mark_clean(buf)
-        self._trace(
-            "cache.flush_end", file=str(buf.file_key), block=buf.block_no,
-            stamp=stamp, outcome="clean",
-        )
+        if tracing:
+            self._trace(
+                "cache.flush_end", file=str(buf.file_key), block=buf.block_no,
+                stamp=stamp, outcome="clean",
+            )
         return True
 
     def _make_room(self):
@@ -209,9 +219,10 @@ class BufferCache:
             if victim.key in self._buffers and self._buffers[victim.key] is victim:
                 del self._buffers[victim.key]
                 self.stats.record("evictions")
-                self._trace(
-                    "cache.evict", file=str(victim.file_key), block=victim.block_no
-                )
+                if self.sim.tracer is not None:
+                    self._trace(
+                        "cache.evict", file=str(victim.file_key), block=victim.block_no
+                    )
 
     def _pick_victim(self) -> Optional[Buffer]:
         # Prefer the LRU clean buffer; fall back to the LRU dirty one.

@@ -1,0 +1,69 @@
+"""Golden-digest conformance: the optimized engine must compute the
+exact artifacts the pre-optimization engine did.
+
+``tests/golden/golden.json`` holds sha256 digests of every paper-facing
+table/figure (rendered text) and the trace digests of the traced
+scenarios, captured at fixed seeds before the engine fast path landed.
+These tests recompute each one; any schedule-visible behavior change
+fails with the scenario's name.
+
+Regenerate (only after an *intentional* behavior change) with::
+
+    PYTHONPATH=src python -c "from tests.bench.test_golden import regenerate; regenerate()"
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import (
+    GOLDEN_OUTPUTS,
+    GOLDEN_TRACED,
+    compute_output_digests,
+    compute_trace_digests,
+)
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "..", "golden", "golden.json")
+
+
+def _load():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def test_golden_file_is_complete():
+    ref = _load()
+    assert ref["schema"] == "repro-golden/1"
+    assert set(ref["outputs"]) == set(GOLDEN_OUTPUTS)
+    assert set(ref["trace_digests"]) == set(GOLDEN_TRACED)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_OUTPUTS))
+def test_output_digest_matches_golden(name):
+    ref = _load()["outputs"]
+    fresh = compute_output_digests([name])
+    assert fresh[name] == ref[name], (
+        "rendered output of %r changed vs the pre-optimization golden" % name
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_TRACED))
+def test_trace_digest_matches_golden(name):
+    ref = _load()["trace_digests"]
+    fresh = compute_trace_digests([name])
+    assert fresh[name] == ref[name], (
+        "trace digest of %r changed vs the pre-optimization golden" % name
+    )
+
+
+def regenerate():  # pragma: no cover - maintenance helper
+    doc = {
+        "schema": "repro-golden/1",
+        "outputs": compute_output_digests(),
+        "trace_digests": compute_trace_digests(),
+    }
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote %s" % GOLDEN_PATH)

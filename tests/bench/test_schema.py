@@ -1,0 +1,111 @@
+"""Tests for the BENCH_*.json schema builder, validator, and the CI
+regression gate."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    bench_document,
+    compare_to_baseline,
+    validate_bench_document,
+)
+from repro.bench.schema import write_bench_document
+
+
+def _scenario(name="s", rate=1000, digest=None):
+    return {
+        "name": name,
+        "params": {"n": 10},
+        "ops": 100,
+        "sim_seconds": 1.0,
+        "wall_seconds": 0.1,
+        "events_per_sec": rate,
+        "trace_digest": digest,
+    }
+
+
+def test_bench_document_shape():
+    doc = bench_document("engine", [_scenario()], quick=True)
+    assert doc["schema"] == BENCH_SCHEMA
+    assert doc["suite"] == "engine"
+    assert doc["quick"] is True
+    assert "python" in doc["host"]
+    assert validate_bench_document(doc) == []
+
+
+def test_validator_catches_problems():
+    doc = bench_document("engine", [_scenario()], quick=False)
+    doc["schema"] = "bogus/9"
+    assert any("schema" in p for p in validate_bench_document(doc))
+
+    doc = bench_document("neither", [_scenario()], quick=False)
+    assert any("suite" in p for p in validate_bench_document(doc))
+
+    bad = _scenario()
+    del bad["ops"]
+    doc = bench_document("engine", [bad], quick=False)
+    assert any("ops" in p for p in validate_bench_document(doc))
+
+    doc = bench_document("engine", [_scenario("a"), _scenario("a")], quick=False)
+    assert any("duplicate" in p for p in validate_bench_document(doc))
+
+    doc = bench_document("engine", [_scenario(digest="tooshort")], quick=False)
+    assert any("trace_digest" in p for p in validate_bench_document(doc))
+
+    doc = bench_document("engine", [_scenario(digest="a" * 64)], quick=False)
+    assert validate_bench_document(doc) == []
+
+    doc = bench_document("engine", [], quick=False)
+    assert any("scenarios" in p for p in validate_bench_document(doc))
+
+
+def test_compare_to_baseline_gate():
+    base = bench_document("engine", [_scenario("a", 1000), _scenario("b", 1000)])
+    # within tolerance: ok
+    fresh = bench_document("engine", [_scenario("a", 850), _scenario("b", 1200)])
+    ok, lines = compare_to_baseline(fresh, base, tolerance=0.20)
+    assert ok
+    assert len(lines) == 2
+    # beyond tolerance: regression
+    fresh = bench_document("engine", [_scenario("a", 700), _scenario("b", 1000)])
+    ok, lines = compare_to_baseline(fresh, base, tolerance=0.20)
+    assert not ok
+    assert any("REGRESSION" in line for line in lines)
+
+
+def test_compare_reports_new_and_missing_scenarios_non_fatally():
+    base = bench_document("engine", [_scenario("old", 1000)])
+    fresh = bench_document("engine", [_scenario("new", 1000)])
+    ok, lines = compare_to_baseline(fresh, base, tolerance=0.20)
+    assert ok  # suites may grow/shrink without failing the gate
+    assert any("new scenario" in line for line in lines)
+    assert any("missing" in line for line in lines)
+
+
+def test_write_bench_document_is_deterministic(tmp_path):
+    doc = bench_document("engine", [_scenario()], quick=True)
+    p1, p2 = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+    write_bench_document(doc, p1)
+    write_bench_document(doc, p2)
+    b1, b2 = open(p1).read(), open(p2).read()
+    assert b1 == b2
+    assert b1.endswith("\n")
+    assert json.loads(b1) == doc
+
+
+def test_committed_bench_documents_are_valid():
+    root = os.path.join(os.path.dirname(__file__), "..", "..")
+    for fname, suite in (
+        ("BENCH_engine.json", "engine"),
+        ("BENCH_workloads.json", "workloads"),
+    ):
+        path = os.path.join(root, fname)
+        if not os.path.exists(path):
+            pytest.fail("%s is not committed at the repo root" % fname)
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert validate_bench_document(doc) == [], fname
+        assert doc["suite"] == suite

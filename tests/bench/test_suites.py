@@ -1,0 +1,49 @@
+"""Smoke tests for the benchmark suites themselves: deterministic op
+counts, stable schedule digests, and the quick workload path."""
+
+import pytest
+
+from repro.bench import ENGINE_SCENARIOS
+from repro.bench.engine_bench import _schedule_digest
+from repro.bench.workloads import cluster_point
+from repro.sim import Simulator
+
+
+@pytest.mark.parametrize("name", sorted(ENGINE_SCENARIOS))
+def test_engine_scenario_ops_are_arithmetic(name):
+    body, _full_n, _quick_n, digest_n = ENGINE_SCENARIOS[name]
+    ops1 = body(Simulator(), digest_n, None)
+    ops2 = body(Simulator(), digest_n, None)
+    assert ops1 == ops2 > 0
+
+
+@pytest.mark.parametrize("name", sorted(ENGINE_SCENARIOS))
+def test_engine_schedule_digest_is_stable(name):
+    body, _full_n, _quick_n, digest_n = ENGINE_SCENARIOS[name]
+    d1 = _schedule_digest(name, body, digest_n)
+    d2 = _schedule_digest(name, body, digest_n)
+    assert d1 == d2
+    assert len(d1) == 64
+
+
+def test_engine_scenario_digests_are_distinct():
+    digests = {
+        name: _schedule_digest(name, body, digest_n)
+        for name, (body, _f, _q, digest_n) in ENGINE_SCENARIOS.items()
+    }
+    assert len(set(digests.values())) == len(digests)
+
+
+def test_cluster_point_runs_every_protocol_small():
+    for protocol in ("nfs", "snfs", "rfs", "kent", "lease"):
+        bed, sim_seconds = cluster_point(protocol, 2, iterations=1)
+        assert sim_seconds > 0
+        assert bed.total_rpcs() > 0
+        assert len(bed.client_hosts) == 2
+
+
+def test_cluster_point_is_deterministic():
+    a = cluster_point("snfs", 3, iterations=1)
+    b = cluster_point("snfs", 3, iterations=1)
+    assert a[1] == b[1]
+    assert a[0].total_rpcs() == b[0].total_rpcs()
