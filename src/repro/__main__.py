@@ -10,6 +10,7 @@ Usage::
     python -m repro scaling              # the N-clients extension
     python -m repro ablations            # all five ablations
     python -m repro bench                # wall-clock benchmarks -> BENCH_*.json
+    python -m repro nemesis              # conformance matrix under faults
     python -m repro all                  # everything (several minutes)
 """
 
@@ -155,6 +156,30 @@ def main(argv=None) -> int:
         default=0.20,
         help="allowed events/sec regression vs the baseline (default: 0.20)",
     )
+    p_nem = sub.add_parser(
+        "nemesis",
+        help="conformance matrix: workloads x fault plans x protocols",
+    )
+    p_nem.add_argument("--seed", type=int, default=1, help="matrix seed")
+    p_nem.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI subset: %s" % ", ".join(
+            ("flaky-net", "server-crash", "crash-during-grace")
+        ),
+    )
+    p_nem.add_argument(
+        "--only",
+        metavar="CELL",
+        default=None,
+        help="run one cell: protocol/workload/plan",
+    )
+    p_nem.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the schema-versioned JSON document to PATH",
+    )
     p_lint = sub.add_parser(
         "lint", help="determinism/sim-discipline lint + Table 4-1 conformance"
     )
@@ -242,6 +267,39 @@ def main(argv=None) -> int:
             return 0
         print(resilience_table(seed=args.seed)[0])
         return 0
+    if args.command == "nemesis":
+        from .nemesis import (
+            QUICK_PLANS,
+            nemesis_document,
+            render_matrix,
+            run_matrix,
+        )
+
+        plans = QUICK_PLANS if args.quick else None
+        try:
+            cells = run_matrix(seed=args.seed, plans=plans, only=args.only)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        print(render_matrix(cells, args.seed))
+        doc = nemesis_document(cells, args.seed)
+        print(
+            "cells=%d pass=%d expected=%d fail=%d digest=%s"
+            % (
+                len(cells),
+                doc["summary"]["pass"],
+                doc["summary"]["expected"],
+                doc["summary"]["fail"],
+                doc["digest"][:16],
+            )
+        )
+        if args.json:
+            import json as _json
+
+            with open(args.json, "w") as fh:
+                _json.dump(doc, fh, indent=2, sort_keys=False)
+                fh.write("\n")
+            print("wrote %s" % args.json)
+        return 1 if doc["summary"]["fail"] else 0
     if args.command == "trace":
         from .trace.cli import run_trace
 

@@ -38,6 +38,8 @@ from ..faults import (
 )
 from ..fs.types import OpenMode
 from ..host import Host, HostConfig
+from ..kent import KentClient, KentServer
+from ..lease import LeaseClient, LeaseServer
 from ..metrics import format_table
 from ..net import Network, NetworkConfig
 from ..nfs import NfsClient, NfsClientConfig, NfsServer
@@ -98,6 +100,12 @@ class ResilienceBed:
         elif protocol == "rfs":
             self.server = RfsServer(self.server_host, self.export)
             default_cfg = None
+        elif protocol == "kent":
+            self.server = KentServer(self.server_host, self.export)
+            default_cfg = None
+        elif protocol == "lease":
+            self.server = LeaseServer(self.server_host, self.export)
+            default_cfg = None
         else:
             raise ValueError("unknown protocol %r" % protocol)
         cfg = client_config if client_config is not None else default_cfg
@@ -118,6 +126,10 @@ class ResilienceBed:
                 client = NfsClient(mount_id, host, "server", config=cfg)
             elif protocol == "snfs":
                 client = SnfsClient(mount_id, host, "server", config=cfg)
+            elif protocol == "kent":
+                client = KentClient(mount_id, host, "server", config=cfg)
+            elif protocol == "lease":
+                client = LeaseClient(mount_id, host, "server", config=cfg)
             else:
                 client = RfsClient(mount_id, host, "server", config=cfg)
             self.run(client.attach())

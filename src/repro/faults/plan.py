@@ -126,12 +126,19 @@ class FaultInjector:
     ``(time, description)``, in simulation order.
     """
 
-    def __init__(self, sim, network=None, disks=None, targets=None):
+    def __init__(self, sim, network=None, disks=None, targets=None, trace=False):
         self.sim = sim
         self.network = network
         self.disks: Dict[str, object] = dict(disks or {})
         self.targets: Dict[str, object] = dict(targets or {})
         self.log: List[Tuple[float, str]] = []
+        #: also emit each event as a tracer instant, so faulted runs
+        #: show the nemesis activity on the trace timeline next to its
+        #: victims.  Opt-in: the pinned golden traces of historical
+        #: faulted scenarios predate fault instants and must stay
+        #: byte-identical; harnesses built for observability (the
+        #: nemesis matrix) turn it on.
+        self.trace = trace
 
     def install(self, plan: FaultPlan) -> None:
         """Reseed the fault RNGs and spawn one process per event."""
@@ -147,8 +154,14 @@ class FaultInjector:
                 runner(self, event), name="fault-%d:%s" % (i, type(event).__name__)
             )
 
-    def _note(self, what: str) -> None:
+    def _note(self, what: str, kind: str = "fault") -> None:
         self.log.append((self.sim.now, what))
+        if self.sim.metrics is not None:
+            self.sim.metrics.counter("faults.events").inc(kind=kind)
+        if self.trace and self.sim.tracer is not None:
+            self.sim.tracer.instant(
+                "fault.%s" % kind, cat="faults", track="faults", what=what
+            )
 
     # -- one timed process per event kind ---------------------------------
 
@@ -157,62 +170,62 @@ class FaultInjector:
             yield self.sim.timeout(ev.start)
         arrow = "<->" if ev.symmetric else "->"
         self.network.partition(ev.a, ev.b, symmetric=ev.symmetric)
-        self._note("partition %s %s %s" % (ev.a, arrow, ev.b))
+        self._note("partition %s %s %s" % (ev.a, arrow, ev.b), kind="partition")
         if ev.duration is None:
             return
         yield self.sim.timeout(ev.duration)
         self.network.heal(ev.a, ev.b, symmetric=ev.symmetric)
-        self._note("heal %s %s %s" % (ev.a, arrow, ev.b))
+        self._note("heal %s %s %s" % (ev.a, arrow, ev.b), kind="heal")
 
     def _run_loss(self, ev: LossBurst):
         if ev.start > 0:
             yield self.sim.timeout(ev.start)
         self.network.extra_drop += ev.rate
-        self._note("loss burst +%g" % ev.rate)
+        self._note("loss burst +%g" % ev.rate, kind="loss")
         yield self.sim.timeout(ev.duration)
         self.network.extra_drop -= ev.rate
-        self._note("loss burst -%g" % ev.rate)
+        self._note("loss burst -%g" % ev.rate, kind="loss_end")
 
     def _run_latency(self, ev: LatencyBurst):
         if ev.start > 0:
             yield self.sim.timeout(ev.start)
         self.network.extra_latency += ev.extra
-        self._note("latency burst +%gs" % ev.extra)
+        self._note("latency burst +%gs" % ev.extra, kind="latency")
         yield self.sim.timeout(ev.duration)
         self.network.extra_latency -= ev.extra
-        self._note("latency burst -%gs" % ev.extra)
+        self._note("latency burst -%gs" % ev.extra, kind="latency_end")
 
     def _run_disk_fault(self, ev: DiskFault):
         disk = self.disks[ev.disk]
         if ev.start > 0:
             yield self.sim.timeout(ev.start)
         disk.error_rate += ev.error_rate
-        self._note("disk errors %s +%g" % (ev.disk, ev.error_rate))
+        self._note("disk errors %s +%g" % (ev.disk, ev.error_rate), kind="disk_error")
         yield self.sim.timeout(ev.duration)
         disk.error_rate -= ev.error_rate
-        self._note("disk errors %s -%g" % (ev.disk, ev.error_rate))
+        self._note("disk errors %s -%g" % (ev.disk, ev.error_rate), kind="disk_error_end")
 
     def _run_slow_disk(self, ev: SlowDisk):
         disk = self.disks[ev.disk]
         if ev.start > 0:
             yield self.sim.timeout(ev.start)
         disk.slow_factor *= ev.factor
-        self._note("slow disk %s x%g" % (ev.disk, ev.factor))
+        self._note("slow disk %s x%g" % (ev.disk, ev.factor), kind="slow_disk")
         yield self.sim.timeout(ev.duration)
         disk.slow_factor /= ev.factor
-        self._note("slow disk %s /%g" % (ev.disk, ev.factor))
+        self._note("slow disk %s /%g" % (ev.disk, ev.factor), kind="slow_disk_end")
 
     def _run_crash(self, ev: CrashReboot):
         target = self.targets[ev.target]
         if ev.at > 0:
             yield self.sim.timeout(ev.at)
         target.crash()
-        self._note("crash %s" % ev.target)
+        self._note("crash %s" % ev.target, kind="crash")
         if ev.down_for is None:
             return  # never reboots
         yield self.sim.timeout(ev.down_for)
         target.reboot()
-        self._note("reboot %s" % ev.target)
+        self._note("reboot %s" % ev.target, kind="reboot")
 
     _RUNNERS = {
         "Partition": _run_partition,

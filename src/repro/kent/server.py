@@ -87,6 +87,15 @@ class KentServer(RemoteFsServer):
             self._tokens[key] = token
         return token
 
+    def on_server_crash(self) -> None:
+        """Kent's token table has **no recovery protocol**: after a
+        reboot the server forgets every outstanding block token and
+        will happily grant tokens that conflict with claims pre-crash
+        clients still believe they hold — a documented weak-crash
+        semantics the nemesis matrix expects to surface as
+        consistency violations, not crashes."""
+        self._tokens.clear()
+
     # -- token services -------------------------------------------------------
 
     def proc_acquire(self, src, fh: FileHandle, bno: int, write: bool):

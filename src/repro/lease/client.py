@@ -32,8 +32,31 @@ class LeasePolicy(ConsistencyPolicy):
 
     flush_in_block_order = True  # delayed writes, flushed like SNFS
 
+    def __init__(self, client):
+        super().__init__(client)
+        self._reclaimed_epoch: Optional[int] = None
+
     def push_procs(self):
         return {LPROC.VACATE: "serve_vacate"}
+
+    # -- server-crash recovery: flush and forget ----------------------------
+
+    def reclaim(self, recovering):
+        """The rebooted server is refusing new leases until every
+        pre-crash lease has lapsed.  Our part of the bargain (NQNFS's
+        write_slack): land delayed writes *now*, while the recovery
+        window holds conflicting opens at bay, and forget lease state
+        the server no longer remembers — the next open revalidates
+        against the rebuilt version numbers.  Once per boot epoch.
+        """
+        c = self.client
+        if self._reclaimed_epoch == recovering.epoch:
+            return
+        self._reclaimed_epoch = recovering.epoch
+        for key in sorted(c._gnodes):
+            g = c._gnodes[key]
+            yield from c._flush_dirty(g)
+            g.private["lease_mode"] = None
 
     # -- lease state (all soft: it lives in g.private and expires) ----------
 

@@ -33,14 +33,22 @@ from typing import Dict, Hashable, Optional
 from ..fs.types import FileHandle
 from ..host import Host
 from ..net import RpcError
-from ..proto import RemoteFsServer, proc_namespace
+from ..proto import RemoteFsServer, ServerRecovering, proc_namespace
 from ..vfs import LocalMount
 
-__all__ = ["LeaseServer", "LPROC", "DEFAULT_LEASE_TERM"]
+__all__ = ["LeaseServer", "LPROC", "DEFAULT_LEASE_TERM", "DEFAULT_WRITE_SLACK"]
 
 #: how long a lease is good for; NQNFS used tens of seconds so that a
 #: crashed client's state evaporates quickly
 DEFAULT_LEASE_TERM = 30.0
+
+#: extra post-reboot slack, beyond the lease term, before new leases
+#: are granted — time for pre-crash write-lease holders to flush their
+#: delayed data (NQNFS's ``write_slack``).  Sized for the worst case:
+#: an update-daemon sync interval (30 s) for the flush to start, plus
+#: the retransmission backoff cap for a retry that was mid-sleep when
+#: the server came back.
+DEFAULT_WRITE_SLACK = 45.0
 
 #: how long the server waits for one vacate callback before declaring
 #: the holder dead
@@ -73,14 +81,71 @@ class LeaseServer(RemoteFsServer):
 
     PROC = LPROC
 
-    def __init__(self, host: Host, export: LocalMount, lease_term: float = DEFAULT_LEASE_TERM):
+    def __init__(
+        self,
+        host: Host,
+        export: LocalMount,
+        lease_term: float = DEFAULT_LEASE_TERM,
+        write_slack: float = DEFAULT_WRITE_SLACK,
+    ):
         self._leases: Dict[Hashable, _LeaseEntry] = {}
         self.lease_term = lease_term
+        self.write_slack = write_slack
+        # recovery by expiry: after a reboot, no new lease may be
+        # granted until every lease the pre-crash server could have
+        # issued has lapsed (plus write_slack for delayed-data flushes)
+        self.boot_epoch = 1
+        self._recovering_until = 0.0
         super().__init__(host, export)
 
     def _register(self) -> None:
         super()._register()
         self.host.rpc.register(self.PROC.OPEN, self.proc_open)
+
+    # -- crash recovery: by expiry, not by reassertion ---------------------
+
+    @property
+    def in_recovery(self) -> bool:
+        return self.sim.now < self._recovering_until
+
+    def on_server_crash(self) -> None:
+        """The lease table is volatile — and that is the whole design:
+        nothing needs rebuilding, because every entry was going to
+        expire anyway."""
+        self._leases.clear()
+
+    def on_server_reboot(self) -> None:
+        self.boot_epoch += 1
+        # the youngest lease the dead server could have granted was
+        # issued an instant before the crash, so every pre-crash lease
+        # has lapsed ``lease_term`` after *reboot*; write_slack on top
+        # lets pre-crash write-lease holders land their delayed data
+        # before anyone else can open the files
+        self._recovering_until = self.sim.now + self.lease_term + self.write_slack
+        if self.sim.tracer is not None:
+            self.sim.tracer.instant(
+                "lease.recovery", cat="lease", track=self.host.name,
+                epoch=self.boot_epoch, until=self._recovering_until,
+            )
+
+    def _check_recovering(self) -> None:
+        """No new leases while pre-crash leases may still be live.
+
+        Only lease *grants* are fenced: data, attribute, and namespace
+        traffic stays up, which is exactly NQNFS's write_slack — a
+        pre-crash write-lease holder can flush its delayed data during
+        the window, and a pre-crash read-lease holder can fill cache
+        misses, while nobody new can acquire a conflicting claim.
+        """
+        if self.in_recovery:
+            if self.sim.metrics is not None:
+                self.sim.metrics.counter("recovery.rejections").inc(
+                    server=self.host.name, proto="lease"
+                )
+            raise ServerRecovering(
+                self.boot_epoch,
+                retry_after=self._recovering_until - self.sim.now,
+            )
 
     def _entry(self, key: Hashable) -> _LeaseEntry:
         entry = self._leases.get(key)
@@ -100,6 +165,7 @@ class LeaseServer(RemoteFsServer):
 
         Returns ``(expiry, version, prev_version, attr)``.
         """
+        self._check_recovering()
         inum = self.lfs.resolve(fh)
         key = fh.key()
         lock = self._lock_for(key)  # serialize opens per file

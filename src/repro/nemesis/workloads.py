@@ -1,0 +1,169 @@
+"""Nemesis workloads: application behavior for the conformance matrix.
+
+Two disciplines, chosen to exercise the two halves of the paper's
+consistency argument:
+
+* **seq-sharing** — sequential write-sharing, the discipline
+  close-to-open consistency covers (§2.3): a writer commits a fresh
+  record via open/write/close while a reader polls via open/read/close.
+  The reader keeps polling until the writer has committed its last
+  record, so cells with long recovery windows still get post-recovery
+  reads judged by the oracle.
+
+* **meta-churn** — a metadata-heavy storm (create, write, rename,
+  stat, readdir, unlink) motivated by the metadata-traffic skew of
+  real deployments: one client churns a shared directory while the
+  other walks it.  Namespace races (a file unlinked between readdir
+  and stat) are *application-level* errors, caught and counted — a
+  weak protocol must surface as oracle violations or counted errors,
+  never as an unhandled crash.
+
+Both are pure coroutine factories over a
+:class:`~repro.experiments.resilience.ResilienceBed` with two clients;
+each returns a stats dict (operation and error counts) merged into the
+cell record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..fs import FsError
+from ..fs.types import OpenMode
+
+__all__ = ["NEMESIS_WORKLOADS", "run_workload"]
+
+_RECORD = 64
+
+
+def _record(seq: int) -> bytes:
+    body = ("seq=%012d" % seq).encode()
+    return body + b"." * (_RECORD - len(body))
+
+
+def run_seq_sharing(bed, n_updates: int = 10, write_period: float = 4.0,
+                    read_period: float = 1.5) -> Dict[str, int]:
+    """Writer commits records; reader polls until the last commit."""
+    sim = bed.sim
+    writer_kernel = bed.clients[0].kernel
+    reader_kernel = bed.clients[1].kernel
+    path = "/data/shared.dat"
+    stats = {"writes": 0, "reads": 0, "app_errors": 0}
+    state = {"done": False}
+
+    def setup():
+        fd = yield from writer_kernel.open(
+            path, OpenMode.WRITE, create=True, truncate=True
+        )
+        yield from writer_kernel.write(fd, _record(0))
+        yield from writer_kernel.close(fd)
+
+    bed.run(setup())
+
+    def writer():
+        try:
+            for seq in range(1, n_updates + 1):
+                yield sim.timeout(write_period)
+                try:
+                    fd = yield from writer_kernel.open(path, OpenMode.WRITE)
+                    yield from writer_kernel.write(fd, _record(seq))
+                    yield from writer_kernel.close(fd)
+                    stats["writes"] += 1
+                except FsError:
+                    stats["app_errors"] += 1
+        finally:
+            state["done"] = True
+
+    def reader():
+        # offset the poll phase so reads never race the millisecond-
+        # scale windows where the writer holds the file open
+        yield sim.timeout(write_period / 2 + 0.13)
+        while not state["done"]:
+            try:
+                fd = yield from reader_kernel.open(path, OpenMode.READ)
+                yield from reader_kernel.read(fd, _RECORD)
+                yield from reader_kernel.close(fd)
+                stats["reads"] += 1
+            except FsError:
+                stats["app_errors"] += 1
+            yield sim.timeout(read_period)
+
+    bed.run_all(writer(), reader())
+    return stats
+
+
+def run_meta_churn(bed, n_rounds: int = 12, period: float = 2.5) -> Dict[str, int]:
+    """One client churns a directory's namespace; the other walks it."""
+    sim = bed.sim
+    churn_kernel = bed.clients[0].kernel
+    walk_kernel = bed.clients[1].kernel
+    stats = {"churn_ops": 0, "walk_ops": 0, "app_errors": 0}
+    state = {"done": False}
+
+    bed.run(churn_kernel.mkdir("/data/churn"))
+
+    def churner():
+        try:
+            for i in range(n_rounds):
+                yield sim.timeout(period)
+                name = "/data/churn/f%02d" % i
+                try:
+                    fd = yield from churn_kernel.open(
+                        name, OpenMode.WRITE, create=True, truncate=True
+                    )
+                    yield from churn_kernel.write(fd, _record(i))
+                    yield from churn_kernel.close(fd)
+                    yield from churn_kernel.rename(name, name + ".done")
+                    yield from churn_kernel.stat(name + ".done")
+                    stats["churn_ops"] += 4
+                    if i >= 3 and i % 3 == 0:
+                        yield from churn_kernel.unlink(
+                            "/data/churn/f%02d.done" % (i - 3)
+                        )
+                        stats["churn_ops"] += 1
+                except FsError:
+                    stats["app_errors"] += 1
+        finally:
+            state["done"] = True
+
+    def walker():
+        yield sim.timeout(period / 2 + 0.2)
+        while not state["done"]:
+            try:
+                names = yield from walk_kernel.readdir("/data/churn")
+                stats["walk_ops"] += 1
+                for name in sorted(names):
+                    if not name.endswith(".done"):
+                        continue
+                    try:
+                        path = "/data/churn/" + name
+                        yield from walk_kernel.stat(path)
+                        fd = yield from walk_kernel.open(path, OpenMode.READ)
+                        yield from walk_kernel.read(fd, _RECORD)
+                        yield from walk_kernel.close(fd)
+                        stats["walk_ops"] += 3
+                    except FsError:
+                        # unlinked or renamed under us: an application-
+                        # level race, not a consistency violation
+                        stats["app_errors"] += 1
+            except FsError:
+                stats["app_errors"] += 1
+            yield sim.timeout(period)
+
+    bed.run_all(churner(), walker())
+    return stats
+
+
+#: workload name -> runner(bed) -> stats dict
+NEMESIS_WORKLOADS = {
+    "seq-sharing": run_seq_sharing,
+    "meta-churn": run_meta_churn,
+}
+
+
+def run_workload(name: str, bed) -> Dict[str, int]:
+    try:
+        runner = NEMESIS_WORKLOADS[name]
+    except KeyError:
+        raise ValueError("unknown nemesis workload %r" % name) from None
+    return runner(bed)

@@ -200,6 +200,9 @@ class RpcEndpoint:
         # the SNFS keepalive sweep tracks when each client was last heard.
         self.serve_listeners: list = []
         self.alive = True
+        #: bumped by crash(): lets a _serve coroutine that was mid-handler
+        #: when the power failed recognize that its world is gone
+        self.boot_epoch = 0
         self._dispatcher = sim.spawn(self._dispatch_loop(), name="rpc:%s" % address)
 
     # -- server side -----------------------------------------------------
@@ -247,6 +250,7 @@ class RpcEndpoint:
         if tracer is not None:
             # join the caller's causal tree before recording anything
             tracer.adopt(msg.ctx)
+        epoch = self.boot_epoch
         key = (msg.src, msg.xid)
         try:
             cached = self._dup_cache.begin(key)
@@ -281,6 +285,17 @@ class RpcEndpoint:
                     reply.error = exc
                 finally:
                     self.threads.release()
+                if epoch != self.boot_epoch:
+                    # the endpoint crashed (and maybe rebooted) while
+                    # the handler ran: this reply reflects pre-crash
+                    # state.  crash() already emptied the duplicate
+                    # cache; caching or sending this reply would
+                    # repopulate the *post-reboot* cache with it, and a
+                    # retransmission would then be answered instead of
+                    # re-executed — silently breaking at-least-once
+                    # semantics.  The request was never acknowledged,
+                    # so observers must not see it either.
+                    return
                 for listener in self.serve_listeners:
                     listener(
                         msg.proc, msg.src, msg.args, reply.result, reply.error, self.sim.now
@@ -419,6 +434,7 @@ class RpcEndpoint:
     def crash(self) -> None:
         """Lose all volatile RPC state (host crash)."""
         self.alive = False
+        self.boot_epoch += 1
         self.iface.up = False
         self.iface.flush_ports()
         for ev in list(self._pending.values()):

@@ -16,14 +16,18 @@ from .config import RemoteFsConfig
 from .dnlc import NameCache
 from .policy import ConsistencyPolicy
 from .procs import STANDARD_PROCS, proc_namespace
+from .recovery import DEFAULT_GRACE_PERIOD, ReopenRejected, ServerRecovering
 from .server import RemoteFsServer
 
 __all__ = [
     "ConsistencyPolicy",
+    "DEFAULT_GRACE_PERIOD",
     "NameCache",
     "RemoteFsClient",
     "RemoteFsConfig",
     "RemoteFsServer",
+    "ReopenRejected",
     "STANDARD_PROCS",
+    "ServerRecovering",
     "proc_namespace",
 ]

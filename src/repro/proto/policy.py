@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Dict
 
+from .recovery import ReopenRejected, ServerRecovering
+
 __all__ = ["ConsistencyPolicy"]
 
 
@@ -48,14 +50,42 @@ class ConsistencyPolicy:
     def call(self, proc: str, *args, gnode=None):
         """Coroutine: one RPC to the mount's server.
 
-        Hard-mount semantics: the client retries forever.  ``gnode``
-        names the file the call operates on, if any; recovery-aware
-        policies (SNFS) use it to abort calls whose reopen claim the
-        rebooted server rejected.
+        Hard-mount semantics: the client retries forever.  A
+        :class:`ServerRecovering` rejection means the server rebooted
+        and is rebuilding state: run the policy's :meth:`reclaim`, wait
+        out the advertised window, and retry (§2.4).  ``gnode`` names
+        the file the call operates on, if any; recovery-aware policies
+        (SNFS) use it to abort calls whose reopen claim the rebooted
+        server rejected.
         """
         c = self.client
-        result = yield from c.rpc.call(c.server, proc, *args, hard=True)
-        return result
+        while True:
+            try:
+                result = yield from c.rpc.call(c.server, proc, *args, hard=True)
+                return result
+            except ServerRecovering as recovering:
+                yield from self.on_server_recovering(recovering, gnode)
+
+    # -- server-crash recovery (§2.4) --------------------------------------
+
+    def on_server_recovering(self, recovering, gnode=None):
+        """Coroutine: one bounce off a recovering server.  Reclaim,
+        abort if the server rejected our claim on this call's file,
+        then back off before the retry."""
+        yield from self.reclaim(recovering)
+        if gnode is not None and gnode.private.get("reopen_rejected"):
+            raise ReopenRejected(
+                "claim on %r rejected after server reboot" % (gnode.fid,)
+            )
+        yield self.client.sim.timeout(max(recovering.retry_after, 0.5))
+
+    def reclaim(self, recovering):
+        """Coroutine: reassert (or discard) this client's state after a
+        server reboot.  SNFS sends the bulk ``reopen`` report; lease
+        clients flush delayed writes and forget void leases; the
+        stateless default has nothing to reassert."""
+        return
+        yield  # pragma: no cover
 
     # -- server push -------------------------------------------------------
 

@@ -1,0 +1,72 @@
+"""Protocol-agnostic server-crash recovery signals (§2.4, generalized).
+
+The paper sketches crash recovery for SNFS only ("we have not yet
+implemented a crash recovery protocol", §4.4/§7); our SNFS
+implementation follows Welch's Sprite design — epoch + grace period +
+client reassertion.  This module lifts the *signal* out of the SNFS
+package so every protocol can express its recovery story at the
+:class:`~repro.proto.policy.ConsistencyPolicy` seam:
+
+* A recovering server rejects calls with :class:`ServerRecovering`
+  (property 2: "the consistency state of the file cannot change ...
+  until the server is willing to allow it to change").
+* The client core's :meth:`ConsistencyPolicy.call` loop catches the
+  rejection, runs the policy's :meth:`ConsistencyPolicy.reclaim` hook
+  once per server boot epoch (property 1: "the clients together 'know'
+  who is caching the file, and the server can reconstruct its state
+  from the clients"), waits out the advertised window, and retries.
+* A policy whose reclaim lost an argument with the rebuilt server
+  raises :class:`ReopenRejected` so in-flight writes abort instead of
+  clobbering newer state.
+
+What each protocol does with the seam:
+
+* **SNFS** — full reassertion: a bulk ``reopen`` report of every open
+  file, validated (and possibly rejected) by the server.
+* **lease** — recovery *by expiry*: the server serves no new leases
+  until every lease it could have granted before the crash has lapsed;
+  the client's reclaim flushes delayed writes (the NQNFS
+  ``write_slack``) and forgets its now-void leases.
+* **NFS / RFS / Kent** — no recovery protocol; the default reclaim is
+  a no-op and the protocols' weak crash semantics are documented and
+  oracle-checked rather than silent (docs/PROTOCOLS.md).
+"""
+
+from __future__ import annotations
+
+from ..fs.errors import FsError
+
+__all__ = ["ServerRecovering", "ReopenRejected", "DEFAULT_GRACE_PERIOD"]
+
+#: how long a rebooted stateful server waits for clients to reassert
+DEFAULT_GRACE_PERIOD = 20.0
+
+
+class ServerRecovering(FsError):
+    """The server is rebuilding state; reassert your claims and retry.
+
+    ``epoch`` identifies the server boot that issued the rejection, so
+    a client reclaims at most once per reboot; ``retry_after`` is the
+    server's estimate of the remaining recovery window.
+    """
+
+    errno_name = "EAGAIN"
+
+    def __init__(self, epoch: int, retry_after: float):
+        super().__init__("server recovering (epoch %d)" % epoch)
+        self.epoch = epoch
+        self.retry_after = retry_after
+
+
+class ReopenRejected(FsError):
+    """The server refused this client's post-reboot claim on a file.
+
+    Raised client-side when a reclaim names a file whose state moved on
+    while this client was unreachable — the file vanished, its version
+    advanced, or other clients now hold it open.  The client drops its
+    cached copy (cancelling pending delayed writes, which would clobber
+    newer data) and marks the file inconsistent; applications see the
+    failure at their next use.
+    """
+
+    errno_name = "ESTALE"

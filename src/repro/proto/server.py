@@ -77,7 +77,34 @@ class RemoteFsServer:
         )
 
     def _check_available(self, src: str) -> None:
-        """Hook: reject calls while unavailable (SNFS recovery overrides)."""
+        """Hook: reject calls while unavailable (recovering servers
+        raise :class:`~repro.proto.recovery.ServerRecovering` here)."""
+
+    # -- host lifecycle: server-crash semantics ----------------------------
+
+    def on_host_crash(self) -> None:
+        """Power failure: everything volatile is gone.  The core loses
+        its per-file locks (any in-flight open dies with its RPC); the
+        protocol's :meth:`on_server_crash` drops its tables."""
+        self._file_locks.clear()
+        self.on_server_crash()
+
+    def on_host_reboot(self) -> None:
+        self.on_server_reboot()
+
+    def on_server_crash(self) -> None:
+        """Hook: drop volatile protocol state.  What each protocol
+        keeps here *is* its crash semantics — SNFS loses the state
+        table (and recovers it from client reopens), the lease server
+        loses its lease table (and recovers by expiry), RFS and Kent
+        lose their open/token tables *with no recovery protocol*, and
+        the stateless NFS server has nothing to lose.  See
+        docs/PROTOCOLS.md's crash-semantics table."""
+
+    def on_server_reboot(self) -> None:
+        """Hook: start recovery.  Stateful protocols bump their boot
+        epoch and open a window in which :meth:`_check_available`
+        rejects normal traffic with ``ServerRecovering``."""
 
     # -- per-file serialization --------------------------------------------
 

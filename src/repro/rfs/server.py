@@ -67,6 +67,15 @@ class RfsServer(RemoteFsServer):
             self._entries[key] = entry
         return entry
 
+    def on_server_crash(self) -> None:
+        """RFS has **no recovery protocol** (the paper never gave it
+        one): the open-tracking table just vanishes.  After the reboot
+        the server no longer knows who has files open, so it cannot
+        send the write-triggered invalidations pre-crash readers
+        depend on — a documented weak-crash semantics the nemesis
+        matrix expects to see as close-to-open violations."""
+        self._entries.clear()
+
     # -- open / close tracking ----------------------------------------------
 
     def proc_open(self, src, fh: FileHandle, write: bool):

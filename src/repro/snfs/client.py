@@ -64,40 +64,27 @@ class SnfsPolicy(ConsistencyPolicy):
 
     # -- server-crash recovery (§2.4) --------------------------------------
 
-    def call(self, proc: str, *args, gnode: Optional[Gnode] = None):
-        """RPC with recovery: a ``ServerRecovering`` rejection means the
-        server rebooted — reassert our open/dirty state with ``reopen``,
-        wait out the grace period, and retry.
+    def reclaim(self, recovering: ServerRecovering):
+        """Reassert our open/dirty state with a bulk ``reopen``.
 
-        ``gnode`` names the file the call operates on, if any: when the
-        server *rejects* our reopen claim on that file (we reasserted
-        after the grace period and lost), retrying would push stale data
-        over newer state, so the in-flight call aborts with
-        :class:`ReopenRejected` instead.
+        Runs from the base policy's retry loop when a call bounces off
+        a recovering server.  At most one report per server boot epoch;
+        the server's verdict may reject individual claims, in which
+        case the base loop aborts in-flight calls on those files with
+        :class:`ReopenRejected` instead of pushing stale data over
+        newer state.
         """
         c = self.client
-        while True:
-            try:
-                result = yield from c.rpc.call(
-                    c.server, proc, *args, hard=True
-                )
-                return result
-            except ServerRecovering as recovering:
-                if self._recovered_epoch != recovering.epoch:
-                    report = self.open_state_report()
-                    reply = yield from c.rpc.call(
-                        c.server, c.PROC.REOPEN, report, hard=True
-                    )
-                    self._handle_reopen_reply(reply)
-                    self._recovered_epoch = recovering.epoch
-                    # the rebooted server lost its record of our cached
-                    # name translations: drop them
-                    c.dnlc.clear()
-                if gnode is not None and gnode.private.get("reopen_rejected"):
-                    raise ReopenRejected(
-                        "claim on %r rejected after server reboot" % (gnode.fid,)
-                    )
-                yield c.sim.timeout(max(recovering.retry_after, 0.5))
+        if self._recovered_epoch != recovering.epoch:
+            report = self.open_state_report()
+            reply = yield from c.rpc.call(
+                c.server, c.PROC.REOPEN, report, hard=True
+            )
+            self._handle_reopen_reply(reply)
+            self._recovered_epoch = recovering.epoch
+            # the rebooted server lost its record of our cached
+            # name translations: drop them
+            c.dnlc.clear()
 
     def _handle_reopen_reply(self, reply) -> None:
         """Apply the server's verdict on our reasserted claims."""

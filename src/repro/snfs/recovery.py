@@ -26,38 +26,20 @@ We implement that design:
   ignored.  (The paper detects crashes by tracking RPC packets and
   keepalives; lazy detection at the next RPC is the same information
   arriving on demand.)
+
+The recovery *signal* — :class:`ServerRecovering`, the retry loop, the
+once-per-epoch reclaim — is protocol-agnostic and lives at the
+:mod:`repro.proto.recovery` seam; SNFS supplies the reassertion
+payload.  This module re-exports the shared names so historical
+imports keep working.
 """
 
 from __future__ import annotations
 
-from ..fs.errors import FsError
+from ..proto.recovery import (
+    DEFAULT_GRACE_PERIOD,
+    ReopenRejected,
+    ServerRecovering,
+)
 
 __all__ = ["ServerRecovering", "ReopenRejected", "DEFAULT_GRACE_PERIOD"]
-
-#: how long a rebooted server waits for clients to reassert state
-DEFAULT_GRACE_PERIOD = 20.0
-
-
-class ServerRecovering(FsError):
-    """The server is rebuilding state; reassert your opens and retry."""
-
-    errno_name = "EAGAIN"
-
-    def __init__(self, epoch: int, retry_after: float):
-        super().__init__("server recovering (epoch %d)" % epoch)
-        self.epoch = epoch
-        self.retry_after = retry_after
-
-
-class ReopenRejected(FsError):
-    """The server refused this client's post-reboot claim on a file.
-
-    Raised client-side when a ``reopen`` report names a file whose
-    state moved on while this client was unreachable — the file
-    vanished, its version advanced, or other clients now hold it open.
-    The client drops its cached copy (cancelling pending delayed
-    writes, which would clobber newer data) and marks the file
-    inconsistent; applications see the failure at their next use.
-    """
-
-    errno_name = "ESTALE"

@@ -136,6 +136,10 @@ class SnfsServer(RemoteFsServer):
         window closes.
         """
         if self.in_recovery:
+            if self.sim.metrics is not None:
+                self.sim.metrics.counter("recovery.rejections").inc(
+                    server=self.host.name, proto="snfs"
+                )
             raise ServerRecovering(
                 self.boot_epoch, retry_after=self._recovery_until - self.sim.now
             )
@@ -144,6 +148,10 @@ class SnfsServer(RemoteFsServer):
         # are validated individually (and possibly rejected) rather
         # than silently accepted against the rebuilt table
         if self.boot_epoch > 1 and src not in self._reasserted:
+            if self.sim.metrics is not None:
+                self.sim.metrics.counter("recovery.rejections").inc(
+                    server=self.host.name, proto="snfs"
+                )
             raise ServerRecovering(self.boot_epoch, retry_after=0.0)
 
     def proc_ping(self, src):
@@ -192,6 +200,13 @@ class SnfsServer(RemoteFsServer):
                 )
             finally:
                 lock.release()
+        if self.sim.metrics is not None and src not in self._reasserted:
+            # recovery time as the clients experience it: how long
+            # after the reboot each client got its state reasserted
+            self.sim.metrics.histogram("recovery.reassert_delay").observe(
+                self.sim.now - (self._recovery_until - self.grace_period),
+                server=self.host.name, proto="snfs",
+            )
         self._reasserted.add(src)
         self._last_heard[src] = self.sim.now
         return (self.boot_epoch, rejected)
@@ -218,14 +233,13 @@ class SnfsServer(RemoteFsServer):
         """Restart: begin the recovery grace period."""
         self.host.reboot()
 
-    def on_host_crash(self) -> None:
+    def on_server_crash(self) -> None:
         """Volatile server state (the table) is lost in a crash."""
         self.state.clear()
-        self._file_locks.clear()
         self._dir_interest.clear()
         self.stop_keepalive()
 
-    def on_host_reboot(self) -> None:
+    def on_server_reboot(self) -> None:
         self.boot_epoch += 1
         self._reasserted = set()
         self._last_heard.clear()
