@@ -194,6 +194,34 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the Table 4-1 conformance pass",
     )
+    p_lint.add_argument(
+        "--atomicity",
+        action="store_true",
+        help="run the interprocedural atomicity pass (ATOM001-ATOM004)",
+    )
+    p_lint.add_argument(
+        "--seam",
+        action="store_true",
+        help="run the policy/server seam contract pass (SEAM001-SEAM003)",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="accepted-findings baseline (default: the committed "
+        "lint-baseline.json, auto-discovered)",
+    )
+    p_lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    p_lint.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the repro-lint/2 JSON report to PATH",
+    )
     sub.add_parser("all", help="everything (several minutes)")
     args = parser.parse_args(argv)
 
@@ -315,6 +343,11 @@ def main(argv=None) -> int:
             paths=args.paths,
             strict=args.strict,
             conformance=not args.no_conformance,
+            atomicity=args.atomicity,
+            seam=args.seam,
+            baseline=args.baseline,
+            no_baseline=args.no_baseline,
+            json_out=args.json,
         )
     if args.command == "all":
         for name in ("5-1", "5-2", "5-3", "5-4", "5-5", "5-6"):

@@ -1,0 +1,94 @@
+"""The accepted-findings baseline (``lint-baseline.json``).
+
+The atomicity/seam passes are heuristic: some findings are reviewed
+and accepted (a helper that only runs under a caller-held lock, a
+best-effort sweep whose staleness is self-healing).  Rather than
+sprinkle suppressions through code that is otherwise untouched, a
+reviewed finding can live in a committed baseline file:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-lint-baseline/1",
+      "findings": [
+        {
+          "fingerprint": "0123456789abcdef",
+          "rule": "ATOM001",
+          "path": "repro/kent/server.py",
+          "function": "KentServer._downgrade_other_blocks",
+          "subject": "self._tokens",
+          "reason": "cross-block downgrade is best-effort by design"
+        }
+      ]
+    }
+
+Every entry **must** carry a reason — the baseline is a review log,
+not a mute button.  Matching is by fingerprint (rule + normalized
+path + function + subject; see
+:func:`~repro.analysis.linter.finding_fingerprint`), so entries
+survive unrelated line churn.  An entry no longer matched by any
+finding is *stale* and reported as a warning: fix the baseline when
+you fix the code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from .linter import Finding
+
+__all__ = ["BASELINE_SCHEMA", "load_baseline", "apply_baseline"]
+
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+
+def load_baseline(path: str) -> Dict:
+    """Read and validate a baseline document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            "baseline %s: schema %r, expected %r"
+            % (path, doc.get("schema"), BASELINE_SCHEMA)
+        )
+    entries = doc.get("findings")
+    if not isinstance(entries, list):
+        raise ValueError("baseline %s: 'findings' must be a list" % path)
+    for i, entry in enumerate(entries):
+        for field in ("fingerprint", "rule", "reason"):
+            if not entry.get(field):
+                raise ValueError(
+                    "baseline %s: entry %d is missing %r "
+                    "(every accepted finding needs a review reason)"
+                    % (path, i, field)
+                )
+    return doc
+
+
+def apply_baseline(
+    findings: Sequence[Finding], doc: Dict
+) -> Tuple[List[Finding], List[Finding], List[Dict]]:
+    """Split findings into (active, baselined) and return stale entries.
+
+    A baseline entry absorbs every finding with its fingerprint (the
+    fingerprint is line-independent, so one reviewed hazard that the
+    analyzer reports from two anchors stays one entry).
+    """
+    by_fp = {entry["fingerprint"]: entry for entry in doc.get("findings", [])}
+    matched = set()
+    active: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        entry = by_fp.get(finding.fingerprint)
+        if entry is not None:
+            matched.add(finding.fingerprint)
+            baselined.append(finding)
+        else:
+            active.append(finding)
+    stale = [
+        entry
+        for fp, entry in sorted(by_fp.items())
+        if fp not in matched
+    ]
+    return active, baselined, stale

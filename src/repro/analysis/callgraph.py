@@ -1,0 +1,431 @@
+"""A whole-program call graph with transitive **may-yield** analysis.
+
+The simulator's interleaving points are exactly the ``yield``s: a
+process coroutine suspends at ``yield <waitable>`` and at ``yield from
+f()`` whenever ``f`` (transitively) suspends.  Static reasoning about
+atomicity therefore needs, for every function in the tree, the answer
+to "can control leave this function mid-body?" — the *may-yield* set.
+
+:class:`ProjectIndex` parses a set of :class:`~repro.analysis.linter.Module`
+objects and builds:
+
+* a function index (module-level functions and methods, with their
+  enclosing class and a base-name MRO for method resolution);
+* per-function suspension structure: bare ``yield``s (the dead-code
+  idiom ``return x; yield`` — *not* a suspension), valued ``yield``s
+  (always a suspension: the value is a waitable), and ``yield from``
+  edges to callees;
+* call-graph edges for ``sim.spawn(f(...))`` and ``sim.after(d, f)``
+  roots — these *create* processes, so they are edges for root
+  discovery but do **not** propagate may-yield to the caller (the
+  caller does not suspend at a spawn);
+* the may-yield fixpoint: a function may yield if it has a valued
+  yield of its own, or a ``yield from`` whose callee may yield, or a
+  ``yield from`` whose callee cannot be resolved (conservative).
+
+Resolution is name-based and deliberately conservative:
+``self.m(...)`` and ``super().m(...)`` resolve through the enclosing
+class's base-name chain; ``obj.m(...)`` falls back to every method
+named ``m`` in the index; a plain name resolves to module-level
+functions of that name.  Unresolvable targets are assumed to yield.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .linter import Module, iter_py_files
+
+__all__ = ["ProjectIndex", "FunctionInfo", "ClassInfo", "index_paths"]
+
+
+#: builtins that never suspend, so a ``yield from`` cannot reach them
+#: and resolution may treat them as terminal non-yielding callees
+_PURE_BUILTINS = frozenset(
+    "list sorted tuple dict set frozenset range iter enumerate zip "
+    "reversed min max sum len abs repr str bytes int float bool".split()
+)
+
+
+class FunctionInfo:
+    """One function or method definition plus its suspension structure."""
+
+    __slots__ = (
+        "module",
+        "node",
+        "name",
+        "qualname",
+        "class_info",
+        "local_suspends",
+        "bare_yields",
+        "yieldfroms",
+        "spawn_sites",
+        "after_sites",
+    )
+
+    def __init__(self, module: Module, node: ast.FunctionDef, class_info=None):
+        self.module = module
+        self.node = node
+        self.name = node.name
+        self.class_info: Optional[ClassInfo] = class_info
+        self.qualname = (
+            "%s.%s" % (class_info.name, node.name) if class_info else node.name
+        )
+        #: has a ``yield <value>`` of its own (a genuine suspension)
+        self.local_suspends = False
+        #: ``yield`` with no value: the dead-code/coroutine-marker idiom
+        self.bare_yields: List[ast.Yield] = []
+        #: every ``yield from`` expression owned by this function
+        self.yieldfroms: List[ast.YieldFrom] = []
+        #: ``sim.spawn(f(...))`` call sites (process roots)
+        self.spawn_sites: List[ast.Call] = []
+        #: ``sim.after(delay, f, ...)`` call sites (timer roots)
+        self.after_sites: List[ast.Call] = []
+
+    @property
+    def is_generator(self) -> bool:
+        return self.local_suspends or bool(self.bare_yields) or bool(self.yieldfroms)
+
+    def region(self) -> Tuple[str, str, int, int]:
+        """(path, qualname, first line, last line) of this definition."""
+        last = getattr(self.node, "end_lineno", None)
+        if last is None:  # pragma: no cover - pre-3.8 fallback
+            last = max(
+                getattr(n, "lineno", self.node.lineno)
+                for n in ast.walk(self.node)
+            )
+        return (self.module.path, self.qualname, self.node.lineno, last)
+
+    def __repr__(self) -> str:
+        return "<FunctionInfo %s at %s:%d>" % (
+            self.qualname, self.module.path, self.node.lineno,
+        )
+
+
+class ClassInfo:
+    """One class definition: its methods, base names, and class attrs."""
+
+    __slots__ = ("module", "node", "name", "base_names", "methods", "assigns")
+
+    def __init__(self, module: Module, node: ast.ClassDef):
+        self.module = module
+        self.node = node
+        self.name = node.name
+        self.base_names = [_base_name(b) for b in node.bases]
+        self.base_names = [b for b in self.base_names if b]
+        self.methods: Dict[str, FunctionInfo] = {}
+        #: class-level ``name = value`` assignments (protocol knobs)
+        self.assigns: Dict[str, ast.AST] = {}
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.assigns[target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    self.assigns[stmt.target.id] = stmt.value
+
+    def __repr__(self) -> str:
+        return "<ClassInfo %s at %s:%d>" % (
+            self.name, self.module.path, self.node.lineno,
+        )
+
+
+def _base_name(node: ast.AST) -> Optional[str]:
+    """``Base`` or ``pkg.Base`` -> ``"Base"``; anything fancier -> None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _callee_of(call: ast.Call) -> Optional[str]:
+    """The attribute/function name a call targets, if syntactic."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class ProjectIndex:
+    """Functions, classes, and the may-yield fixpoint over a module set."""
+
+    def __init__(self, modules: Sequence[Module]):
+        self.modules = list(modules)
+        #: (module path, qualname) -> FunctionInfo
+        self.functions: Dict[Tuple[str, str], FunctionInfo] = {}
+        #: simple class name -> every definition with that name
+        self.classes: Dict[str, List[ClassInfo]] = {}
+        #: method name -> every method with that name, any class
+        self.methods_by_name: Dict[str, List[FunctionInfo]] = {}
+        #: module-level function name -> definitions
+        self.module_functions: Dict[str, List[FunctionInfo]] = {}
+        self._fn_of_node: Dict[ast.AST, FunctionInfo] = {}
+        self._may_yield: Dict[FunctionInfo, bool] = {}
+        self._accessor_memo: Dict[FunctionInfo, bool] = {}
+        for module in self.modules:
+            self._index_module(module)
+        self._solve_may_yield()
+
+    # -- construction ------------------------------------------------------
+
+    def _index_module(self, module: Module) -> None:
+        for node in ast.walk(module.tree):
+            # index every class, even method-less ones (a policy that
+            # only declares class attributes still has seam contracts)
+            if isinstance(node, ast.ClassDef):
+                self._class_info(module, node)
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            cls_node = module.enclosing_class(node)
+            cls_info = None
+            if cls_node is not None:
+                cls_info = self._class_info(module, cls_node)
+            fn = FunctionInfo(module, node, cls_info)
+            self.functions[(module.path, fn.qualname)] = fn
+            self._fn_of_node[node] = fn
+            if cls_info is not None:
+                cls_info.methods.setdefault(fn.name, fn)
+                self.methods_by_name.setdefault(fn.name, []).append(fn)
+            elif module.enclosing_function(node) is None:
+                self.module_functions.setdefault(fn.name, []).append(fn)
+            self._scan_function(module, fn)
+
+    def _class_info(self, module: Module, node: ast.ClassDef) -> ClassInfo:
+        for info in self.classes.get(node.name, ()):
+            if info.node is node:
+                return info
+        info = ClassInfo(module, node)
+        self.classes.setdefault(node.name, []).append(info)
+        return info
+
+    def _scan_function(self, module: Module, fn: FunctionInfo) -> None:
+        for node in ast.walk(fn.node):
+            owner = (
+                node
+                if isinstance(node, ast.FunctionDef)
+                else module.enclosing_function(node)
+            )
+            if owner is not fn.node:
+                continue
+            if isinstance(node, ast.Yield):
+                if node.value is None:
+                    fn.bare_yields.append(node)
+                else:
+                    fn.local_suspends = True
+            elif isinstance(node, ast.YieldFrom):
+                fn.yieldfroms.append(node)
+            elif isinstance(node, ast.Call):
+                callee = _callee_of(node)
+                if callee == "spawn" and node.args:
+                    fn.spawn_sites.append(node)
+                elif callee == "after" and len(node.args) >= 2:
+                    fn.after_sites.append(node)
+
+    # -- method resolution -------------------------------------------------
+
+    def mro(self, cls: ClassInfo) -> List[ClassInfo]:
+        """Linearised base chain by simple-name lookup (cycle-safe)."""
+        out: List[ClassInfo] = []
+        seen = set()
+        queue = [cls]
+        while queue:
+            cur = queue.pop(0)
+            if id(cur) in seen:
+                continue
+            seen.add(id(cur))
+            out.append(cur)
+            for base in cur.base_names:
+                queue.extend(self.classes.get(base, ()))
+        return out
+
+    def resolve_method(self, cls: ClassInfo, name: str) -> Optional[FunctionInfo]:
+        for candidate in self.mro(cls):
+            if name in candidate.methods:
+                return candidate.methods[name]
+        return None
+
+    def subclasses_of(self, base_name: str) -> List[ClassInfo]:
+        """Every class whose transitive base-name chain reaches ``base_name``."""
+        out = []
+        for infos in self.classes.values():
+            for info in infos:
+                if info.name == base_name:
+                    continue
+                if any(c.name == base_name for c in self.mro(info)[1:]):
+                    out.append(info)
+        out.sort(key=lambda c: (c.module.path, c.node.lineno))
+        return out
+
+    def resolve_call(
+        self, call: ast.AST, caller: FunctionInfo
+    ) -> Optional[List[FunctionInfo]]:
+        """Candidate callees of a call expression.
+
+        Returns ``None`` when the target cannot be resolved at all
+        (the conservative may-yield answer), and a — possibly empty —
+        candidate list otherwise.  An empty list means "resolved to
+        something known not to suspend" (a pure builtin).
+        """
+        if not isinstance(call, ast.Call):
+            return None
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in _PURE_BUILTINS:
+                return []
+            local = [
+                f
+                for f in self.module_functions.get(func.id, ())
+                if f.module is caller.module
+            ]
+            if local:
+                return local
+            anywhere = self.module_functions.get(func.id)
+            return list(anywhere) if anywhere else None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            base = func.value
+            # super().m(...)
+            if (
+                isinstance(base, ast.Call)
+                and isinstance(base.func, ast.Name)
+                and base.func.id == "super"
+                and caller.class_info is not None
+            ):
+                for candidate in self.mro(caller.class_info)[1:]:
+                    if name in candidate.methods:
+                        return [candidate.methods[name]]
+                return None
+            # self.m(...)
+            if (
+                isinstance(base, ast.Name)
+                and base.id == "self"
+                and caller.class_info is not None
+            ):
+                found = self.resolve_method(caller.class_info, name)
+                if found is not None:
+                    return [found]
+                # fall through: mixin methods resolved globally
+            candidates = self.methods_by_name.get(name)
+            if candidates:
+                return list(candidates)
+            plain = self.module_functions.get(name)
+            return list(plain) if plain else None
+        return None
+
+    # -- may-yield ---------------------------------------------------------
+
+    def _solve_may_yield(self) -> None:
+        may = self._may_yield
+        for fn in self.functions.values():
+            may[fn] = fn.local_suspends
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.functions.values():
+                if may[fn]:
+                    continue
+                for yf in fn.yieldfroms:
+                    targets = self.resolve_call(yf.value, fn)
+                    if targets is None or any(may[t] for t in targets):
+                        may[fn] = True
+                        changed = True
+                        break
+
+    def may_yield(self, fn: FunctionInfo) -> bool:
+        return self._may_yield[fn]
+
+    def function_at(self, node: ast.AST) -> Optional[FunctionInfo]:
+        return self._fn_of_node.get(node)
+
+    def suspension_points(self, fn: FunctionInfo) -> List[ast.AST]:
+        """Every expression in ``fn`` at which control may leave the
+        function: valued yields, plus yield-froms whose callee may
+        yield (or is unresolvable)."""
+        points: List[ast.AST] = []
+        for node in ast.walk(fn.node):
+            owner = self.function_at(node)
+            if owner is not None and owner is not fn:
+                continue
+            if isinstance(node, ast.FunctionDef) and node is not fn.node:
+                continue
+            if isinstance(node, ast.Yield) and node.value is not None:
+                if self._fn_of_owner(fn, node):
+                    points.append(node)
+            elif isinstance(node, ast.YieldFrom):
+                if not self._fn_of_owner(fn, node):
+                    continue
+                targets = self.resolve_call(node.value, fn)
+                if targets is None or any(self._may_yield[t] for t in targets):
+                    points.append(node)
+        points.sort(key=lambda n: (n.lineno, n.col_offset))
+        return points
+
+    def _fn_of_owner(self, fn: FunctionInfo, node: ast.AST) -> bool:
+        return fn.module.enclosing_function(node) is fn.node
+
+    # -- shared-accessor heuristic (used by the atomicity pass) ------------
+
+    def is_shared_accessor(self, fn: FunctionInfo) -> bool:
+        """Does ``fn`` return (a handle to) shared ``self`` state?
+
+        True for the ``_entry``/``_token``/``_gnode`` lookup-or-create
+        idiom: any ``return`` whose expression is rooted at a ``self``
+        attribute, or at a local previously assigned from one.
+        """
+        memo = self._accessor_memo
+        if fn in memo:
+            return memo[fn]
+        memo[fn] = False  # cycle guard
+        self_rooted = set()
+        result = False
+        for node in ast.walk(fn.node):
+            if self.function_at(node) not in (None, fn):
+                continue
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and _rooted_at_self(node.value):
+                    self_rooted.add(target.id)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                value = node.value
+                if _rooted_at_self(value):
+                    result = True
+                elif isinstance(value, ast.Name) and value.id in self_rooted:
+                    result = True
+        memo[fn] = result
+        return result
+
+
+def _rooted_at_self(node: ast.AST) -> bool:
+    """Is this expression an attribute/subscript/call chain on ``self``?"""
+    cur = node
+    while True:
+        if isinstance(cur, ast.Attribute):
+            cur = cur.value
+        elif isinstance(cur, ast.Subscript):
+            cur = cur.value
+        elif isinstance(cur, ast.Call):
+            cur = cur.func
+        elif isinstance(cur, ast.Name):
+            return cur.id == "self"
+        else:
+            return False
+
+
+def index_paths(
+    paths: Sequence[str], package_root: Optional[str] = None
+) -> ProjectIndex:
+    """Parse every ``.py`` under ``paths`` into one :class:`ProjectIndex`."""
+    modules = []
+    for path in iter_py_files(paths):
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        try:
+            modules.append(Module(path, source, package_root=package_root))
+        except SyntaxError:
+            continue  # the linter reports PARSE findings separately
+    return ProjectIndex(modules)

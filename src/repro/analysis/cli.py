@@ -1,19 +1,28 @@
 """``python -m repro lint``: run the static passes over the tree.
 
 Runs the determinism and sim-discipline rules over ``src/repro`` (or
-explicit paths), then the Table 4-1 conformance pass against the live
+explicit paths), then — with ``--atomicity``/``--seam`` — the
+interprocedural atomicity and policy-seam passes, then the Table 4-1
+conformance pass against the live
 :class:`~repro.snfs.state_table.StateTable`.  Exit status 0 means
 clean; 1 means errors (or, with ``--strict``, any finding at all).
+
+Reviewed atomicity/seam findings live in a committed baseline file
+(``lint-baseline.json`` at the repository root, auto-discovered;
+``--baseline PATH`` overrides, ``--no-baseline`` disables).  With
+``--json PATH`` the run writes a ``repro-lint/2`` document (see
+:mod:`~repro.analysis.report`).
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .linter import Finding, lint_paths
 
-__all__ = ["run_lint", "default_target"]
+__all__ = ["run_lint", "default_target", "discover_baseline"]
 
 
 def default_target() -> str:
@@ -21,10 +30,27 @@ def default_target() -> str:
     return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
+def discover_baseline() -> Optional[str]:
+    """The committed ``lint-baseline.json``, if the checkout has one.
+
+    Anchored at the package location (``<root>/src/repro`` →
+    ``<root>/lint-baseline.json``) so the lint runs clean from any
+    working directory.
+    """
+    root = os.path.dirname(os.path.dirname(default_target()))
+    candidate = os.path.join(root, "lint-baseline.json")
+    return candidate if os.path.isfile(candidate) else None
+
+
 def run_lint(
     paths: Optional[Sequence[str]] = None,
     strict: bool = False,
     conformance: bool = True,
+    atomicity: bool = False,
+    seam: bool = False,
+    baseline: Optional[str] = None,
+    no_baseline: bool = False,
+    json_out: Optional[str] = None,
     out=None,
 ) -> int:
     import sys
@@ -35,11 +61,60 @@ def run_lint(
         paths = [default_target()]
         package_root = paths[0]
     else:
+        paths = list(paths)
         package_root = None
 
+    passes = ["det-sim"]
     findings: List[Finding] = lint_paths(paths, package_root=package_root)
-    for finding in findings:
+
+    deep: List[Finding] = []
+    if atomicity or seam:
+        from .callgraph import index_paths
+
+        index = index_paths(paths, package_root=package_root)
+        if atomicity:
+            from .atomicity import atomicity_findings
+
+            passes.append("atomicity")
+            deep.extend(atomicity_findings(index))
+        if seam:
+            from .seam import seam_findings
+
+            passes.append("seam")
+            deep.extend(seam_findings(index))
+
+    baseline_path = baseline
+    if baseline_path is None and not no_baseline and (atomicity or seam):
+        baseline_path = discover_baseline()
+    baselined: List[Finding] = []
+    stale: List[Dict] = []
+    if baseline_path is not None and deep:
+        from .baseline import apply_baseline, load_baseline
+
+        doc = load_baseline(baseline_path)
+        deep, baselined, stale = apply_baseline(deep, doc)
+    elif baseline_path is not None:
+        from .baseline import load_baseline
+
+        stale = list(load_baseline(baseline_path).get("findings", []))
+
+    active = sorted(
+        findings + deep, key=lambda f: (f.path, f.line, f.col, f.rule)
+    )
+    for finding in active:
         print(finding.format(), file=out)
+    for entry in stale:
+        print(
+            "%s: warning [BASELINE] stale entry %s (%s in %s): the "
+            "finding it accepted no longer exists — remove it"
+            % (
+                entry.get("path", "lint-baseline.json"),
+                entry.get("fingerprint", "?"),
+                entry.get("rule", "?"),
+                entry.get("function", "?"),
+            ),
+            file=out,
+        )
 
     conformance_diffs: List[str] = []
     if conformance:
@@ -49,13 +124,32 @@ def run_lint(
         for diff in conformance_diffs:
             print("state_table: error [TBL41] %s" % diff, file=out)
 
-    errors = sum(1 for f in findings if f.severity == "error") + len(conformance_diffs)
-    warnings = sum(1 for f in findings if f.severity == "warning")
+    errors = sum(1 for f in active if f.severity == "error") + len(conformance_diffs)
+    warnings = sum(1 for f in active if f.severity == "warning") + len(stale)
     print(
-        "lint: %d error(s), %d warning(s), %d conformance diff(s)"
-        % (errors, warnings, len(conformance_diffs)),
+        "lint: %d error(s), %d warning(s), %d conformance diff(s), "
+        "%d baselined" % (errors, warnings, len(conformance_diffs), len(baselined)),
         file=out,
     )
+
+    if json_out:
+        from .report import lint_document
+
+        doc = lint_document(
+            paths=paths,
+            passes=passes + (["conformance"] if conformance else []),
+            strict=strict,
+            active=active,
+            baselined=baselined,
+            stale_baseline=stale,
+            conformance_diffs=conformance_diffs,
+            baseline_path=baseline_path,
+        )
+        with open(json_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print("wrote %s" % json_out, file=out)
+
     if errors:
         return 1
     if strict and warnings:

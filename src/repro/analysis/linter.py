@@ -11,23 +11,36 @@ Two families of passes protect the repository's core invariants:
   real blocking I/O.
 
 Findings carry a rule id, location, and message.  A finding is
-suppressed by a comment on the flagged line::
+suppressed by a comment on the flagged line, with a justifying reason
+after an em-dash (or ``--``)::
 
-    x = random.random()  # lint: ok
-    y = time.time()      # lint: ok=DET002
+    x = random.random()  # lint: ok — seeding the demo, not the sim
+    y = time.time()      # lint: ok=DET002 — wall-clock bench harness
 
 The bare form suppresses every rule on that line; the ``=`` form names
-the rule ids it covers.  See docs/ANALYSIS.md for the rule catalogue.
+the rule ids it covers.  A suppression without a reason draws a
+``SUP001`` warning (which only an explicit ``ok=SUP001`` can silence —
+a bare ``ok`` never suppresses its own audit).  See docs/ANALYSIS.md
+for the rule catalogue.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["Finding", "Module", "Rule", "lint_paths", "lint_source", "iter_py_files"]
+__all__ = [
+    "Finding",
+    "Module",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "iter_py_files",
+    "finding_fingerprint",
+]
 
 
 @dataclass
@@ -38,6 +51,12 @@ class Finding:
     col: int
     message: str
     severity: str = "error"  # or "warning"
+    #: qualified name of the enclosing function ("" when module-level)
+    function: str = ""
+    #: what the finding is about (a shared location, a hook name...)
+    subject: str = ""
+    #: stable line-independent identity, for the baseline file
+    fingerprint: str = ""
 
     def format(self) -> str:
         return "%s:%d:%d: %s [%s] %s" % (
@@ -48,6 +67,25 @@ class Finding:
             self.rule,
             self.message,
         )
+
+
+def normalize_path(path: str) -> str:
+    """A checkout-independent form of ``path`` (from ``repro/`` down)."""
+    norm = path.replace(os.sep, "/")
+    marker = "/repro/"
+    if marker in norm:
+        return "repro/" + norm.rsplit(marker, 1)[1]
+    return norm.rsplit("/", 1)[-1]
+
+
+def finding_fingerprint(rule: str, path: str, function: str, subject: str) -> str:
+    """Line-number-independent identity of a finding.
+
+    Hashes (rule, normalized path, enclosing function, subject) so a
+    baseline entry survives unrelated edits to the file.
+    """
+    blob = "|".join((rule, normalize_path(path), function, subject))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 #: subpackages whose code runs inside (or feeds) the event loop; set
@@ -67,12 +105,19 @@ SCHEDULER_ADJACENT = (
 )
 
 
-def _parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
-    """Map line number -> None (suppress all) or a set of rule ids."""
+def _parse_suppressions(
+    source: str,
+) -> Tuple[Dict[int, Optional[Set[str]]], Dict[int, str]]:
+    """Parse ``# lint: ok[=RULES][ — reason]`` comments.
+
+    Returns (line -> None (suppress all) or rule-id set,
+    line -> justifying reason, "" when absent).
+    """
     import io
     import tokenize
 
     out: Dict[int, Optional[Set[str]]] = {}
+    reasons: Dict[int, str] = {}
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for tok in tokens:
@@ -82,14 +127,23 @@ def _parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
             if not text.startswith("lint:"):
                 continue
             directive = text[len("lint:"):].strip()
+            reason = ""
+            for sep in ("—", "--"):  # em-dash or ASCII fallback
+                if sep in directive:
+                    directive, reason = directive.split(sep, 1)
+                    directive = directive.strip()
+                    reason = reason.strip()
+                    break
             if directive == "ok":
                 out[tok.start[0]] = None
+                reasons[tok.start[0]] = reason
             elif directive.startswith("ok="):
                 rules = {r.strip() for r in directive[3:].split(",") if r.strip()}
                 out[tok.start[0]] = rules
+                reasons[tok.start[0]] = reason
     except tokenize.TokenError:
         pass
-    return out
+    return out, reasons
 
 
 class Module:
@@ -99,7 +153,7 @@ class Module:
         self.path = path
         self.source = source
         self.tree = ast.parse(source, filename=path)
-        self.suppressions = _parse_suppressions(source)
+        self.suppressions, self.suppression_reasons = _parse_suppressions(source)
         # parent links (ast has none): node -> enclosing node
         self.parents: Dict[ast.AST, ast.AST] = {}
         for node in ast.walk(self.tree):
@@ -167,6 +221,10 @@ class Module:
         if line not in self.suppressions:
             return False
         rules = self.suppressions[line]
+        if rule == "SUP001":
+            # the suppression-audit rule cannot be silenced by the very
+            # bare `ok` it is auditing; only an explicit ok=SUP001 can
+            return rules is not None and rule in rules
         return rules is None or rule in rules
 
 
@@ -198,11 +256,44 @@ class Rule:
         return out
 
 
+class _Anchor:
+    """A bare location for findings with no natural AST node."""
+
+    def __init__(self, lineno: int, col_offset: int = 0):
+        self.lineno = lineno
+        self.col_offset = col_offset
+
+
+class SuppressionReasonRule(Rule):
+    """SUP001: every ``# lint: ok`` must carry a ``— reason``.
+
+    A suppression is a reviewed decision; the reason is the review.
+    Reasonless suppressions rot — nobody can tell a considered waiver
+    from a silenced mistake.
+    """
+
+    id = "SUP001"
+    severity = "warning"
+
+    def check(self, module: Module) -> Iterable[Tuple[ast.AST, str]]:
+        for line in sorted(module.suppressions):
+            if module.suppression_reasons.get(line, ""):
+                continue
+            rules = module.suppressions[line]
+            what = "ok" if rules is None else "ok=%s" % ",".join(sorted(rules))
+            yield (
+                _Anchor(line),
+                "suppression '# lint: %s' has no justifying '— reason'" % what,
+            )
+
+
 def default_rules() -> List[Rule]:
     from .rules_determinism import DETERMINISM_RULES
     from .rules_sim import SIM_RULES
 
-    return [cls() for cls in DETERMINISM_RULES + SIM_RULES]
+    rules: List[Rule] = [cls() for cls in DETERMINISM_RULES + SIM_RULES]
+    rules.append(SuppressionReasonRule())
+    return rules
 
 
 def iter_py_files(paths: Sequence[str]) -> List[str]:

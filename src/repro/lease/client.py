@@ -31,6 +31,7 @@ class LeasePolicy(ConsistencyPolicy):
     """Cache while the lease lasts; the server recalls conflicts."""
 
     flush_in_block_order = True  # delayed writes, flushed like SNFS
+    crash_recovery = True  # reclaim() re-requests leases after a server reboot
 
     def __init__(self, client):
         super().__init__(client)

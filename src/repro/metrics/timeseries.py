@@ -115,4 +115,4 @@ class UtilizationSampler:
             busy = self._busy_time_fn()
             frac = (busy - self._last_busy) / self.interval
             self.series.append(self.sim.now, min(1.0, max(0.0, frac)))
-            self._last_busy = busy
+            self._last_busy = busy  # lint: ok=ATOM002 — the spawned sampler is the sole process touching _last_busy

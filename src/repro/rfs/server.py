@@ -100,8 +100,13 @@ class RfsServer(RemoteFsServer):
     def proc_write(self, src, fh: FileHandle, offset: int, data: bytes):
         result = yield from super().proc_write(src, fh, offset, data)
         entry = self._entry(fh.key())
-        entry.version = self.next_version()
-        for client in list(entry.open_counts):
+        # snapshot the version this write was assigned: a concurrent
+        # writer may bump entry.version again while the invalidation
+        # RPCs below are in flight, and returning the re-read value
+        # would hand this writer a version covering data it never wrote
+        entry.version = version = self.next_version()
+        opens_at_write = dict(entry.open_counts)
+        for client in list(opens_at_write):
             if client == src:
                 continue
             try:
@@ -109,11 +114,15 @@ class RfsServer(RemoteFsServer):
                     client, self.PROC.INVALIDATE, fh, max_retries=2
                 )
             except RpcError:
-                # dead reader: forget it; it must reopen anyway
-                entry.open_counts.pop(client, None)
+                # dead reader: forget it; it must reopen anyway — but
+                # only if it has not reopened while we were invalidating
+                # (a fresh open means the client is alive again and
+                # holds the post-invalidation version)
+                if entry.open_counts.get(client) == opens_at_write.get(client):
+                    entry.open_counts.pop(client, None)  # lint: ok=ATOM001 — guarded by the open-count recheck above; a reopen during the RPC changes the count and skips the pop
         # the writer learns the new version from the reply, so its own
         # (write-through, hence valid) cache survives the next reopen
-        return result, entry.version
+        return result, version
 
     def proc_remove(self, src, dirfh: FileHandle, name: str):
         from ..fs import NoSuchFile

@@ -329,8 +329,13 @@ class Simulator:
         self.tracer = None
         #: unified metrics registry (repro.metrics); None disables
         self.metrics = None
-        if os.environ.get("REPRO_SANITIZE", "") not in ("", "0"):
-            self.enable_sanitizer()
+        sanitize = os.environ.get("REPRO_SANITIZE", "")
+        if sanitize not in ("", "0"):
+            # "nonstrict"/"collect": record findings without raising —
+            # used by the static/runtime cross-validation harness
+            self.enable_sanitizer(
+                strict=sanitize not in ("nonstrict", "collect")
+            )
         if os.environ.get("REPRO_TRACE", "") not in ("", "0"):
             self.enable_tracer()
             self.enable_metrics()

@@ -51,6 +51,7 @@ class SnfsPolicy(ConsistencyPolicy):
     """The Sprite consistency mechanism grafted onto NFS (§4)."""
 
     flush_in_block_order = True  # whole-file delayed-write flushes
+    crash_recovery = True  # reclaim() reasserts opens during the grace period
 
     def __init__(self, client):
         super().__init__(client)
@@ -81,7 +82,7 @@ class SnfsPolicy(ConsistencyPolicy):
                 c.server, c.PROC.REOPEN, report, hard=True
             )
             self._handle_reopen_reply(reply)
-            self._recovered_epoch = recovering.epoch
+            self._recovered_epoch = recovering.epoch  # lint: ok=ATOM001 — idempotent: a duplicate REOPEN for the same epoch reasserts identical state
             # the rebooted server lost its record of our cached
             # name translations: drop them
             c.dnlc.clear()

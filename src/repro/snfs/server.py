@@ -31,7 +31,7 @@ from ..sim import Interrupt, Resource
 from ..vfs import LocalMount
 from .protocol import SPROC
 from .recovery import DEFAULT_GRACE_PERIOD, ServerRecovering
-from .state_table import Callback, StateTable, StateTableFull
+from .state_table import Callback, FileState, StateTable, StateTableFull
 
 __all__ = ["SnfsServer", "OpenReply"]
 
@@ -311,8 +311,13 @@ class SnfsServer(RemoteFsServer):
                     timeout=CALLBACK_TIMEOUT,
                     max_retries=1,
                 )
-                self._last_heard[client] = self.sim.now
+                self._last_heard[client] = self.sim.now  # lint: ok=ATOM001 — freshness note; concurrent note-heard paths only move it forward
             except (RpcTimeout, RpcError):
+                # the probe raced real traffic: if the client was heard
+                # from while the keepalive was in flight it is alive,
+                # and dropping it would destroy live open state
+                if self._last_heard.get(client) != heard:
+                    continue
                 yield from self._drop_dead_client(client)
 
     def _drop_dead_client(self, client: str):
@@ -393,12 +398,21 @@ class SnfsServer(RemoteFsServer):
             self.sim.tracer.instant(
                 "snfs.reclaim", cat="snfs", track=self.host.name, entries=len(pairs)
             )
+        dropped = 0
         for key, cb in pairs:
             fh = self._fh_for_key(key)
             if fh is not None:
                 yield from self._callback(fh, cb)
-            self.state.drop(key)
-        return len(pairs)
+            # the entry was CLOSED_DIRTY when selected, but the file may
+            # have been reopened while the write-back callback was in
+            # flight; dropping it then would destroy live open state
+            if self.state.state_of(key) in (
+                FileState.CLOSED,
+                FileState.CLOSED_DIRTY,
+            ):
+                self.state.drop(key)  # lint: ok=ATOM001 — guarded by the state recheck above; a reopen during the callback leaves the entry open and skips the drop
+                dropped += 1
+        return dropped
 
     def _fh_for_key(self, key) -> Optional[FileHandle]:
         fsid, inum, generation = key

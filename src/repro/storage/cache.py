@@ -110,7 +110,7 @@ class BufferCache:
         if buf is None:
             yield from self._make_room()
             buf = Buffer(key, data)
-            self._buffers[key] = buf
+            self._buffers[key] = buf  # lint: ok=ATOM001 — same-key inserts race to install identical fresh data; dirty blocks never pass through insert
             self.stats.record("inserts")
         else:
             buf.data = data

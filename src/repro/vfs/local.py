@@ -59,7 +59,7 @@ class LocalMount(FileSystemType):
         g = self.gnode_for(inum, FileType.REGULAR)
         # cancel delayed writes: a deleted file's data never hits the disk
         self.cache.cancel_dirty_file(g.cache_key)
-        yield from self.lfs.remove(dirg.fid, name)
+        yield from self.lfs.remove(dirg.fid, name)  # lint: ok=ATOM001 — remove is name-based, not inum-based; the lookup only locates cached state to drop
         self.drop_gnode(g)
 
     def mkdir(self, dirg: Gnode, name: str, mode: int = 0o755):

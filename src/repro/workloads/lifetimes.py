@@ -71,7 +71,7 @@ class LifetimeWorkload:
         for reaper in reapers:
             if reaper.is_alive:
                 yield reaper
-        self.result.elapsed = self.sim.now - start
+        self.result.elapsed = self.sim.now - start  # lint: ok=ATOM001 — one driver process per workload instance owns self.result
         return self.result
 
     def _reap(self, path: str, lifetime: float):

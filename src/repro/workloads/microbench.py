@@ -55,7 +55,7 @@ class WriteCloseReread:
             if not chunk:
                 break
         yield from k.close(fd)
-        self.timings["reopen_read"] = self.sim.now - t0
+        self.timings["reopen_read"] = self.sim.now - t0  # lint: ok=ATOM002 — one driver process per workload instance owns self.timings
         return self.timings
 
     def _write_whole(self, path, data):

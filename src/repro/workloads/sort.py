@@ -88,7 +88,7 @@ class ExternalSort:
         self.result.runs = len(runs)
         final = yield from self._merge_all(runs)
         yield from self._deliver(final)
-        self.result.elapsed = self.sim.now - start
+        self.result.elapsed = self.sim.now - start  # lint: ok=ATOM002 — one driver process per workload instance owns self.result
         return self.result
 
     # -- phase 1: run formation ---------------------------------------------

@@ -1,0 +1,103 @@
+"""Fixture for the ATOM001-ATOM004 atomicity rules.
+
+Each method demonstrates one rule (or one guard that defuses it); the
+tests assert exactly which rules fire and where.  The ``self.sim``
+waitables are stand-ins — the analyzer only needs the yields.
+"""
+
+
+class Table:
+    def __init__(self, sim, lock):
+        self.sim = sim
+        self.lock = lock
+        self.entries = {}
+        self.version = 0
+        self.cache = FakeCache()
+
+    # ATOM001: read, unguarded yield, write — lost update
+    def lost_update(self, key):
+        count = self.entries.get(key, 0)
+        yield self.sim.timeout(1)
+        self.entries[key] = count + 1
+
+    # ATOM002: write, unguarded yield, write — torn multi-step update
+    def torn_update(self, key):
+        self.entries[key] = "half"
+        yield self.sim.timeout(1)
+        self.entries[key] = "done"
+
+    # ATOM003: write, unguarded yield, read — stale re-read
+    def stale_reread(self):
+        self.version = self.version + 0  # plain write (no aug RMW)
+        yield self.sim.timeout(1)
+        return self.version
+
+    # ATOM004: snapshot iteration with yields while mutating the dict
+    # (the mutation precedes the yield, so only the loop-carried
+    # crossing — iteration N's yield to iteration N+1's pop — races)
+    def sweep(self):
+        for key in list(self.entries):
+            self.entries.pop(key, None)
+            yield self.sim.timeout(1)
+
+    # guarded by a lock: acquire/release bracket the yield
+    def locked_update(self, key):
+        yield self.lock.acquire()
+        count = self.entries.get(key, 0)
+        yield self.sim.timeout(1)
+        self.entries[key] = count + 1
+        self.lock.release()
+
+    # guarded by a flush span: the stamp protocol covers the crossing
+    def flushed_update(self, key):
+        buf = self.entries.get(key)
+        self.cache.flush_begin(buf)
+        yield self.sim.timeout(1)
+        self.entries[key] = buf
+        self.cache.flush_end(buf)
+
+    # a suppressed occurrence: stays out of atomicity_findings()
+    def reviewed_update(self, key):
+        count = self.entries.get(key, 0)
+        yield self.sim.timeout(1)
+        self.entries[key] = count  # lint: ok=ATOM001 — fixture: reviewed
+
+    # no shared state at all: local variables only
+    def local_only(self):
+        total = 0
+        yield self.sim.timeout(1)
+        total += 1
+        return total
+
+
+class FakeCache:
+    def flush_begin(self, buf):
+        return buf
+
+    def flush_end(self, buf):
+        return buf
+
+
+class Aliased:
+    """Shared access through a local alias and an accessor helper."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._entries = {}
+
+    def _entry(self, key):
+        entry = self._entries.setdefault(key, Entry())
+        return entry
+
+    # the alias carries the shared root: read via accessor result,
+    # yield, write via the same alias -> ATOM001 on entry.count
+    def bump(self, key):
+        entry = self._entry(key)
+        count = entry.count
+        yield self.sim.timeout(1)
+        entry.count = count + 1
+
+
+class Entry:
+    def __init__(self):
+        self.count = 0

@@ -1,0 +1,62 @@
+"""Fixture for the call-graph / may-yield analysis."""
+
+
+def leaf_waits(sim):
+    yield sim.timeout(1)
+
+
+def via_yield_from(sim):
+    yield from leaf_waits(sim)
+
+
+def twice_removed(sim):
+    yield from via_yield_from(sim)
+
+
+def pure_chain(items):
+    # yield from over a pure builtin's result: resolvable, never waits
+    yield from sorted(items)
+
+
+def marker_only():
+    # the dead-code idiom: a generator that never actually suspends
+    return 42
+    yield  # pragma: no cover
+
+
+def spawner(sim):
+    # spawn creates a process root; the caller does not suspend
+    sim.spawn(leaf_waits(sim))
+    return None
+
+
+def timer(sim):
+    sim.after(5.0, leaf_waits)
+    return None
+
+
+def calls_unknown(sim):
+    # the callee is not in the index: conservatively may-yield
+    yield from mystery_import_time_thing(sim)  # noqa: F821
+
+
+class BasePolicy:
+    def on_open(self, g):
+        return None
+        yield  # pragma: no cover
+
+    def helper(self):
+        yield self.waitable()
+
+    def waitable(self):
+        return object()
+
+
+class SubPolicy(BasePolicy):
+    def on_open(self, g):
+        yield from self.helper()
+
+
+class DeepPolicy(SubPolicy):
+    def wrapper(self, g):
+        yield from super().on_open(g)

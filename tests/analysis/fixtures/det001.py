@@ -16,4 +16,4 @@ def good_pick(items, seed):
 
 
 def suppressed_pick(items):
-    return random.shuffle(items)  # lint: ok=DET001
+    return random.shuffle(items)  # lint: ok=DET001 — fixture: suppressed occurrence

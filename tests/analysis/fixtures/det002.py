@@ -21,4 +21,4 @@ def good_clock(sim):
 
 
 def suppressed_stamp():
-    return time.monotonic()  # lint: ok=DET002
+    return time.monotonic()  # lint: ok=DET002 — fixture: suppressed occurrence

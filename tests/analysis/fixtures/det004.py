@@ -20,4 +20,4 @@ def good_seeded(seed):
 
 
 def suppressed():
-    return random.Random()  # lint: ok=DET004
+    return random.Random()  # lint: ok=DET004 — fixture: suppressed occurrence

@@ -1,0 +1,26 @@
+"""A planted, runnable race for the static/runtime cross-validation.
+
+``Ledger.settle`` has a textbook ATOM002: a two-step update of
+``self.balances`` split by an unguarded yield.  The body is
+instrumented with SimTSan spans, so driving two concurrent ``settle``
+calls produces a runtime ``write-race`` finding whose sites must land
+inside the statically flagged region — the contract under test.
+"""
+
+
+class Ledger:
+    def __init__(self, sim):
+        self.sim = sim
+        self.balances = {}
+
+    def settle(self, key, amount):
+        san = self.sim.sanitizer
+        span = san.begin("ledger", key, label="settle")
+        try:
+            self.balances[key] = amount
+            san.note_write("ledger", key, "reserve")
+            yield self.sim.timeout(1)
+            self.balances[key] = amount * 2
+            san.note_write("ledger", key, "commit")
+        finally:
+            san.end(span)

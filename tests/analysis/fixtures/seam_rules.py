@@ -1,0 +1,124 @@
+"""Fixture for the SEAM001-SEAM003 seam-contract rules.
+
+Self-contained stand-ins for the real base classes: the checker keys
+on the class *names* ``ConsistencyPolicy`` and ``RemoteFsServer``.
+"""
+
+
+class ConsistencyPolicy:
+    crash_recovery = False
+
+    def __init__(self, client):
+        self.client = client
+
+    def on_open(self, g, mode, reply):
+        return None
+        yield  # pragma: no cover
+
+    def on_close(self, g):
+        return None
+        yield  # pragma: no cover
+
+    def attr_ttl(self, g):
+        return 0.0
+
+    def call(self, proc, *args, **kwargs):
+        reply = yield from self.client.rpc.call(proc, *args)
+        return reply
+
+    def reclaim(self, recovering):
+        return None
+        yield  # pragma: no cover
+
+
+class GoodPolicy(ConsistencyPolicy):
+    crash_recovery = True
+
+    def on_open(self, g, mode, reply):
+        return reply
+        yield  # pragma: no cover
+
+    def attr_ttl(self, g, slack=1.0):
+        return slack
+
+    def reclaim(self, recovering):
+        yield self.wait()
+
+
+class BadArityPolicy(ConsistencyPolicy):
+    # SEAM001: base passes 3 positional args, this accepts 1
+    def on_open(self, g):
+        return None
+        yield  # pragma: no cover
+
+
+class NotAGeneratorPolicy(ConsistencyPolicy):
+    # SEAM001: on_close is a coroutine hook but this is a plain def
+    def on_close(self, g):
+        return None
+
+
+class UndeclaredReclaimPolicy(ConsistencyPolicy):
+    # SEAM002: overrides reclaim() without crash_recovery = True
+    def reclaim(self, recovering):
+        yield self.wait()
+
+
+class DeclaredNoReclaimPolicy(ConsistencyPolicy):
+    # SEAM002: declares the capability but never implements it
+    crash_recovery = True
+
+
+class BypassPolicy(ConsistencyPolicy):
+    # SEAM002: touches rpc.call outside call/reclaim/on_server_recovering
+    def on_open(self, g, mode, reply):
+        fresh = yield from self.client.rpc.call("GETATTR", g)
+        return fresh
+
+
+class RemoteFsServer:
+    def __init__(self, host):
+        self.host = host
+        self._tables = {}
+
+    def on_server_crash(self):
+        self._tables = {}
+
+    def on_server_reboot(self):
+        self.epoch = 0
+
+    def proc_getattr(self, src, fh):
+        return fh
+        yield  # pragma: no cover
+
+
+class GoodServer(RemoteFsServer):
+    def proc_open(self, src, fh, mode):
+        entry = yield from self.lookup(fh)
+        return entry
+
+
+class BadProcServer(RemoteFsServer):
+    # SEAM001 x2: missing src, and not a generator
+    def proc_open(self, fh, mode):
+        return fh
+
+
+class HostHookServer(RemoteFsServer):
+    # SEAM003: host lifecycle belongs to the core
+    def on_host_crash(self):
+        return None
+
+
+class TableResetServer(RemoteFsServer):
+    # SEAM003: wholesale-resets crash-state attrs off the crash path
+    def on_server_crash(self):
+        self._tables = {}
+
+    def proc_reset(self, src):
+        self._tables = {}
+        return None
+        yield  # pragma: no cover
+
+    def maintenance(self):
+        self._tables.clear()

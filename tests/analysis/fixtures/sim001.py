@@ -21,4 +21,4 @@ def good_handler(sim):
 
 
 def suppressed_proc(sim):
-    yield 5  # lint: ok=SIM001
+    yield 5  # lint: ok=SIM001 — fixture: suppressed occurrence

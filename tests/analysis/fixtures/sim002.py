@@ -28,4 +28,4 @@ class Service:
         sim.spawn(self.loop(sim))
 
     def suppressed_start(self, sim):
-        self.loop(sim)  # lint: ok=SIM002
+        self.loop(sim)  # lint: ok=SIM002 — fixture: suppressed occurrence

@@ -23,5 +23,5 @@ def fine_outside_processes(path):
 
 
 def suppressed_sleeper(sim):
-    time.sleep(0)  # lint: ok=SIM003
+    time.sleep(0)  # lint: ok=SIM003 — fixture: suppressed occurrence
     yield sim.timeout(1.0)

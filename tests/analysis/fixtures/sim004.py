@@ -11,4 +11,4 @@ def good_fail_defused(done, exc):
 
 
 def suppressed_fail(done, exc):
-    done.fail(exc)  # lint: ok=SIM004
+    done.fail(exc)  # lint: ok=SIM004 — fixture: suppressed occurrence

@@ -1,0 +1,101 @@
+"""The call-graph builder: may-yield propagation and method resolution."""
+
+import os
+
+import pytest
+
+from repro.analysis.callgraph import index_paths
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+CHAIN = os.path.join(FIXTURES, "callgraph_chain.py")
+
+
+@pytest.fixture(scope="module")
+def index():
+    return index_paths([CHAIN])
+
+
+def fn(index, qualname):
+    for (path, qn), info in index.functions.items():
+        if qn == qualname:
+            return info
+    raise AssertionError("no function %r in index" % qualname)
+
+
+def test_direct_yield_may_yield(index):
+    assert index.may_yield(fn(index, "leaf_waits"))
+
+
+def test_may_yield_propagates_through_yield_from(index):
+    assert index.may_yield(fn(index, "via_yield_from"))
+    assert index.may_yield(fn(index, "twice_removed"))
+
+
+def test_pure_builtin_yield_from_does_not_propagate(index):
+    # sorted() is a terminal non-yielding callee by design
+    info = fn(index, "pure_chain")
+    assert info.is_generator
+    assert not index.may_yield(info)
+
+
+def test_bare_yield_marker_is_not_a_suspension(index):
+    info = fn(index, "marker_only")
+    assert info.is_generator
+    assert info.bare_yields and not info.local_suspends
+    assert not index.may_yield(info)
+    assert index.suspension_points(info) == []
+
+
+def test_spawn_is_a_root_not_a_suspension(index):
+    info = fn(index, "spawner")
+    assert len(info.spawn_sites) == 1
+    assert not info.is_generator  # plain function: spawning never blocks
+
+
+def test_after_is_a_root_not_a_suspension(index):
+    info = fn(index, "timer")
+    assert len(info.after_sites) == 1
+    assert not info.is_generator
+
+
+def test_unresolvable_callee_is_conservatively_yielding(index):
+    assert index.may_yield(fn(index, "calls_unknown"))
+
+
+def test_self_method_resolves_through_the_mro(index):
+    sub_open = fn(index, "SubPolicy.on_open")
+    (target,) = index.resolve_call(sub_open.yieldfroms[0].value, sub_open)
+    assert target.qualname == "BasePolicy.helper"
+    assert index.may_yield(sub_open)
+
+
+def test_base_marker_override_contrast(index):
+    # the base's on_open is the dead-code idiom; the subclass's
+    # genuinely suspends — resolution keeps them distinct
+    assert not index.may_yield(fn(index, "BasePolicy.on_open"))
+    assert index.may_yield(fn(index, "SubPolicy.on_open"))
+
+
+def test_super_call_resolves_to_the_next_class(index):
+    wrapper = fn(index, "DeepPolicy.wrapper")
+    (target,) = index.resolve_call(wrapper.yieldfroms[0].value, wrapper)
+    assert target.qualname == "SubPolicy.on_open"
+    assert index.may_yield(wrapper)
+
+
+def test_subclasses_of_walks_transitively(index):
+    names = [c.name for c in index.subclasses_of("BasePolicy")]
+    assert names == ["SubPolicy", "DeepPolicy"]
+
+
+def test_suspension_points_are_source_ordered(index):
+    info = fn(index, "leaf_waits")
+    points = index.suspension_points(info)
+    assert [type(p).__name__ for p in points] == ["Yield"]
+
+
+def test_regions_cover_the_definition(index):
+    path, qualname, first, last = fn(index, "SubPolicy.on_open").region()
+    assert path == CHAIN
+    assert qualname == "SubPolicy.on_open"
+    assert first < last

@@ -55,7 +55,32 @@ def test_sim004_is_a_warning():
 def test_bare_ok_suppresses_everything():
     findings = lint_source(
         "import random\n"
+        "x = random.random()  # lint: ok — reviewed\n"
+    )
+    assert findings == []
+
+
+def test_reasonless_suppression_gets_sup001():
+    findings = lint_source(
+        "import random\n"
         "x = random.random()  # lint: ok\n"
+    )
+    assert [f.rule for f in findings] == ["SUP001"]
+    assert findings[0].severity == "warning"
+
+
+def test_bare_ok_does_not_self_suppress_sup001():
+    # only an explicit ok=SUP001 can silence the reason requirement
+    reasonless = lint_source("x = 1  # lint: ok\n")
+    assert [f.rule for f in reasonless] == ["SUP001"]
+    explicit = lint_source("x = 1  # lint: ok=SUP001\n")
+    assert explicit == []
+
+
+def test_ascii_dashes_accepted_as_reason_marker():
+    findings = lint_source(
+        "import random\n"
+        "x = random.random()  # lint: ok -- reviewed\n"
     )
     assert findings == []
 
@@ -64,7 +89,8 @@ def test_named_ok_only_covers_listed_rules():
     findings = lint_source(
         "import random, time\n"
         "def f():\n"
-        "    return random.random() + time.time()  # lint: ok=DET001\n"
+        "    return random.random() + time.time()"
+        "  # lint: ok=DET001 — reviewed\n"
     )
     assert [f.rule for f in findings] == ["DET002"]
 

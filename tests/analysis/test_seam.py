@@ -1,0 +1,104 @@
+"""The SEAM001-SEAM003 seam-contract rules on their fixture."""
+
+import os
+
+import pytest
+
+from repro.analysis.callgraph import index_paths
+from repro.analysis.seam import analyze_index
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+SEAM = os.path.join(FIXTURES, "seam_rules.py")
+
+
+@pytest.fixture(scope="module")
+def raw():
+    return analyze_index(index_paths([SEAM]))
+
+
+def of_rule(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+def test_totals(raw):
+    assert len(of_rule(raw, "SEAM001")) == 4
+    assert len(of_rule(raw, "SEAM002")) == 3
+    assert len(of_rule(raw, "SEAM003")) == 3
+    assert all(f.severity == "error" for f in raw)
+
+
+def test_conforming_classes_are_clean(raw):
+    flagged = {f.function.split(".")[0] for f in raw} | {
+        f.subject for f in raw if "." not in f.function
+    }
+    assert "GoodPolicy" not in flagged
+    assert "GoodServer" not in flagged
+
+
+def test_seam001_arity_violation(raw):
+    finding = next(
+        f for f in of_rule(raw, "SEAM001")
+        if f.function == "BadArityPolicy.on_open"
+    )
+    assert "positional arg" in finding.message
+
+
+def test_seam001_coroutine_hook_must_be_generator(raw):
+    finding = next(
+        f for f in of_rule(raw, "SEAM001")
+        if f.function == "NotAGeneratorPolicy.on_close"
+    )
+    assert "generator" in finding.message
+
+
+def test_seam001_server_proc_contract(raw):
+    findings = [
+        f for f in of_rule(raw, "SEAM001")
+        if f.function == "BadProcServer.proc_open"
+    ]
+    messages = " ".join(f.message for f in findings)
+    assert "src" in messages
+    assert "generator" in messages
+    assert len(findings) == 2
+
+
+def test_seam002_both_directions(raw):
+    functions = {f.function for f in of_rule(raw, "SEAM002")}
+    assert "UndeclaredReclaimPolicy.reclaim" in functions
+    assert "DeclaredNoReclaimPolicy" in functions
+
+
+def test_seam002_rpc_bypass(raw):
+    finding = next(
+        f for f in of_rule(raw, "SEAM002") if f.subject == "rpc.call"
+    )
+    assert finding.function == "BypassPolicy.on_open"
+    assert "retry loop" in finding.message
+
+
+def test_seam003_host_hooks_are_off_limits(raw):
+    finding = next(
+        f for f in of_rule(raw, "SEAM003")
+        if f.function == "HostHookServer.on_host_crash"
+    )
+    assert "host lifecycle" in finding.message
+
+
+def test_seam003_crash_state_reset_off_the_crash_path(raw):
+    functions = {
+        f.function for f in of_rule(raw, "SEAM003") if f.subject == "_tables"
+    }
+    assert functions == {
+        "TableResetServer.proc_reset",
+        "TableResetServer.maintenance",
+    }
+
+
+def test_real_tree_seam_is_clean():
+    pkg = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        "src",
+        "repro",
+    )
+    findings = analyze_index(index_paths([pkg], package_root=pkg))
+    assert findings == [], [f.format() for f in findings]

@@ -1,0 +1,183 @@
+"""Regression: concurrent writers must each learn their *own* version.
+
+The pre-fix ``RfsServer.proc_write`` re-read ``entry.version`` after
+yielding on the invalidation RPCs, so two interleaved writers both
+returned the *later* writer's version — the earlier writer's cache
+then claimed a version covering data it never wrote.  The static
+analyzer flags the pattern (ATOM003 on ``entry.version``); this test
+reproduces the interleaving, shows SimTSan observes it on the old
+body, and pins the fixed behaviour.
+"""
+
+import pytest
+
+from repro.fs import OpenMode
+from repro.host import Host, HostConfig
+from repro.net import Network, RpcError
+from repro.proto import RemoteFsServer
+from repro.rfs import RfsClient, RfsServer
+
+
+class RecordingRfsServer(RfsServer):
+    """The fixed server, recording each write's returned version."""
+
+    def __init__(self, host, export):
+        super().__init__(host, export)
+        self.returned = []
+
+    def proc_write(self, src, fh, offset, data):
+        result, version = yield from super().proc_write(
+            src, fh, offset, data
+        )
+        self.returned.append((src, version))
+        return result, version
+
+
+class BuggyRfsServer(RfsServer):
+    """The pre-fix body: version re-read after the invalidation yields,
+    instrumented with SimTSan spans so the interleaving is observable."""
+
+    def __init__(self, host, export):
+        super().__init__(host, export)
+        self.returned = []
+
+    def proc_write(self, src, fh, offset, data):
+        result = yield from RemoteFsServer.proc_write(
+            self, src, fh, offset, data
+        )
+        entry = self._entry(fh.key())
+        san = self.sim.sanitizer
+        span = san.begin("rfs.version", fh.key(), label="proc_write")
+        try:
+            entry.version = self.next_version()
+            san.note_write("rfs.version", fh.key(), "bump")
+            for client in list(entry.open_counts):
+                if client == src:
+                    continue
+                try:
+                    yield from self.host.rpc.call(
+                        client, self.PROC.INVALIDATE, fh, max_retries=2
+                    )
+                except RpcError:
+                    entry.open_counts.pop(client, None)
+            final = entry.version  # the stale re-read under test
+        finally:
+            san.end(span)
+        self.returned.append((src, final))
+        return result, final
+
+
+def build_world(runner, server_cls, clients=2):
+    sim = runner.sim
+    network = Network(sim)
+    server_host = Host(sim, network, "server", HostConfig.titan_server())
+    export = server_host.add_local_fs("/export", fsid="exportfs")
+    server = server_cls(server_host, export)
+    kernels = []
+    for i in range(clients):
+        host = Host(sim, network, "client%d" % i, HostConfig.titan_client())
+        client = RfsClient("rfs%d" % i, host, "server")
+        runner.run(client.attach())
+        host.kernel.mount("/data", client)
+        kernels.append(host.kernel)
+    return server, kernels, network
+
+
+def concurrent_writers(runner, server, kernels, network):
+    """Both writers hold the file open, and a third client holds it open
+    for read behind a network partition: each write's invalidation RPC
+    to the unreachable reader keeps its ``proc_write`` suspended through
+    the full retransmission window, so the other write's version bump
+    lands inside it."""
+
+    def seed(k):
+        fd = yield from k.open(
+            "/data/f", OpenMode.WRITE, create=True, truncate=True
+        )
+        yield from k.write(fd, b"seed")
+        yield from k.close(fd)
+
+    def open_fd(k):
+        fd = yield from k.open("/data/f", OpenMode.WRITE)
+        return fd
+
+    def open_reader(k):
+        fd = yield from k.open("/data/f", OpenMode.READ)
+        return fd
+
+    runner.run(seed(kernels[0]))
+    fds = [runner.run(open_fd(k)) for k in kernels[:2]]
+    runner.run(open_reader(kernels[2]))
+    network.partition("server", "client2")
+    server.returned.clear()
+
+    def writer(k, fd, payload):
+        yield from k.write(fd, payload)
+        yield from k.close(fd)  # drains the async write-through pool
+
+    runner.run_all(
+        writer(kernels[0], fds[0], b"a" * 512),
+        writer(kernels[1], fds[1], b"b" * 512),
+    )
+
+
+def test_buggy_server_interleaves_and_collides(runner):
+    server, kernels, network = build_world(runner, BuggyRfsServer, clients=3)
+    san = runner.sim.enable_sanitizer(strict=False)
+    concurrent_writers(runner, server, kernels, network)
+
+    races = san.findings_of("write-race")
+    assert races, "SimTSan must observe the interleaved version bumps"
+    writes = [v for _, v in server.returned]
+    assert len(writes) == 2
+    # the lost distinction: both writers learned the later version
+    assert writes[0] == writes[1]
+
+
+def test_fixed_server_returns_per_writer_versions(runner):
+    server, kernels, network = build_world(runner, RecordingRfsServer, clients=3)
+    concurrent_writers(runner, server, kernels, network)
+
+    assert len(server.returned) == 2
+    versions = sorted(v for _, v in server.returned)
+    assert versions[0] != versions[1], (
+        "each writer must learn the version assigned to its own write"
+    )
+    # and the file ends at the highest assigned version
+    (entry,) = server._entries.values()
+    assert entry.version == versions[1]
+
+
+def test_fixed_server_still_invalidates_open_readers(runner):
+    # the fix must not regress the RFS guarantee the protocol exists for
+    server, kernels, _ = build_world(runner, RecordingRfsServer)
+    k0, k1 = kernels
+    observations = {}
+
+    def setup():
+        fd = yield from k0.open(
+            "/data/f", OpenMode.WRITE, create=True, truncate=True
+        )
+        yield from k0.write(fd, b"old." * 256)
+        yield from k0.close(fd)
+
+    def reader():
+        fd = yield from k1.open("/data/f", OpenMode.READ)
+        first = yield from k1.read(fd, 1024)
+        observations["initial"] = bytes(first)
+        yield runner.sim.timeout(2.0)
+        k1.lseek(fd, 0)
+        second = yield from k1.read(fd, 1024)
+        observations["after"] = bytes(second)
+        yield from k1.close(fd)
+
+    def writer():
+        yield runner.sim.timeout(1.0)
+        fd = yield from k0.open("/data/f", OpenMode.WRITE)
+        yield from k0.write(fd, b"new!" * 256)
+        yield from k0.close(fd)
+
+    runner.run(setup())
+    runner.run_all(reader(), writer())
+    assert observations["initial"] == b"old." * 256
+    assert observations["after"] == b"new!" * 256
