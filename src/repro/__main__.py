@@ -156,6 +156,11 @@ def main(argv=None) -> int:
         default=0.20,
         help="allowed events/sec regression vs the baseline (default: 0.20)",
     )
+    p_bench.add_argument(
+        "--obs",
+        action="store_true",
+        help="also emit OBS_andrew-*.json latency-attribution artifacts",
+    )
     p_nem = sub.add_parser(
         "nemesis",
         help="conformance matrix: workloads x fault plans x protocols",
@@ -179,6 +184,34 @@ def main(argv=None) -> int:
         metavar="PATH",
         default=None,
         help="also write the schema-versioned JSON document to PATH",
+    )
+    p_nem.add_argument(
+        "--obs",
+        metavar="PATH",
+        default=None,
+        help="also run one obs-enabled cell and write its repro-obs/1 "
+        "latency-attribution document to PATH",
+    )
+    p_report = sub.add_parser(
+        "report",
+        help="render a repro-obs/1 latency-attribution report; "
+        "--against diffs two runs with regression thresholds",
+    )
+    p_report.add_argument("run", help="obs document (RUN.json) to render")
+    p_report.add_argument(
+        "--against",
+        metavar="BASE",
+        default=None,
+        help="baseline obs document to diff against; non-zero exit on regression",
+    )
+    p_report.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="override every relative regression threshold (default: per-metric)",
+    )
+    p_report.add_argument(
+        "--top", type=int, default=10, help="rows in the hot-file/client tables"
     )
     p_lint = sub.add_parser(
         "lint", help="determinism/sim-discipline lint + Table 4-1 conformance"
@@ -327,7 +360,15 @@ def main(argv=None) -> int:
                 _json.dump(doc, fh, indent=2, sort_keys=False)
                 fh.write("\n")
             print("wrote %s" % args.json)
+        if args.obs:
+            from .nemesis import nemesis_obs_artifact
+
+            print("wrote %s" % nemesis_obs_artifact(args.obs, seed=args.seed))
         return 1 if doc["summary"]["fail"] else 0
+    if args.command == "report":
+        from .obs.cli import run_report
+
+        return run_report(args)
     if args.command == "trace":
         from .trace.cli import run_trace
 

@@ -30,7 +30,23 @@ from .schema import (
 )
 from .workloads import run_workload_suite
 
-__all__ = ["run_bench"]
+__all__ = ["run_bench", "emit_obs_artifacts"]
+
+
+def emit_obs_artifacts(out_dir: str, seed: int = 1989) -> List[str]:
+    """Run the traced two-client Andrew workload (both protocols) with
+    latency attribution on and write ``OBS_andrew-<protocol>.json``
+    documents — the obs CI job's quick traced bench."""
+    from ..experiments.traced import run_traced_andrew
+    from ..obs.cli import obs_from_traced_run, write_obs_document
+
+    paths = []
+    for protocol in ("nfs", "snfs"):
+        run = run_traced_andrew(protocol, seed=seed)
+        doc = obs_from_traced_run(run, scenario="andrew-2client")
+        path = os.path.join(out_dir, "OBS_andrew-%s.json" % protocol)
+        paths.append(write_obs_document(doc, path))
+    return paths
 
 
 def _summary_lines(suite: str, scenarios: List[dict]) -> List[str]:
@@ -79,4 +95,7 @@ def run_bench(args) -> int:
                 print("  " + line)
             if not ok:
                 rc = 1
+    if getattr(args, "obs", False):
+        for path in emit_obs_artifacts(args.out):
+            print("wrote %s" % path)
     return rc

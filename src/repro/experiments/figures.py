@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from ..metrics import format_strip_chart
+from ..metrics import TimeSeries, format_strip_chart
 from .andrew import AndrewRun, andrew_figure, rates_from_times
 
 __all__ = ["FigureData", "figure_series", "render_figure"]
@@ -28,8 +28,15 @@ class FigureData:
     elapsed: float = 0.0
 
     def mean_utilization(self) -> float:
-        values = [v for _, v in self.utilization]
-        return sum(values) / len(values) if values else 0.0
+        """Time-weighted mean utilization (integral / span).
+
+        For the evenly spaced :class:`UtilizationSampler` series this
+        equals the sample mean, but it stays correct if the series has
+        uneven intervals (e.g. a window cut out of a longer run).
+        """
+        series = TimeSeries("utilization")
+        series.points = list(self.utilization)
+        return series.time_mean()
 
     def utilization_rate_correlation(self) -> float:
         """Pearson correlation between CPU load and total call rate —

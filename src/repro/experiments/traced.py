@@ -104,6 +104,9 @@ def run_traced_andrew(
         # REPRO_TRACE=1 may already have enabled these in __init__
         tracer = sim.tracer if sim.tracer is not None else sim.enable_tracer(trace_resumes)
         metrics = sim.metrics if sim.metrics is not None else sim.enable_metrics()
+        # latency attribution rides along: the collector adds no events
+        # or processes, so trace digests are unchanged by it
+        sim.enable_obs()
     else:
         tracer, metrics = sim.tracer, sim.metrics
 

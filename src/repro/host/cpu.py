@@ -24,6 +24,7 @@ class Cpu:
         self.speed = speed
         self.name = name
         self._proc = Resource(sim, capacity=1, name=name)
+        self._proc.obs_kind = "cpu"
 
     def consume(self, seconds: float):
         """Coroutine: burn ``seconds`` of nominal CPU time."""
@@ -39,6 +40,8 @@ class Cpu:
             )
         try:
             yield self.sim.timeout(seconds / self.speed)
+            if self.sim.obs is not None:
+                self.sim.obs.add("cpu.service", seconds / self.speed)
         finally:
             if span is not None:
                 self.sim.tracer.end(span)

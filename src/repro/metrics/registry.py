@@ -181,8 +181,25 @@ class MetricsRegistry:
     def histogram(
         self, name: str, buckets: Optional[Tuple[float, ...]] = None
     ) -> Histogram:
+        """Create-or-fetch a histogram.
+
+        ``buckets=None`` means "any boundaries" and never conflicts.
+        Passing explicit ``buckets`` re-buckets an existing empty
+        instrument (creation order between readers and writers is
+        arbitrary), but differing boundaries on an instrument that has
+        already observed data is an error — silently mixing bucket
+        layouts would corrupt the distribution.
+        """
         factory = lambda: Histogram(name, buckets or _DEFAULT_BUCKETS)
-        return self._get(name, factory, "histogram")
+        inst = self._get(name, factory, "histogram")
+        if buckets is not None and inst.buckets != tuple(sorted(buckets)):
+            if inst._series:
+                raise ValueError(
+                    "histogram %r already has data with buckets %r; "
+                    "cannot re-bucket to %r" % (name, inst.buckets, buckets)
+                )
+            inst.buckets = tuple(sorted(buckets))
+        return inst
 
     def names(self) -> List[str]:
         return sorted(self._instruments)
@@ -208,10 +225,15 @@ class MetricsRegistry:
         return inst
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
-            name: {"kind": inst.kind, "values": inst.as_dict()}
-            for name, inst in sorted(self._instruments.items())
-        }
+        out: Dict[str, Any] = {}
+        for name, inst in sorted(self._instruments.items()):
+            entry: Dict[str, Any] = {"kind": inst.kind, "values": inst.as_dict()}
+            if inst.kind == "histogram":
+                # self-describing: a report consumer should not need the
+                # source to know the bucket boundaries
+                entry["buckets"] = list(inst.buckets)
+            out[name] = entry
+        return out
 
     def __repr__(self) -> str:
         return "<MetricsRegistry %s>" % ", ".join(self.names())

@@ -31,8 +31,24 @@ class TimeSeries:
         return [t for t, _ in self.points]
 
     def mean(self) -> float:
+        """Sample-weighted mean: every point counts equally, regardless
+        of the interval it covers.  Correct only for evenly spaced
+        samples; prefer :meth:`time_mean` when intervals vary."""
         vs = self.values()
         return sum(vs) / len(vs) if vs else 0.0
+
+    def time_mean(self, t0: float = 0.0, t1: Optional[float] = None) -> float:
+        """Time-weighted mean: integral over ``(t0, t1]`` divided by the
+        span.  A sample covering a 10 s interval counts 10x a sample
+        covering 1 s, so unevenly spaced series summarize correctly.
+        ``t1`` defaults to the last sample time."""
+        if not self.points:
+            return 0.0
+        end = self.points[-1][0] if t1 is None else t1
+        span = end - t0
+        if span <= 0:
+            return 0.0
+        return self.integral(t0, end) / span
 
     def maximum(self) -> float:
         vs = self.values()
@@ -100,6 +116,9 @@ class UtilizationSampler:
         self.sim = sim
         self.interval = interval
         self.series = TimeSeries(name)
+        #: samples that fell outside [0, 1] and were clamped — an
+        #: over-unity delta means the busy-time accounting double-counted
+        self.clamps = 0
         self._busy_time_fn = busy_time_fn
         self._stopped = False
         self._last_busy: Optional[float] = None
@@ -108,11 +127,23 @@ class UtilizationSampler:
     def stop(self) -> None:
         self._stopped = True
 
+    #: slack for float accumulation noise (busy_time sums many intervals;
+    #: a delta can exceed the interval by ~1 ulp without any real bug)
+    _CLAMP_EPS = 1e-9
+
     def _run(self):
         self._last_busy = self._busy_time_fn()
         while not self._stopped:
             yield self.sim.timeout(self.interval)
             busy = self._busy_time_fn()
             frac = (busy - self._last_busy) / self.interval
+            if frac > 1.0 + self._CLAMP_EPS or frac < -self._CLAMP_EPS:
+                # don't hide the accounting bug: count it and surface it
+                # in the obs report / sampler.clamped metric
+                self.clamps += 1
+                if self.sim.metrics is not None:
+                    self.sim.metrics.counter("sampler.clamped").inc(
+                        name=self.series.name
+                    )
             self.series.append(self.sim.now, min(1.0, max(0.0, frac)))
             self._last_busy = busy  # lint: ok=ATOM002 — the spawned sampler is the sole process touching _last_busy

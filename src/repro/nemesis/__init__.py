@@ -15,6 +15,7 @@ from .matrix import (
     cell_id,
     cell_seed,
     nemesis_document,
+    nemesis_obs_artifact,
     render_matrix,
     run_cell,
     run_matrix,
@@ -34,6 +35,7 @@ __all__ = [
     "cell_id",
     "cell_seed",
     "nemesis_document",
+    "nemesis_obs_artifact",
     "plan_events",
     "render_matrix",
     "run_cell",

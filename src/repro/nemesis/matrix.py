@@ -43,6 +43,7 @@ __all__ = [
     "cell_seed",
     "run_cell",
     "run_matrix",
+    "nemesis_obs_artifact",
     "nemesis_document",
     "validate_nemesis_document",
     "render_matrix",
@@ -202,6 +203,39 @@ def run_matrix(
             "no such cell %r (format: protocol/workload/plan)" % only
         )
     return cells
+
+
+def nemesis_obs_artifact(path: str, seed: int = 1) -> str:
+    """Run one dedicated obs-enabled cell and write its ``repro-obs/1``
+    document to ``path``.
+
+    Uses snfs / seq-sharing / flaky-net — the cell where latency
+    attribution earns its keep: packet loss and latency bursts must
+    show up in the ``net``/``retrans_wait`` phases, not in server
+    queueing.  A *separate* run (rather than instrumenting the matrix
+    cells) keeps the matrix's own digests untouched by obs wiring.
+    """
+    from ..obs import obs_document
+    from ..obs.cli import write_obs_document
+
+    cid = cell_id("snfs", "seq-sharing", "flaky-net")
+    cseed = cell_seed(cid, seed)
+    bed = ResilienceBed("snfs", n_clients=2, seed=cseed)
+    bed.sim.enable_obs()
+    bed.injector.install(FaultPlan(events=plan_events("flaky-net"), seed=cseed))
+    stats = run_workload("seq-sharing", bed)
+    bed.final_checks()
+    doc = obs_document(
+        bed.sim.obs,
+        meta={
+            "scenario": "nemesis:" + cid,
+            "protocol": "snfs",
+            "seed": cseed,
+            "workload_stats": dict(sorted(stats.items())),
+        },
+        metrics=bed.sim.metrics,
+    )
+    return write_obs_document(doc, path)
 
 
 # -- the machine-readable document -------------------------------------------

@@ -43,6 +43,13 @@ RPC_PORT = 2049
 
 _HEADER_BYTES = 160  # UDP + IP + RPC + auth overhead, roughly
 
+#: rpc.latency histogram buckets — the registry default starts at 1 ms,
+#: above many LAN round trips, so sub-ms calls all piled into one bucket
+RPC_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
 
 class RpcError(Exception):
     """Base class for RPC-layer failures."""
@@ -109,6 +116,10 @@ class _Call:
     #: so the server-side handler joins the caller's causal tree; not
     #: counted in estimate_size (metadata, not payload)
     ctx: Optional[tuple] = None
+    #: repro.obs server phase tuple (queue, cpu, disk, other, wall)
+    #: piggybacked on the reply so the client can attribute server time;
+    #: metadata like ctx, not counted in estimate_size
+    srv_phases: Optional[tuple] = None
 
 
 class _DupCache:
@@ -190,6 +201,7 @@ class RpcEndpoint:
         self.threads = Resource(
             sim, capacity=self.config.server_threads, name="rpcthreads:%s" % address
         )
+        self.threads.obs_kind = "threads"
         # client_stats: calls issued from here; server_stats: calls served here
         self.client_stats = Counters(keep_times=keep_call_times, sim=sim)
         self.server_stats = Counters(keep_times=keep_call_times, sim=sim)
@@ -267,6 +279,12 @@ class RpcEndpoint:
             span = tracer.begin(
                 "rpc.serve:%s" % msg.proc, cat="rpc", track=self.address, src=msg.src
             )
+        obs = self.sim.obs
+        frame = None
+        if obs is not None:
+            # opened before thread-pool admission so queue-wait counts;
+            # closed before the reply is sent so transit stays net time
+            frame = obs.frame_begin("server")
         handler = self._handlers.get(msg.proc)
         reply = _Call(xid=msg.xid, src=self.address, proc=msg.proc, is_reply=True)
         try:
@@ -278,6 +296,8 @@ class RpcEndpoint:
                     if self.cpu is not None and self.config.cpu_per_call > 0:
                         yield from self.cpu.consume(self.config.cpu_per_call)
                     self.server_stats.record(msg.proc, t=self.sim.now)
+                    if obs is not None:
+                        obs.note_request(msg.proc, msg.src)
                     reply.result = yield from handler(msg.src, *msg.args)
                 except GeneratorExit:
                     raise  # service process torn down, not a handler error
@@ -295,11 +315,20 @@ class RpcEndpoint:
                     # re-executed — silently breaking at-least-once
                     # semantics.  The request was never acknowledged,
                     # so observers must not see it either.
+                    if frame is not None:
+                        obs.frame_abort(frame)
+                        frame = None
                     return
                 for listener in self.serve_listeners:
                     listener(
                         msg.proc, msg.src, msg.args, reply.result, reply.error, self.sim.now
                     )
+            if frame is not None:
+                # piggyback the server's phase split on the reply (the
+                # duplicate cache retains it, so replayed replies carry
+                # the original execution's attribution)
+                reply.srv_phases = obs.close_server_frame(frame)
+                frame = None
             sanitizer = self.sim.sanitizer
             if sanitizer is not None and key in self._dup_cache._done:
                 sanitizer.on_rpc_double_reply(
@@ -308,6 +337,8 @@ class RpcEndpoint:
             self._dup_cache.finish(key, reply)
             yield from self._send_reply(msg.src, reply)
         finally:
+            if frame is not None:  # teardown mid-serve: drop, don't record
+                obs.frame_abort(frame)
             if span is not None and span.t1 is None:
                 if reply.error is not None:
                     tracer.end(span, error=type(reply.error).__name__)
@@ -338,17 +369,21 @@ class RpcEndpoint:
         on its server.
         """
         tracer, metrics = self.sim.tracer, self.sim.metrics
-        if tracer is None and metrics is None:
+        obs = self.sim.obs
+        if tracer is None and metrics is None and obs is None:
             return (yield from self._call_inner(
                 dst, proc, args, timeout, max_retries, hard, None
             ))
         span = None
         ctx = None
+        frame = None
         if tracer is not None:
             span = tracer.begin(
                 "rpc.call:%s" % proc, cat="rpc", track=self.address, dst=dst
             )
             ctx = tracer.context_of(span)
+        if obs is not None:
+            frame = obs.frame_begin("client")
         t_start = self.sim.now
         try:
             result = yield from self._call_inner(
@@ -357,11 +392,15 @@ class RpcEndpoint:
         except BaseException as exc:
             if span is not None:
                 tracer.end(span, error=type(exc).__name__)
+            if frame is not None:
+                obs.record_client_failure(proc, frame)
             raise
         if span is not None:
             tracer.end(span)
+        if frame is not None:
+            obs.record_client_op(proc, frame)
         if metrics is not None:
-            metrics.histogram("rpc.latency").observe(
+            metrics.histogram("rpc.latency", buckets=RPC_LATENCY_BUCKETS).observe(
                 self.sim.now - t_start, proc=proc, endpoint=self.address
             )
         return result
@@ -400,6 +439,9 @@ class RpcEndpoint:
             reply = yield reply_ev
             if reply is not _TIMED_OUT:
                 timer.cancel()
+                obs = self.sim.obs
+                if obs is not None and reply.srv_phases is not None:
+                    obs.attach_server_phases(reply.srv_phases)
                 if self.cpu is not None and self.config.cpu_per_call > 0:
                     yield from self.cpu.consume(self.config.cpu_per_call)
                 if reply.error is not None:
@@ -407,6 +449,10 @@ class RpcEndpoint:
                 return reply.result
             # timed out: forget this attempt's waiter, back off, resend
             self._pending.pop(xid, None)  # lint: ok=ATOM002 — xids are unique per attempt; each in-flight call owns its own _pending slot
+            if self.sim.obs is not None:
+                # the retransmit timer ran its full course: that window
+                # (send-complete to timer fire) was pure waiting
+                self.sim.obs.add("retrans.wait", wait)  # lint: ok=ATOM001 — obs.add is a pure accumulator; contributions from interleaved calls commute
             wait = min(wait * self.config.backoff, 30.0)
             if attempt + 1 < attempts:
                 self.client_stats.record("%s.retransmit" % proc, t=self.sim.now)

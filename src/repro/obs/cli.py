@@ -1,0 +1,101 @@
+"""CLI plumbing for obs artifacts and ``python -m repro report``.
+
+``repro report RUN.json`` renders a ``repro-obs/1`` document's
+bottleneck-attribution table; ``--against BASE.json`` additionally
+diffs the run against a baseline with per-metric regression
+thresholds, exiting non-zero on any regression (the CI gate).
+
+:func:`obs_from_traced_run` is the bridge the bench/trace/nemesis
+wiring uses: one traced run in, one schema-valid obs document out,
+utilization timelines synthesized post-hoc from the trace (a live
+sampler would perturb the schedule and the golden digests).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from .report import (
+    diff_reports,
+    obs_document,
+    render_report,
+    utilization_series_from_tracer,
+    validate_obs_document,
+)
+
+__all__ = ["obs_from_traced_run", "write_obs_document", "run_report"]
+
+
+def obs_from_traced_run(run, scenario: str, interval: float = 5.0) -> Dict[str, Any]:
+    """Build an obs document from a :class:`TracedRun`-shaped result
+    (needs ``.sim.obs``, ``.tracer``, ``.metrics``, ``.protocol``,
+    ``.seed``)."""
+    if run.sim.obs is None:
+        raise ValueError("run has no obs collector (was obs enabled?)")
+    utilization = {}
+    if run.tracer is not None:
+        for track in ("cpu", "disk"):
+            series = utilization_series_from_tracer(run.tracer, track, interval)
+            if len(series):
+                utilization["server-" + track] = series
+    return obs_document(
+        run.sim.obs,
+        meta={"scenario": scenario, "protocol": run.protocol, "seed": run.seed},
+        metrics=run.metrics,
+        utilization=utilization,
+    )
+
+
+def write_obs_document(doc: Dict[str, Any], path: str) -> str:
+    out_dir = os.path.dirname(path)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def _load(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def run_report(args) -> int:
+    """Entry point for ``python -m repro report``."""
+    doc = _load(args.run)
+    problems = validate_obs_document(doc)
+    if problems:
+        print("%s: INVALID repro-obs document:" % args.run)
+        for problem in problems[:20]:
+            print("  " + problem)
+        return 1
+    print(render_report(doc, top=args.top))
+    if args.against is None:
+        return 0
+    base = _load(args.against)
+    base_problems = validate_obs_document(base)
+    if base_problems:
+        print("%s: INVALID baseline document:" % args.against)
+        for problem in base_problems[:20]:
+            print("  " + problem)
+        return 1
+    thresholds: Optional[Dict[str, float]] = None
+    if args.threshold is not None:
+        thresholds = {
+            k: args.threshold
+            for k in ("e2e_s", "p50_s", "p95_s", "p99_s", "phase", "wait_s")
+        }
+    regressions = diff_reports(doc, base, thresholds)
+    print()
+    if doc.get("digest") == base.get("digest"):
+        print("runs are byte-identical (digest %s)" % doc["digest"][:16])
+    if not regressions:
+        print("no regressions against %s" % args.against)
+        return 0
+    print("%d regression(s) against %s:" % (len(regressions), args.against))
+    for line in regressions:
+        print("  " + line)
+    return 1

@@ -1,0 +1,163 @@
+"""Deterministic streaming quantile digests for latency distributions.
+
+Storing every RPC latency to compute P50/P95/P99 would cost memory
+proportional to the run (a 10k-client sweep issues millions of calls),
+and the classic P² estimator's marker positions drift with floating
+point — two same-seed runs on different platforms could disagree in the
+last bits, poisoning the byte-identical-artifact guarantee the repo's
+oracles depend on.
+
+:class:`QuantileDigest` therefore uses the *fixed-breakpoint* variant
+of the P² idea: the marker positions are pinned to a static 1-1.5-2-3-5-7
+log ladder (:data:`LATENCY_BREAKS`, spanning 10 µs to 100 s of
+simulated time) and only integer counts stream.  Quantiles are
+recovered by linear interpolation inside the bracketing cell, using the
+exact observed ``min``/``max`` to tighten the outer cells.  The digest
+state is pure integers plus the observed extrema, so two same-seed runs
+serialize **byte-identically** on any platform — :meth:`state_digest`
+(sha256 of the canonical state JSON) is the comparison oracle the
+cross-run regression report uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["QuantileDigest", "LATENCY_BREAKS"]
+
+
+def _ladder() -> Tuple[float, ...]:
+    """The 1-1.5-2-3-5-7 ladder over [1e-5, 1e2] seconds."""
+    steps = (1.0, 1.5, 2.0, 3.0, 5.0, 7.0)
+    edges: List[float] = []
+    for decade in range(-5, 3):
+        base = 10.0 ** decade
+        for step in steps:
+            edges.append(round(step * base, 12))
+    return tuple(edges)
+
+
+#: fixed breakpoints shared by every digest (48 edges, 49 cells)
+LATENCY_BREAKS: Tuple[float, ...] = _ladder()
+
+
+class QuantileDigest:
+    """Streaming quantiles over fixed breakpoints; integer-exact state.
+
+    ``add`` is O(log B); memory is O(B) regardless of sample count.
+    Estimates are exact at cell boundaries and linearly interpolated
+    inside a cell; with the default latency ladder the relative error
+    of an interpolated quantile is bounded by the cell width (< 50%).
+    """
+
+    __slots__ = ("breaks", "counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, breaks: Tuple[float, ...] = LATENCY_BREAKS):
+        self.breaks = tuple(breaks)
+        #: counts[i] = samples in (breaks[i-1], breaks[i]]; the last
+        #: cell is the overflow (> breaks[-1])
+        self.counts = [0] * (len(self.breaks) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        self.counts[bisect_left(self.breaks, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+
+    def merge(self, other: "QuantileDigest") -> None:
+        if other.breaks != self.breaks:
+            raise ValueError("cannot merge digests with different breakpoints")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other.vmin is not None and (self.vmin is None or other.vmin < self.vmin):
+            self.vmin = other.vmin
+        if other.vmax is not None and (self.vmax is None or other.vmax > self.vmax):
+            self.vmax = other.vmax
+
+    # -- estimation ---------------------------------------------------------
+
+    def _cell_bounds(self, i: int) -> Tuple[float, float]:
+        lo = 0.0 if i == 0 else self.breaks[i - 1]
+        hi = self.breaks[i] if i < len(self.breaks) else (self.vmax or lo)
+        # tighten the outer cells with the exact extrema
+        if self.vmin is not None:
+            lo = max(lo, min(self.vmin, hi))
+        if self.vmax is not None:
+            hi = min(hi, self.vmax) if i == len(self.breaks) else hi
+        return lo, hi
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 <= q <= 1) of the stream."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile %r outside [0, 1]" % q)
+        if self.count == 0:
+            return 0.0
+        if q <= 0:
+            return self.vmin or 0.0
+        if q >= 1:
+            return self.vmax or 0.0
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if seen + n >= target:
+                lo, hi = self._cell_bounds(i)
+                frac = (target - seen) / n
+                return lo + (hi - lo) * frac
+            seen += n
+        return self.vmax or 0.0
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    # -- canonical state ----------------------------------------------------
+
+    def state(self) -> Dict:
+        """Canonical JSON-able state (integer counts, exact extrema)."""
+        # sparse cells keep artifacts small; keys sort stably as text
+        cells = {str(i): n for i, n in enumerate(self.counts) if n}
+        return {
+            "breaks": "1-1.5-2-3-5-7@1e-5..1e2" if self.breaks == LATENCY_BREAKS
+            else list(self.breaks),
+            "cells": cells,
+            "count": self.count,
+            "total_s": round(self.total, 9),
+            "min_s": self.vmin,
+            "max_s": self.vmax,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "QuantileDigest":
+        breaks = state.get("breaks")
+        digest = cls(LATENCY_BREAKS if isinstance(breaks, str) else tuple(breaks))
+        for key, n in state.get("cells", {}).items():
+            digest.counts[int(key)] = n
+        digest.count = state.get("count", 0)
+        digest.total = state.get("total_s", 0.0)
+        digest.vmin = state.get("min_s")
+        digest.vmax = state.get("max_s")
+        return digest
+
+    def state_digest(self) -> str:
+        """sha256 of the canonical state JSON: two same-seed runs must
+        produce equal digests (the regression report's oracle)."""
+        text = json.dumps(self.state(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def __repr__(self) -> str:
+        return "<QuantileDigest n=%d p50=%.6g p99=%.6g>" % (
+            self.count, self.quantile(0.5), self.quantile(0.99),
+        )

@@ -1,0 +1,400 @@
+"""The ``repro-obs/1`` run-report artifact: build, validate, render, diff.
+
+An obs document is the schema-versioned JSON record of one run's latency
+attribution: the phase-budget table per RPC procedure, queueing
+accounting per resource kind, top-K hot files/clients, utilization
+timelines, and per-op streaming-quantile digests.  Everything in it is
+simulated-time only and deterministically ordered, so two same-seed runs
+produce **byte-identical** documents — which is what lets
+``python -m repro report RUN.json --against BASE.json`` gate regressions
+with a plain threshold compare (and prove "no regression" exactly when
+the digests match).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from .collector import PHASES, ObsCollector
+from .digest import QuantileDigest
+
+__all__ = [
+    "OBS_SCHEMA",
+    "obs_document",
+    "validate_obs_document",
+    "render_report",
+    "diff_reports",
+    "utilization_series_from_tracer",
+    "DEFAULT_THRESHOLDS",
+]
+
+OBS_SCHEMA = "repro-obs/1"
+
+#: per-metric relative regression thresholds (fraction of the baseline);
+#: ``count`` is exact because same-seed runs must issue identical calls
+DEFAULT_THRESHOLDS: Dict[str, float] = {
+    "count": 0.0,
+    "e2e_s": 0.1,
+    "p50_s": 0.1,
+    "p95_s": 0.1,
+    "p99_s": 0.1,
+    "phase": 0.1,
+    "wait_s": 0.1,
+}
+
+_R = 9  # rounding digits for exported seconds
+
+
+def _r(x: float) -> float:
+    return round(x, _R)
+
+
+def utilization_series_from_tracer(tracer, track: str, interval: float = 5.0):
+    """Synthesize a utilization :class:`~repro.metrics.TimeSeries` for a
+    resource ``track`` from its closed busy spans (``cpu.busy``,
+    ``disk.read``/``disk.write``) after the run.
+
+    A live :class:`UtilizationSampler` is a simulation *process* — arming
+    one changes the schedule and the golden trace digests.  Post-hoc
+    synthesis from the tracer's span log gives the same per-interval
+    fractions with zero effect on the run.
+    """
+    from ..metrics import TimeSeries
+
+    spans = [
+        s for s in tracer.spans
+        if s.track == track and s.t1 is not None and s.t1 > s.t0
+    ]
+    series = TimeSeries(track)
+    if not spans:
+        return series
+    end = max(s.t1 for s in spans)
+    n_bins = int(end / interval) + 1
+    busy = [0.0] * n_bins
+    for s in spans:
+        lo, hi = s.t0, s.t1
+        first = int(lo / interval)
+        last = min(int(hi / interval), n_bins - 1)
+        for b in range(first, last + 1):
+            b0, b1 = b * interval, (b + 1) * interval
+            overlap = min(hi, b1) - max(lo, b0)
+            if overlap > 0:
+                busy[b] += overlap
+    for b, amount in enumerate(busy):
+        series.append((b + 1) * interval, min(1.0, amount / interval))
+    return series
+
+
+# -- document construction ----------------------------------------------------
+
+
+def _op_entry(op: Dict[str, Any]) -> Dict[str, Any]:
+    digest: QuantileDigest = op["digest"]
+    return {
+        "count": op["count"],
+        "e2e_s": _r(op["e2e_s"]),
+        "phases": {p: _r(op["phases"][p]) for p in PHASES},
+        "p50_s": _r(digest.quantile(0.50)),
+        "p95_s": _r(digest.quantile(0.95)),
+        "p99_s": _r(digest.quantile(0.99)),
+        "digest": digest.state_digest(),
+        "quantiles": digest.state(),
+    }
+
+
+def _top_k(table: Dict[str, Dict[str, int]], by: Tuple[str, ...], k: int) -> List[Dict]:
+    def weight(item):
+        key, cell = item
+        return (-sum(cell.get(f, 0) for f in by), key)
+
+    out = []
+    for key, cell in sorted(table.items(), key=weight)[:k]:
+        entry = {"key": key}
+        entry.update(cell)
+        out.append(entry)
+    return out
+
+
+def obs_document(
+    collector: ObsCollector,
+    meta: Optional[Dict[str, Any]] = None,
+    metrics=None,
+    utilization: Optional[Dict[str, Any]] = None,
+    top_k: int = 10,
+) -> Dict[str, Any]:
+    """Build a ``repro-obs/1`` document from a collector.
+
+    ``metrics`` (a :class:`MetricsRegistry`) contributes the
+    ``sampler.clamped`` accounting; ``utilization`` maps track name to a
+    :class:`TimeSeries` (see :func:`utilization_series_from_tracer`).
+    """
+    phases_total = dict.fromkeys(PHASES, 0.0)
+    for op in collector.ops.values():
+        for p in PHASES:
+            phases_total[p] += op["phases"][p]
+
+    clamps: Dict[str, float] = {}
+    if metrics is not None and "sampler.clamped" in metrics.names():
+        clamps = metrics.counter("sampler.clamped").as_dict()
+
+    util_out: Dict[str, Any] = {}
+    for track, series in sorted((utilization or {}).items()):
+        util_out[track] = {
+            "points": [[_r(t), round(v, 6)] for t, v in series.points],
+            "time_mean": round(series.time_mean(), 6),
+            "max": round(series.maximum(), 6),
+        }
+
+    doc: Dict[str, Any] = {
+        "schema": OBS_SCHEMA,
+        "meta": dict(sorted((meta or {}).items())),
+        "phases": {p: _r(phases_total[p]) for p in PHASES},
+        "ops": {name: _op_entry(op) for name, op in sorted(collector.ops.items())},
+        "failed_calls": dict(sorted(collector.failed.items())),
+        "queueing": {
+            kind: {"waits": cell["waits"], "wait_s": _r(cell["wait_s"])}
+            for kind, cell in sorted(collector.waits.items())
+        },
+        "hot_files": _top_k(
+            collector.hot_files, ("bytes_read", "bytes_written"), top_k
+        ),
+        "hot_clients": [
+            {"key": key, "requests": n}
+            for key, n in sorted(
+                collector.hot_clients.items(), key=lambda kv: (-kv[1], kv[0])
+            )[:top_k]
+        ],
+        "sampler_clamps": clamps,
+        "utilization": util_out,
+    }
+    doc["digest"] = _document_digest(doc)
+    return doc
+
+
+def _document_digest(doc: Dict[str, Any]) -> str:
+    body = {k: v for k, v in doc.items() if k != "digest"}
+    text = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# -- validation ---------------------------------------------------------------
+
+
+def validate_obs_document(doc: Dict[str, Any]) -> List[str]:
+    """Structural validation; returns a list of problems (empty = ok)."""
+    problems: List[str] = []
+    if doc.get("schema") != OBS_SCHEMA:
+        problems.append("schema is %r, expected %r" % (doc.get("schema"), OBS_SCHEMA))
+        return problems
+    for field in ("meta", "phases", "ops", "queueing", "digest"):
+        if field not in doc:
+            problems.append("missing field %r" % field)
+    if problems:
+        return problems
+    if doc["digest"] != _document_digest(doc):
+        problems.append("document digest does not match contents")
+    for p in PHASES:
+        if p not in doc["phases"]:
+            problems.append("phases missing %r" % p)
+    for name, op in doc["ops"].items():
+        for field in ("count", "e2e_s", "phases", "p50_s", "p95_s", "p99_s",
+                      "digest", "quantiles"):
+            if field not in op:
+                problems.append("op %s missing %r" % (name, field))
+                continue
+        if "phases" in op:
+            total = sum(op["phases"].get(p, 0.0) for p in PHASES)
+            e2e = op.get("e2e_s", 0.0)
+            tol = max(1e-6, abs(e2e) * 0.01)
+            if abs(total - e2e) > tol:
+                problems.append(
+                    "op %s: phase sum %.9f != e2e %.9f" % (name, total, e2e)
+                )
+        if "quantiles" in op and "digest" in op:
+            restored = QuantileDigest.from_state(op["quantiles"])
+            if restored.state_digest() != op["digest"]:
+                problems.append("op %s: quantile state does not match digest" % name)
+    for kind, cell in doc["queueing"].items():
+        if "waits" not in cell or "wait_s" not in cell:
+            problems.append("queueing %s missing waits/wait_s" % kind)
+    return problems
+
+
+# -- rendering ----------------------------------------------------------------
+
+_PHASE_HEADS = {
+    "client_cpu": "clnt-cpu",
+    "net": "net",
+    "retrans_wait": "retrans",
+    "server_queue": "srv-queue",
+    "server_cpu": "srv-cpu",
+    "disk": "disk",
+    "server_other": "srv-other",
+}
+
+
+def render_report(doc: Dict[str, Any], top: int = 10) -> str:
+    """Render the bottleneck-attribution view of one obs document."""
+    lines: List[str] = []
+    meta = doc.get("meta", {})
+    head = " ".join("%s=%s" % kv for kv in sorted(meta.items()))
+    lines.append("obs report (%s)%s" % (doc["schema"], (" " + head) if head else ""))
+    lines.append("document digest %s" % doc["digest"][:16])
+    lines.append("")
+
+    # phase-budget table: per op, share of latency per phase
+    ops = sorted(doc["ops"].items(), key=lambda kv: (-kv[1]["e2e_s"], kv[0]))
+    name_w = max([len("op")] + [len(name) for name, _ in ops])
+    header = (
+        "%-*s %7s %10s" % (name_w, "op", "count", "e2e(s)")
+        + "".join(" %9s" % _PHASE_HEADS[p] for p in PHASES)
+        + "   %9s %9s" % ("p95(ms)", "p99(ms)")
+    )
+    def _share(part: float, whole: float) -> float:
+        share = 100.0 * part / whole if whole else 0.0
+        return 0.0 if abs(share) < 0.05 else share  # avoid "-0.0%"
+
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, op in ops:
+        e2e = op["e2e_s"]
+        shares = "".join(
+            " %8.1f%%" % _share(op["phases"][p], e2e) for p in PHASES
+        )
+        lines.append(
+            "%-*s %7d %10.4f%s   %9.3f %9.3f"
+            % (name_w, name, op["count"], e2e, shares,
+               op["p95_s"] * 1e3, op["p99_s"] * 1e3)
+        )
+    totals = doc["phases"]
+    grand = sum(totals[p] for p in PHASES)
+    shares = "".join(" %8.1f%%" % _share(totals[p], grand) for p in PHASES)
+    lines.append("-" * len(header))
+    lines.append(
+        "%-*s %7s %10.4f%s" % (name_w, "all ops", "", grand, shares)
+    )
+
+    if doc.get("queueing"):
+        lines.append("")
+        lines.append("queueing (request -> grant):")
+        for kind, cell in sorted(doc["queueing"].items()):
+            lines.append(
+                "  %-8s %6d waits, %10.4f s total" % (kind, cell["waits"], cell["wait_s"])
+            )
+    if doc.get("hot_files"):
+        lines.append("")
+        lines.append("hot files (top %d by bytes):" % top)
+        for cell in doc["hot_files"][:top]:
+            lines.append(
+                "  %-16s %5d r / %5d w, %8d B read, %8d B written"
+                % (cell["key"], cell["reads"], cell["writes"],
+                   cell["bytes_read"], cell["bytes_written"])
+            )
+    if doc.get("hot_clients"):
+        lines.append("")
+        lines.append("hot clients (executed requests):")
+        for cell in doc["hot_clients"][:top]:
+            lines.append("  %-16s %6d" % (cell["key"], cell["requests"]))
+    if doc.get("utilization"):
+        lines.append("")
+        lines.append("utilization (time-weighted mean / max):")
+        for track, cell in sorted(doc["utilization"].items()):
+            lines.append(
+                "  %-16s %5.1f%% / %5.1f%%"
+                % (track, 100 * cell["time_mean"], 100 * cell["max"])
+            )
+    clamps = doc.get("sampler_clamps") or {}
+    total_clamps = sum(clamps.values())
+    if total_clamps:
+        lines.append("")
+        lines.append(
+            "WARNING: %d utilization sample(s) clamped to [0,1] — "
+            "possible accounting bug:" % total_clamps
+        )
+        for key, n in sorted(clamps.items()):
+            lines.append("  %-24s %6d" % (key or "(unlabeled)", int(n)))
+    if doc.get("failed_calls"):
+        lines.append("")
+        lines.append("failed calls (timeout / remote error):")
+        for name, n in sorted(doc["failed_calls"].items()):
+            lines.append("  %-24s %6d" % (name, n))
+    return "\n".join(lines)
+
+
+# -- cross-run diff -----------------------------------------------------------
+
+
+def diff_reports(
+    run: Dict[str, Any],
+    base: Dict[str, Any],
+    thresholds: Optional[Dict[str, float]] = None,
+) -> List[str]:
+    """Compare ``run`` against ``base``; returns regression strings.
+
+    A regression is a metric that *worsened* beyond its relative
+    threshold (improvements never flag).  Byte-identical documents — or
+    per-op byte-identical quantile digests — short-circuit to zero
+    regressions, which is the determinism guarantee two same-seed runs
+    must meet.
+    """
+    tol = dict(DEFAULT_THRESHOLDS)
+    tol.update(thresholds or {})
+    out: List[str] = []
+    if run.get("digest") == base.get("digest"):
+        return out
+
+    def worse(metric: str, new: float, old: float) -> bool:
+        limit = tol.get(metric, tol["phase"])
+        floor = max(abs(old) * limit, 1e-9)
+        return new - old > floor
+
+    run_ops = run.get("ops", {})
+    base_ops = base.get("ops", {})
+    for name in sorted(base_ops):
+        if name not in run_ops:
+            out.append("op %s: present in baseline, missing in run" % name)
+            continue
+        new, old = run_ops[name], base_ops[name]
+        if new.get("digest") == old.get("digest") and new.get("count") == old.get("count"):
+            continue  # identical latency distribution: nothing to flag
+        if abs(new["count"] - old["count"]) > old["count"] * tol["count"]:
+            out.append(
+                "op %s: count %d -> %d (threshold %.0f%%)"
+                % (name, old["count"], new["count"], tol["count"] * 100)
+            )
+        for metric in ("e2e_s", "p50_s", "p95_s", "p99_s"):
+            if worse(metric, new.get(metric, 0.0), old.get(metric, 0.0)):
+                out.append(
+                    "op %s: %s %.6f -> %.6f (threshold %.0f%%)"
+                    % (name, metric, old[metric], new[metric], tol[metric] * 100)
+                )
+        for p in PHASES:
+            if worse("phase", new["phases"].get(p, 0.0), old["phases"].get(p, 0.0)):
+                out.append(
+                    "op %s: phase %s %.6f -> %.6f (threshold %.0f%%)"
+                    % (name, p, old["phases"][p], new["phases"][p],
+                       tol["phase"] * 100)
+                )
+    for name in sorted(run_ops):
+        if name not in base_ops:
+            out.append("op %s: new in run (not in baseline)" % name)
+    for kind in sorted(base.get("queueing", {})):
+        old = base["queueing"][kind]
+        new = run.get("queueing", {}).get(kind)
+        if new is None:
+            continue
+        if worse("wait_s", new.get("wait_s", 0.0), old.get("wait_s", 0.0)):
+            out.append(
+                "queueing %s: wait_s %.6f -> %.6f (threshold %.0f%%)"
+                % (kind, old["wait_s"], new["wait_s"], tol["wait_s"] * 100)
+            )
+    new_clamps = sum((run.get("sampler_clamps") or {}).values())
+    old_clamps = sum((base.get("sampler_clamps") or {}).values())
+    if new_clamps > old_clamps:
+        out.append(
+            "sampler clamps: %d -> %d (over-unity utilization deltas)"
+            % (old_clamps, new_clamps)
+        )
+    return out

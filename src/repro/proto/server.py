@@ -160,6 +160,12 @@ class RemoteFsServer:
         self._check_available(src)
         g = self._gnode(fh)
         data = yield from self.export.read(g, offset, count)
+        if self.sim.obs is not None:
+            # hot-file accounting (Fletch's traffic-skew lens): which
+            # files carry the read/write byte volume
+            self.sim.obs.tag_file(
+                "%s:%d" % (fh.fsid, fh.inum), read_bytes=len(data)
+            )
         return data, self.lfs._attr(g.fid)
 
     def proc_write(self, src, fh: FileHandle, offset: int, data: bytes):
@@ -169,6 +175,10 @@ class RemoteFsServer:
         try:
             yield from self.export.write(g, offset, data)
             yield from self.export.fsync(g)  # stable storage, synchronously
+            if self.sim.obs is not None:
+                self.sim.obs.tag_file(
+                    "%s:%d" % (fh.fsid, fh.inum), write_bytes=len(data)
+                )
             return self.lfs._attr(g.fid)
         except NoSuchFile:
             # the file was removed while this write was in flight

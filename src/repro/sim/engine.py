@@ -329,6 +329,8 @@ class Simulator:
         self.tracer = None
         #: unified metrics registry (repro.metrics); None disables
         self.metrics = None
+        #: latency-attribution collector (repro.obs); None disables
+        self.obs = None
         sanitize = os.environ.get("REPRO_SANITIZE", "")
         if sanitize not in ("", "0"):
             # "nonstrict"/"collect": record findings without raising —
@@ -339,6 +341,8 @@ class Simulator:
         if os.environ.get("REPRO_TRACE", "") not in ("", "0"):
             self.enable_tracer()
             self.enable_metrics()
+        if os.environ.get("REPRO_OBS", "") not in ("", "0"):
+            self.enable_obs()
 
     def enable_sanitizer(self, strict: bool = True):
         """Attach a :class:`repro.analysis.Sanitizer` to this simulator."""
@@ -367,6 +371,21 @@ class Simulator:
         if self.metrics is None:
             self.metrics = MetricsRegistry(self)
         return self.metrics
+
+    def enable_obs(self):
+        """Attach a :class:`repro.obs.ObsCollector` (latency attribution).
+
+        Implies :meth:`enable_metrics` (the obs report surfaces metrics
+        like ``sampler.clamped``).  Adds no events, timeouts, or
+        processes: the schedule — and golden trace digests — stay
+        byte-identical to an obs-off run.
+        """
+        from ..obs.collector import ObsCollector
+
+        self.enable_metrics()
+        if self.obs is None:
+            self.obs = ObsCollector(self)
+        return self.obs
 
     # -- low-level scheduling ----------------------------------------------
 

@@ -37,7 +37,9 @@ class Process(Event):
     joins, the simulator surfaces it from :meth:`Simulator.run`.
     """
 
-    __slots__ = ("_gen", "_waiting_on", "_interrupt_pending", "trace_ctx")
+    __slots__ = (
+        "_gen", "_waiting_on", "_interrupt_pending", "trace_ctx", "obs_frames",
+    )
 
     def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -52,6 +54,9 @@ class Process(Event):
         #: spawning process so forked work stays inside its trace tree
         parent = sim.current_process
         self.trace_ctx = parent.trace_ctx if parent is not None else None
+        #: stack of open repro.obs frames (operations in flight in this
+        #: process); lazily created by the collector, None when obs is off
+        self.obs_frames = None
         if sim.tracer is not None:
             sim.tracer.instant(
                 "proc.spawn", cat="sim", track="sim", child=self.name

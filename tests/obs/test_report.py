@@ -1,0 +1,139 @@
+"""repro-obs/1 documents: build, validate, render, diff."""
+
+import copy
+import json
+
+import pytest
+
+from repro.host import Host, HostConfig
+from repro.net import Network, NetworkConfig
+from repro.obs import (
+    OBS_SCHEMA,
+    PHASES,
+    diff_reports,
+    obs_document,
+    render_report,
+    validate_obs_document,
+)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    """One obs document from a small deterministic ping run."""
+    return _run_doc()
+
+
+def _run_doc(seed=3):
+    from tests.conftest import SimRunner
+
+    runner = SimRunner()
+    sim = runner.sim
+    obs = sim.enable_obs()
+    net = Network(sim, NetworkConfig(seed=seed))
+    a = Host(sim, net, "a", HostConfig.titan_client())
+    b = Host(sim, net, "b", HostConfig.titan_client())
+
+    def pong(src):
+        yield from b.cpu.consume(0.002)
+        return "pong"
+
+    b.rpc.register("ping", pong)
+
+    def caller():
+        for _ in range(20):
+            yield from a.rpc.call("b", "ping")
+
+    runner.run(caller(), limit=1e6)
+    obs.tag_file("0:7", read_bytes=8192)
+    obs.tag_file("0:7", write_bytes=4096)
+    return obs_document(obs, meta={"scenario": "ping", "seed": seed})
+
+
+def test_document_validates_clean(doc):
+    assert doc["schema"] == OBS_SCHEMA
+    assert validate_obs_document(doc) == []
+
+
+def test_document_survives_json_roundtrip(doc):
+    restored = json.loads(json.dumps(doc))
+    assert validate_obs_document(restored) == []
+    assert restored["digest"] == doc["digest"]
+
+
+def test_validation_catches_tampering(doc):
+    bad = copy.deepcopy(doc)
+    bad["ops"]["ping"]["e2e_s"] *= 2
+    problems = validate_obs_document(bad)
+    # both the document digest and the phase-sum identity break
+    assert any("digest" in p for p in problems)
+    assert any("phase sum" in p for p in problems)
+
+    wrong_schema = copy.deepcopy(doc)
+    wrong_schema["schema"] = "repro-obs/0"
+    assert validate_obs_document(wrong_schema)
+
+
+def test_render_contains_phase_budget_and_sections(doc):
+    text = render_report(doc)
+    assert OBS_SCHEMA in text
+    assert "ping" in text
+    for head in ("clnt-cpu", "net", "srv-cpu", "p95(ms)"):
+        assert head in text
+    assert "all ops" in text
+    assert "hot files" in text and "0:7" in text
+    assert "hot clients" in text
+    # no clamp warning on a clean run
+    assert "WARNING" not in text
+
+
+def test_identical_documents_diff_to_zero(doc):
+    assert diff_reports(doc, copy.deepcopy(doc)) == []
+
+
+def test_same_seed_reruns_diff_to_zero(doc):
+    again = _run_doc()
+    assert again["digest"] == doc["digest"]
+    assert diff_reports(again, doc) == []
+
+
+def test_diff_flags_latency_regression(doc):
+    worse = copy.deepcopy(doc)
+    op = worse["ops"]["ping"]
+    op["e2e_s"] *= 1.5
+    op["p95_s"] *= 1.5
+    op["digest"] = "tampered"  # distinct distribution: no short-circuit
+    worse["digest"] = "tampered"
+    out = diff_reports(worse, doc)
+    assert any("e2e_s" in line for line in out)
+    assert any("p95_s" in line for line in out)
+    # but a generous threshold waves it through
+    assert diff_reports(worse, doc, thresholds={"e2e_s": 10.0, "p95_s": 10.0}) == []
+
+
+def test_diff_ignores_improvements(doc):
+    better = copy.deepcopy(doc)
+    op = better["ops"]["ping"]
+    op["e2e_s"] *= 0.5
+    for p in PHASES:
+        op["phases"][p] *= 0.5
+    op["digest"] = "improved"
+    better["digest"] = "improved"
+    assert diff_reports(better, doc) == []
+
+
+def test_diff_flags_missing_and_new_ops(doc):
+    changed = copy.deepcopy(doc)
+    changed["digest"] = "changed"
+    changed["ops"]["pong2"] = copy.deepcopy(changed["ops"]["ping"])
+    del changed["ops"]["ping"]
+    out = diff_reports(changed, doc)
+    assert any("missing in run" in line for line in out)
+    assert any("new in run" in line for line in out)
+
+
+def test_diff_flags_clamp_increase(doc):
+    clamped = copy.deepcopy(doc)
+    clamped["digest"] = "clamped"
+    clamped["sampler_clamps"] = {"server-cpu": 3}
+    out = diff_reports(clamped, doc)
+    assert any("clamp" in line for line in out)
