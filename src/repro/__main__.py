@@ -161,6 +161,13 @@ def main(argv=None) -> int:
         action="store_true",
         help="also emit OBS_andrew-*.json latency-attribution artifacts",
     )
+    p_bench.add_argument(
+        "--only",
+        metavar="SCENARIO",
+        default=None,
+        help="run only scenarios matching this fnmatch pattern "
+        "(e.g. 'sharded-*' or an exact name)",
+    )
     p_nem = sub.add_parser(
         "nemesis",
         help="conformance matrix: workloads x fault plans x protocols",
@@ -191,6 +198,12 @@ def main(argv=None) -> int:
         default=None,
         help="also run one obs-enabled cell and write its repro-obs/1 "
         "latency-attribution document to PATH",
+    )
+    p_nem.add_argument(
+        "--sharded",
+        action="store_true",
+        help="run the sharded failover cells (one-shard crash during "
+        "grace, snfs + lease) instead of the matrix",
     )
     p_report = sub.add_parser(
         "report",
@@ -338,10 +351,16 @@ def main(argv=None) -> int:
 
         plans = QUICK_PLANS if args.quick else None
         try:
-            cells = run_matrix(seed=args.seed, plans=plans, only=args.only)
+            if args.sharded:
+                from .nemesis import render_sharded_cells, run_sharded_cells
+
+                cells = run_sharded_cells(seed=args.seed)
+                print(render_sharded_cells(cells, args.seed))
+            else:
+                cells = run_matrix(seed=args.seed, plans=plans, only=args.only)
+                print(render_matrix(cells, args.seed))
         except ValueError as exc:
             raise SystemExit(str(exc))
-        print(render_matrix(cells, args.seed))
         doc = nemesis_document(cells, args.seed)
         print(
             "cells=%d pass=%d expected=%d fail=%d digest=%s"

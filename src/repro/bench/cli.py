@@ -67,15 +67,24 @@ def run_bench(args) -> int:
         with open(args.check) as fh:
             baseline = json.load(fh)
     rc = 0
+    only = getattr(args, "only", None)
+    matched_any = False
     for suite in suites:
         if suite == "engine":
-            scenarios = run_engine_suite(quick=args.quick, repeats=args.repeats)
+            scenarios = run_engine_suite(
+                quick=args.quick, repeats=args.repeats, only=only
+            )
         else:
             scenarios = run_workload_suite(
                 quick=args.quick,
                 digests=not args.no_digests,
                 progress=lambda name: print("running %s ..." % name),
+                only=only,
             )
+        if not scenarios:
+            print("no %s scenarios match --only %r" % (suite, only))
+            continue
+        matched_any = True
         doc = bench_document(suite, scenarios, quick=args.quick)
         problems = validate_bench_document(doc)
         if problems:
@@ -95,6 +104,8 @@ def run_bench(args) -> int:
                 print("  " + line)
             if not ok:
                 rc = 1
+    if not matched_any:
+        return 1
     if getattr(args, "obs", False):
         for path in emit_obs_artifacts(args.out):
             print("wrote %s" % path)

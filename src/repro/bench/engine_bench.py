@@ -162,10 +162,18 @@ def _schedule_digest(name: str, body: Callable, n: int) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-def run_engine_suite(quick: bool = False, repeats: int = 3) -> List[Dict]:
-    """Run every engine scenario; returns scenario result dicts."""
+def run_engine_suite(
+    quick: bool = False, repeats: int = 3, only: Optional[str] = None
+) -> List[Dict]:
+    """Run every engine scenario; returns scenario result dicts.
+
+    ``only`` is an fnmatch pattern or exact name restricting scenarios."""
+    import fnmatch
+
     results = []
     for name, (body, full_n, quick_n, digest_n) in ENGINE_SCENARIOS.items():
+        if only is not None and not fnmatch.fnmatch(name, only):
+            continue
         n = quick_n if quick else full_n
         best = None
         ops = 0

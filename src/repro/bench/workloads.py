@@ -10,6 +10,13 @@ Three families:
 ``cluster-<protocol>-n<N>``
     N clients (16/64/256) looping an edit/compile workload against one
     server — the cluster-scale sweep the engine fast path unlocks.
+``sharded-snfs-s<N>`` / ``sharded-snfs-hotdir-s<N>``
+    The same edit/compile load spread over a sharded namespace with N
+    shard servers (subtree shard map, per-user directories round-robin
+    assigned).  Aggregate throughput (``ops / sim_seconds``) scales
+    near-linearly with N — until the ``hotdir`` variant pins every
+    client's files into one shared top-level directory, whose single
+    owning shard becomes the serialization point again.
 
 ``ops`` is always a *simulation-defined* work count (RPCs plus disk
 transfers), which is invariant under engine changes, so events/sec
@@ -23,11 +30,17 @@ memory footprint); the variant's parameters are recorded in
 
 from __future__ import annotations
 
+import fnmatch
 import posixpath
 import time
 from typing import Callable, Dict, List, Optional
 
-__all__ = ["WORKLOAD_SCENARIOS", "run_workload_suite", "cluster_point"]
+__all__ = [
+    "WORKLOAD_SCENARIOS",
+    "run_workload_suite",
+    "cluster_point",
+    "sharded_point",
+]
 
 
 # -- the per-client cluster workload ----------------------------------------
@@ -57,6 +70,91 @@ def _cluster_client(kernel, home: str, iterations: int, file_blocks: int):
         yield from kernel.close(fd)
         yield from kernel.unlink(scratch)
         yield kernel.sim.timeout(0.2)
+
+
+def _sharded_user(kernel, home: str, prefix: str, iterations: int, file_blocks: int):
+    """The edit/compile loop over a sharded mount.  ``prefix`` keeps
+    per-client file names distinct when several clients share ``home``
+    (the hot-directory variant); the mkdir tolerates losing the
+    create race for the same reason."""
+    from ..fs import FileExists
+    from ..fs.types import OpenMode
+
+    block = b"w" * 4096
+    try:
+        yield from kernel.mkdir(home)
+    except FileExists:
+        pass
+    for i in range(iterations):
+        scratch = posixpath.join(home, "%sscratch%d" % (prefix, i))
+        keeper = posixpath.join(home, "%sout%d" % (prefix, i))
+        fd = yield from kernel.open(scratch, OpenMode.WRITE, create=True)
+        for _ in range(file_blocks):
+            yield from kernel.write(fd, block)
+        yield from kernel.close(fd)
+        fd = yield from kernel.open(scratch, OpenMode.READ)
+        while True:
+            data = yield from kernel.read(fd, 8192)
+            if not data:
+                break
+        yield from kernel.close(fd)
+        fd = yield from kernel.open(keeper, OpenMode.WRITE, create=True)
+        yield from kernel.write(fd, block)
+        yield from kernel.close(fd)
+        yield from kernel.unlink(scratch)
+        yield kernel.sim.timeout(0.2)
+
+
+def sharded_point(
+    protocol: str,
+    n_shards: int,
+    n_clients: int,
+    iterations: int = 3,
+    file_blocks: int = 4,
+    hot_dir: bool = False,
+    seed: Optional[int] = None,
+):
+    """Run the edit/compile load over a sharded namespace; returns
+    (bed, sim_seconds).
+
+    Each client works in its own top-level directory, round-robin
+    assigned across the shards (subtree strategy), so aggregate server
+    CPU — the single-server bottleneck — is split N ways.  With
+    ``hot_dir`` every client instead works in one shared ``/data/shared``
+    directory owned by shard 0, which re-serializes the whole load on
+    one server no matter how many shards exist.
+    """
+    from ..experiments.sharded import build_sharded_cluster
+
+    if hot_dir:
+        assignments = {"shared": 0}
+    else:
+        assignments = {"user%d" % i: i % n_shards for i in range(n_clients)}
+    bed = build_sharded_cluster(
+        protocol,
+        n_shards,
+        n_clients,
+        strategy="subtree",
+        assignments=assignments,
+        seed=seed,
+    )
+    t0 = bed.sim.now
+    coros = []
+    for i, host in enumerate(bed.client_hosts):
+        if hot_dir:
+            coros.append(
+                _sharded_user(
+                    host.kernel, "/data/shared", "u%d." % i, iterations, file_blocks
+                )
+            )
+        else:
+            coros.append(
+                _sharded_user(
+                    host.kernel, "/data/user%d" % i, "", iterations, file_blocks
+                )
+            )
+    bed.run_all(*coros, limit=1e6)
+    return bed, bed.sim.now - t0
 
 
 def cluster_point(
@@ -125,6 +223,27 @@ def _run_cluster(protocol: str, n_clients: int, iterations: int = 3):
     return run
 
 
+def _run_sharded(
+    protocol: str,
+    n_shards: int,
+    n_clients: int,
+    iterations: int = 3,
+    hot_dir: bool = False,
+):
+    def run() -> Dict:
+        bed, sim_seconds = sharded_point(
+            protocol, n_shards, n_clients, iterations=iterations, hot_dir=hot_dir
+        )
+        ops = sum(bed.total_rpcs_per_server().values()) + sum(
+            d.stats.total()
+            for host in bed.server_hosts
+            for d in host.disks.values()
+        )
+        return {"ops": ops, "sim_seconds": sim_seconds}
+
+    return run
+
+
 # -- trace-digest variants ---------------------------------------------------
 
 
@@ -163,6 +282,13 @@ def _sort_digest(protocol: str) -> str:
 
 def _cluster_digest(protocol: str) -> str:
     digests = _digest_of(lambda: cluster_point(protocol, 4, iterations=2))
+    return digests[0]
+
+
+def _sharded_digest(protocol: str) -> str:
+    digests = _digest_of(
+        lambda: sharded_point(protocol, 2, 4, iterations=2, seed=11)
+    )
     return digests[0]
 
 
@@ -216,15 +342,60 @@ def _scenarios(quick: bool) -> List[Dict]:
                     "digest": (lambda p=protocol: _cluster_digest(p)) if n == min(cluster_ns) else None,
                 }
             )
+    # the sharded-namespace sweep: same load, N servers behind one tree
+    sharded_clients = 8 if quick else 16
+    shard_ns = (1, 4) if quick else (1, 2, 4)
+    for n_shards in shard_ns:
+        out.append(
+            {
+                "name": "sharded-snfs-s%d" % n_shards,
+                "params": {
+                    "protocol": "snfs",
+                    "n_shards": n_shards,
+                    "n_clients": sharded_clients,
+                    "iterations": 3,
+                    "strategy": "subtree",
+                    "digest_variant": {
+                        "n_shards": 2, "n_clients": 4, "iterations": 2, "seed": 11,
+                    },
+                },
+                "run": _run_sharded("snfs", n_shards, sharded_clients),
+                # one digest for the sweep, on a small fixed variant
+                "digest": (lambda: _sharded_digest("snfs")) if n_shards == 1 else None,
+            }
+        )
+    out.append(
+        {
+            "name": "sharded-snfs-hotdir-s4",
+            "params": {
+                "protocol": "snfs",
+                "n_shards": 4,
+                "n_clients": sharded_clients,
+                "iterations": 3,
+                "strategy": "subtree",
+                "hot_dir": True,
+            },
+            "run": _run_sharded("snfs", 4, sharded_clients, hot_dir=True),
+            "digest": None,
+        }
+    )
     return out
 
 
 def run_workload_suite(
-    quick: bool = False, digests: bool = True, progress: Optional[Callable[[str], None]] = None
+    quick: bool = False,
+    digests: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+    only: Optional[str] = None,
 ) -> List[Dict]:
-    """Run every workload scenario once; returns scenario result dicts."""
+    """Run every workload scenario once; returns scenario result dicts.
+
+    ``only`` is an fnmatch pattern (``sharded-*``) or exact scenario
+    name restricting which scenarios run."""
     results = []
     for scenario in _scenarios(quick):
+        if only is not None and not fnmatch.fnmatch(scenario["name"], only):
+            continue
         if progress is not None:
             progress(scenario["name"])
         t0 = time.perf_counter()  # lint: ok=DET002 — wall-clock benchmark harness, not sim logic

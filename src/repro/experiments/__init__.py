@@ -34,6 +34,7 @@ from .resilience import (
     run_resilience,
 )
 from .scaling import ScalingPoint, run_scaling_point, scaling_table
+from .sharded import ShardedBed, build_sharded_cluster
 from .traced import TracedRun, run_traced_andrew, small_tree
 from .sort import (
     SORT_SIZES,
@@ -96,4 +97,6 @@ __all__ = [
     "ResilienceRun",
     "resilience_table",
     "run_resilience",
+    "ShardedBed",
+    "build_sharded_cluster",
 ]

@@ -1,0 +1,289 @@
+"""Sharded multi-server testbeds: N servers, M clients, one namespace.
+
+The single-server beds (:mod:`repro.experiments.cluster`,
+:mod:`repro.experiments.resilience`) hit the paper's wall: every byte
+and every lookup funnels through one server CPU.  A
+:class:`ShardedBed` splits the exported tree across ``n_shards``
+independent servers with a :class:`~repro.proto.shard.ShardMap`, and
+every client mounts one :class:`~repro.vfs.ShardedMount` facade at
+``/data`` — same tree, N machines behind it.
+
+Per-shard consistency state needs no new protocol code: each shard is
+a complete server instance (its own SNFS state table, lease table,
+boot epoch, and grace period) talking to per-shard client mounts that
+share the host's buffer cache, fd table, and one DNLC.  Crashing one
+shard therefore runs that shard's recovery protocol (reclaim against
+the rebooted instance) while the other shards never see an
+unavailable server.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..faults import ConsistencyOracle, FaultInjector
+from ..host import Host, HostConfig
+from ..kent import KentClient, KentServer
+from ..lease import LeaseClient, LeaseServer
+from ..net import Network, NetworkConfig
+from ..nfs import NfsClient, NfsClientConfig, NfsServer
+from ..proto.shard import ShardMap
+from ..rfs import RfsClient, RfsServer
+from ..sim import Simulator
+from ..snfs import SnfsClient, SnfsClientConfig, SnfsServer
+from ..vfs import MountTable, ShardedMount
+from .cluster import CLUSTER_PROTOCOLS, Testbed
+
+__all__ = ["ShardedBed", "build_sharded_cluster"]
+
+
+@dataclass
+class ShardedBed:
+    """N shard servers, M clients, one sharded namespace at /data."""
+
+    sim: Simulator
+    network: Network
+    protocol: str
+    shard_map: ShardMap
+    server_hosts: List[Host]
+    servers: List[Any]
+    client_hosts: List[Host] = field(default_factory=list)
+    #: per-client ShardedMount facade, index-aligned with client_hosts
+    namespaces: List[ShardedMount] = field(default_factory=list)
+    oracle: Optional[ConsistencyOracle] = None
+    injector: Optional[FaultInjector] = None
+
+    @property
+    def kernels(self):
+        return [host.kernel for host in self.client_hosts]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.server_hosts)
+
+    def shard_mounts(self, shard: int) -> List[Any]:
+        """Every client's protocol mount for one shard."""
+        return [ns.table.mounts()[shard] for ns in self.namespaces]
+
+    def run(self, coro, limit: float = 1e7):
+        box = {}
+
+        def wrapper():
+            box["value"] = yield from coro
+
+        proc = self.sim.spawn(wrapper(), name="workload")
+        self.sim.run_until(proc, limit=limit)
+        if not proc.triggered:
+            raise TimeoutError("workload did not finish before %g" % limit)
+        if proc.exception is not None:
+            proc.defuse()
+            raise proc.exception
+        return box.get("value")
+
+    def run_all(self, *coros, limit: float = 1e7):
+        from ..sim import AllOf
+
+        procs = [self.sim.spawn(Testbed._wrap(c)) for c in coros]
+        gate = AllOf(self.sim, procs)
+        gate.defuse()
+        self.sim.run_until(gate, limit=limit)
+        out = []
+        for proc in procs:
+            if not proc.triggered:
+                raise TimeoutError(
+                    "sharded workload did not finish before %g" % limit
+                )
+            if proc.exception is not None:
+                proc.defuse()
+                raise proc.exception
+            out.append(proc.value)
+        return out
+
+    # -- failover helpers ---------------------------------------------------
+
+    def crash_shard(self, shard: int) -> None:
+        """Power-fail one shard server; the others keep serving."""
+        self.server_hosts[shard].crash()
+
+    def reboot_shard(self, shard: int) -> None:
+        self.server_hosts[shard].reboot()
+
+    def boot_epochs(self) -> List[int]:
+        """Per-shard server boot epochs — a healthy shard's is stable
+        across another shard's crash/recovery."""
+        return [host.rpc.boot_epoch for host in self.server_hosts]
+
+    # -- measurement ---------------------------------------------------------
+
+    def total_rpcs_per_server(self) -> Dict[str, int]:
+        return {
+            host.name: host.rpc.server_stats.total()
+            + host.rpc.client_stats.total()
+            for host in self.server_hosts
+        }
+
+    def final_checks(self) -> None:
+        """Flush live clients, then the oracle's end-of-run checks —
+        state agreement runs per shard against that shard's mounts."""
+        if self.oracle is None:
+            return
+        for host in self.client_hosts:
+            if not host.crashed:
+                self.run(host.kernel.sync())
+        if self.protocol == "snfs":
+            for shard, server in enumerate(self.servers):
+                self.oracle.check_state_agreement(
+                    server, self.shard_mounts(shard)
+                )
+        self.oracle.check_lost_acked_writes()
+
+
+def _make_shard_client(protocol, mount_id, host, server_addr, cfg, dnlc):
+    if protocol == "nfs":
+        return NfsClient(mount_id, host, server_addr, config=cfg, dnlc=dnlc)
+    if protocol == "snfs":
+        return SnfsClient(mount_id, host, server_addr, config=cfg, dnlc=dnlc)
+    if protocol == "rfs":
+        return RfsClient(mount_id, host, server_addr, config=cfg, dnlc=dnlc)
+    if protocol == "kent":
+        return KentClient(mount_id, host, server_addr, config=cfg, dnlc=dnlc)
+    if protocol == "lease":
+        return LeaseClient(mount_id, host, server_addr, config=cfg, dnlc=dnlc)
+    raise ValueError(protocol)
+
+
+def build_sharded_cluster(
+    protocol: str,
+    n_shards: int,
+    n_clients: int,
+    strategy: str = "hash",
+    assignments: Optional[Dict[str, int]] = None,
+    client_config=None,
+    host_config: Optional[HostConfig] = None,
+    server_config: Optional[HostConfig] = None,
+    network_config: Optional[NetworkConfig] = None,
+    seed: Optional[int] = None,
+    with_oracle: bool = False,
+    max_open_files: Optional[int] = None,
+) -> ShardedBed:
+    """Build ``n_shards`` servers and ``n_clients`` hosts that each see
+    one sharded tree at ``/data``.
+
+    Shard ``k`` is served by host ``server{k}`` exporting
+    ``exportfs{k}``; each client host attaches one protocol mount per
+    shard (all sharing the client's DNLC, buffer cache, and fd table)
+    behind a :class:`~repro.vfs.ShardedMount`.  ``with_oracle`` wires a
+    :class:`ConsistencyOracle` over every kernel and shard server plus
+    a :class:`FaultInjector` whose targets include every host, for
+    failover experiments.
+    """
+    if protocol not in CLUSTER_PROTOCOLS:
+        raise ValueError(
+            "sharded protocol must be one of %s, got %r"
+            % (", ".join(CLUSTER_PROTOCOLS), protocol)
+        )
+    shard_map = ShardMap(n_shards, strategy=strategy, assignments=assignments)
+    sim = Simulator()
+    net_cfg = network_config or NetworkConfig()
+    if seed is not None:
+        net_cfg = dataclasses.replace(net_cfg, seed=seed)
+    network = Network(sim, net_cfg)
+
+    if max_open_files is None:
+        max_open_files = max(4000, 64 * n_clients)
+    server_hosts: List[Host] = []
+    servers: List[Any] = []
+    default_cfg = None
+    for k in range(n_shards):
+        shost = Host(
+            sim,
+            network,
+            "server%d" % k,
+            server_config or HostConfig.titan_server(),
+            seed=None if seed is None else seed + 1000 + k,
+        )
+        export = shost.add_local_fs("/export", fsid="exportfs%d" % k)
+        if protocol == "nfs":
+            server = NfsServer(shost, export)
+            default_cfg = NfsClientConfig()
+        elif protocol == "snfs":
+            server = SnfsServer(shost, export, max_open_files=max_open_files)
+            default_cfg = SnfsClientConfig()
+        elif protocol == "rfs":
+            server = RfsServer(shost, export)
+        elif protocol == "kent":
+            server = KentServer(shost, export)
+        else:
+            server = LeaseServer(shost, export)
+        shost.update_daemon.start()
+        server_hosts.append(shost)
+        servers.append(server)
+    cfg = client_config if client_config is not None else default_cfg
+
+    bed = ShardedBed(
+        sim=sim,
+        network=network,
+        protocol=protocol,
+        shard_map=shard_map,
+        server_hosts=server_hosts,
+        servers=servers,
+    )
+
+    for i in range(n_clients):
+        host = Host(
+            sim,
+            network,
+            "client%d" % i,
+            host_config or HostConfig.titan_client(),
+            seed=None if seed is None else seed + i + 1,
+        )
+        mounts = []
+        dnlc = None  # first shard mount creates it; the rest share it
+        for k in range(n_shards):
+            client = _make_shard_client(
+                protocol, "%s:m%ds%d" % (protocol, i, k),
+                host, "server%d" % k, cfg, dnlc,
+            )
+            dnlc = client.dnlc
+            _drive(sim, client.attach())
+            mounts.append(client)
+        ns = ShardedMount(
+            "%s:shardns%d" % (protocol, i), MountTable(shard_map, mounts)
+        )
+        host.kernel.mount("/data", ns)
+        host.update_daemon.start()
+        bed.client_hosts.append(host)
+        bed.namespaces.append(ns)
+
+    if with_oracle:
+        bed.oracle = ConsistencyOracle()
+        for host in bed.client_hosts:
+            bed.oracle.watch_kernel(host.kernel)
+        for server in servers:
+            bed.oracle.watch_server(server)
+        disks = {}
+        targets: Dict[str, object] = {}
+        for host in server_hosts + bed.client_hosts:
+            targets[host.name] = host
+            for disk in host.disks.values():
+                disks[disk.name] = disk
+        bed.injector = FaultInjector(
+            sim, network=network, disks=disks, targets=targets
+        )
+    return bed
+
+
+def _drive(sim, gen, limit: float = 1e6):
+    box = {}
+
+    def wrapper():
+        box["v"] = yield from gen
+
+    proc = sim.spawn(wrapper())
+    sim.run_until(proc, limit=limit)
+    if proc.exception is not None:
+        proc.defuse()
+        raise proc.exception
+    return box.get("v")

@@ -1,6 +1,7 @@
 """Local Unix-like filesystem and shared filesystem types."""
 
 from .errors import (
+    CrossShardError,
     DirectoryNotEmpty,
     FileExists,
     FsError,
@@ -32,6 +33,7 @@ __all__ = [
     "StaleHandle",
     "NoSpace",
     "InvalidArgument",
+    "CrossShardError",
     "NotOpen",
     "ReadOnly",
 ]

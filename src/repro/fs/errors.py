@@ -17,6 +17,7 @@ __all__ = [
     "StaleHandle",
     "NoSpace",
     "InvalidArgument",
+    "CrossShardError",
     "NotOpen",
     "ReadOnly",
 ]
@@ -60,6 +61,19 @@ class NoSpace(FsError):
 
 class InvalidArgument(FsError):
     errno_name = "EINVAL"
+
+
+class CrossShardError(InvalidArgument):
+    """Namespace operation spans two shards of a sharded namespace.
+
+    Rename and link cannot move a name between servers without a
+    distributed transaction, which the referral layer does not attempt;
+    the kernel surfaces the boundary as EXDEV, exactly like a rename
+    across local mount points.  Subclasses InvalidArgument so code that
+    treats cross-filesystem renames generically keeps working.
+    """
+
+    errno_name = "EXDEV"
 
 
 class NotOpen(FsError):

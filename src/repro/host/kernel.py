@@ -17,7 +17,14 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from ..fs import InvalidArgument, NoSuchFile, NotADirectory, NotOpen, ReadOnly
+from ..fs import (
+    CrossShardError,
+    InvalidArgument,
+    NoSuchFile,
+    NotADirectory,
+    NotOpen,
+    ReadOnly,
+)
 from ..fs.types import FileAttr, OpenMode
 from ..vfs import FileSystemType, Gnode
 
@@ -62,6 +69,11 @@ class Kernel:
         self._mounts.append((prefix, fs))
         self._mounts.sort(key=lambda pair: -len(pair[0]))
         self._mounts_by_id[fs.mount_id] = fs
+        # compound mounts (referral facades) bring member filesystems
+        # that own buffers under their own mount ids; register them so
+        # cache write-back can resolve those ids without a path mount
+        for sub in fs.submounts():
+            self._mounts_by_id[sub.mount_id] = sub
 
     def unmount_all(self):
         """Coroutine: flush and detach every mount."""
@@ -273,12 +285,39 @@ class Kernel:
         src_dirg, src_name = yield from self.namei_parent(src)
         dst_dirg, dst_name = yield from self.namei_parent(dst)
         if src_dirg.fs is not dst_dirg.fs:
+            ns = getattr(src_dirg.fs, "shard_ns", None)
+            if ns is not None and ns is getattr(dst_dirg.fs, "shard_ns", None):
+                # two shards of one sharded namespace: a typed EXDEV,
+                # since no distributed transaction moves the name
+                raise CrossShardError(
+                    "rename %r -> %r spans shards" % (src, dst)
+                )
             raise InvalidArgument("cross-filesystem rename")
         yield from src_dirg.fs.rename(src_dirg, src_name, dst_dirg, dst_name)
         if self.tracer is not None:
             self.tracer.on_rename(
                 self.host.name, self._norm(src), self._norm(dst), self.sim.now
             )
+
+    def link(self, src: str, dst: str):
+        """Coroutine: hard-link ``src`` as ``dst`` (same filesystem)."""
+        yield from self._charge()
+        g = yield from self.namei(src)
+        dirg, name = yield from self.namei_parent(dst)
+        fs = dirg.fs
+        if g.fs is not fs:
+            ns = getattr(fs, "shard_ns", None)
+            if ns is None or ns is not getattr(g.fs, "shard_ns", None):
+                raise InvalidArgument("cross-filesystem link")
+            if fs is not ns:
+                # destination parent sits inside a shard that does not
+                # own the source file: its server cannot resolve a
+                # foreign handle, so the boundary is EXDEV
+                raise CrossShardError("link %r -> %r spans shards" % (src, dst))
+            # destination parent is the referral root itself: the
+            # facade routes the name and enforces shard ownership
+        linked = yield from fs.link(g, dirg, name)
+        return linked
 
     def truncate(self, path: str, size: int):
         yield from self._charge()

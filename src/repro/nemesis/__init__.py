@@ -22,6 +22,12 @@ from .matrix import (
     validate_nemesis_document,
 )
 from .plans import NEMESIS_PLANS, NemesisPlanSpec, QUICK_PLANS, plan_events
+from .sharded import (
+    SHARDED_PROTOCOLS,
+    render_sharded_cells,
+    run_sharded_cell,
+    run_sharded_cells,
+)
 from .workloads import NEMESIS_WORKLOADS, run_workload
 
 __all__ = [
@@ -38,8 +44,12 @@ __all__ = [
     "nemesis_obs_artifact",
     "plan_events",
     "render_matrix",
+    "render_sharded_cells",
     "run_cell",
     "run_matrix",
+    "run_sharded_cell",
+    "run_sharded_cells",
     "run_workload",
     "validate_nemesis_document",
+    "SHARDED_PROTOCOLS",
 ]

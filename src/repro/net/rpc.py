@@ -398,10 +398,11 @@ class RpcEndpoint:
         if span is not None:
             tracer.end(span)
         if frame is not None:
-            obs.record_client_op(proc, frame)
+            obs.record_client_op(proc, frame, server=dst)
         if metrics is not None:
             metrics.histogram("rpc.latency", buckets=RPC_LATENCY_BUCKETS).observe(
-                self.sim.now - t_start, proc=proc, endpoint=self.address
+                self.sim.now - t_start, proc=proc, endpoint=self.address,
+                server=dst,
             )
         return result
 

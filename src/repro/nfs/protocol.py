@@ -35,6 +35,7 @@ class PROC:
     CREATE = "nfs.create"
     REMOVE = "nfs.remove"
     RENAME = "nfs.rename"
+    LINK = "nfs.link"
     MKDIR = "nfs.mkdir"
     RMDIR = "nfs.rmdir"
     READDIR = "nfs.readdir"

@@ -97,10 +97,12 @@ class ObsCollector:
         self.waits: Dict[str, Dict[str, float]] = {}
         #: global service-time totals per contribution kind
         self.totals: Dict[str, float] = {}
-        #: hot-file accounting, keyed "fsid:inum"
+        #: hot-file accounting, keyed "server:fsid:inum"
         self.hot_files: Dict[str, Dict[str, int]] = {}
         #: executed (non-duplicate) requests per calling host
         self.hot_clients: Dict[str, int] = {}
+        #: per-server attribution rollup, keyed by server address
+        self.servers: Dict[str, Dict[str, float]] = {}
         #: open queue-wait stamps: id(event) -> (event, frame, kind, t0)
         self._stamps: Dict[int, tuple] = {}
 
@@ -207,8 +209,14 @@ class ObsCollector:
 
     # -- client-side recording ----------------------------------------------
 
-    def record_client_op(self, proc_name: str, frame: _Frame) -> None:
-        """Close a client call frame and fold it into the per-op table."""
+    def record_client_op(
+        self, proc_name: str, frame: _Frame, server: Optional[str] = None
+    ) -> None:
+        """Close a client call frame and fold it into the per-op table.
+
+        ``server`` is the destination address; sharded namespaces spread
+        calls over several servers, and the per-server rollup shows which
+        machine carried the time."""
         self.frame_end(frame)
         acc = frame.acc
         e2e = frame.t1 - frame.t0
@@ -247,6 +255,23 @@ class ObsCollector:
         phases["disk"] += srv_disk
         phases["server_other"] += srv_other
         op["digest"].add(e2e)
+        if server is not None:
+            cell = self.servers.get(server)
+            if cell is None:
+                cell = self.servers[server] = {
+                    "count": 0,
+                    "e2e_s": 0.0,
+                    "server_queue": 0.0,
+                    "server_cpu": 0.0,
+                    "disk": 0.0,
+                    "server_wall": 0.0,
+                }
+            cell["count"] += 1
+            cell["e2e_s"] += e2e
+            cell["server_queue"] += srv_queue
+            cell["server_cpu"] += srv_cpu
+            cell["disk"] += srv_disk
+            cell["server_wall"] += srv_wall
 
     def record_client_failure(self, proc_name: str, frame: _Frame) -> None:
         self.frame_abort(frame)

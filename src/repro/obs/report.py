@@ -166,6 +166,17 @@ def obs_document(
                 collector.hot_clients.items(), key=lambda kv: (-kv[1], kv[0])
             )[:top_k]
         ],
+        "servers": {
+            addr: {
+                "count": int(cell["count"]),
+                "e2e_s": _r(cell["e2e_s"]),
+                "server_queue": _r(cell["server_queue"]),
+                "server_cpu": _r(cell["server_cpu"]),
+                "disk": _r(cell["disk"]),
+                "server_wall": _r(cell["server_wall"]),
+            }
+            for addr, cell in sorted(collector.servers.items())
+        },
         "sampler_clamps": clamps,
         "utilization": util_out,
     }
@@ -219,6 +230,13 @@ def validate_obs_document(doc: Dict[str, Any]) -> List[str]:
     for kind, cell in doc["queueing"].items():
         if "waits" not in cell or "wait_s" not in cell:
             problems.append("queueing %s missing waits/wait_s" % kind)
+    # "servers" is optional (documents predating the sharded-namespace
+    # layer omit it), but present entries must be complete
+    for addr, cell in (doc.get("servers") or {}).items():
+        for field in ("count", "e2e_s", "server_queue", "server_cpu",
+                      "disk", "server_wall"):
+            if field not in cell:
+                problems.append("server %s missing %r" % (addr, field))
     return problems
 
 
@@ -297,6 +315,19 @@ def render_report(doc: Dict[str, Any], top: int = 10) -> str:
         lines.append("hot clients (executed requests):")
         for cell in doc["hot_clients"][:top]:
             lines.append("  %-16s %6d" % (cell["key"], cell["requests"]))
+    if doc.get("servers"):
+        lines.append("")
+        lines.append("per-server attribution:")
+        lines.append(
+            "  %-16s %7s %10s %10s %10s %10s"
+            % ("server", "calls", "e2e(s)", "srv-cpu", "srv-queue", "disk")
+        )
+        for addr, cell in sorted(doc["servers"].items()):
+            lines.append(
+                "  %-16s %7d %10.4f %10.4f %10.4f %10.4f"
+                % (addr, cell["count"], cell["e2e_s"], cell["server_cpu"],
+                   cell["server_queue"], cell["disk"])
+            )
     if doc.get("utilization"):
         lines.append("")
         lines.append("utilization (time-weighted mean / max):")

@@ -18,6 +18,7 @@ from .policy import ConsistencyPolicy
 from .procs import STANDARD_PROCS, proc_namespace
 from .recovery import DEFAULT_GRACE_PERIOD, ReopenRejected, ServerRecovering
 from .server import RemoteFsServer
+from .shard import SHARD_STRATEGIES, ShardMap
 
 __all__ = [
     "ConsistencyPolicy",
@@ -27,7 +28,9 @@ __all__ = [
     "RemoteFsConfig",
     "RemoteFsServer",
     "ReopenRejected",
+    "SHARD_STRATEGIES",
     "STANDARD_PROCS",
     "ServerRecovering",
+    "ShardMap",
     "proc_namespace",
 ]

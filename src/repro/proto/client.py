@@ -47,6 +47,7 @@ class RemoteFsClient(FileSystemType):
         host,
         server_addr: str,
         config: Optional[RemoteFsConfig] = None,
+        dnlc: Optional[NameCache] = None,
     ):
         super().__init__(mount_id)
         self.host = host
@@ -57,7 +58,9 @@ class RemoteFsClient(FileSystemType):
         self.config = config or self.default_config()
         self.block_size = host.config.block_size
         self._root: Optional[Gnode] = None
-        self.dnlc = NameCache(self.sim, self.config)
+        # sharded namespaces pass one NameCache to every per-shard
+        # mount so the whole tree shares a single DNLC
+        self.dnlc = dnlc if dnlc is not None else NameCache(self.sim, self.config)
         self.policy = self.policy_class(self)
         self._register_push_service()
 
@@ -257,6 +260,12 @@ class RemoteFsClient(FileSystemType):
         )
         self._dnlc_purge(src_dirg, src_name)
         self._dnlc_purge(dst_dirg, dst_name)
+
+    def link(self, g: Gnode, dirg: Gnode, name: str):
+        attr = yield from self._call(self.PROC.LINK, g.fid, dirg.fid, name)
+        self.policy.absorb_attr(g, attr)
+        self._dnlc_put(dirg, name, g)
+        return g
 
     def readdir(self, dirg: Gnode):
         names = yield from self._call(self.PROC.READDIR, dirg.fid)

@@ -25,6 +25,7 @@ STANDARD_PROCS = (
     "CREATE",
     "REMOVE",
     "RENAME",
+    "LINK",
     "MKDIR",
     "RMDIR",
     "READDIR",

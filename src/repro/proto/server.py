@@ -70,6 +70,7 @@ class RemoteFsServer:
                 p.CREATE: "proc_create",
                 p.REMOVE: "proc_remove",
                 p.RENAME: "proc_rename",
+                p.LINK: "proc_link",
                 p.MKDIR: "proc_mkdir",
                 p.RMDIR: "proc_rmdir",
                 p.READDIR: "proc_readdir",
@@ -130,6 +131,11 @@ class RemoteFsServer:
     def _handle_and_attr(self, inum: int) -> Tuple[FileHandle, FileAttr]:
         return self.lfs.handle(inum), self.lfs._attr(inum)
 
+    def _hot_key(self, fh: FileHandle) -> str:
+        """Hot-file key labelled with the serving server so sharded
+        runs attribute traffic to the right machine."""
+        return "%s:%s:%d" % (self.host.name, fh.fsid, fh.inum)
+
     # -- procedures (all coroutines taking the caller's address first) ----
 
     def proc_mnt(self, src):
@@ -163,9 +169,7 @@ class RemoteFsServer:
         if self.sim.obs is not None:
             # hot-file accounting (Fletch's traffic-skew lens): which
             # files carry the read/write byte volume
-            self.sim.obs.tag_file(
-                "%s:%d" % (fh.fsid, fh.inum), read_bytes=len(data)
-            )
+            self.sim.obs.tag_file(self._hot_key(fh), read_bytes=len(data))
         return data, self.lfs._attr(g.fid)
 
     def proc_write(self, src, fh: FileHandle, offset: int, data: bytes):
@@ -176,9 +180,7 @@ class RemoteFsServer:
             yield from self.export.write(g, offset, data)
             yield from self.export.fsync(g)  # stable storage, synchronously
             if self.sim.obs is not None:
-                self.sim.obs.tag_file(
-                    "%s:%d" % (fh.fsid, fh.inum), write_bytes=len(data)
-                )
+                self.sim.obs.tag_file(self._hot_key(fh), write_bytes=len(data))
             return self.lfs._attr(g.fid)
         except NoSuchFile:
             # the file was removed while this write was in flight
@@ -206,6 +208,13 @@ class RemoteFsServer:
         ddirg = self._gnode(ddirfh)
         yield from self.export.rename(sdirg, sname, ddirg, dname)
         return None
+
+    def proc_link(self, src, fh: FileHandle, dirfh: FileHandle, name: str):
+        self._check_available(src)
+        g = self._gnode(fh)
+        dirg = self._gnode(dirfh)
+        yield from self.export.link(g, dirg, name)
+        return self.lfs._attr(g.fid)
 
     def proc_mkdir(self, src, dirfh: FileHandle, name: str, mode: int = 0o755):
         self._check_available(src)

@@ -1,0 +1,118 @@
+"""Shard maps: which server owns which slice of the exported namespace.
+
+The single-server assumption dies here.  A :class:`ShardMap` is the
+deterministic placement function behind the referral layer
+(:mod:`repro.vfs.referral`): given a top-level directory name it names
+the shard — one of N independent :class:`~repro.proto.server.RemoteFsServer`
+instances — that serves everything beneath that name.  Placement is
+decided once, at the namespace root, exactly like an NFSv4 referral or
+a Sprite prefix-table entry: below the referral point every gnode
+already carries its owning mount, so no per-operation routing work (or
+determinism hazard) exists deeper in the tree.
+
+Two strategies:
+
+``subtree``
+    Explicit directory-subtree assignment (``{"src": 0, "obj": 1}``)
+    with unassigned names falling to ``default_shard`` — the
+    administrator-placed volume layout of AFS/Sprite.
+``hash``
+    Hashed-inode placement: the top-level directory's inode is
+    *allocated* on the shard its name hashes to (crc32, never
+    ``hash()`` — the interpreter salts that per process), so hashing
+    the name is hashing the inode's home.  This spreads load with no
+    placement table, the Objcache/Fletch shape.
+
+A map carries a ``version``; reassignment bumps it, and the referral
+layer purges the shared DNLC when it observes a new version, so stale
+name→shard translations can never serve a moved subtree.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Optional
+
+from ..fs.errors import CrossShardError
+
+__all__ = ["ShardMap", "CrossShardError", "SHARD_STRATEGIES"]
+
+SHARD_STRATEGIES = ("subtree", "hash")
+
+
+class ShardMap:
+    """Deterministic top-level-name → shard-index placement."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        strategy: str = "hash",
+        assignments: Optional[Dict[str, int]] = None,
+        default_shard: int = 0,
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1, got %d" % n_shards)
+        if strategy not in SHARD_STRATEGIES:
+            raise ValueError(
+                "strategy must be one of %s, got %r"
+                % (", ".join(SHARD_STRATEGIES), strategy)
+            )
+        if not 0 <= default_shard < n_shards:
+            raise ValueError("default_shard %d out of range" % default_shard)
+        self.n_shards = n_shards
+        self.strategy = strategy
+        self.default_shard = default_shard
+        self._assignments: Dict[str, int] = {}
+        #: bumped on every reassignment; the referral layer compares it
+        #: against the version it last routed under and purges the DNLC
+        #: on mismatch
+        self.version = 1
+        for name, shard in sorted((assignments or {}).items()):
+            self._check_shard(shard)
+            self._assignments[name] = shard
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(
+                "shard %d out of range [0, %d)" % (shard, self.n_shards)
+            )
+
+    def owner(self, name: str) -> int:
+        """Shard index serving the top-level directory ``name``."""
+        explicit = self._assignments.get(name)
+        if explicit is not None:
+            return explicit
+        if self.strategy == "hash":
+            return zlib.crc32(name.encode("utf-8")) % self.n_shards
+        return self.default_shard
+
+    def assign(self, name: str, shard: int) -> None:
+        """(Re)pin one top-level name to a shard; bumps the version.
+
+        Moving a live subtree's *data* between servers is out of scope
+        (the referral layer routes; it does not migrate) — callers
+        reassign either empty names or after out-of-band migration.
+        """
+        self._check_shard(shard)
+        if self._assignments.get(name) == shard:
+            return
+        self._assignments[name] = shard
+        self.version += 1
+
+    def assignments(self) -> Dict[str, int]:
+        return dict(sorted(self._assignments.items()))
+
+    def describe(self) -> Dict:
+        """JSON-friendly snapshot (bench/nemesis artifacts embed this)."""
+        return {
+            "n_shards": self.n_shards,
+            "strategy": self.strategy,
+            "default_shard": self.default_shard,
+            "assignments": self.assignments(),
+            "version": self.version,
+        }
+
+    def __repr__(self) -> str:
+        return "<ShardMap %s n=%d v=%d>" % (
+            self.strategy, self.n_shards, self.version,
+        )

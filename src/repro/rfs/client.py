@@ -103,12 +103,13 @@ class RfsClient(RemoteFsClient):
         host: Host,
         server_addr: str,
         config: Optional[NfsClientConfig] = None,
+        dnlc=None,
     ):
         # the invalidate-on-close bug is an Ultrix NFS artifact; RFS
         # keeps its cache (consistency comes from invalidations)
         config = config or RemoteFsConfig(invalidate_on_close=False)
         config.invalidate_on_close = False
-        super().__init__(mount_id, host, server_addr, config=config)
+        super().__init__(mount_id, host, server_addr, config=config, dnlc=dnlc)
 
 
 def mount_rfs(

@@ -37,6 +37,7 @@ class SPROC:
     CREATE = "snfs.create"
     REMOVE = "snfs.remove"
     RENAME = "snfs.rename"
+    LINK = "snfs.link"
     MKDIR = "snfs.mkdir"
     RMDIR = "snfs.rmdir"
     READDIR = "snfs.readdir"

@@ -4,11 +4,14 @@ from .blockio import block_range, cached_read, cached_write, merge_block
 from .gnode import Gnode
 from .interface import FileSystemType
 from .local import LocalMount
+from .referral import MountTable, ShardedMount
 
 __all__ = [
     "Gnode",
     "FileSystemType",
     "LocalMount",
+    "MountTable",
+    "ShardedMount",
     "cached_read",
     "cached_write",
     "block_range",

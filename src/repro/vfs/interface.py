@@ -73,6 +73,10 @@ class FileSystemType:
     def rename(self, src_dirg: Gnode, src_name: str, dst_dirg: Gnode, dst_name: str):
         raise NotImplementedError
 
+    def link(self, g: Gnode, dirg: Gnode, name: str):
+        """Coroutine: add a hard link to ``g`` as ``dirg/name``."""
+        raise NotImplementedError
+
     def readdir(self, dirg: Gnode):
         """Coroutine: returns a list of names."""
         raise NotImplementedError
@@ -126,6 +130,15 @@ class FileSystemType:
         raise NotImplementedError
 
     # -- lifecycle ----------------------------------------------------------
+
+    def submounts(self) -> List["FileSystemType"]:
+        """Member filesystems of a compound mount (referral facades).
+
+        The kernel registers these by mount id — without a path mount
+        point — so buffer-cache write-back can route evicted blocks to
+        the member that owns them.
+        """
+        return []
 
     def unmount(self):
         """Coroutine: flush everything; called at shutdown."""

@@ -80,6 +80,10 @@ class LocalMount(FileSystemType):
             self.cache.cancel_dirty_file(vg.cache_key)
         yield from self.lfs.rename(src_dirg.fid, src_name, dst_dirg.fid, dst_name)
 
+    def link(self, g: Gnode, dirg: Gnode, name: str):
+        yield from self.lfs.link(g.fid, dirg.fid, name)
+        return g
+
     def readdir(self, dirg: Gnode):
         names = yield from self.lfs.readdir(dirg.fid)
         return names

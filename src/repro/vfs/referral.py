@@ -1,0 +1,276 @@
+"""Referral mounts: one tree, N servers, client-side routing.
+
+A :class:`ShardedMount` is a :class:`~repro.vfs.FileSystemType` facade
+over a :class:`MountTable` of per-shard protocol mounts (one attached
+``RemoteFsClient`` per shard server).  The kernel mounts the facade at
+a single mount point; applications see one tree.  Routing happens at
+exactly one place — the synthetic namespace root — where the shard
+map names the owning server for each top-level directory.  Every
+deeper gnode was minted by its shard's own mount, so ``g.fs`` already
+routes reads, writes, opens, and attribute traffic with zero per-call
+referral cost, and each shard keeps its own consistency protocol
+instance (state table, leases, epoch + grace recovery) unchanged.
+
+Shared client state is shared *by construction*: the per-shard mounts
+are built over one host (one buffer cache, one fd table in the kernel)
+and one :class:`~repro.proto.dnlc.NameCache` (pass the first mount's
+DNLC to the rest).  Cross-shard rename/link is a namespace operation
+spanning two servers, which the referral layer refuses with the typed
+:class:`~repro.fs.CrossShardError` (EXDEV) rather than attempting a
+distributed transaction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..fs.errors import CrossShardError, InvalidArgument
+from ..fs.types import FileAttr, FileType, OpenMode
+from .gnode import Gnode
+from .interface import FileSystemType
+
+__all__ = ["MountTable", "ShardedMount"]
+
+
+class MountTable:
+    """The referral resolver: top-level name → attached shard mount.
+
+    Holds the shard map and the per-shard protocol mounts in shard
+    order.  ``resolve`` is the only routing decision in the stack; it
+    re-reads ``shard_map.version`` so live reassignment takes effect on
+    the next lookup (the facade purges the shared DNLC when it sees the
+    version move).
+    """
+
+    def __init__(self, shard_map, mounts: List[FileSystemType]):
+        if len(mounts) != shard_map.n_shards:
+            raise ValueError(
+                "shard map expects %d mounts, got %d"
+                % (shard_map.n_shards, len(mounts))
+            )
+        self.shard_map = shard_map
+        self._mounts = list(mounts)
+
+    def resolve(self, name: str) -> FileSystemType:
+        """The referral: the mount serving top-level directory ``name``."""
+        return self._mounts[self.shard_map.owner(name)]
+
+    def mounts(self) -> List[FileSystemType]:
+        return list(self._mounts)
+
+    def shard_of(self, fs: FileSystemType) -> Optional[int]:
+        for i, mount in enumerate(self._mounts):
+            if mount is fs:
+                return i
+        return None
+
+    def __len__(self) -> int:
+        return len(self._mounts)
+
+
+_ROOT_FID = "shard-namespace-root"
+
+
+class ShardedMount(FileSystemType):
+    """One mountable tree routed across N per-shard protocol mounts."""
+
+    def __init__(self, mount_id: str, table: MountTable, dnlc=None):
+        super().__init__(mount_id)
+        self.table = table
+        #: the shared DNLC (for purge-on-map-change); defaults to the
+        #: first shard mount's cache, which the builder shares with the
+        #: rest
+        self.dnlc = dnlc if dnlc is not None else getattr(
+            table.mounts()[0], "dnlc", None
+        )
+        self._seen_version = table.shard_map.version
+        self._root = self.gnode_for(_ROOT_FID, FileType.DIRECTORY)
+        # mark every member mount (and the facade) with the namespace
+        # they belong to, so the kernel can tell "two shards of one
+        # tree" (CrossShardError) from "two unrelated filesystems"
+        self.shard_ns = self
+        for mount in table.mounts():
+            mount.shard_ns = self
+
+    # -- routing ------------------------------------------------------------
+
+    def _check_version(self) -> None:
+        """Purge stale name translations after a shard-map change."""
+        version = self.table.shard_map.version
+        if version != self._seen_version:
+            self._seen_version = version
+            if self.dnlc is not None:
+                self.dnlc.clear()
+
+    def _route(self, name: str) -> FileSystemType:
+        self._check_version()
+        return self.table.resolve(name)
+
+    def _is_root(self, g: Gnode) -> bool:
+        return g is self._root
+
+    def submounts(self) -> List[FileSystemType]:
+        """The per-shard mounts (the kernel registers their mount ids
+        so cache write-back can reach them without a path mount)."""
+        return self.table.mounts()
+
+    # -- namespace ----------------------------------------------------------
+
+    def root(self) -> Gnode:
+        return self._root
+
+    def lookup(self, dirg: Gnode, name: str):
+        if not self._is_root(dirg):
+            g = yield from dirg.fs.lookup(dirg, name)
+            return g
+        shard = self._route(name)
+        g = yield from shard.lookup(shard.root(), name)
+        return g
+
+    def create(self, dirg: Gnode, name: str, mode: int = 0o644):
+        if not self._is_root(dirg):
+            g = yield from dirg.fs.create(dirg, name, mode)
+            return g
+        shard = self._route(name)
+        g = yield from shard.create(shard.root(), name, mode)
+        return g
+
+    def remove(self, dirg: Gnode, name: str):
+        if not self._is_root(dirg):
+            yield from dirg.fs.remove(dirg, name)
+            return
+        shard = self._route(name)
+        yield from shard.remove(shard.root(), name)
+
+    def mkdir(self, dirg: Gnode, name: str, mode: int = 0o755):
+        if not self._is_root(dirg):
+            g = yield from dirg.fs.mkdir(dirg, name, mode)
+            return g
+        shard = self._route(name)
+        g = yield from shard.mkdir(shard.root(), name, mode)
+        return g
+
+    def rmdir(self, dirg: Gnode, name: str):
+        if not self._is_root(dirg):
+            yield from dirg.fs.rmdir(dirg, name)
+            return
+        shard = self._route(name)
+        yield from shard.rmdir(shard.root(), name)
+
+    def rename(self, src_dirg: Gnode, src_name: str, dst_dirg: Gnode, dst_name: str):
+        src_root = self._is_root(src_dirg)
+        dst_root = self._is_root(dst_dirg)
+        if not src_root and not dst_root:
+            # both parents live inside shards; the kernel only routes
+            # here when they share a mount, i.e. the same shard
+            yield from src_dirg.fs.rename(src_dirg, src_name, dst_dirg, dst_name)
+            return
+        if src_root != dst_root:
+            # one end at the referral root, one inside a shard: the
+            # root entry is the shard boundary itself
+            raise CrossShardError(
+                "rename across the referral root: %r -> %r"
+                % (src_name, dst_name)
+            )
+        src_shard = self._route(src_name)
+        dst_shard = self._route(dst_name)
+        if src_shard is not dst_shard:
+            raise CrossShardError(
+                "rename %r (shard %d) -> %r (shard %d)"
+                % (
+                    src_name, self.table.shard_of(src_shard),
+                    dst_name, self.table.shard_of(dst_shard),
+                )
+            )
+        yield from src_shard.rename(
+            src_shard.root(), src_name, dst_shard.root(), dst_name
+        )
+
+    def link(self, g: Gnode, dirg: Gnode, name: str):
+        if not self._is_root(dirg):
+            linked = yield from dirg.fs.link(g, dirg, name)
+            return linked
+        shard = self._route(name)
+        if g.fs is not shard:
+            raise CrossShardError(
+                "link target %r owned by a different shard than %r" % (g, name)
+            )
+        linked = yield from shard.link(g, shard.root(), name)
+        return linked
+
+    def readdir(self, dirg: Gnode):
+        if not self._is_root(dirg):
+            names = yield from dirg.fs.readdir(dirg)
+            return names
+        # the merged root: the union of every shard's export root, in
+        # shard-map order visiting, sorted for a deterministic view
+        merged = set()
+        for shard in self.table.mounts():
+            names = yield from shard.readdir(shard.root())
+            merged.update(names)
+        return sorted(merged)
+
+    # -- per-file state -------------------------------------------------------
+
+    def open(self, g: Gnode, mode: OpenMode):
+        if self._is_root(g):
+            raise InvalidArgument("cannot open the referral root")
+        yield from g.fs.open(g, mode)
+
+    def close(self, g: Gnode, mode: OpenMode):
+        yield from g.fs.close(g, mode)
+
+    def getattr(self, g: Gnode):
+        if self._is_root(g):
+            return FileAttr(file_id=0, ftype=FileType.DIRECTORY)
+        attr = yield from g.fs.getattr(g)
+        return attr
+
+    def setattr(self, g: Gnode, size: Optional[int] = None, mode: Optional[int] = None):
+        if self._is_root(g):
+            raise InvalidArgument("cannot setattr the referral root")
+        attr = yield from g.fs.setattr(g, size=size, mode=mode)
+        return attr
+
+    # -- data -----------------------------------------------------------------
+
+    def read(self, g: Gnode, offset: int, count: int):
+        data = yield from g.fs.read(g, offset, count)
+        return data
+
+    def write(self, g: Gnode, offset: int, data: bytes):
+        yield from g.fs.write(g, offset, data)
+
+    def fsync(self, g: Gnode):
+        yield from g.fs.fsync(g)
+
+    def sync(self, min_age=None):
+        for shard in self.table.mounts():
+            yield from shard.sync(min_age=min_age)
+
+    def flush_block(self, buf):
+        # shard gnodes carry their shard's mount_id, so eviction
+        # write-back reaches the member mount directly; the facade owns
+        # no data blocks of its own
+        raise InvalidArgument(
+            "referral facade owns no buffers (got %r)" % (buf,)
+        )
+        yield  # pragma: no cover
+
+    def unmount(self):
+        for shard in self.table.mounts():
+            yield from shard.unmount()
+
+    # -- crash support ----------------------------------------------------------
+
+    def on_host_crash(self) -> None:
+        for shard in self.table.mounts():
+            on_crash = getattr(shard, "on_host_crash", None)
+            if on_crash is not None:
+                on_crash()
+
+    def on_host_reboot(self) -> None:
+        for shard in self.table.mounts():
+            on_reboot = getattr(shard, "on_host_reboot", None)
+            if on_reboot is not None:
+                on_reboot()

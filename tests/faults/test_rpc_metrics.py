@@ -77,8 +77,8 @@ def test_clean_network_records_no_retrans(runner):
     assert metrics.counter("rpc.retrans").total() == 0
     assert metrics.counter("rpc.dup_hits").total() == 0
     latency = metrics.histogram("rpc.latency")
-    assert latency.count(proc="ping", endpoint="a") == 20
-    assert latency.mean(proc="ping", endpoint="a") > 0
+    assert latency.count(proc="ping", endpoint="a", server="b") == 20
+    assert latency.mean(proc="ping", endpoint="a", server="b") > 0
 
 
 def test_metrics_off_means_no_registry(runner):

@@ -82,7 +82,7 @@ def test_latency_histogram_with_per_proc_labels(runner, protocol):
     assert any(p.endswith(".lookup") for p in procs), procs
     assert len(procs) >= 3, procs
     for proc in procs:
-        assert latency.mean(proc=proc, endpoint="c0") > 0
+        assert latency.mean(proc=proc, endpoint="c0", server="server") > 0
 
 
 @pytest.mark.parametrize("protocol", PROTOCOLS)

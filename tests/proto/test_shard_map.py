@@ -1,0 +1,83 @@
+"""Unit tests for the shard placement map (repro.proto.shard)."""
+
+import zlib
+
+import pytest
+
+from repro.fs import CrossShardError, InvalidArgument
+from repro.proto import SHARD_STRATEGIES, ShardMap
+
+
+def test_strategies_constant_matches_accepted_values():
+    assert set(SHARD_STRATEGIES) == {"subtree", "hash"}
+    for strategy in SHARD_STRATEGIES:
+        ShardMap(2, strategy=strategy)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ShardMap(0)
+    with pytest.raises(ValueError):
+        ShardMap(2, strategy="round-robin")
+    with pytest.raises(ValueError):
+        ShardMap(2, default_shard=2)
+    with pytest.raises(ValueError):
+        ShardMap(2, assignments={"src": 5})
+
+
+def test_subtree_owner_uses_assignments_and_default():
+    m = ShardMap(3, strategy="subtree", assignments={"src": 1, "obj": 2})
+    assert m.owner("src") == 1
+    assert m.owner("obj") == 2
+    assert m.owner("unassigned") == m.default_shard == 0
+
+
+def test_hash_owner_is_crc32_and_deterministic():
+    m = ShardMap(4, strategy="hash")
+    for name in ("alpha", "beta", "gamma", "delta", "user7"):
+        assert m.owner(name) == zlib.crc32(name.encode()) % 4
+    # a second map agrees: no per-process salt
+    m2 = ShardMap(4, strategy="hash")
+    assert all(
+        m.owner("n%d" % i) == m2.owner("n%d" % i) for i in range(64)
+    )
+
+
+def test_hash_strategy_spreads_names():
+    m = ShardMap(4, strategy="hash")
+    owners = {m.owner("user%d" % i) for i in range(64)}
+    assert owners == {0, 1, 2, 3}
+
+
+def test_explicit_assignment_overrides_hash():
+    m = ShardMap(4, strategy="hash", assignments={"pinned": 3})
+    assert m.owner("pinned") == 3
+
+
+def test_assign_bumps_version_only_on_change():
+    m = ShardMap(2, strategy="subtree")
+    v0 = m.version
+    m.assign("src", 1)
+    assert m.version == v0 + 1
+    m.assign("src", 1)  # no-op reassignment: version stays put
+    assert m.version == v0 + 1
+    m.assign("src", 0)
+    assert m.version == v0 + 2
+    with pytest.raises(ValueError):
+        m.assign("src", 9)
+
+
+def test_describe_is_json_friendly():
+    m = ShardMap(2, strategy="subtree", assignments={"b": 1, "a": 0})
+    d = m.describe()
+    assert d["n_shards"] == 2
+    assert d["strategy"] == "subtree"
+    assert d["assignments"] == {"a": 0, "b": 1}
+    assert d["version"] == m.version
+
+
+def test_cross_shard_error_is_exdev_and_invalid_argument():
+    # callers that handle generic cross-filesystem EINVALs keep working;
+    # callers that care see EXDEV
+    assert issubclass(CrossShardError, InvalidArgument)
+    assert CrossShardError.errno_name == "EXDEV"
