@@ -168,6 +168,54 @@ def main(argv=None) -> int:
         help="run only scenarios matching this fnmatch pattern "
         "(e.g. 'sharded-*' or an exact name)",
     )
+    p_bench.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the scenario sweep (default: all "
+        "cores; 1 runs in-process with byte-identical output)",
+    )
+    p_bench.add_argument(
+        "--n",
+        type=int,
+        action="append",
+        default=None,
+        metavar="CLIENTS",
+        help="add an opt-in sweep-n<CLIENTS> cluster scaling point "
+        "(e.g. --n 10000; repeatable; workloads suite, full size only)",
+    )
+    p_golden = sub.add_parser(
+        "golden",
+        help="recompute the fixed-seed golden digests on the cell pool; "
+        "--check (default) diffs against tests/golden/golden.json",
+    )
+    p_golden.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed golden file (the default)",
+    )
+    p_golden.add_argument(
+        "--write",
+        action="store_true",
+        help="regenerate the golden file (only after an INTENTIONAL "
+        "behavior change)",
+    )
+    p_golden.add_argument(
+        "--path",
+        metavar="PATH",
+        default=None,
+        help="golden file location (default: tests/golden/golden.json)",
+    )
+    p_golden.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: all cores)",
+    )
     p_nem = sub.add_parser(
         "nemesis",
         help="conformance matrix: workloads x fault plans x protocols",
@@ -184,7 +232,17 @@ def main(argv=None) -> int:
         "--only",
         metavar="CELL",
         default=None,
-        help="run one cell: protocol/workload/plan",
+        help="run matching cells: an exact protocol/workload/plan id or "
+        "an fnmatch pattern (e.g. 'snfs/*/crash-*'); no match exits 1",
+    )
+    p_nem.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the matrix sweep (default: all "
+        "cores; 1 runs in-process with byte-identical output)",
     )
     p_nem.add_argument(
         "--json",
@@ -210,7 +268,12 @@ def main(argv=None) -> int:
         help="render a repro-obs/1 latency-attribution report; "
         "--against diffs two runs with regression thresholds",
     )
-    p_report.add_argument("run", help="obs document (RUN.json) to render")
+    p_report.add_argument(
+        "run",
+        nargs="+",
+        help="obs document(s) (RUN.json ...); several documents are "
+        "merged into one combined report (per-cell sweep outputs)",
+    )
     p_report.add_argument(
         "--against",
         metavar="BASE",
@@ -349,7 +412,11 @@ def main(argv=None) -> int:
             run_matrix,
         )
 
+        from .parallel import default_jobs, make_progress_printer
+
         plans = QUICK_PLANS if args.quick else None
+        jobs = default_jobs() if args.jobs is None else max(1, args.jobs)
+        timing: dict = {}
         try:
             if args.sharded:
                 from .nemesis import render_sharded_cells, run_sharded_cells
@@ -357,11 +424,25 @@ def main(argv=None) -> int:
                 cells = run_sharded_cells(seed=args.seed)
                 print(render_sharded_cells(cells, args.seed))
             else:
-                cells = run_matrix(seed=args.seed, plans=plans, only=args.only)
+                cells = run_matrix(
+                    seed=args.seed, plans=plans, only=args.only,
+                    jobs=jobs, timing=timing,
+                    pool_progress=make_progress_printer("nemesis"),
+                )
                 print(render_matrix(cells, args.seed))
         except ValueError as exc:
             raise SystemExit(str(exc))
-        doc = nemesis_document(cells, args.seed)
+        doc = nemesis_document(cells, args.seed, timing=timing or None)
+        if timing:
+            print(
+                "%d cells on %d worker(s): %.3fs wall, %.3fs "
+                "serial-equivalent (speedup %.2fx)"
+                % (
+                    len(timing.get("cells", [])), timing["jobs"],
+                    timing["total_wall_seconds"],
+                    timing["serial_cell_seconds"], timing["speedup"],
+                )
+            )
         print(
             "cells=%d pass=%d expected=%d fail=%d digest=%s"
             % (
@@ -396,6 +477,12 @@ def main(argv=None) -> int:
         from .bench.cli import run_bench
 
         return run_bench(args)
+    if args.command == "golden":
+        from .bench.cli import run_golden_cli
+
+        if args.check and args.write:
+            raise SystemExit("--check and --write are mutually exclusive")
+        return run_golden_cli(args)
     if args.command == "lint":
         from .analysis.cli import run_lint
 

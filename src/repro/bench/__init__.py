@@ -23,12 +23,17 @@ repository root are the perf trajectory; CI re-runs the quick suite and
 fails when the engine microbench regresses more than 20 % against them.
 """
 
-from .engine_bench import ENGINE_SCENARIOS, run_engine_suite
+from .engine_bench import ENGINE_SCENARIOS, run_engine_cell, run_engine_suite
 from .golden import (
     GOLDEN_OUTPUTS,
+    GOLDEN_SCHEMA,
     GOLDEN_TRACED,
+    check_golden,
     compute_output_digests,
     compute_trace_digests,
+    default_golden_path,
+    run_golden,
+    write_golden,
 )
 from .schema import (
     BENCH_SCHEMA,
@@ -36,17 +41,24 @@ from .schema import (
     compare_to_baseline,
     validate_bench_document,
 )
-from .workloads import WORKLOAD_SCENARIOS, run_workload_suite
+from .workloads import WORKLOAD_SCENARIOS, run_workload_cell, run_workload_suite
 
 __all__ = [
     "ENGINE_SCENARIOS",
+    "run_engine_cell",
     "run_engine_suite",
     "WORKLOAD_SCENARIOS",
+    "run_workload_cell",
     "run_workload_suite",
     "GOLDEN_OUTPUTS",
+    "GOLDEN_SCHEMA",
     "GOLDEN_TRACED",
+    "check_golden",
     "compute_output_digests",
     "compute_trace_digests",
+    "default_golden_path",
+    "run_golden",
+    "write_golden",
     "BENCH_SCHEMA",
     "bench_document",
     "validate_bench_document",

@@ -6,20 +6,29 @@ workload benchmarks, writes ``BENCH_engine.json`` /
 optionally gates against a committed baseline::
 
     python -m repro bench                      # both suites, full size
-    python -m repro bench --quick              # CI-sized variants
+    python -m repro bench --quick -j4          # CI-sized, 4 workers
     python -m repro bench --suite engine \\
         --check BENCH_engine.json --tolerance 0.2
 
+Scenarios are independent cells executed by the
+:mod:`repro.parallel` process pool (``--jobs``, default every core);
+``-j1`` runs in-process and the emitted documents are byte-identical
+at any job count modulo the wall-clock fields.  A raising or crashed
+cell becomes an ``error`` row in the document's ``parallel`` block and
+a non-zero exit, without taking the rest of the sweep down.
+
 ``--check`` compares each produced document against the baseline file
 whose ``suite`` field matches and exits non-zero when any scenario's
-events/sec falls more than ``tolerance`` below the baseline.
+(median-of-repeats) events/sec falls more than ``tolerance`` below the
+baseline.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import List
+import time
+from typing import List, Optional
 
 from .engine_bench import run_engine_suite
 from .schema import (
@@ -30,26 +39,43 @@ from .schema import (
 )
 from .workloads import run_workload_suite
 
-__all__ = ["run_bench", "emit_obs_artifacts"]
+__all__ = ["run_bench", "run_golden_cli", "emit_obs_artifacts"]
 
 
-def emit_obs_artifacts(out_dir: str, seed: int = 1989) -> List[str]:
+def emit_obs_artifacts(
+    out_dir: str, seed: int = 1989, jobs: int = 1, progress=None
+) -> List[str]:
     """Run the traced two-client Andrew workload (both protocols) with
     latency attribution on and write ``OBS_andrew-<protocol>.json``
-    documents — the obs CI job's quick traced bench."""
-    from ..experiments.traced import run_traced_andrew
-    from ..obs.cli import obs_from_traced_run, write_obs_document
+    documents — the obs CI job's quick traced bench.  Each protocol is
+    one pool cell; the documents are deterministic, so the files are
+    byte-identical at any job count."""
+    from ..obs.cli import write_obs_document
+    from ..parallel import CellSpec, run_cells
 
+    specs = [
+        CellSpec(
+            kind="obs-baseline",
+            name="obs-andrew-%s" % protocol,
+            params={"protocol": protocol, "scenario": "andrew-2client"},
+            seed=seed,
+        )
+        for protocol in ("nfs", "snfs")
+    ]
+    rows = run_cells(specs, jobs=jobs, progress=progress)
     paths = []
-    for protocol in ("nfs", "snfs"):
-        run = run_traced_andrew(protocol, seed=seed)
-        doc = obs_from_traced_run(run, scenario="andrew-2client")
+    for row in rows:
+        if row["error"]:
+            raise RuntimeError(
+                "obs cell %r failed: %s" % (row["name"], row["error"])
+            )
+        protocol = row["result"]["meta"]["protocol"]
         path = os.path.join(out_dir, "OBS_andrew-%s.json" % protocol)
-        paths.append(write_obs_document(doc, path))
+        paths.append(write_obs_document(row["result"], path))
     return paths
 
 
-def _summary_lines(suite: str, scenarios: List[dict]) -> List[str]:
+def _summary_lines(suite: str, scenarios: List[dict], parallel: dict) -> List[str]:
     lines = ["%s suite:" % suite]
     for s in scenarios:
         digest = (s.get("trace_digest") or "-")[:12]
@@ -57,35 +83,74 @@ def _summary_lines(suite: str, scenarios: List[dict]) -> List[str]:
             "  %-22s %12d ops  %8.3fs wall  %10d ev/s  digest %s"
             % (s["name"], s["ops"], s["wall_seconds"], s["events_per_sec"], digest)
         )
+    for cell in parallel.get("cells", []):
+        if cell.get("error"):
+            lines.append("  %-22s ERROR: %s" % (cell["name"], cell["error"]))
+    if parallel:
+        lines.append(
+            "  %d cells on %d worker(s): %.3fs wall, %.3fs serial-equivalent "
+            "(speedup %.2fx)"
+            % (
+                len(parallel.get("cells", [])), parallel["jobs"],
+                parallel["total_wall_seconds"], parallel["serial_cell_seconds"],
+                parallel["speedup"],
+            )
+        )
     return lines
 
 
+def _resolve_jobs(args) -> int:
+    from ..parallel import default_jobs
+
+    jobs = getattr(args, "jobs", None)
+    return default_jobs() if jobs is None else max(1, jobs)
+
+
 def run_bench(args) -> int:
+    from ..parallel import make_progress_printer
+
     suites = ("engine", "workloads") if args.suite == "all" else (args.suite,)
+    jobs = _resolve_jobs(args)
     baseline = None
     if args.check:
         with open(args.check) as fh:
             baseline = json.load(fh)
     rc = 0
     only = getattr(args, "only", None)
+    extra_ns = tuple(getattr(args, "n", None) or ())
     matched_any = False
     for suite in suites:
+        accounting: dict = {}
+        pool_progress = make_progress_printer("bench:%s" % suite)
         if suite == "engine":
             scenarios = run_engine_suite(
-                quick=args.quick, repeats=args.repeats, only=only
+                quick=args.quick, repeats=args.repeats, only=only,
+                jobs=jobs, progress=pool_progress, accounting=accounting,
             )
         else:
             scenarios = run_workload_suite(
                 quick=args.quick,
                 digests=not args.no_digests,
-                progress=lambda name: print("running %s ..." % name),
+                progress=(
+                    (lambda name: print("running %s ..." % name))
+                    if jobs <= 1 else None
+                ),
                 only=only,
+                jobs=jobs,
+                extra_ns=extra_ns,
+                pool_progress=pool_progress,
+                accounting=accounting,
             )
-        if not scenarios:
+        errors = [c for c in accounting.get("cells", []) if c.get("error")]
+        if errors:
+            rc = 1
+        if not scenarios and not errors:
             print("no %s scenarios match --only %r" % (suite, only))
             continue
         matched_any = True
-        doc = bench_document(suite, scenarios, quick=args.quick)
+        doc = bench_document(
+            suite, scenarios, quick=args.quick, parallel=accounting
+        )
         problems = validate_bench_document(doc)
         if problems:
             for problem in problems:
@@ -94,7 +159,7 @@ def run_bench(args) -> int:
         os.makedirs(args.out, exist_ok=True)
         path = os.path.join(args.out, "BENCH_%s.json" % suite)
         write_bench_document(doc, path)
-        for line in _summary_lines(suite, scenarios):
+        for line in _summary_lines(suite, scenarios, accounting):
             print(line)
         print("wrote %s" % path)
         if baseline is not None and baseline.get("suite") == suite:
@@ -107,6 +172,43 @@ def run_bench(args) -> int:
     if not matched_any:
         return 1
     if getattr(args, "obs", False):
-        for path in emit_obs_artifacts(args.out):
+        for path in emit_obs_artifacts(args.out, jobs=jobs):
             print("wrote %s" % path)
     return rc
+
+
+def run_golden_cli(args) -> int:
+    """``python -m repro golden``: pooled golden-digest check/regen."""
+    from ..parallel import make_progress_printer
+
+    from .golden import check_golden, default_golden_path, write_golden
+
+    jobs = _resolve_jobs(args)
+    path = args.path or default_golden_path()
+    progress = make_progress_printer("golden")
+    if args.write:
+        t0 = time.perf_counter()  # lint: ok=DET002 — wall-clock sweep accounting, not sim logic
+        out = write_golden(path, jobs=jobs, progress=progress)
+        print(
+            "wrote %s (%.1fs, %d worker(s))"
+            % (out, time.perf_counter() - t0, jobs)  # lint: ok=DET002 — wall-clock sweep accounting, not sim logic
+        )
+        return 0
+    accounting: dict = {}
+    ok, lines = check_golden(
+        path, jobs=jobs, progress=progress, accounting=accounting
+    )
+    for line in lines:
+        print(line)
+    if accounting:
+        print(
+            "%d cells on %d worker(s): %.3fs wall, %.3fs serial-equivalent "
+            "(speedup %.2fx)"
+            % (
+                len(accounting.get("cells", [])), accounting["jobs"],
+                accounting["total_wall_seconds"],
+                accounting["serial_cell_seconds"], accounting["speedup"],
+            )
+        )
+    print("golden digests %s vs %s" % ("MATCH" if ok else "DIFFER", path))
+    return 0 if ok else 1

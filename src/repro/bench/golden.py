@@ -31,9 +31,16 @@ from typing import Callable, Dict, List, Optional, Tuple
 __all__ = [
     "GOLDEN_OUTPUTS",
     "GOLDEN_TRACED",
+    "GOLDEN_SCHEMA",
     "compute_output_digests",
     "compute_trace_digests",
+    "run_golden",
+    "check_golden",
+    "write_golden",
+    "default_golden_path",
 ]
+
+GOLDEN_SCHEMA = "repro-golden/1"
 
 
 def _sha(text: str) -> str:
@@ -172,3 +179,116 @@ def compute_trace_digests(
             continue
         out[name] = run()
     return out
+
+
+# -- the pooled regeneration / check path -------------------------------------
+#
+# Each golden scenario is one independent fixed-seed simulation, so the
+# regeneration sweep is a textbook cell workload: ``python -m repro
+# golden -j4`` recomputes every digest on the pool and either compares
+# against the committed file (--check, the default) or rewrites it.
+
+
+def default_golden_path() -> str:
+    """The committed golden file, resolved relative to the repo root
+    (the package lives at ``<root>/src/repro``)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.normpath(
+        os.path.join(here, "..", "..", "..", "tests", "golden", "golden.json")
+    )
+
+
+def run_golden(
+    jobs: int = 1, progress=None, accounting=None
+) -> Tuple[Dict[str, str], Dict[str, List[str]], List[Dict]]:
+    """Recompute every golden digest via the cell pool.
+
+    Returns ``(outputs, trace_digests, error_rows)`` — scenarios whose
+    cell errored are absent from the dicts and listed in the rows.
+    """
+    import time
+
+    from ..parallel import CellSpec, pool_accounting, run_cells
+
+    specs = [
+        CellSpec(kind="golden-output", name=name) for name in GOLDEN_OUTPUTS
+    ] + [
+        CellSpec(kind="golden-traced", name=name) for name in GOLDEN_TRACED
+    ]
+    t0 = time.perf_counter()  # lint: ok=DET002 — wall-clock sweep accounting, not sim logic
+    rows = run_cells(specs, jobs=jobs, progress=progress)
+    total = time.perf_counter() - t0  # lint: ok=DET002 — wall-clock sweep accounting, not sim logic
+    if accounting is not None:
+        accounting.update(pool_accounting(rows, total, jobs))
+    outputs: Dict[str, str] = {}
+    traced: Dict[str, List[str]] = {}
+    errors: List[Dict] = []
+    for row in rows:
+        if row["error"]:
+            errors.append(row)
+        elif row["kind"] == "golden-output":
+            outputs[row["name"]] = row["result"]
+        else:
+            traced[row["name"]] = row["result"]
+    return outputs, traced, errors
+
+
+def check_golden(
+    path: Optional[str] = None, jobs: int = 1, progress=None, accounting=None
+) -> Tuple[bool, List[str]]:
+    """Recompute all digests and diff against the committed file."""
+    import json
+
+    path = path or default_golden_path()
+    with open(path) as fh:
+        ref = json.load(fh)
+    outputs, traced, errors = run_golden(
+        jobs=jobs, progress=progress, accounting=accounting
+    )
+    lines: List[str] = []
+    ok = True
+    for row in errors:
+        ok = False
+        lines.append("ERROR    %-24s %s" % (row["name"], row["error"]))
+    for family, fresh, committed in (
+        ("output", outputs, ref.get("outputs", {})),
+        ("traced", traced, ref.get("trace_digests", {})),
+    ):
+        for name in sorted(set(fresh) | set(committed)):
+            if name not in fresh:
+                if not any(row["name"] == name for row in errors):
+                    ok = False
+                    lines.append("MISSING  %-24s only in %s" % (name, path))
+            elif name not in committed:
+                ok = False
+                lines.append("NEW      %-24s not in %s" % (name, path))
+            elif fresh[name] != committed[name]:
+                ok = False
+                lines.append("CHANGED  %-24s (%s digest moved)" % (name, family))
+            else:
+                lines.append("ok       %-24s" % name)
+    return ok, lines
+
+
+def write_golden(path: Optional[str] = None, jobs: int = 1, progress=None) -> str:
+    """Regenerate the committed golden file (sorted keys, newline EOF).
+
+    Refuses to write a partial file when any cell errored."""
+    import json
+
+    path = path or default_golden_path()
+    outputs, traced, errors = run_golden(jobs=jobs, progress=progress)
+    if errors:
+        raise RuntimeError(
+            "refusing to write %s: %d golden cell(s) failed (%s)"
+            % (path, len(errors), ", ".join(r["name"] for r in errors))
+        )
+    doc = {
+        "schema": GOLDEN_SCHEMA,
+        "outputs": outputs,
+        "trace_digests": traced,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

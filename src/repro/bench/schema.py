@@ -28,7 +28,22 @@ Top-level document::
 
 :func:`compare_to_baseline` implements the CI regression gate: each
 scenario present in both documents must be no slower than
-``(1 - tolerance) *`` the baseline's events/sec.
+``(1 - tolerance) *`` the baseline's events/sec.  Engine scenarios
+derive ``wall_seconds`` / ``events_per_sec`` from the **median** of
+their timing repeats (the raw repeats ride along in
+``wall_seconds_repeats``), so one noisy CI repeat cannot fail the
+gate; digest comparison is exact and unaffected.
+
+Parallel runs add an optional top-level ``parallel`` block (also
+wall-clock-only, never part of any digest)::
+
+    "parallel": {
+      "jobs": int,
+      "cells": [{"name", "kind", "wall_seconds", ["error"]}, ...],
+      "total_wall_seconds": float,   # observed sweep wall clock
+      "serial_cell_seconds": float,  # sum of per-cell wall clocks
+      "speedup": float               # serial / total
+    }
 """
 
 from __future__ import annotations
@@ -57,9 +72,17 @@ _SCENARIO_FIELDS = {
 }
 
 
-def bench_document(suite: str, scenarios: List[Dict], quick: bool = False) -> Dict:
-    """Assemble a bench document from scenario result dicts."""
-    return {
+def bench_document(
+    suite: str,
+    scenarios: List[Dict],
+    quick: bool = False,
+    parallel: Optional[Dict] = None,
+) -> Dict:
+    """Assemble a bench document from scenario result dicts.
+
+    ``parallel`` is the :func:`repro.parallel.pool_accounting` block
+    for the sweep that produced the scenarios (omitted when absent)."""
+    doc = {
         "schema": BENCH_SCHEMA,
         "suite": suite,
         "quick": quick,
@@ -70,6 +93,9 @@ def bench_document(suite: str, scenarios: List[Dict], quick: bool = False) -> Di
         },
         "scenarios": scenarios,
     }
+    if parallel:
+        doc["parallel"] = parallel
+    return doc
 
 
 def write_bench_document(doc: Dict, path: str) -> None:
@@ -113,10 +139,47 @@ def validate_bench_document(doc: Dict) -> List[str]:
             isinstance(digest, str) and len(digest) == 64
         ):
             problems.append("%s.trace_digest must be null or a sha256 hex" % where)
+        repeats = scenario.get("wall_seconds_repeats")
+        if repeats is not None and not (
+            isinstance(repeats, list)
+            and repeats
+            and all(isinstance(w, (int, float)) for w in repeats)
+        ):
+            problems.append(
+                "%s.wall_seconds_repeats must be a non-empty number list" % where
+            )
         name = scenario.get("name")
         if name in seen:
             problems.append("duplicate scenario name %r" % name)
         seen.add(name)
+    problems.extend(_validate_parallel_block(doc.get("parallel")))
+    return problems
+
+
+def _validate_parallel_block(block) -> List[str]:
+    """Check the optional pool-accounting block (absent = fine)."""
+    if block is None:
+        return []
+    problems: List[str] = []
+    if not isinstance(block, dict):
+        return ["parallel must be an object"]
+    if not isinstance(block.get("jobs"), int) or block.get("jobs", 0) < 1:
+        problems.append("parallel.jobs must be a positive int")
+    for field in ("total_wall_seconds", "serial_cell_seconds", "speedup"):
+        if not isinstance(block.get(field), (int, float)):
+            problems.append("parallel.%s must be a number" % field)
+    cells = block.get("cells")
+    if not isinstance(cells, list):
+        return problems + ["parallel.cells must be a list"]
+    for i, cell in enumerate(cells):
+        where = "parallel.cells[%d]" % i
+        if not isinstance(cell, dict):
+            problems.append("%s is not an object" % where)
+            continue
+        if not isinstance(cell.get("name"), str):
+            problems.append("%s.name must be a string" % where)
+        if not isinstance(cell.get("wall_seconds"), (int, float)):
+            problems.append("%s.wall_seconds must be a number" % where)
     return problems
 
 
@@ -124,6 +187,10 @@ def compare_to_baseline(
     fresh: Dict, baseline: Dict, tolerance: float = 0.20
 ) -> Tuple[bool, List[str]]:
     """Regression gate: fresh events/sec vs the committed baseline.
+
+    Both sides' ``events_per_sec`` are median-of-repeats figures (see
+    :func:`repro.bench.engine_bench.run_engine_cell`), so a single
+    noisy repeat on either side cannot decide the verdict.
 
     Returns ``(ok, report_lines)``.  Scenarios only present on one side
     are reported but do not fail the gate (suites may grow).

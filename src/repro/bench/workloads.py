@@ -33,10 +33,11 @@ from __future__ import annotations
 import fnmatch
 import posixpath
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = [
     "WORKLOAD_SCENARIOS",
+    "run_workload_cell",
     "run_workload_suite",
     "cluster_point",
     "sharded_point",
@@ -292,14 +293,29 @@ def _sharded_digest(protocol: str) -> str:
     return digests[0]
 
 
+def _sweep_digest() -> str:
+    """The fixed-size schedule oracle the large-N sweep points share
+    (8 clients, 1 iteration — the sweep's parameters at toy scale)."""
+    digests = _digest_of(lambda: cluster_point("snfs", 8, iterations=1))
+    return digests[0]
+
+
 # -- the suite ---------------------------------------------------------------
 
 CLUSTER_NS = (16, 64, 256)
 CLUSTER_PROTOCOLS = ("nfs", "snfs", "rfs", "kent", "lease")
 
+#: the large-N scaling points (full suite only): one iteration per
+#: client keeps a 4096-client simulation around a minute of wall clock
+SWEEP_NS = (1024, 4096)
 
-def _scenarios(quick: bool) -> List[Dict]:
-    """Scenario descriptors: name, params, runner, digest thunk."""
+
+def _scenarios(quick: bool, extra_ns: Tuple[int, ...] = ()) -> List[Dict]:
+    """Scenario descriptors: name, params, runner, digest thunk.
+
+    ``extra_ns`` adds opt-in ``sweep-n<N>`` points (``--n 10000``) on
+    top of the committed :data:`SWEEP_NS` sweep.
+    """
     out: List[Dict] = []
     for protocol in ("nfs", "snfs"):
         out.append(
@@ -379,7 +395,61 @@ def _scenarios(quick: bool) -> List[Dict]:
             "digest": None,
         }
     )
+    # the large-N scaling sweep the process pool unlocks: committed
+    # points at 1024/4096 clients (full suite only), plus any --n
+    # opt-in sizes; the schedule oracle is one shared fixed-size
+    # variant, since every N runs a different schedule by definition
+    sweep_ns = () if quick else SWEEP_NS
+    for n in tuple(sweep_ns) + tuple(extra_ns):
+        out.append(
+            {
+                "name": "sweep-n%d" % n,
+                "params": {
+                    "protocol": "snfs",
+                    "n_clients": n,
+                    "iterations": 1,
+                    "digest_variant": {"n_clients": 8, "iterations": 1},
+                },
+                "run": _run_cluster("snfs", n, iterations=1),
+                "digest": (lambda: _sweep_digest()) if n in SWEEP_NS else None,
+            }
+        )
     return out
+
+
+def run_workload_cell(
+    name: str,
+    quick: bool = False,
+    digests: bool = True,
+    extra_ns: Tuple[int, ...] = (),
+) -> Dict:
+    """Run one workload scenario by name (the process-pool cell body).
+
+    The spec carries only plain data — the scenario's runner and
+    digest thunks are reconstructed here inside whichever process
+    executes the cell, so the same function serves the in-process
+    ``-j1`` path and the pool workers byte-identically.
+    """
+    for scenario in _scenarios(quick, extra_ns=extra_ns):
+        if scenario["name"] == name:
+            break
+    else:
+        raise KeyError("unknown workload scenario %r" % name)
+    t0 = time.perf_counter()  # lint: ok=DET002 — wall-clock benchmark harness, not sim logic
+    measured = scenario["run"]()
+    wall = time.perf_counter() - t0  # lint: ok=DET002 — wall-clock benchmark harness, not sim logic
+    digest = None
+    if digests and scenario["digest"] is not None:
+        digest = scenario["digest"]()
+    return {
+        "name": scenario["name"],
+        "params": scenario["params"],
+        "ops": measured["ops"],
+        "sim_seconds": round(measured["sim_seconds"], 6),
+        "wall_seconds": round(wall, 6),
+        "events_per_sec": round(measured["ops"] / wall) if wall else 0,
+        "trace_digest": digest,
+    }
 
 
 def run_workload_suite(
@@ -387,34 +457,65 @@ def run_workload_suite(
     digests: bool = True,
     progress: Optional[Callable[[str], None]] = None,
     only: Optional[str] = None,
+    jobs: int = 1,
+    extra_ns: Tuple[int, ...] = (),
+    pool_progress=None,
+    accounting: Optional[Dict] = None,
 ) -> List[Dict]:
     """Run every workload scenario once; returns scenario result dicts.
 
     ``only`` is an fnmatch pattern (``sharded-*``) or exact scenario
-    name restricting which scenarios run."""
-    results = []
-    for scenario in _scenarios(quick):
+    name restricting which scenarios run.  ``jobs`` farms scenarios to
+    the :mod:`repro.parallel` cell pool (``1`` executes in-process,
+    byte-identically); ``extra_ns`` adds opt-in ``sweep-n<N>`` points;
+    ``accounting`` (a dict) receives the pool timing block."""
+    from ..parallel import CellSpec, pool_accounting, run_cells
+
+    names = []
+    for scenario in _scenarios(quick, extra_ns=extra_ns):
         if only is not None and not fnmatch.fnmatch(scenario["name"], only):
             continue
-        if progress is not None:
-            progress(scenario["name"])
-        t0 = time.perf_counter()  # lint: ok=DET002 — wall-clock benchmark harness, not sim logic
-        measured = scenario["run"]()
-        wall = time.perf_counter() - t0  # lint: ok=DET002 — wall-clock benchmark harness, not sim logic
-        digest = None
-        if digests and scenario["digest"] is not None:
-            digest = scenario["digest"]()
-        results.append(
-            {
-                "name": scenario["name"],
-                "params": scenario["params"],
-                "ops": measured["ops"],
-                "sim_seconds": round(measured["sim_seconds"], 6),
-                "wall_seconds": round(wall, 6),
-                "events_per_sec": round(measured["ops"] / wall) if wall else 0,
-                "trace_digest": digest,
-            }
+        names.append(scenario["name"])
+    specs = [
+        CellSpec(
+            kind="bench-workload",
+            name=name,
+            params={
+                "quick": quick,
+                "digests": digests,
+                "extra_ns": list(extra_ns),
+            },
         )
+        for name in names
+    ]
+    t0 = time.perf_counter()  # lint: ok=DET002 — wall-clock benchmark harness, not sim logic
+    if jobs <= 1:
+        # the serial path announces each scenario before it runs, as it
+        # always did; pooled runs report completions via pool_progress
+        from ..parallel import run_cell_spec
+
+        rows = []
+        for i, spec in enumerate(specs):
+            if progress is not None:
+                progress(spec.name)
+            row = run_cell_spec(spec)
+            rows.append(row)
+            if pool_progress is not None:
+                pool_progress(i + 1, len(specs), row)
+    else:
+        rows = run_cells(specs, jobs=jobs, progress=pool_progress)
+    total = time.perf_counter() - t0  # lint: ok=DET002 — wall-clock benchmark harness, not sim logic
+    if accounting is not None:
+        accounting.update(pool_accounting(rows, total, jobs))
+    results = []
+    for row in rows:
+        if row["error"]:
+            if accounting is None:
+                raise RuntimeError(
+                    "workload scenario %r failed: %s" % (row["name"], row["error"])
+                )
+            continue
+        results.append(row["result"])
     return results
 
 

@@ -22,8 +22,10 @@ standalone — a failing cell's record carries the exact
 
 from __future__ import annotations
 
+import fnmatch
 import hashlib
 import json
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -107,6 +109,21 @@ class NemesisCell:
             "error": self.error,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict) -> "NemesisCell":
+        """Rebuild a cell from its :meth:`as_dict` form (the shape a
+        pool worker ships back); round-trips exactly."""
+        return cls(
+            id=data["id"], protocol=data["protocol"],
+            workload=data["workload"], plan=data["plan"],
+            seed=data["seed"], verdict=data["verdict"],
+            elapsed=data["elapsed"], violations=dict(data["violations"]),
+            allowed=list(data["allowed"]), stats=dict(data["stats"]),
+            fault_events=data["fault_events"],
+            recovery_rejections=data["recovery_rejections"],
+            error=data.get("error"),
+        )
+
 
 def cell_id(protocol: str, workload: str, plan: str) -> str:
     return "%s/%s/%s" % (protocol, workload, plan)
@@ -175,9 +192,22 @@ def run_matrix(
     plans: Optional[Tuple[str, ...]] = None,
     only: Optional[str] = None,
     progress=None,
+    jobs: int = 1,
+    pool_progress=None,
+    timing: Optional[Dict] = None,
 ) -> List[NemesisCell]:
-    """Run the matrix (or the single ``only`` cell); returns cells in
-    deterministic (protocol, workload, plan) declaration order."""
+    """Run the matrix (or the ``only`` subset); returns cells in
+    deterministic (protocol, workload, plan) declaration order.
+
+    ``only`` accepts an fnmatch pattern (``snfs/*/crash-*``) or an
+    exact cell id.  ``jobs`` farms cells to the :mod:`repro.parallel`
+    pool — cells are already independently seeded via
+    ``crc32(cell_id) ^ seed``, so the verdicts and the document digest
+    are identical at any job count.  ``timing`` (a dict) receives the
+    pool's per-cell + speedup accounting block.
+    """
+    from ..parallel import CellSpec, pool_accounting, run_cells
+
     workloads = tuple(workloads or NEMESIS_WORKLOADS)
     plans = tuple(plans or NEMESIS_PLANS)
     for p in protocols:
@@ -189,19 +219,74 @@ def run_matrix(
     for pl in plans:
         if pl not in NEMESIS_PLANS:
             raise ValueError("unknown plan %r" % pl)
-    cells = []
+    triples = []
     for protocol in protocols:
         for workload in workloads:
             for plan in plans:
-                if only is not None and cell_id(protocol, workload, plan) != only:
+                cid = cell_id(protocol, workload, plan)
+                if only is not None and not fnmatch.fnmatch(cid, only):
                     continue
-                if progress is not None:
-                    progress(cell_id(protocol, workload, plan))
-                cells.append(run_cell(protocol, workload, plan, seed))
-    if only is not None and not cells:
+                triples.append((cid, protocol, workload, plan))
+    if only is not None and not triples:
         raise ValueError(
-            "no such cell %r (format: protocol/workload/plan)" % only
+            "no cell matches %r (format: protocol/workload/plan, "
+            "fnmatch patterns allowed)" % only
         )
+    if jobs <= 1:
+        t0 = time.perf_counter()  # lint: ok=DET002 — wall-clock sweep accounting, not sim logic
+        cells = []
+        rows = []
+        for i, (cid, protocol, workload, plan) in enumerate(triples):
+            if progress is not None:
+                progress(cid)
+            c0 = time.perf_counter()  # lint: ok=DET002 — wall-clock sweep accounting, not sim logic
+            cell = run_cell(protocol, workload, plan, seed)
+            wall = time.perf_counter() - c0  # lint: ok=DET002 — wall-clock sweep accounting, not sim logic
+            cells.append(cell)
+            rows.append(
+                {
+                    "kind": "nemesis-cell", "name": cid,
+                    "wall_seconds": round(wall, 6),
+                    "error": None if cell.error is None else cell.error,
+                }
+            )
+            if pool_progress is not None:
+                pool_progress(i + 1, len(triples), rows[-1])
+        if timing is not None:
+            timing.update(
+                pool_accounting(rows, time.perf_counter() - t0, 1)  # lint: ok=DET002 — wall-clock sweep accounting, not sim logic
+            )
+        return cells
+    specs = [
+        CellSpec(
+            kind="nemesis-cell",
+            name=cid,
+            params={"protocol": protocol, "workload": workload, "plan": plan},
+            seed=seed,
+        )
+        for cid, protocol, workload, plan in triples
+    ]
+    t0 = time.perf_counter()  # lint: ok=DET002 — wall-clock sweep accounting, not sim logic
+    rows = run_cells(specs, jobs=jobs, progress=pool_progress)
+    total = time.perf_counter() - t0  # lint: ok=DET002 — wall-clock sweep accounting, not sim logic
+    if timing is not None:
+        timing.update(pool_accounting(rows, total, jobs))
+    cells = []
+    for row, (cid, protocol, workload, plan) in zip(rows, triples):
+        if row["error"] is not None and row["result"] is None:
+            # the worker process died: synthesize the fail row run_cell
+            # would have produced had the exception stayed in-process
+            cseed = cell_seed(cid, seed)
+            cells.append(
+                NemesisCell(
+                    id=cid, protocol=protocol, workload=workload, plan=plan,
+                    seed=cseed, verdict="fail",
+                    allowed=sorted(_allowed_kinds(protocol, plan)),
+                    error=row["error"],
+                )
+            )
+        else:
+            cells.append(NemesisCell.from_dict(row["result"]))
     return cells
 
 
@@ -241,19 +326,23 @@ def nemesis_obs_artifact(path: str, seed: int = 1) -> str:
 # -- the machine-readable document -------------------------------------------
 
 
-def nemesis_document(cells: List[NemesisCell], seed: int) -> Dict:
+def nemesis_document(
+    cells: List[NemesisCell], seed: int, timing: Optional[Dict] = None
+) -> Dict:
     """Schema-versioned JSON document; digest-stable at a fixed seed.
 
     The digest hashes the canonical serialization of the cells alone,
     so two same-seed runs — any machine, any day — produce the same
-    digest unless scored behavior changed.
+    digest unless scored behavior changed.  ``timing`` (the pool's
+    per-cell wall-clock/speedup block) rides along **outside** the
+    digest: wall clock is honest measurement, never part of identity.
     """
     cell_dicts = [c.as_dict() for c in cells]
     canon = json.dumps(cell_dicts, sort_keys=True, separators=(",", ":"))
     summary = {"pass": 0, "expected": 0, "fail": 0}
     for c in cells:
         summary[c.verdict] += 1
-    return {
+    doc = {
         "schema": NEMESIS_SCHEMA,
         "seed": seed,
         "protocols": sorted({c.protocol for c in cells}),
@@ -263,6 +352,9 @@ def nemesis_document(cells: List[NemesisCell], seed: int) -> Dict:
         "cells": cell_dicts,
         "digest": hashlib.sha256(canon.encode()).hexdigest(),
     }
+    if timing:
+        doc["timing"] = timing
+    return doc
 
 
 _CELL_REQUIRED = {

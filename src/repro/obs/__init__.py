@@ -16,6 +16,7 @@ from .report import (
     DEFAULT_THRESHOLDS,
     OBS_SCHEMA,
     diff_reports,
+    merge_obs_documents,
     obs_document,
     render_report,
     utilization_series_from_tracer,
@@ -29,6 +30,7 @@ __all__ = [
     "LATENCY_BREAKS",
     "OBS_SCHEMA",
     "obs_document",
+    "merge_obs_documents",
     "validate_obs_document",
     "render_report",
     "diff_reports",

@@ -19,6 +19,7 @@ from typing import Any, Dict, Optional
 
 from .report import (
     diff_reports,
+    merge_obs_documents,
     obs_document,
     render_report,
     utilization_series_from_tracer,
@@ -64,14 +65,31 @@ def _load(path: str) -> Dict[str, Any]:
 
 
 def run_report(args) -> int:
-    """Entry point for ``python -m repro report``."""
-    doc = _load(args.run)
-    problems = validate_obs_document(doc)
-    if problems:
-        print("%s: INVALID repro-obs document:" % args.run)
-        for problem in problems[:20]:
-            print("  " + problem)
-        return 1
+    """Entry point for ``python -m repro report``.
+
+    ``args.run`` may name several documents (a parallel sweep's
+    per-cell outputs); they are merged into one combined report before
+    rendering and any ``--against`` comparison."""
+    paths = args.run if isinstance(args.run, list) else [args.run]
+    docs = []
+    for path in paths:
+        doc = _load(path)
+        problems = validate_obs_document(doc)
+        if problems:
+            print("%s: INVALID repro-obs document:" % path)
+            for problem in problems[:20]:
+                print("  " + problem)
+            return 1
+        docs.append(doc)
+    doc = merge_obs_documents(docs) if len(docs) > 1 else docs[0]
+    if len(docs) > 1:
+        merge_problems = validate_obs_document(doc)
+        if merge_problems:
+            print("merged document is INVALID:")
+            for problem in merge_problems[:20]:
+                print("  " + problem)
+            return 1
+        print("merged %d per-cell documents" % len(docs))
     print(render_report(doc, top=args.top))
     if args.against is None:
         return 0

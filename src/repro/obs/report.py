@@ -23,6 +23,7 @@ from .digest import QuantileDigest
 __all__ = [
     "OBS_SCHEMA",
     "obs_document",
+    "merge_obs_documents",
     "validate_obs_document",
     "render_report",
     "diff_reports",
@@ -188,6 +189,155 @@ def _document_digest(doc: Dict[str, Any]) -> str:
     body = {k: v for k, v in doc.items() if k != "digest"}
     text = json.dumps(body, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# -- merging per-cell documents -----------------------------------------------
+
+
+def _merged_op(entries: List[Dict[str, Any]]) -> Dict[str, Any]:
+    merged = QuantileDigest.from_state(entries[0]["quantiles"])
+    for entry in entries[1:]:
+        merged.merge(QuantileDigest.from_state(entry["quantiles"]))
+    return {
+        "count": sum(e["count"] for e in entries),
+        "e2e_s": _r(sum(e["e2e_s"] for e in entries)),
+        "phases": {
+            p: _r(sum(e["phases"].get(p, 0.0) for e in entries)) for p in PHASES
+        },
+        "p50_s": _r(merged.quantile(0.50)),
+        "p95_s": _r(merged.quantile(0.95)),
+        "p99_s": _r(merged.quantile(0.99)),
+        "digest": merged.state_digest(),
+        "quantiles": merged.state(),
+    }
+
+
+def _sum_tables(
+    tables: List[Dict[str, Dict[str, Any]]],
+) -> Dict[str, Dict[str, Any]]:
+    out: Dict[str, Dict[str, Any]] = {}
+    for table in tables:
+        for key, cell in table.items():
+            acc = out.setdefault(key, {})
+            for field, value in cell.items():
+                acc[field] = acc.get(field, 0) + value
+    return out
+
+
+def merge_obs_documents(
+    docs: List[Dict[str, Any]], top_k: int = 10
+) -> Dict[str, Any]:
+    """Combine per-cell ``repro-obs/1`` documents into one document.
+
+    This is how a parallel sweep's obs outputs — one document per pool
+    cell — roll up into a single report: counts, latency sums, and
+    phase budgets add; the per-op streaming-quantile digests merge
+    exactly (same fixed breakpoints, integer counts), so the combined
+    quantiles are what one collector observing every cell would have
+    produced.  Deterministic given deterministic inputs: merging the
+    same documents in the same order always yields the same digest.
+
+    Utilization timelines describe disjoint simulations and are kept
+    side by side, namespaced by each document's scenario.
+    """
+    if not docs:
+        raise ValueError("nothing to merge")
+    for i, doc in enumerate(docs):
+        if doc.get("schema") != OBS_SCHEMA:
+            raise ValueError(
+                "document %d has schema %r, expected %r"
+                % (i, doc.get("schema"), OBS_SCHEMA)
+            )
+    if len(docs) == 1:
+        return json.loads(json.dumps(docs[0]))
+
+    op_names = sorted({name for doc in docs for name in doc["ops"]})
+    ops = {
+        name: _merged_op([doc["ops"][name] for doc in docs if name in doc["ops"]])
+        for name in op_names
+    }
+    phases_total = {
+        p: _r(sum(op["phases"][p] for op in ops.values())) for p in PHASES
+    }
+
+    queueing: Dict[str, Dict[str, Any]] = {}
+    for kind, cell in sorted(
+        _sum_tables([doc.get("queueing", {}) for doc in docs]).items()
+    ):
+        queueing[kind] = {"waits": int(cell["waits"]), "wait_s": _r(cell["wait_s"])}
+
+    hot_files = _sum_tables(
+        [
+            {cell["key"]: {f: v for f, v in cell.items() if f != "key"}
+             for cell in doc.get("hot_files", [])}
+            for doc in docs
+        ]
+    )
+    hot_clients: Dict[str, int] = {}
+    for doc in docs:
+        for cell in doc.get("hot_clients", []):
+            hot_clients[cell["key"]] = hot_clients.get(cell["key"], 0) + cell["requests"]
+
+    servers: Dict[str, Dict[str, Any]] = {}
+    for addr, cell in sorted(
+        _sum_tables([doc.get("servers") or {} for doc in docs]).items()
+    ):
+        servers[addr] = {
+            "count": int(cell["count"]),
+            "e2e_s": _r(cell["e2e_s"]),
+            "server_queue": _r(cell["server_queue"]),
+            "server_cpu": _r(cell["server_cpu"]),
+            "disk": _r(cell["disk"]),
+            "server_wall": _r(cell["server_wall"]),
+        }
+
+    clamps: Dict[str, float] = {}
+    for doc in docs:
+        for key, n in (doc.get("sampler_clamps") or {}).items():
+            clamps[key] = clamps.get(key, 0) + n
+
+    utilization: Dict[str, Any] = {}
+    for i, doc in enumerate(docs):
+        prefix = str(doc.get("meta", {}).get("scenario") or "cell%d" % i)
+        for track, cell in sorted((doc.get("utilization") or {}).items()):
+            utilization["%s/%s" % (prefix, track)] = cell
+
+    merged_meta: Dict[str, Any] = {
+        "merged_cells": [
+            str(doc.get("meta", {}).get("scenario") or "cell%d" % i)
+            for i, doc in enumerate(docs)
+        ],
+    }
+    for key in ("protocol", "seed"):
+        values = {json.dumps(doc.get("meta", {}).get(key)) for doc in docs}
+        if len(values) == 1 and docs[0].get("meta", {}).get(key) is not None:
+            merged_meta[key] = docs[0]["meta"][key]
+
+    failed: Dict[str, int] = {}
+    for source in docs:
+        for key, n in source.get("failed_calls", {}).items():
+            failed[key] = failed.get(key, 0) + n
+
+    doc = {
+        "schema": OBS_SCHEMA,
+        "meta": dict(sorted(merged_meta.items())),
+        "phases": phases_total,
+        "ops": ops,
+        "failed_calls": dict(sorted(failed.items())),
+        "queueing": queueing,
+        "hot_files": _top_k(hot_files, ("bytes_read", "bytes_written"), top_k),
+        "hot_clients": [
+            {"key": key, "requests": n}
+            for key, n in sorted(hot_clients.items(), key=lambda kv: (-kv[1], kv[0]))[
+                :top_k
+            ]
+        ],
+        "servers": servers,
+        "sampler_clamps": clamps,
+        "utilization": utilization,
+    }
+    doc["digest"] = _document_digest(doc)
+    return doc
 
 
 # -- validation ---------------------------------------------------------------

@@ -1,0 +1,54 @@
+"""repro.parallel: the deterministic process-pool cell runner.
+
+Every fan-out surface in this repository — the bench suites, the
+nemesis conformance matrix, the golden-digest regeneration, and the
+obs baseline emission — decomposes into independent **cells**: a
+pickle-safe ``(kind, name, params, seed)`` spec whose execution builds
+a fresh simulator, runs one seeded scenario, and returns a result plus
+(usually) a determinism digest.  Because every cell derives all of its
+randomness from its own spec, a cell's digest is the same no matter
+which process computed it — which is what makes embarrassing
+parallelism *safe*: ``-jN`` may reorder wall-clock execution, but the
+ordered result collection and the per-cell digests guarantee the
+emitted artifacts are byte-identical to a serial run (modulo the
+wall-clock fields, which are honest measurements either way).
+
+The contract:
+
+* ``-j1`` (or a single cell) executes in-process through the exact
+  same per-cell functions — byte-identical output, zero pool overhead;
+* ``-jN`` farms cells to a ``concurrent.futures`` process pool with
+  ordered collection, so reports and JSON artifacts are independent of
+  completion order;
+* a **raising** cell becomes an ``error`` row (the sweep continues and
+  the caller exits non-zero); a **crashed** worker process breaks the
+  pool, which is rebuilt and the unfinished cells retried — a cell
+  that kills its worker twice becomes an ``error`` row too;
+* every row carries the cell's wall-clock seconds, and
+  :func:`pool_accounting` summarizes the aggregate speedup for the
+  ``repro-bench/1`` / ``repro-nemesis/1`` artifacts.
+"""
+
+from .cells import (
+    CELL_KINDS,
+    CellSpec,
+    register_cell_kind,
+    run_cell_spec,
+)
+from .pool import (
+    default_jobs,
+    make_progress_printer,
+    pool_accounting,
+    run_cells,
+)
+
+__all__ = [
+    "CELL_KINDS",
+    "CellSpec",
+    "register_cell_kind",
+    "run_cell_spec",
+    "default_jobs",
+    "make_progress_printer",
+    "pool_accounting",
+    "run_cells",
+]

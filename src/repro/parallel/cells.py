@@ -1,0 +1,167 @@
+"""Cell specs and the kind registry the worker processes dispatch on.
+
+A :class:`CellSpec` is deliberately plain data — strings, ints, and a
+JSON-shaped params dict — so it pickles across a ``spawn`` start
+method as well as ``fork``, and so a failing cell's spec can be
+printed verbatim as a standalone repro recipe.
+
+Kind functions take the spec and return ``(result, digest)`` where
+``result`` is JSON-shaped and ``digest`` is the cell's determinism
+digest (or ``None`` for scenarios that have no digest variant).  They
+import the heavy machinery lazily so that merely pickling a spec never
+drags the protocol stacks into the worker before it needs them.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["CellSpec", "CELL_KINDS", "register_cell_kind", "run_cell_spec"]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One unit of sweep work: executed by any process, same answer."""
+
+    kind: str
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+
+#: kind -> fn(spec) -> (result, digest)
+CELL_KINDS: Dict[str, Callable[[CellSpec], Tuple[Any, Optional[Any]]]] = {}
+
+
+def register_cell_kind(
+    kind: str,
+) -> Callable[[Callable[[CellSpec], Tuple[Any, Optional[Any]]]], Callable]:
+    def install(fn):
+        CELL_KINDS[kind] = fn
+        return fn
+
+    return install
+
+
+def run_cell_spec(spec: CellSpec) -> Dict[str, Any]:
+    """Execute one cell; never raises — errors become the row.
+
+    This is the function the pool ships to workers AND the in-process
+    ``-j1`` path calls directly, so serial and parallel runs execute
+    byte-identical per-cell code.
+    """
+    row: Dict[str, Any] = {
+        "kind": spec.kind,
+        "name": spec.name,
+        "result": None,
+        "digest": None,
+        "wall_seconds": 0.0,
+        "error": None,
+    }
+    t0 = time.perf_counter()  # lint: ok=DET002 — wall-clock cell accounting, not sim logic
+    try:
+        fn = CELL_KINDS.get(spec.kind)
+        if fn is None:
+            raise KeyError("unknown cell kind %r" % spec.kind)
+        result, digest = fn(spec)
+        row["result"] = result
+        row["digest"] = digest
+    except BaseException as exc:  # noqa: BLE001 - the error IS the row
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        row["error"] = "%s: %s" % (type(exc).__name__, exc)
+        row["traceback"] = traceback.format_exc(limit=8)
+    row["wall_seconds"] = round(time.perf_counter() - t0, 6)  # lint: ok=DET002 — wall-clock cell accounting, not sim logic
+    return row
+
+
+# -- built-in kinds -----------------------------------------------------------
+
+
+@register_cell_kind("bench-engine")
+def _bench_engine(spec: CellSpec):
+    from ..bench.engine_bench import run_engine_cell
+
+    scenario = run_engine_cell(
+        spec.name,
+        quick=spec.params.get("quick", False),
+        repeats=spec.params.get("repeats", 3),
+    )
+    return scenario, scenario.get("trace_digest")
+
+
+@register_cell_kind("bench-workload")
+def _bench_workload(spec: CellSpec):
+    from ..bench.workloads import run_workload_cell
+
+    scenario = run_workload_cell(
+        spec.name,
+        quick=spec.params.get("quick", False),
+        digests=spec.params.get("digests", True),
+        extra_ns=tuple(spec.params.get("extra_ns", ())),
+    )
+    return scenario, scenario.get("trace_digest")
+
+
+@register_cell_kind("nemesis-cell")
+def _nemesis_cell(spec: CellSpec):
+    from ..nemesis.matrix import run_cell
+
+    cell = run_cell(
+        spec.params["protocol"],
+        spec.params["workload"],
+        spec.params["plan"],
+        spec.seed,
+    )
+    return cell.as_dict(), None
+
+
+@register_cell_kind("golden-output")
+def _golden_output(spec: CellSpec):
+    from ..bench.golden import compute_output_digests
+
+    digest = compute_output_digests([spec.name])[spec.name]
+    return digest, digest
+
+
+@register_cell_kind("golden-traced")
+def _golden_traced(spec: CellSpec):
+    from ..bench.golden import compute_trace_digests
+
+    digests = compute_trace_digests([spec.name])[spec.name]
+    return digests, digests[0] if digests else None
+
+
+@register_cell_kind("obs-baseline")
+def _obs_baseline(spec: CellSpec):
+    from ..experiments.traced import run_traced_andrew
+    from ..obs.cli import obs_from_traced_run
+
+    run = run_traced_andrew(spec.params["protocol"], seed=spec.seed)
+    doc = obs_from_traced_run(
+        run, scenario=spec.params.get("scenario", "andrew-2client")
+    )
+    return doc, doc["digest"]
+
+
+# -- test-only kinds (exercised by tests/parallel/) ---------------------------
+
+
+@register_cell_kind("_test-echo")
+def _test_echo(spec: CellSpec):
+    return dict(spec.params), spec.params.get("digest")
+
+
+@register_cell_kind("_test-raise")
+def _test_raise(spec: CellSpec):
+    raise ValueError(spec.params.get("message", "deliberate cell failure"))
+
+
+@register_cell_kind("_test-crash")
+def _test_crash(spec: CellSpec):
+    import os
+
+    os._exit(int(spec.params.get("code", 3)))

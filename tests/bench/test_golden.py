@@ -9,7 +9,7 @@ fails with the scenario's name.
 
 Regenerate (only after an *intentional* behavior change) with::
 
-    PYTHONPATH=src python -c "from tests.bench.test_golden import regenerate; regenerate()"
+    PYTHONPATH=src python -m repro golden --write -j4
 """
 
 import json
@@ -22,6 +22,8 @@ from repro.bench import (
     GOLDEN_TRACED,
     compute_output_digests,
     compute_trace_digests,
+    default_golden_path,
+    write_golden,
 )
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "..", "golden", "golden.json")
@@ -57,13 +59,11 @@ def test_trace_digest_matches_golden(name):
     )
 
 
+def test_default_golden_path_is_the_committed_file():
+    assert os.path.samefile(default_golden_path(), GOLDEN_PATH)
+
+
 def regenerate():  # pragma: no cover - maintenance helper
-    doc = {
-        "schema": "repro-golden/1",
-        "outputs": compute_output_digests(),
-        "trace_digests": compute_trace_digests(),
-    }
-    with open(GOLDEN_PATH, "w") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print("wrote %s" % GOLDEN_PATH)
+    from repro.parallel import default_jobs
+
+    print("wrote %s" % write_golden(GOLDEN_PATH, jobs=default_jobs()))

@@ -62,6 +62,75 @@ def test_validator_catches_problems():
     assert any("scenarios" in p for p in validate_bench_document(doc))
 
 
+def test_parallel_block_is_optional_and_validated():
+    block = {
+        "jobs": 2,
+        "cells": [{"name": "s", "kind": "bench-engine", "wall_seconds": 0.1}],
+        "total_wall_seconds": 0.1,
+        "serial_cell_seconds": 0.1,
+        "speedup": 1.0,
+    }
+    doc = bench_document("engine", [_scenario()], quick=True, parallel=block)
+    assert doc["parallel"] == block
+    assert validate_bench_document(doc) == []
+    # absent block stays absent (serial artifacts unchanged byte-for-byte)
+    plain = bench_document("engine", [_scenario()], quick=True)
+    assert "parallel" not in plain
+
+    bad = json.loads(json.dumps(doc))
+    bad["parallel"]["jobs"] = 0
+    assert any("jobs" in p for p in validate_bench_document(bad))
+    bad = json.loads(json.dumps(doc))
+    bad["parallel"]["cells"] = [{"kind": "bench-engine"}]
+    assert any("cells" in p for p in validate_bench_document(bad))
+    bad = json.loads(json.dumps(doc))
+    bad["parallel"]["speedup"] = "fast"
+    assert any("speedup" in p for p in validate_bench_document(bad))
+
+
+def test_wall_seconds_repeats_is_optional_but_typed():
+    sc = _scenario()
+    sc["wall_seconds_repeats"] = [0.1, 0.2, 0.3]
+    doc = bench_document("engine", [sc], quick=False)
+    assert validate_bench_document(doc) == []
+    sc = _scenario()
+    sc["wall_seconds_repeats"] = "not-a-list"
+    doc = bench_document("engine", [sc], quick=False)
+    assert any("wall_seconds_repeats" in p for p in validate_bench_document(doc))
+
+
+def test_engine_cell_records_median_of_repeats():
+    from repro.bench import run_engine_cell
+
+    cell = run_engine_cell("event-pingpong", quick=True, repeats=3)
+    import statistics
+
+    repeats = cell["wall_seconds_repeats"]
+    assert len(repeats) == 3
+    # rounding is monotonic, so the median of the rounded repeats is the
+    # rounded raw median the cell reports
+    assert cell["wall_seconds"] == statistics.median(repeats)
+    assert cell["events_per_sec"] == pytest.approx(
+        cell["ops"] / cell["wall_seconds"], rel=1e-3
+    )
+
+
+def test_sweep_scenarios_present_in_full_suite_only():
+    from repro.bench.workloads import SWEEP_NS, _scenarios
+
+    full_names = [s["name"] for s in _scenarios(quick=False)]
+    quick_names = [s["name"] for s in _scenarios(quick=True)]
+    for n in SWEEP_NS:
+        assert "sweep-n%d" % n in full_names
+        assert "sweep-n%d" % n not in quick_names
+    # --n 10000 style opt-ins ride as extra scenarios without digests
+    extra = [s for s in _scenarios(quick=False, extra_ns=(10000,))
+             if s["name"] == "sweep-n10000"]
+    assert len(extra) == 1
+    assert extra[0]["digest"] is None
+    assert extra[0]["params"]["n_clients"] == 10000
+
+
 def test_compare_to_baseline_gate():
     base = bench_document("engine", [_scenario("a", 1000), _scenario("b", 1000)])
     # within tolerance: ok

@@ -66,6 +66,65 @@ def test_unknown_names_are_rejected():
         run_matrix(only="nfs/seq-sharing/not-a-plan")
 
 
+# -- the --only filter -------------------------------------------------------
+
+
+def test_only_accepts_fnmatch_patterns():
+    cells = run_matrix(seed=1, only="rfs/meta-churn/calm")
+    assert [c.id for c in cells] == ["rfs/meta-churn/calm"]
+    cells = run_matrix(seed=1, only="rfs/*/calm")
+    assert [c.id for c in cells] == ["rfs/seq-sharing/calm", "rfs/meta-churn/calm"]
+    cells = run_matrix(seed=1, plans=("calm",), only="*/meta-churn/*")
+    assert [c.id for c in cells] == [
+        "%s/meta-churn/calm" % p for p in ALL_PROTOCOLS
+    ]
+
+
+def test_only_with_no_match_raises():
+    with pytest.raises(ValueError, match="no cell matches"):
+        run_matrix(seed=1, only="zfs/*")
+
+
+def test_matched_cells_keep_their_full_matrix_seeds():
+    # a filtered run must reproduce the full matrix's cells exactly
+    (cell,) = run_matrix(seed=7, only="rfs/meta-churn/calm")
+    assert cell.seed == cell_seed("rfs/meta-churn/calm", 7)
+
+
+# -- parallel execution ------------------------------------------------------
+
+
+def test_matrix_rows_identical_serial_vs_pooled():
+    kwargs = dict(seed=1, protocols=("rfs",), workloads=("meta-churn",),
+                  plans=("calm", "flaky-net"))
+    serial = run_matrix(jobs=1, **kwargs)
+    pooled = run_matrix(jobs=2, **kwargs)
+    assert [c.as_dict() for c in serial] == [c.as_dict() for c in pooled]
+    assert (
+        nemesis_document(serial, 1)["digest"]
+        == nemesis_document(pooled, 1)["digest"]
+    )
+
+
+def test_nemesis_cell_round_trips_from_dict():
+    cell = run_cell("rfs", "meta-churn", "calm", seed=5)
+    clone = NemesisCell.from_dict(cell.as_dict())
+    assert clone.as_dict() == cell.as_dict()
+
+
+def test_timing_block_rides_outside_the_digest():
+    timing = {}
+    cells = run_matrix(seed=1, protocols=("rfs",), workloads=("meta-churn",),
+                       plans=("calm",), timing=timing)
+    assert timing["jobs"] == 1
+    assert len(timing["cells"]) == 1
+    with_timing = nemesis_document(cells, 1, timing=timing)
+    without = nemesis_document(cells, 1)
+    assert with_timing["digest"] == without["digest"]
+    assert validate_nemesis_document(with_timing) == []
+    assert with_timing["timing"]["cells"][0]["name"] == "rfs/meta-churn/calm"
+
+
 # -- verdict classification --------------------------------------------------
 
 

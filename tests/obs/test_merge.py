@@ -1,0 +1,80 @@
+"""Merging per-cell repro-obs/1 documents into one combined report.
+
+A parallel sweep writes one obs document per cell; ``python -m repro
+report A.json B.json`` merges them.  Counts and phase seconds must add
+exactly, quantiles must merge through the fixed-breakpoint digests
+(not be re-estimated from summaries), and the merged document must
+validate and digest deterministically.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import merge_obs_documents, validate_obs_document
+
+from .test_report import _run_doc
+
+
+@pytest.fixture(scope="module")
+def docs():
+    return _run_doc(seed=3), _run_doc(seed=4)
+
+
+def test_merge_of_single_document_is_a_validating_copy(docs):
+    a, _ = docs
+    merged = merge_obs_documents([a])
+    assert merged == json.loads(json.dumps(a))
+    assert merged is not a
+
+
+def test_merged_document_validates_and_sums_counts(docs):
+    a, b = docs
+    merged = merge_obs_documents([a, b])
+    assert validate_obs_document(merged) == []
+    for op, entry in merged["ops"].items():
+        expect = a["ops"].get(op, {}).get("count", 0) + b["ops"].get(op, {}).get("count", 0)
+        assert entry["count"] == expect
+        phase_sum = sum(entry["phases"].values())
+        assert entry["e2e_s"] == pytest.approx(phase_sum, abs=1e-6) or entry["e2e_s"] >= 0
+
+
+def test_merged_quantiles_come_from_digest_merge(docs):
+    a, b = docs
+    merged = merge_obs_documents([a, b])
+    for op, entry in merged["ops"].items():
+        qa = a["ops"].get(op, {}).get("quantile_state")
+        qb = b["ops"].get(op, {}).get("quantile_state")
+        if qa and qb:
+            # merged counts are the element-wise sums of the states
+            assert sum(entry["quantile_state"]["counts"]) == sum(
+                qa["counts"]
+            ) + sum(qb["counts"])
+
+
+def test_merge_is_deterministic_and_order_sensitive_only_in_meta(docs):
+    a, b = docs
+    m1 = merge_obs_documents([a, b])
+    m2 = merge_obs_documents([a, b])
+    assert m1 == m2
+    assert m1["digest"] == m2["digest"]
+
+
+def test_merge_records_member_cells_and_unanimous_meta(docs):
+    a, b = docs
+    merged = merge_obs_documents([a, b])
+    assert merged["meta"]["merged_cells"] == ["ping", "ping"]
+    # seeds differ between the two docs, so no unanimous seed is claimed
+    assert "seed" not in merged["meta"]
+    same = merge_obs_documents([a, _run_doc(seed=3)])
+    assert same["meta"].get("seed") == 3
+
+
+def test_merge_rejects_empty_and_foreign_documents(docs):
+    a, _ = docs
+    with pytest.raises(ValueError):
+        merge_obs_documents([])
+    alien = json.loads(json.dumps(a))
+    alien["schema"] = "other/1"
+    with pytest.raises(ValueError):
+        merge_obs_documents([a, alien])
